@@ -1,0 +1,56 @@
+//! Edge-Only: full-model inference on every frame (§VI.B).
+//!
+//! The reference point every acceleration method is measured against —
+//! both for latency (no cache, no lookup overhead) and for accuracy (no
+//! early-exit errors).
+
+use coca_core::engine::Scenario;
+use coca_metrics::recorder::{LatencyRecorder, RunSummary};
+use coca_model::ClientFeatureView;
+
+use crate::report::MethodReport;
+
+/// Runs Edge-Only over `rounds × frames_per_round` frames per client.
+pub fn run_edge_only(scenario: &Scenario, rounds: usize, frames_per_round: usize) -> MethodReport {
+    let rt = &scenario.rt;
+    let full = rt.full_compute();
+    let mut latency = LatencyRecorder::new();
+    let mut per_client = Vec::with_capacity(scenario.profiles.len());
+    for (k, profile) in scenario.profiles.iter().enumerate() {
+        let mut stream = scenario.stream(k);
+        let mut view = ClientFeatureView::new();
+        let mut summary = RunSummary::new(rt.num_cache_points());
+        for _ in 0..rounds * frames_per_round {
+            let frame = stream.next_frame();
+            let p = rt.classify(&frame, profile, &mut view);
+            summary.latency.record(full);
+            summary.accuracy.record(p.correct);
+            summary.hits.record_miss(p.correct);
+            latency.record(full);
+        }
+        per_client.push(summary);
+    }
+    MethodReport::from_parts("Edge-Only", latency, per_client)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_core::engine::ScenarioConfig;
+    use coca_data::DatasetSpec;
+    use coca_model::ModelId;
+
+    #[test]
+    fn edge_only_has_constant_latency_and_no_hits() {
+        let mut cfg = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        cfg.num_clients = 2;
+        cfg.seed = 80;
+        let scenario = coca_core::engine::Scenario::build(cfg);
+        let full = scenario.rt.full_compute().as_millis_f64();
+        let r = run_edge_only(&scenario, 2, 100);
+        assert_eq!(r.frames, 2 * 2 * 100);
+        assert!((r.mean_latency_ms - full).abs() < 1e-9);
+        assert_eq!(r.hit_ratio, 0.0);
+        assert!(r.accuracy_pct > 60.0, "accuracy {}", r.accuracy_pct);
+    }
+}

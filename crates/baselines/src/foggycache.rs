@@ -1,0 +1,549 @@
+//! FoggyCache-style cross-device approximate computation reuse (§VI.B).
+//!
+//! Guo et al., MobiCom'18. Mechanism as the paper describes it:
+//!
+//! * Inference requests are first looked up in a **local sample cache**
+//!   keyed by shallow input-level features, indexed with **A-LSH**
+//!   (adaptive random-hyperplane LSH) and answered by **H-kNN**
+//!   (homogenized k-nearest-neighbour voting).
+//! * On a local miss the query goes to the **server's global store**,
+//!   which aggregates samples from all clients (the cross-client reuse).
+//! * Stores evict with plain **LRU** — exactly the weakness the paper
+//!   exploits under long-tail distributions.
+//!
+//! Unlike the semantic-cache methods, entries are *individual samples*
+//! (feature vector + label), not class centroids.
+
+use std::collections::HashMap;
+
+use coca_core::engine::Scenario;
+use coca_metrics::recorder::{LatencyRecorder, RunSummary};
+use coca_model::{ClientFeatureView, ModelRuntime};
+use coca_sim::{SeedTree, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::report::MethodReport;
+
+/// FoggyCache driver configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FoggyCacheConfig {
+    /// Neighbours consulted by H-kNN.
+    pub k: usize,
+    /// Minimum fraction of the k neighbours agreeing on one class.
+    pub homogeneity: f64,
+    /// Minimum mean cosine similarity of the majority neighbours.
+    pub min_similarity: f32,
+    /// Local sample-cache capacity.
+    pub local_capacity: usize,
+    /// Server global-store capacity.
+    pub server_capacity: usize,
+    /// LSH tables.
+    pub lsh_tables: usize,
+    /// Initial hyperplanes (bits) per table; adapted per round.
+    pub lsh_bits: usize,
+    /// Round-trip time charged for a server lookup (ms).
+    pub server_rtt_ms: f64,
+    /// Input-level jitter added to the matching key. FoggyCache keys on
+    /// *raw input* features, which vary across consecutive video frames
+    /// (motion, exposure) far more than pooled semantic features do; the
+    /// jitter models that brittleness.
+    pub input_jitter: f32,
+}
+
+impl Default for FoggyCacheConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            homogeneity: 1.0,
+            min_similarity: 0.65,
+            local_capacity: 300,
+            server_capacity: 12_000,
+            lsh_tables: 4,
+            lsh_bits: 10,
+            server_rtt_ms: 14.0,
+            input_jitter: 0.08,
+        }
+    }
+}
+
+/// One stored sample.
+#[derive(Debug, Clone)]
+struct Sample {
+    /// Raw feature (kept for re-keying when the center freezes).
+    feature: Vec<f32>,
+    /// Whitened key used for matching (= feature before freeze).
+    key: Vec<f32>,
+    label: usize,
+    last_used: u64,
+}
+
+/// Adaptive random-hyperplane LSH over one store.
+struct Alsh {
+    /// `planes[t]` — hyperplanes of table `t` (bits × dim, row-major).
+    planes: Vec<Vec<f32>>,
+    bits: usize,
+    dim: usize,
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    /// Rolling candidate-count statistics for adaptation.
+    probe_count: u64,
+    candidate_sum: u64,
+}
+
+impl Alsh {
+    fn new(dim: usize, tables: usize, bits: usize, seeds: &SeedTree) -> Self {
+        let mut planes = Vec::with_capacity(tables);
+        for t in 0..tables {
+            let mut rng = seeds.rng_for_idx("alsh-table", t as u64);
+            let mut p = Vec::with_capacity(bits * dim);
+            for _ in 0..bits * dim {
+                p.push(coca_math::vector::standard_normal(&mut rng));
+            }
+            planes.push(p);
+        }
+        Self {
+            planes,
+            bits,
+            dim,
+            tables: vec![HashMap::new(); tables],
+            probe_count: 0,
+            candidate_sum: 0,
+        }
+    }
+
+    fn signature(&self, table: usize, v: &[f32]) -> u64 {
+        let planes = &self.planes[table];
+        let mut sig = 0u64;
+        for b in 0..self.bits {
+            let row = &planes[b * self.dim..(b + 1) * self.dim];
+            if coca_math::dot(row, v) >= 0.0 {
+                sig |= 1 << b;
+            }
+        }
+        sig
+    }
+
+    fn insert(&mut self, id: u32, v: &[f32]) {
+        for t in 0..self.tables.len() {
+            let sig = self.signature(t, v);
+            self.tables[t].entry(sig).or_default().push(id);
+        }
+    }
+
+    fn remove(&mut self, id: u32, v: &[f32]) {
+        for t in 0..self.tables.len() {
+            let sig = self.signature(t, v);
+            if let Some(bucket) = self.tables[t].get_mut(&sig) {
+                bucket.retain(|&x| x != id);
+            }
+        }
+    }
+
+    /// Candidate ids across all tables (deduplicated).
+    fn candidates(&mut self, v: &[f32]) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for t in 0..self.tables.len() {
+            let sig = self.signature(t, v);
+            if let Some(bucket) = self.tables[t].get(&sig) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        self.probe_count += 1;
+        self.candidate_sum += out.len() as u64;
+        out
+    }
+
+    /// Mean candidates per probe since the last adaptation.
+    fn mean_candidates(&self) -> f64 {
+        if self.probe_count == 0 {
+            0.0
+        } else {
+            self.candidate_sum as f64 / self.probe_count as f64
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.probe_count = 0;
+        self.candidate_sum = 0;
+    }
+}
+
+/// Number of samples observed before a store freezes its centering
+/// direction (see [`Store::whiten`]).
+const CENTER_FREEZE: usize = 50;
+
+/// A sample store with A-LSH index and LRU eviction.
+///
+/// Features are **mean-centered** before indexing and matching: pooled
+/// CNN features share a dominant layer-common direction (all cosines are
+/// ≈ 0.99 in the raw space), which would make nearest-neighbour search
+/// meaningless. FoggyCache's feature pipeline normalizes its keys; we
+/// reproduce that by subtracting the running mean of the first
+/// [`CENTER_FREEZE`] observed features (frozen thereafter so LSH
+/// signatures stay stable) and re-normalizing.
+struct Store {
+    samples: HashMap<u32, Sample>,
+    next_id: u32,
+    capacity: usize,
+    alsh: Alsh,
+    clock: u64,
+    /// A-LSH adaptation target band for mean candidates per probe.
+    target: (f64, f64),
+    seeds: SeedTree,
+    /// Running sum of observed features until freeze.
+    center_sum: Vec<f32>,
+    center_seen: usize,
+    /// Frozen centering direction (unit), once enough samples arrived.
+    center: Option<Vec<f32>>,
+}
+
+impl Store {
+    fn new(dim: usize, capacity: usize, cfg: &FoggyCacheConfig, seeds: SeedTree) -> Self {
+        let alsh = Alsh::new(dim, cfg.lsh_tables, cfg.lsh_bits, &seeds);
+        let k = cfg.k as f64;
+        Self {
+            samples: HashMap::new(),
+            next_id: 0,
+            capacity,
+            alsh,
+            clock: 0,
+            target: (2.0 * k, 10.0 * k),
+            seeds,
+            center_sum: vec![0.0; dim],
+            center_seen: 0,
+            center: None,
+        }
+    }
+
+    /// Observes a raw feature for centering; freezes the center (and
+    /// re-indexes the store) once enough samples arrived.
+    fn observe_for_center(&mut self, v: &[f32]) {
+        if self.center.is_some() {
+            return;
+        }
+        coca_math::vector::axpy(1.0, v, &mut self.center_sum);
+        self.center_seen += 1;
+        if self.center_seen >= CENTER_FREEZE {
+            let mut c = std::mem::take(&mut self.center_sum);
+            coca_math::vector::l2_normalize(&mut c);
+            self.center = Some(c);
+            // Re-key everything under the whitened space.
+            let dim = self.alsh.dim;
+            let bits = self.alsh.bits;
+            let tables = self.alsh.tables.len();
+            let mut alsh = Alsh::new(dim, tables, bits, &self.seeds.child("post-freeze"));
+            let whitened: Vec<(u32, Vec<f32>)> = self
+                .samples
+                .iter()
+                .map(|(&id, s)| (id, self.whiten_with(&s.feature)))
+                .collect();
+            for (id, w) in whitened {
+                alsh.insert(id, &w);
+                self.samples.get_mut(&id).expect("sample exists").key = w;
+            }
+            self.alsh = alsh;
+        }
+    }
+
+    /// Centers and re-normalizes a raw feature (identity before freeze).
+    fn whiten_with(&self, v: &[f32]) -> Vec<f32> {
+        match &self.center {
+            None => v.to_vec(),
+            Some(c) => {
+                let proj = coca_math::dot(v, c);
+                let mut out = v.to_vec();
+                coca_math::vector::axpy(-proj, c, &mut out);
+                coca_math::vector::l2_normalize(&mut out);
+                out
+            }
+        }
+    }
+
+    fn insert(&mut self, feature: Vec<f32>, label: usize) {
+        self.observe_for_center(&feature);
+        if self.samples.len() >= self.capacity {
+            // LRU eviction.
+            if let Some((&victim, _)) =
+                self.samples.iter().min_by_key(|(_, s)| s.last_used)
+            {
+                let s = self.samples.remove(&victim).expect("victim exists");
+                self.alsh.remove(victim, &s.key);
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.clock += 1;
+        let key = self.whiten_with(&feature);
+        self.alsh.insert(id, &key);
+        self.samples.insert(id, Sample { feature, key, label, last_used: self.clock });
+    }
+
+    /// H-kNN lookup: `Some((label, candidates_scanned))` on a homogeneous,
+    /// sufficiently similar neighbourhood.
+    fn lookup(&mut self, v: &[f32], cfg: &FoggyCacheConfig) -> (Option<usize>, usize) {
+        if self.center.is_none() {
+            // Warmup: the key space is not yet established.
+            return (None, 0);
+        }
+        let v = self.whiten_with(v);
+        let v = v.as_slice();
+        let cand = self.alsh.candidates(v);
+        let scanned = cand.len();
+        if cand.len() < cfg.k {
+            return (None, scanned);
+        }
+        // k nearest by cosine among candidates.
+        let mut scored: Vec<(f32, u32)> = cand
+            .into_iter()
+            .filter_map(|id| {
+                self.samples.get(&id).map(|s| (coca_math::cosine(v, &s.key), id))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        scored.truncate(cfg.k);
+        if scored.len() < cfg.k {
+            return (None, scanned);
+        }
+        // Majority vote + homogeneity + similarity checks.
+        let mut votes: HashMap<usize, (usize, f32)> = HashMap::new();
+        for &(sim, id) in &scored {
+            let label = self.samples[&id].label;
+            let e = votes.entry(label).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += sim;
+        }
+        let (&label, &(count, sim_sum)) =
+            votes.iter().max_by_key(|(_, (c, _))| *c).expect("non-empty");
+        let homogeneity = count as f64 / cfg.k as f64;
+        let mean_sim = sim_sum / count as f32;
+        if homogeneity >= cfg.homogeneity && mean_sim >= cfg.min_similarity {
+            self.clock += 1;
+            for &(_, id) in &scored {
+                if let Some(s) = self.samples.get_mut(&id) {
+                    if s.label == label {
+                        s.last_used = self.clock;
+                    }
+                }
+            }
+            (Some(label), scanned)
+        } else {
+            (None, scanned)
+        }
+    }
+
+    /// Adapts the LSH granularity toward the target candidate band by
+    /// rebuilding with more/fewer bits (the "A" in A-LSH).
+    fn adapt(&mut self, cfg: &FoggyCacheConfig) {
+        let mean = self.alsh.mean_candidates();
+        let new_bits = if mean > self.target.1 && self.alsh.bits < 24 {
+            self.alsh.bits + 1
+        } else if mean < self.target.0 && self.alsh.bits > 4 {
+            self.alsh.bits - 1
+        } else {
+            self.alsh.reset_stats();
+            return;
+        };
+        let dim = self.alsh.dim;
+        let mut alsh =
+            Alsh::new(dim, cfg.lsh_tables, new_bits, &self.seeds.child_idx("rebuild", new_bits as u64));
+        for (&id, s) in &self.samples {
+            alsh.insert(id, &s.key);
+        }
+        self.alsh = alsh;
+    }
+}
+
+/// Runs FoggyCache over the scenario. Clients interleave frame-by-frame so
+/// the shared server store evolves the way concurrent clients would see it.
+pub fn run_foggycache(
+    scenario: &Scenario,
+    cfg: &FoggyCacheConfig,
+    rounds: usize,
+    frames_per_round: usize,
+) -> MethodReport {
+    let rt: &ModelRuntime = &scenario.rt;
+    let n = scenario.profiles.len();
+    let feature_point = 0usize; // shallow, input-level features
+    let dim = rt.feature_dim(feature_point);
+    let seeds = scenario.seeds().child("foggycache");
+
+    let mut server_store = Store::new(dim, cfg.server_capacity, cfg, seeds.child("server"));
+    let mut locals: Vec<Store> = (0..n)
+        .map(|k| Store::new(dim, cfg.local_capacity, cfg, seeds.child_idx("local", k as u64)))
+        .collect();
+    let mut streams: Vec<_> = (0..n).map(|k| scenario.stream(k)).collect();
+    let mut views: Vec<ClientFeatureView> = (0..n).map(|_| ClientFeatureView::new()).collect();
+    let mut summaries: Vec<RunSummary> =
+        (0..n).map(|_| RunSummary::new(rt.num_cache_points())).collect();
+    let mut latency = LatencyRecorder::new();
+
+    let feature_time = rt.compute_to_point(feature_point);
+    let rtt = SimDuration::from_millis_f64(cfg.server_rtt_ms);
+
+    for round in 0..rounds {
+        for _ in 0..frames_per_round {
+            for k in 0..n {
+                let frame = streams[k].next_frame();
+                let mut v =
+                    rt.semantic_vector(&frame, &scenario.profiles[k], feature_point, &mut views[k]);
+                if cfg.input_jitter > 0.0 {
+                    let mut jrng = seeds.child_idx("jitter", frame.frame_seed).rng();
+                    let eta = coca_math::random_unit(&mut jrng, v.len());
+                    coca_math::vector::axpy(cfg.input_jitter, &eta, &mut v);
+                    coca_math::vector::l2_normalize(&mut v);
+                }
+
+                // Local lookup.
+                let (local_hit, scanned_l) = locals[k].lookup(&v, cfg);
+                let mut time = feature_time + rt.lookup_cost(feature_point, scanned_l + cfg.k);
+                let (predicted, hit) = if let Some(label) = local_hit {
+                    (label, true)
+                } else {
+                    // Remote lookup on local miss.
+                    let (remote_hit, scanned_r) = server_store.lookup(&v, cfg);
+                    time += rtt + rt.lookup_cost(feature_point, scanned_r + cfg.k);
+                    if let Some(label) = remote_hit {
+                        (label, true)
+                    } else {
+                        // Full inference; store the sample locally and at
+                        // the server (upload piggybacks, no extra charge).
+                        let p = rt.classify(&frame, &scenario.profiles[k], &mut views[k]);
+                        time += rt.full_compute() - feature_time;
+                        locals[k].insert(v.clone(), p.class);
+                        server_store.insert(v.clone(), p.class);
+                        (p.class, false)
+                    }
+                };
+
+                let correct = predicted == frame.class;
+                summaries[k].latency.record(time);
+                summaries[k].accuracy.record(correct);
+                if hit {
+                    summaries[k].hits.record_hit(feature_point, correct);
+                } else {
+                    summaries[k].hits.record_miss(correct);
+                }
+                latency.record(time);
+            }
+        }
+        // Per-round A-LSH adaptation.
+        let _ = round;
+        for store in locals.iter_mut() {
+            store.adapt(cfg);
+        }
+        server_store.adapt(cfg);
+    }
+    MethodReport::from_parts("FoggyCache", latency, summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_core::engine::ScenarioConfig;
+    use coca_data::DatasetSpec;
+    use coca_model::ModelId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn scenario(seed: u64) -> Scenario {
+        let mut cfg = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        cfg.num_clients = 2;
+        cfg.seed = seed;
+        Scenario::build(cfg)
+    }
+
+    #[test]
+    fn alsh_groups_similar_vectors() {
+        let seeds = SeedTree::new(90);
+        let mut alsh = Alsh::new(16, 4, 8, &seeds);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let base = coca_math::random_unit(&mut rng, 16);
+        // Insert perturbed copies of one vector plus unrelated vectors.
+        for i in 0..20u32 {
+            let mut v = base.clone();
+            v[0] += 0.01 * i as f32;
+            coca_math::vector::l2_normalize(&mut v);
+            alsh.insert(i, &v);
+        }
+        for i in 20..40u32 {
+            let v = coca_math::random_unit(&mut rng, 16);
+            alsh.insert(i, &v);
+        }
+        let cands = alsh.candidates(&base);
+        let close = cands.iter().filter(|&&id| id < 20).count();
+        let far = cands.len() - close;
+        assert!(close >= 15, "close candidates {close}");
+        assert!(far < 10, "far candidates {far}");
+    }
+
+    #[test]
+    fn store_lru_evicts_oldest() {
+        let cfg = FoggyCacheConfig { local_capacity: 4, ..Default::default() };
+        let mut store = Store::new(8, 4, &cfg, SeedTree::new(91));
+        let mut rng = SmallRng::seed_from_u64(2);
+        for i in 0..8 {
+            let v = coca_math::random_unit(&mut rng, 8);
+            store.insert(v, i);
+        }
+        assert_eq!(store.samples.len(), 4);
+        // The surviving labels are the most recent ones.
+        let labels: Vec<usize> = store.samples.values().map(|s| s.label).collect();
+        assert!(labels.iter().all(|&l| l >= 4), "labels {labels:?}");
+    }
+
+    /// Feeds enough random inserts to freeze the store's center.
+    fn warm_up(store: &mut Store, rng: &mut SmallRng, dim: usize) {
+        for i in 0..CENTER_FREEZE {
+            let v = coca_math::random_unit(rng, dim);
+            store.insert(v, 1000 + i);
+        }
+        assert!(store.center.is_some());
+    }
+
+    #[test]
+    fn hknn_requires_homogeneity() {
+        let cfg = FoggyCacheConfig {
+            k: 4,
+            homogeneity: 1.0,
+            min_similarity: 0.0,
+            ..Default::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let base = coca_math::random_unit(&mut rng, 8);
+        // Two conflicting labels in the neighbourhood: homogeneity 1.0
+        // cannot be met.
+        let mut store = Store::new(8, 1000, &cfg, SeedTree::new(92));
+        warm_up(&mut store, &mut rng, 8);
+        for i in 0..8 {
+            let mut v = base.clone();
+            v[1] += 0.001 * i as f32;
+            coca_math::vector::l2_normalize(&mut v);
+            store.insert(v, i % 2);
+        }
+        let (hit, _) = store.lookup(&base, &cfg);
+        assert_eq!(hit, None);
+        // Uniform labels satisfy it.
+        let mut store = Store::new(8, 1000, &cfg, SeedTree::new(93));
+        warm_up(&mut store, &mut rng, 8);
+        for i in 0..8 {
+            let mut v = base.clone();
+            v[1] += 0.001 * i as f32;
+            coca_math::vector::l2_normalize(&mut v);
+            store.insert(v, 7);
+        }
+        let (hit, _) = store.lookup(&base, &cfg);
+        assert_eq!(hit, Some(7));
+    }
+
+    #[test]
+    fn foggycache_reuses_and_saves_time() {
+        let s = scenario(94);
+        let full = s.rt.full_compute().as_millis_f64();
+        let r = run_foggycache(&s, &FoggyCacheConfig::default(), 3, 150);
+        assert_eq!(r.frames, 2 * 3 * 150);
+        assert!(r.hit_ratio > 0.15, "hit ratio {}", r.hit_ratio);
+        assert!(r.mean_latency_ms < full, "{} vs {full}", r.mean_latency_ms);
+        assert!(r.accuracy_pct > 55.0, "accuracy {}", r.accuracy_pct);
+    }
+}

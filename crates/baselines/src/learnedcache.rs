@@ -1,0 +1,276 @@
+//! LearnedCache-style multi-exit inference (§VI.B).
+//!
+//! Balasubramanian et al., 2021: "uses multiple exits and learned models to
+//! emulate caching operations, allowing early termination of inference
+//! upon prediction of cache hits" and "attempts to adapt to the data
+//! distribution characteristics of clients through frequent retraining".
+//!
+//! The reproduction implements the exits as nearest-centroid probes over
+//! the exit layer's pooled features, trained on a buffer of recent
+//! *self-labelled* samples (labels come from the full model — the exact
+//! self-distillation loop learned caches use). Retraining runs every
+//! round and its compute is charged to the client, reproducing the
+//! paper's criticism: retraining overhead degrades QoS, and rare classes
+//! never accumulate enough buffer samples for a usable exit predictor —
+//! the long-tail weakness.
+
+use std::collections::VecDeque;
+
+use coca_core::engine::Scenario;
+use coca_metrics::recorder::{LatencyRecorder, RunSummary};
+use coca_model::ModelRuntime;
+use coca_model::ClientFeatureView;
+use coca_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::report::MethodReport;
+
+/// LearnedCache driver configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LearnedCacheConfig {
+    /// Number of exits, spread evenly over the preset cache points.
+    pub num_exits: usize,
+    /// Exit fires when the relative margin between the two best centroid
+    /// similarities exceeds this threshold (same scale as CoCa's Θ).
+    pub exit_threshold: f32,
+    /// Per-exit training buffer capacity (samples).
+    pub buffer_capacity: usize,
+    /// Retraining period in frames.
+    pub retrain_frames: usize,
+    /// Retraining compute charged per buffered sample per exit (ms) —
+    /// lightweight probe fitting on the device.
+    pub retrain_ms_per_sample: f64,
+    /// Minimum buffered samples before a class gets a centroid.
+    pub min_samples_per_class: usize,
+}
+
+impl LearnedCacheConfig {
+    /// Defaults matched to a CoCa configuration (same Θ scale and round
+    /// length, so comparisons isolate the mechanism).
+    pub fn for_model(theta: f32, round_frames: usize) -> Self {
+        Self {
+            num_exits: 5,
+            exit_threshold: theta,
+            buffer_capacity: 600,
+            retrain_frames: round_frames,
+            retrain_ms_per_sample: 0.05,
+            min_samples_per_class: 3,
+        }
+    }
+}
+
+/// One exit's learned predictor: per-class centroids.
+struct ExitProbe {
+    point: usize,
+    /// `centroids[class]` — `None` until enough samples accumulate.
+    centroids: Vec<Option<Vec<f32>>>,
+    /// Training buffer: (feature, label).
+    buffer: VecDeque<(Vec<f32>, usize)>,
+}
+
+impl ExitProbe {
+    fn new(point: usize, classes: usize) -> Self {
+        Self { point, centroids: vec![None; classes], buffer: VecDeque::new() }
+    }
+
+    fn push_sample(&mut self, feature: Vec<f32>, label: usize, capacity: usize) {
+        if self.buffer.len() >= capacity {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back((feature, label));
+    }
+
+    /// Rebuilds centroids from the buffer; returns the number of samples
+    /// processed (the retraining cost driver).
+    fn retrain(&mut self, dim: usize, min_samples: usize) -> usize {
+        let classes = self.centroids.len();
+        let mut sums = vec![vec![0.0f32; dim]; classes];
+        let mut counts = vec![0usize; classes];
+        for (f, label) in &self.buffer {
+            coca_math::vector::axpy(1.0, f, &mut sums[*label]);
+            counts[*label] += 1;
+        }
+        for c in 0..classes {
+            self.centroids[c] = if counts[c] >= min_samples {
+                let mut v = std::mem::take(&mut sums[c]);
+                coca_math::vector::l2_normalize(&mut v);
+                Some(v)
+            } else {
+                None
+            };
+        }
+        self.buffer.len()
+    }
+
+    /// Exit decision: `Some(class)` when the relative margin between the
+    /// two best centroid matches exceeds the threshold.
+    fn predict(&self, v: &[f32], threshold: f32) -> (Option<usize>, usize) {
+        let mut best: Option<(usize, f32)> = None;
+        let mut second: Option<f32> = None;
+        let mut present = 0usize;
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            let Some(e) = centroid else { continue };
+            present += 1;
+            let sim = coca_math::cosine(v, e);
+            match best {
+                Some((_, b)) if sim <= b => match second {
+                    Some(s) if sim <= s => {}
+                    _ => second = Some(sim),
+                },
+                _ => {
+                    second = best.map(|(_, b)| b);
+                    best = Some((c, sim));
+                }
+            }
+        }
+        if let (Some((class, b)), Some(s)) = (best, second) {
+            if s > 1e-3 && (b - s) / s > threshold {
+                return (Some(class), present);
+            }
+        }
+        (None, present)
+    }
+}
+
+/// Runs LearnedCache over the scenario.
+pub fn run_learnedcache(
+    scenario: &Scenario,
+    cfg: &LearnedCacheConfig,
+    rounds: usize,
+    frames_per_round: usize,
+) -> MethodReport {
+    let rt: &ModelRuntime = &scenario.rt;
+    let l = rt.num_cache_points();
+    let classes = rt.num_classes();
+    // Exits spread evenly, skipping the very first point (too little
+    // compute saved to matter for a learned gate).
+    let exits: Vec<usize> = (1..=cfg.num_exits)
+        .map(|e| ((e * l) / (cfg.num_exits + 1)).min(l - 1))
+        .collect();
+
+    let mut latency = LatencyRecorder::new();
+    let mut per_client = Vec::with_capacity(scenario.profiles.len());
+
+    for (k, profile) in scenario.profiles.iter().enumerate() {
+        let mut probes: Vec<ExitProbe> =
+            exits.iter().map(|&p| ExitProbe::new(p, classes)).collect();
+        let mut stream = scenario.stream(k);
+        let mut view = ClientFeatureView::new();
+        let mut summary = RunSummary::new(l);
+        let mut since_retrain = 0usize;
+        let mut pending_retrain_ms = 0.0f64;
+
+        for _ in 0..rounds * frames_per_round {
+            let frame = stream.next_frame();
+            let mut time = SimDuration::ZERO;
+            // Amortize any retraining burst onto the following frame (the
+            // device is busy; the next inference waits).
+            if pending_retrain_ms > 0.0 {
+                time += SimDuration::from_millis_f64(pending_retrain_ms);
+                pending_retrain_ms = 0.0;
+            }
+
+            let mut outcome: Option<(usize, usize)> = None; // (class, point)
+            for probe in &probes {
+                let v = rt.semantic_vector(&frame, profile, probe.point, &mut view);
+                let (pred, present) = probe.predict(&v, cfg.exit_threshold);
+                time += rt.lookup_cost(probe.point, present);
+                if let Some(class) = pred {
+                    outcome = Some((class, probe.point));
+                    break;
+                }
+            }
+
+            let (predicted, hit_point) = match outcome {
+                Some((class, point)) => {
+                    time += rt.compute_to_point(point);
+                    (class, Some(point))
+                }
+                None => {
+                    // Full inference; label feeds every exit buffer.
+                    let p = rt.classify(&frame, profile, &mut view);
+                    time += rt.full_compute();
+                    for probe in probes.iter_mut() {
+                        let v = rt.semantic_vector(&frame, profile, probe.point, &mut view);
+                        probe.push_sample(v, p.class, cfg.buffer_capacity);
+                    }
+                    (p.class, None)
+                }
+            };
+
+            let correct = predicted == frame.class;
+            summary.latency.record(time);
+            summary.accuracy.record(correct);
+            match hit_point {
+                Some(p) => summary.hits.record_hit(p, correct),
+                None => summary.hits.record_miss(correct),
+            }
+            latency.record(time);
+
+            since_retrain += 1;
+            if since_retrain >= cfg.retrain_frames {
+                since_retrain = 0;
+                let mut samples = 0usize;
+                for probe in probes.iter_mut() {
+                    let dim = rt.feature_dim(probe.point);
+                    samples += probe.retrain(dim, cfg.min_samples_per_class);
+                }
+                pending_retrain_ms = samples as f64 * cfg.retrain_ms_per_sample;
+            }
+        }
+        per_client.push(summary);
+    }
+    MethodReport::from_parts("LearnedCache", latency, per_client)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_core::engine::{Scenario, ScenarioConfig};
+    use coca_data::DatasetSpec;
+    use coca_model::ModelId;
+
+    fn scenario(seed: u64) -> Scenario {
+        let mut cfg = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        cfg.num_clients = 2;
+        cfg.seed = seed;
+        Scenario::build(cfg)
+    }
+
+    #[test]
+    fn probe_learns_centroids_and_exits() {
+        let mut probe = ExitProbe::new(0, 3);
+        // Feed clean one-hot-ish samples for classes 0 and 1 only.
+        for i in 0..20 {
+            probe.push_sample(vec![1.0, 0.1 * (i % 3) as f32, 0.2], 0, 100);
+            probe.push_sample(vec![0.3, 0.1 * (i % 3) as f32, 1.0], 1, 100);
+        }
+        let n = probe.retrain(3, 3);
+        assert_eq!(n, 40);
+        assert!(probe.centroids[0].is_some());
+        assert!(probe.centroids[1].is_some());
+        assert!(probe.centroids[2].is_none(), "unseen class must have no centroid");
+        let (pred, present) = probe.predict(&[1.0, 0.0, 0.0], 0.05);
+        assert_eq!(pred, Some(0));
+        assert_eq!(present, 2);
+    }
+
+    #[test]
+    fn learnedcache_exits_after_warmup() {
+        let s = scenario(95);
+        let full = s.rt.full_compute().as_millis_f64();
+        let cfg = LearnedCacheConfig::for_model(0.012, 150);
+        let r = run_learnedcache(&s, &cfg, 4, 150);
+        assert_eq!(r.frames, 2 * 4 * 150);
+        assert!(r.hit_ratio > 0.1, "hit ratio {}", r.hit_ratio);
+        assert!(r.mean_latency_ms < full, "{} vs {full}", r.mean_latency_ms);
+    }
+
+    #[test]
+    fn learnedcache_is_deterministic() {
+        let cfg = LearnedCacheConfig::for_model(0.012, 100);
+        let a = run_learnedcache(&scenario(96), &cfg, 2, 100);
+        let b = run_learnedcache(&scenario(96), &cfg, 2, 100);
+        assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+    }
+}

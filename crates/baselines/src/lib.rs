@@ -1,0 +1,37 @@
+//! # coca-baselines — the paper's comparison systems
+//!
+//! Full implementations of every baseline the evaluation compares against
+//! (§VI.B), all driven over the *same* [`coca_core::engine::Scenario`] so
+//! each method sees byte-identical frame streams:
+//!
+//! * [`edge_only`] — plain full-model inference (the latency/accuracy
+//!   reference).
+//! * [`smtm`] — SMTM-style single-client semantic caching: all preset
+//!   cache layers active, hot-spot classes chosen *locally* by frequency ×
+//!   recency (95 % mass), local centroid updates, no cross-client sharing.
+//! * [`foggycache`] — FoggyCache-style cross-device approximate
+//!   computation reuse: A-LSH indexed sample cache over shallow features,
+//!   H-kNN homogenized voting, LRU replacement, server-side global store
+//!   queried on local misses.
+//! * [`learnedcache`] — LearnedCache-style multi-exit inference with
+//!   per-exit learned predictors (nearest-centroid probes trained on
+//!   recent self-labelled samples) and periodic retraining whose compute
+//!   is charged to the client.
+//! * [`replacement`] — the classical cache-replacement policies of Fig. 8
+//!   (LRU / FIFO / RAND) applied to semantic cache entries on a fixed
+//!   high-benefit layer set.
+//! * [`report`] — the common [`report::MethodReport`] all drivers emit.
+
+pub mod edge_only;
+pub mod foggycache;
+pub mod learnedcache;
+pub mod replacement;
+pub mod report;
+pub mod smtm;
+
+pub use edge_only::run_edge_only;
+pub use foggycache::FoggyCacheConfig;
+pub use learnedcache::LearnedCacheConfig;
+pub use replacement::ReplacementPolicy;
+pub use report::MethodReport;
+pub use smtm::SmtmConfig;

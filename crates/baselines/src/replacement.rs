@@ -1,0 +1,279 @@
+//! Classical cache-replacement policies on the semantic cache (Fig. 8).
+//!
+//! The paper's §VI.G comparison: a fixed set of high-expected-benefit
+//! cache layers, each holding at most `cache_size` class entries, managed
+//! by LRU / FIFO / RAND replacement; ACA is run with the same total memory
+//! for fairness. Entries are fetched from the shared seeded centroid table
+//! when inserted (the server "loads" the class's centroid to the client).
+
+use coca_core::engine::Scenario;
+use coca_core::global::GlobalCacheTable;
+use coca_core::lookup::infer_with_cache;
+use coca_core::semantic::{CacheLayer, LocalCache};
+use coca_core::server::{profile_hit_ratios, seed_global_table};
+use coca_core::CocaConfig;
+use coca_metrics::recorder::{LatencyRecorder, RunSummary};
+use coca_model::ClientFeatureView;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::MethodReport;
+
+/// The replacement policy under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used class entry.
+    Lru,
+    /// Evict the earliest-inserted class entry.
+    Fifo,
+    /// Evict a uniformly random entry.
+    Rand,
+}
+
+impl ReplacementPolicy {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Fifo => "FIFO",
+            ReplacementPolicy::Rand => "RAND",
+        }
+    }
+}
+
+/// Per-class bookkeeping for one managed cache.
+#[derive(Debug, Clone)]
+struct ManagedCache {
+    /// Classes currently cached (same set at every layer, as in CoCa).
+    classes: Vec<usize>,
+    /// Parallel: last-touch tick (LRU) or insert tick (FIFO).
+    stamp: Vec<u64>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl ManagedCache {
+    fn new(capacity: usize) -> Self {
+        Self { classes: Vec::new(), stamp: Vec::new(), capacity, clock: 0 }
+    }
+
+    fn contains(&self, class: usize) -> bool {
+        self.classes.contains(&class)
+    }
+
+    fn touch(&mut self, class: usize, policy: ReplacementPolicy) {
+        self.clock += 1;
+        if policy == ReplacementPolicy::Lru {
+            if let Some(i) = self.classes.iter().position(|&c| c == class) {
+                self.stamp[i] = self.clock;
+            }
+        }
+    }
+
+    /// Inserts `class`, evicting per policy when full. Returns true if the
+    /// set changed.
+    fn insert(&mut self, class: usize, policy: ReplacementPolicy, rng: &mut SmallRng) -> bool {
+        if self.contains(class) {
+            return false;
+        }
+        self.clock += 1;
+        if self.classes.len() >= self.capacity {
+            let victim = match policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self
+                    .stamp
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &s)| s)
+                    .map(|(i, _)| i)
+                    .expect("non-empty cache"),
+                ReplacementPolicy::Rand => rng.gen_range(0..self.classes.len()),
+            };
+            self.classes.swap_remove(victim);
+            self.stamp.swap_remove(victim);
+        }
+        self.classes.push(class);
+        self.stamp.push(self.clock);
+        true
+    }
+}
+
+/// Picks the fixed layer set for the baselines: highest expected benefit
+/// per byte (`Υ·R/m`) from the shared-dataset profile, as many layers as
+/// the paper's setup activates (it fixes the set, then varies entry
+/// count).
+pub fn fixed_high_benefit_layers(
+    profile: &[f64],
+    saved_ms: &[f64],
+    entry_bytes: &[usize],
+    count: usize,
+) -> Vec<usize> {
+    let mut scored: Vec<(f64, usize)> = (0..profile.len())
+        .map(|j| (profile[j] * saved_ms[j] / entry_bytes[j].max(1) as f64, j))
+        .collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut layers: Vec<usize> = scored.into_iter().take(count).map(|(_, j)| j).collect();
+    layers.sort_unstable();
+    layers
+}
+
+/// Builds the [`LocalCache`] for the currently cached classes.
+fn materialize(table: &GlobalCacheTable, layers: &[usize], managed: &ManagedCache) -> LocalCache {
+    let mut out = Vec::with_capacity(layers.len());
+    for &layer in layers {
+        let mut cl = CacheLayer::new(layer);
+        for &class in &managed.classes {
+            if let Some(v) = table.get(class, layer) {
+                cl.insert(class, v.to_vec());
+            }
+        }
+        if !cl.is_empty() {
+            out.push(cl);
+        }
+    }
+    LocalCache::from_layers(out)
+}
+
+/// Runs one replacement policy over the scenario with `cache_size` entries
+/// per layer on `num_layers` fixed high-benefit layers.
+pub fn run_replacement(
+    scenario: &Scenario,
+    policy: ReplacementPolicy,
+    cache_size: usize,
+    num_layers: usize,
+    rounds: usize,
+    frames_per_round: usize,
+) -> MethodReport {
+    let rt = &scenario.rt;
+    let cfg = CocaConfig::for_model(rt.arch().id);
+    let table = seed_global_table(rt, scenario.seeds());
+    let profile = profile_hit_ratios(rt, &cfg, &table, scenario.seeds());
+    let saved: Vec<f64> =
+        (0..rt.num_cache_points()).map(|j| rt.saved_if_hit_at(j).as_millis_f64()).collect();
+    let bytes: Vec<usize> = (0..rt.num_cache_points()).map(|j| rt.entry_bytes(j)).collect();
+    let layers = fixed_high_benefit_layers(&profile, &saved, &bytes, num_layers);
+
+    let mut latency = LatencyRecorder::new();
+    let mut per_client = Vec::with_capacity(scenario.profiles.len());
+
+    for (k, profile_k) in scenario.profiles.iter().enumerate() {
+        let mut managed = ManagedCache::new(cache_size);
+        let mut rng = scenario
+            .seeds()
+            .child("replacement")
+            .child_idx("client", k as u64)
+            .rng();
+        let mut stream = scenario.stream(k);
+        let mut view = ClientFeatureView::new();
+        let mut summary = RunSummary::new(rt.num_cache_points());
+        let mut cache = materialize(&table, &layers, &managed);
+
+        for _ in 0..rounds * frames_per_round {
+            let frame = stream.next_frame();
+            let res = infer_with_cache(rt, profile_k, &frame, &cache, &cfg, &mut view);
+            summary.latency.record(res.latency);
+            summary.accuracy.record(res.correct);
+            match res.hit_point {
+                Some(p) => {
+                    summary.hits.record_hit(p, res.correct);
+                    managed.touch(res.predicted, policy);
+                }
+                None => {
+                    summary.hits.record_miss(res.correct);
+                    // Miss: load the predicted class's centroid set.
+                    if managed.insert(res.predicted, policy, &mut rng) {
+                        cache = materialize(&table, &layers, &managed);
+                    }
+                }
+            }
+            latency.record(res.latency);
+        }
+        per_client.push(summary);
+    }
+    MethodReport::from_parts(policy.name(), latency, per_client)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use coca_core::engine::ScenarioConfig;
+    use coca_data::distribution::long_tail_weights;
+    use coca_data::DatasetSpec;
+    use coca_model::ModelId;
+
+    fn scenario(seed: u64) -> Scenario {
+        let mut cfg = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        cfg.num_clients = 2;
+        cfg.seed = seed;
+        cfg.global_popularity = long_tail_weights(20, 20.0);
+        Scenario::build(cfg)
+    }
+
+    #[test]
+    fn lru_touch_protects_recent() {
+        let mut m = ManagedCache::new(2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        m.insert(0, ReplacementPolicy::Lru, &mut rng);
+        m.insert(1, ReplacementPolicy::Lru, &mut rng);
+        m.touch(0, ReplacementPolicy::Lru);
+        m.insert(2, ReplacementPolicy::Lru, &mut rng); // evicts 1
+        assert!(m.contains(0) && m.contains(2) && !m.contains(1));
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut m = ManagedCache::new(2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        m.insert(0, ReplacementPolicy::Fifo, &mut rng);
+        m.insert(1, ReplacementPolicy::Fifo, &mut rng);
+        m.touch(0, ReplacementPolicy::Fifo);
+        m.insert(2, ReplacementPolicy::Fifo, &mut rng); // still evicts 0
+        assert!(!m.contains(0) && m.contains(1) && m.contains(2));
+    }
+
+    #[test]
+    fn rand_keeps_capacity() {
+        let mut m = ManagedCache::new(3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for c in 0..10 {
+            m.insert(c, ReplacementPolicy::Rand, &mut rng);
+            assert!(m.classes.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn fixed_layers_prefer_high_benefit() {
+        let profile = [0.1, 0.5, 0.9, 0.2];
+        let saved = [40.0, 30.0, 20.0, 10.0];
+        let bytes = [100usize, 100, 100, 100];
+        let layers = fixed_high_benefit_layers(&profile, &saved, &bytes, 2);
+        assert_eq!(layers, vec![1, 2]);
+    }
+
+    #[test]
+    fn replacement_run_saves_latency_on_longtail() {
+        let s = scenario(97);
+        let full = s.rt.full_compute().as_millis_f64();
+        let r = run_replacement(&s, ReplacementPolicy::Lru, 10, 4, 3, 150);
+        assert_eq!(r.frames, 2 * 3 * 150);
+        assert!(r.mean_latency_ms < full, "{} vs {full}", r.mean_latency_ms);
+        assert!(r.hit_ratio > 0.2, "hit ratio {}", r.hit_ratio);
+    }
+
+    #[test]
+    fn policies_differ_deterministically() {
+        let a = run_replacement(&scenario(98), ReplacementPolicy::Lru, 8, 4, 2, 120);
+        let b = run_replacement(&scenario(98), ReplacementPolicy::Lru, 8, 4, 2, 120);
+        assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+        // Tiny capacity forces constant eviction, where policies diverge.
+        let c = run_replacement(&scenario(98), ReplacementPolicy::Lru, 3, 4, 2, 120);
+        let d = run_replacement(&scenario(98), ReplacementPolicy::Rand, 3, 4, 2, 120);
+        assert!(
+            c.mean_latency_ms != d.mean_latency_ms || c.hit_ratio != d.hit_ratio,
+            "LRU and RAND agree exactly: lru {} rand {}",
+            c.mean_latency_ms,
+            d.mean_latency_ms
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! The common result type emitted by every method driver.
+
+use coca_metrics::recorder::{AccuracyRecorder, HitRecorder, LatencyRecorder, RunSummary};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated outcome of running one method over a scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodReport {
+    /// Method name as printed in tables (e.g. `"FoggyCache"`).
+    pub name: String,
+    /// Frames processed across all clients.
+    pub frames: u64,
+    /// Mean end-to-end inference latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Overall accuracy in percent.
+    pub accuracy_pct: f64,
+    /// Overall cache/exit hit ratio (0 for Edge-Only).
+    pub hit_ratio: f64,
+    /// Global per-frame latency distribution.
+    pub latency: LatencyRecorder,
+    /// Per-client summaries.
+    pub per_client: Vec<RunSummary>,
+}
+
+impl MethodReport {
+    /// Builds the report from per-client summaries plus the global
+    /// latency recorder the driver maintained.
+    pub fn from_parts(
+        name: impl Into<String>,
+        latency: LatencyRecorder,
+        per_client: Vec<RunSummary>,
+    ) -> Self {
+        let mut acc = AccuracyRecorder::new();
+        let mut hits = HitRecorder::new(0);
+        for s in &per_client {
+            acc.merge(&s.accuracy);
+            hits.merge(&s.hits);
+        }
+        Self {
+            name: name.into(),
+            frames: latency.count(),
+            mean_latency_ms: latency.mean_ms(),
+            accuracy_pct: acc.accuracy_pct(),
+            hit_ratio: hits.hit_ratio(),
+            latency,
+            per_client,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_sim::SimDuration;
+
+    #[test]
+    fn from_parts_aggregates() {
+        let mut lat = LatencyRecorder::new();
+        lat.record(SimDuration::from_millis(10));
+        lat.record(SimDuration::from_millis(30));
+        let mut a = RunSummary::new(2);
+        a.accuracy.record(true);
+        a.hits.record_hit(0, true);
+        let mut b = RunSummary::new(2);
+        b.accuracy.record(false);
+        b.hits.record_miss(false);
+        let r = MethodReport::from_parts("Demo", lat, vec![a, b]);
+        assert_eq!(r.frames, 2);
+        assert_eq!(r.mean_latency_ms, 20.0);
+        assert_eq!(r.accuracy_pct, 50.0);
+        assert_eq!(r.hit_ratio, 0.5);
+    }
+}

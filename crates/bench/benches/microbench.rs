@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks over the hot paths of the reproduction:
+//! semantic lookup, ACA allocation, global-table merge, wire codec, A-LSH
+//! query and end-to-end frame throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coca_core::collect::UpdateTable;
+use coca_core::engine::{Scenario, ScenarioConfig};
+use coca_core::server::seed_global_table;
+use coca_core::{aca, infer_with_cache, CocaConfig};
+use coca_data::DatasetSpec;
+use coca_model::{ClientFeatureView, ModelId};
+use coca_net::{decode_frame, encode_frame};
+use coca_sim::SeedTree;
+use rand::Rng;
+
+fn scenario() -> Scenario {
+    let mut sc = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(50));
+    sc.seed = 9001;
+    sc.num_clients = 1;
+    Scenario::build(sc)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let scenario = scenario();
+    let rt = &scenario.rt;
+    let cfg = CocaConfig::for_model(ModelId::ResNet101);
+    let table = seed_global_table(rt, scenario.seeds());
+    let client = scenario.profiles[0].clone();
+    let mut group = c.benchmark_group("semantic_lookup");
+    for layers in [2usize, 6, 12] {
+        let pts: Vec<usize> = (0..layers).map(|i| i * rt.num_cache_points() / layers).collect();
+        let classes: Vec<usize> = (0..50).collect();
+        let cache = table.extract(&pts, &classes);
+        let mut stream = scenario.stream(0);
+        let mut view = ClientFeatureView::new();
+        group.bench_with_input(BenchmarkId::new("layers", layers), &layers, |b, _| {
+            b.iter(|| {
+                let f = stream.next_frame();
+                infer_with_cache(rt, &client, &f, &cache, &cfg, &mut view)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aca(c: &mut Criterion) {
+    let cfg = CocaConfig::for_model(ModelId::ResNet101);
+    let mut rng = SeedTree::new(9002).rng_for("aca");
+    let n = 100usize;
+    let l = 34usize;
+    let freq: Vec<u64> = (0..n).map(|_| rng.gen_range(0..5000)).collect();
+    let tau: Vec<u32> = (0..n).map(|_| rng.gen_range(0..3000)).collect();
+    let r: Vec<f64> = (0..l).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let saved: Vec<f64> = (0..l).map(|j| 40.0 * (1.0 - j as f64 / l as f64)).collect();
+    let bytes: Vec<usize> = (0..l).map(|_| 512usize).collect();
+    c.bench_function("aca_allocate_100c_34l", |b| {
+        b.iter(|| {
+            aca::allocate(
+                &cfg,
+                &aca::AcaInputs {
+                    global_freq: &freq,
+                    timestamps: &tau,
+                    hit_ratio: &r,
+                    saved_ms: &saved,
+                    entry_bytes: &bytes,
+                    budget_bytes: 96 * 1024,
+                },
+            )
+        })
+    });
+}
+
+fn bench_global_merge(c: &mut Criterion) {
+    let scenario = scenario();
+    let rt = &scenario.rt;
+    let mut table = seed_global_table(rt, scenario.seeds());
+    let mut rng = SeedTree::new(9003).rng_for("merge");
+    let mut upload = UpdateTable::new();
+    for class in 0..50usize {
+        for layer in (0..34usize).step_by(3) {
+            let dim = rt.feature_dim(layer);
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            upload.absorb(class, layer, &v, 0.95);
+        }
+    }
+    let phi: Vec<u32> = (0..50).map(|_| rng.gen_range(1u32..50)).collect();
+    c.bench_function("global_merge_50c_12l", |b| {
+        b.iter(|| table.merge_update(&upload, &phi, 0.99))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    #[derive(serde::Serialize, serde::Deserialize)]
+    struct Payload {
+        id: u64,
+        xs: Vec<f32>,
+    }
+    let msg = Payload { id: 42, xs: vec![0.5; 4096] };
+    let bytes = encode_frame(&msg).unwrap();
+    c.bench_function("codec_encode_16kB", |b| b.iter(|| encode_frame(&msg).unwrap()));
+    c.bench_function("codec_decode_16kB", |b| {
+        b.iter(|| decode_frame::<Payload>(&bytes).unwrap().unwrap())
+    });
+}
+
+fn bench_frame_throughput(c: &mut Criterion) {
+    // End-to-end CoCa client frame processing (lookup + status + collect).
+    let scenario = scenario();
+    let rt = &scenario.rt;
+    let cfg = CocaConfig::for_model(ModelId::ResNet101);
+    let server_seeds = scenario.seeds();
+    let server = coca_core::CocaServer::new(rt, cfg, server_seeds);
+    let mut client = coca_core::CocaClient::new(
+        0,
+        cfg,
+        rt,
+        scenario.profiles[0].clone(),
+        server.base_hit_profile().to_vec(),
+    );
+    let layers: Vec<usize> = vec![2, 6, 12, 20];
+    let classes: Vec<usize> = (0..50).collect();
+    client.install_cache(server.cache_for(&layers, &classes));
+    let mut stream = scenario.stream(0);
+    c.bench_function("client_frame_end_to_end", |b| {
+        b.iter(|| {
+            let f = stream.next_frame();
+            client.process_frame(rt, &f)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_aca,
+    bench_global_merge,
+    bench_codec,
+    bench_frame_throughput
+);
+criterion_main!(benches);

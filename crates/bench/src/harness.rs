@@ -1,0 +1,123 @@
+//! Method runners shared by the experiment binaries.
+//!
+//! Every method consumes a scenario rebuilt from the same
+//! [`ScenarioConfig`] — identical feature universe, client drift profiles
+//! and frame streams — so rows of one table differ only by the method.
+
+use coca_baselines::foggycache::run_foggycache;
+use coca_baselines::learnedcache::run_learnedcache;
+use coca_baselines::smtm::run_smtm;
+use coca_baselines::{
+    run_edge_only, FoggyCacheConfig, LearnedCacheConfig, MethodReport, SmtmConfig,
+};
+use coca_core::engine::{Engine, EngineConfig, EngineReport, Scenario, ScenarioConfig};
+use coca_core::CocaConfig;
+
+/// How long each method runs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// Rounds per client.
+    pub rounds: usize,
+    /// Frames per round (CoCa's F; other methods run the same frame count).
+    pub frames: usize,
+}
+
+impl RunSpec {
+    /// The default experiment length: enough rounds for the collaborative
+    /// machinery to reach steady state while keeping sweeps fast.
+    pub fn standard() -> Self {
+        Self { rounds: 6, frames: 300 }
+    }
+
+    /// Shorter runs for wide parameter sweeps.
+    pub fn quick() -> Self {
+        Self { rounds: 4, frames: 200 }
+    }
+}
+
+/// Converts an engine report into the common method report shape.
+pub fn coca_method_report(name: &str, r: EngineReport) -> MethodReport {
+    MethodReport {
+        name: name.into(),
+        frames: r.frames,
+        mean_latency_ms: r.mean_latency_ms,
+        accuracy_pct: r.accuracy_pct,
+        hit_ratio: r.hit_ratio,
+        latency: r.latency,
+        per_client: r.per_client,
+    }
+}
+
+/// Runs CoCa (the full engine) over a freshly built scenario.
+pub fn run_coca(sc: &ScenarioConfig, coca: CocaConfig, spec: RunSpec) -> MethodReport {
+    let report = run_coca_engine(sc, coca, spec).1;
+    coca_method_report("CoCa", report)
+}
+
+/// Runs CoCa and also returns the engine (for post-run inspection).
+pub fn run_coca_engine(
+    sc: &ScenarioConfig,
+    mut coca: CocaConfig,
+    spec: RunSpec,
+) -> (Engine, EngineReport) {
+    coca.round_frames = spec.frames;
+    let mut engine_cfg = EngineConfig::new(coca);
+    engine_cfg.rounds = spec.rounds;
+    let mut engine = Engine::new(Scenario::build(sc.clone()), engine_cfg);
+    let report = engine.run();
+    (engine, report)
+}
+
+/// Runs all five methods of the paper's comparison tables, in the paper's
+/// reporting order: Edge-Only, LearnedCache, FoggyCache, SMTM, CoCa.
+pub fn run_all_methods(sc: &ScenarioConfig, coca: CocaConfig, spec: RunSpec) -> Vec<MethodReport> {
+    let mut out = Vec::with_capacity(5);
+    {
+        let scenario = Scenario::build(sc.clone());
+        out.push(run_edge_only(&scenario, spec.rounds, spec.frames));
+    }
+    {
+        let scenario = Scenario::build(sc.clone());
+        let cfg = LearnedCacheConfig::for_model(coca.theta, spec.frames);
+        out.push(run_learnedcache(&scenario, &cfg, spec.rounds, spec.frames));
+    }
+    {
+        let scenario = Scenario::build(sc.clone());
+        out.push(run_foggycache(&scenario, &FoggyCacheConfig::default(), spec.rounds, spec.frames));
+    }
+    {
+        let scenario = Scenario::build(sc.clone());
+        let cfg = SmtmConfig::from_coca(&coca);
+        out.push(run_smtm(&scenario, &cfg, spec.rounds, spec.frames));
+    }
+    out.push(run_coca(sc, coca, spec));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_data::DatasetSpec;
+    use coca_model::ModelId;
+
+    #[test]
+    fn all_five_run_on_identical_streams() {
+        let mut sc = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        sc.num_clients = 2;
+        sc.seed = 200;
+        let coca = CocaConfig::for_model(ModelId::ResNet101);
+        let spec = RunSpec { rounds: 2, frames: 80 };
+        let reports = run_all_methods(&sc, coca, spec);
+        assert_eq!(reports.len(), 5);
+        let names: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["Edge-Only", "LearnedCache", "FoggyCache", "SMTM", "CoCa"]);
+        for r in &reports {
+            assert_eq!(r.frames, 2 * 2 * 80, "{}", r.name);
+        }
+        // Edge-Only is the latency ceiling (within noise).
+        let edge = reports[0].mean_latency_ms;
+        for r in &reports[1..] {
+            assert!(r.mean_latency_ms <= edge * 1.15, "{} at {}", r.name, r.mean_latency_ms);
+        }
+    }
+}

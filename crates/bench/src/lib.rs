@@ -1,0 +1,14 @@
+//! # coca-bench — the experiment harness
+//!
+//! One binary per paper table/figure (`src/bin/exp_*.rs`) plus shared
+//! plumbing here:
+//!
+//! * [`harness`] — method runners: CoCa (via the core engine) and every
+//!   baseline, all consuming the *same* [`coca_core::engine::Scenario`] so
+//!   results are comparable frame-for-frame.
+//! * [`output`] — result directory conventions and printing helpers.
+//!
+//! Run e.g. `cargo run --release -p coca-bench --bin exp_table2`.
+
+pub mod harness;
+pub mod output;

@@ -1,0 +1,34 @@
+//! Output conventions for experiment binaries.
+
+use coca_metrics::ExperimentRecord;
+use std::path::PathBuf;
+
+/// Directory where experiment records land (workspace-relative).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Saves a record into the standard results directory and prints the path.
+pub fn save_record(record: &ExperimentRecord) {
+    match record.save(results_dir()) {
+        Ok(path) => println!("\n[record saved to {}]", path.display()),
+        Err(e) => eprintln!("warning: could not save record: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_repo_level() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+        assert!(!d.to_string_lossy().contains("crates"));
+    }
+}

@@ -1,0 +1,373 @@
+//! The CoCa client runtime (§IV.A steps 2–3).
+//!
+//! Owns everything that lives on one edge device: the installed local
+//! cache, the status vectors τ/φ, the cache-update table U, the per-layer
+//! hit-ratio estimates R it uploads, and its metrics.
+
+use coca_data::Frame;
+use coca_metrics::RunSummary;
+use coca_model::{ClientFeatureView, ClientProfile, ModelRuntime};
+use serde::{Deserialize, Serialize};
+
+use crate::collect::{absorb_rule, AbsorbRule, UpdateTable};
+use crate::config::CocaConfig;
+use crate::lookup::{infer_with_cache, InferenceResult};
+use crate::proto::{CacheRequest, UpdateUpload};
+use crate::semantic::LocalCache;
+use crate::status::ClientStatus;
+
+/// Collection-rule accounting for one client (Fig. 6's absorption ratios).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct AbsorbStats {
+    /// Cache hits observed (rule-1 candidates).
+    pub hits: u64,
+    /// Rule-1 absorptions (hit and `D_j > Γ`).
+    pub reinforced: u64,
+    /// Rule-1 absorptions whose predicted class was correct.
+    pub reinforced_correct: u64,
+    /// Cache misses observed (rule-2 candidates).
+    pub misses: u64,
+    /// Rule-2 absorptions (miss and margin > Δ).
+    pub expanded: u64,
+    /// Rule-2 absorptions whose predicted class was correct.
+    pub expanded_correct: u64,
+}
+
+impl AbsorbStats {
+    /// Rule-1 absorption ratio (absorbed / eligible hits).
+    pub fn reinforce_ratio(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.reinforced as f64 / self.hits as f64
+        }
+    }
+
+    /// Rule-2 absorption ratio (absorbed / eligible misses).
+    pub fn expand_ratio(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.expanded as f64 / self.misses as f64
+        }
+    }
+
+    /// Accuracy of rule-1 absorbed samples.
+    pub fn reinforce_accuracy(&self) -> Option<f64> {
+        (self.reinforced > 0).then(|| self.reinforced_correct as f64 / self.reinforced as f64)
+    }
+
+    /// Accuracy of rule-2 absorbed samples.
+    pub fn expand_accuracy(&self) -> Option<f64> {
+        (self.expanded > 0).then(|| self.expanded_correct as f64 / self.expanded as f64)
+    }
+
+    /// Merges another client's counters.
+    pub fn merge(&mut self, o: &AbsorbStats) {
+        self.hits += o.hits;
+        self.reinforced += o.reinforced;
+        self.reinforced_correct += o.reinforced_correct;
+        self.misses += o.misses;
+        self.expanded += o.expanded;
+        self.expanded_correct += o.expanded_correct;
+    }
+}
+
+/// End-of-round report handed to the engine.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// The upload for the server.
+    pub upload: UpdateUpload,
+    /// Virtual time the round's frames consumed.
+    pub round_time: coca_sim::SimDuration,
+}
+
+/// One CoCa edge client.
+#[derive(Debug)]
+pub struct CocaClient {
+    id: u64,
+    cfg: CocaConfig,
+    profile: ClientProfile,
+    view: ClientFeatureView,
+    status: ClientStatus,
+    update: UpdateTable,
+    cache: LocalCache,
+    /// Standalone per-layer hit-ratio estimates (ACA's R), EWMA-updated
+    /// from measurements; initialized from the server's shared-dataset
+    /// profile.
+    hit_ratio_est: Vec<f64>,
+    /// Per-model-point hit counts within the current round.
+    round_hits: Vec<u64>,
+    round_frames: u64,
+    round: u64,
+    absorb: AbsorbStats,
+    summary: RunSummary,
+}
+
+impl CocaClient {
+    /// Builds a client. `initial_hit_profile` is the server's shared-
+    /// dataset standalone hit-ratio profile (length = preset cache points).
+    pub fn new(
+        id: u64,
+        cfg: CocaConfig,
+        rt: &ModelRuntime,
+        profile: ClientProfile,
+        initial_hit_profile: Vec<f64>,
+    ) -> Self {
+        let l = rt.num_cache_points();
+        assert_eq!(initial_hit_profile.len(), l, "hit profile length mismatch");
+        Self {
+            id,
+            cfg,
+            profile,
+            view: ClientFeatureView::new(),
+            status: ClientStatus::new(rt.num_classes()),
+            update: UpdateTable::new(),
+            cache: LocalCache::empty(),
+            hit_ratio_est: initial_hit_profile,
+            round_hits: vec![0; l],
+            round_frames: 0,
+            round: 0,
+            absorb: AbsorbStats::default(),
+            summary: RunSummary::new(l),
+        }
+    }
+
+    /// Client id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The currently installed cache.
+    pub fn cache(&self) -> &LocalCache {
+        &self.cache
+    }
+
+    /// Accumulated metrics.
+    pub fn summary(&self) -> &RunSummary {
+        &self.summary
+    }
+
+    /// Collection-rule accounting.
+    pub fn absorb_stats(&self) -> &AbsorbStats {
+        &self.absorb
+    }
+
+    /// The status vectors (tests/diagnostics).
+    pub fn status(&self) -> &ClientStatus {
+        &self.status
+    }
+
+    /// Builds the next cache request (§IV.A step 1).
+    pub fn cache_request(&self) -> CacheRequest {
+        CacheRequest {
+            client_id: self.id,
+            round: self.round,
+            timestamps: self.status.timestamps().to_vec(),
+            hit_ratio: self.hit_ratio_est.clone(),
+            budget_bytes: self.cfg.cache_budget_bytes as u64,
+        }
+    }
+
+    /// Installs the cache the server allocated.
+    pub fn install_cache(&mut self, cache: LocalCache) {
+        self.cache = cache;
+    }
+
+    /// Processes one frame: cached inference, status update, collection.
+    pub fn process_frame(&mut self, rt: &ModelRuntime, frame: &Frame) -> InferenceResult {
+        let res = infer_with_cache(rt, &self.profile, frame, &self.cache, &self.cfg, &mut self.view);
+
+        // Status tracks *predicted* classes — the client has no labels.
+        self.status.observe(res.predicted);
+
+        // Metrics.
+        self.summary.latency.record(res.latency);
+        self.summary.accuracy.record(res.correct);
+        match res.hit_point {
+            Some(p) => {
+                self.summary.hits.record_hit(p, res.correct);
+                self.round_hits[p] += 1;
+                self.absorb.hits += 1;
+            }
+            None => {
+                self.summary.hits.record_miss(res.correct);
+                self.absorb.misses += 1;
+            }
+        }
+        self.round_frames += 1;
+
+        // Collection rules (§IV.C).
+        let miss_margin = res.full_prediction.as_ref().map(|p| p.margin);
+        let hit_score = res.hit_point.map(|_| res.hit_score);
+        match absorb_rule(hit_score, miss_margin, self.cfg.gamma_collect, self.cfg.delta_collect) {
+            Some(AbsorbRule::Reinforce) => {
+                self.absorb.reinforced += 1;
+                if res.predicted == frame.class {
+                    self.absorb.reinforced_correct += 1;
+                }
+                // Vectors limited to the point of the cache hit.
+                for (point, v) in &res.observed {
+                    self.update.absorb(res.predicted, *point, v, self.cfg.beta);
+                }
+            }
+            Some(AbsorbRule::Expand) => {
+                self.absorb.expanded += 1;
+                if res.predicted == frame.class {
+                    self.absorb.expanded_correct += 1;
+                }
+                // The full model ran: every preset layer's features exist.
+                for point in 0..rt.num_cache_points() {
+                    let v = rt.semantic_vector(frame, &self.profile, point, &mut self.view);
+                    self.update.absorb(res.predicted, point, &v, self.cfg.beta);
+                }
+            }
+            None => {}
+        }
+        res
+    }
+
+    /// Ends the round: refreshes the R estimates from this round's
+    /// measurements, snapshots φ and U into an upload, and resets
+    /// round-local state.
+    pub fn end_round(&mut self) -> UpdateUpload {
+        if self.round_frames > 0 {
+            // Standalone hit ratios under the paper's deflation hypothesis:
+            // a sample hitting at point b would also hit at any deeper
+            // point, so standalone R_j = cumulative hit fraction up to j.
+            // Only activated points produce measurements; estimates for the
+            // others keep their previous value.
+            let activated = self.cache.activated_points();
+            let mut cumulative = 0.0f64;
+            for &p in &activated {
+                cumulative += self.round_hits[p] as f64 / self.round_frames as f64;
+                let a = self.cfg.hit_ratio_ewma_alpha;
+                self.hit_ratio_est[p] = a * cumulative + (1.0 - a) * self.hit_ratio_est[p];
+            }
+        }
+        let upload = UpdateUpload {
+            client_id: self.id,
+            round: self.round,
+            table: self.update.take(),
+            frequency: self.status.frequency().to_vec(),
+        };
+        self.status.reset_round();
+        self.round_hits.iter_mut().for_each(|h| *h = 0);
+        self.round_frames = 0;
+        self.round += 1;
+        upload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_data::distribution::uniform_weights;
+    use coca_data::{DatasetSpec, StreamConfig, StreamGenerator};
+    use coca_model::ModelId;
+    use coca_sim::SeedTree;
+
+    fn setup() -> (ModelRuntime, CocaClient, StreamGenerator) {
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(50);
+        let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let profile = ClientProfile::new(0, 0.2, 0.7, &seeds);
+        let cfg = CocaConfig::for_model(ModelId::ResNet101);
+        let client =
+            CocaClient::new(0, cfg, &rt, profile, vec![0.1; rt.num_cache_points()]);
+        let stream = StreamGenerator::new(
+            StreamConfig::new(uniform_weights(20), 16.0),
+            &SeedTree::new(51),
+        );
+        (rt, client, stream)
+    }
+
+    /// A center cache over the given points.
+    fn center_cache(rt: &ModelRuntime, points: &[usize]) -> LocalCache {
+        let layers = points
+            .iter()
+            .map(|&p| {
+                let mut l = crate::semantic::CacheLayer::new(p);
+                for c in 0..rt.num_classes() {
+                    l.insert(c, rt.universe().global_center(p, c).to_vec());
+                }
+                l
+            })
+            .collect();
+        LocalCache::from_layers(layers)
+    }
+
+    #[test]
+    fn frames_update_status_and_metrics() {
+        let (rt, mut client, mut stream) = setup();
+        client.install_cache(center_cache(&rt, &[10, 25, 33]));
+        for f in stream.take(200) {
+            client.process_frame(&rt, &f);
+        }
+        assert_eq!(client.summary().accuracy.total(), 200);
+        assert_eq!(client.status().round_total(), 200);
+        assert!(client.summary().hits.hit_ratio() > 0.3);
+        assert!(client.absorb_stats().hits > 0);
+    }
+
+    #[test]
+    fn end_round_snapshots_and_resets() {
+        let (rt, mut client, mut stream) = setup();
+        client.install_cache(center_cache(&rt, &[15, 30]));
+        for f in stream.take(150) {
+            client.process_frame(&rt, &f);
+        }
+        let phi_before = client.status().frequency().to_vec();
+        let upload = client.end_round();
+        assert_eq!(upload.frequency, phi_before);
+        assert_eq!(upload.round, 0);
+        assert_eq!(client.status().round_total(), 0);
+        // Second round's request carries the updated round counter.
+        assert_eq!(client.cache_request().round, 1);
+    }
+
+    #[test]
+    fn collection_populates_update_table() {
+        let (rt, mut client, mut stream) = setup();
+        client.install_cache(center_cache(&rt, &[10, 20, 30]));
+        for f in stream.take(300) {
+            client.process_frame(&rt, &f);
+        }
+        let upload = client.end_round();
+        assert!(
+            !upload.table.is_empty(),
+            "300 frames should absorb at least one sample (reinforced {} expanded {})",
+            client.absorb_stats().reinforced,
+            client.absorb_stats().expanded,
+        );
+    }
+
+    #[test]
+    fn hit_ratio_estimates_move_toward_measurements() {
+        let (rt, mut client, mut stream) = setup();
+        client.install_cache(center_cache(&rt, &[10, 25]));
+        let before = client.cache_request().hit_ratio.clone();
+        for f in stream.take(300) {
+            client.process_frame(&rt, &f);
+        }
+        let _ = client.end_round();
+        let after = client.cache_request().hit_ratio.clone();
+        // Activated points were measured (moved); untouched points kept.
+        assert_ne!(before[10], after[10]);
+        assert_eq!(before[0], after[0]);
+        // Deeper activated point has ≥ the shallow one (cumulative).
+        assert!(after[25] + 1e-12 >= after[10] * 0.999);
+    }
+
+    #[test]
+    fn empty_cache_still_collects_expansions() {
+        let (rt, mut client, mut stream) = setup();
+        // No cache installed: every frame misses; confident ones absorb.
+        for f in stream.take(200) {
+            let r = client.process_frame(&rt, &f);
+            assert!(!r.is_hit());
+        }
+        assert!(client.absorb_stats().expanded > 0);
+        assert_eq!(client.absorb_stats().hits, 0);
+    }
+}

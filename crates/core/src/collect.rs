@@ -1,0 +1,216 @@
+//! The cache-update table U and the two sample-selection rules (§IV.C).
+//!
+//! During local inference the client absorbs selected samples' semantic
+//! vectors into a table with the same logical shape as the server's global
+//! cache (classes × layers). Per Eq. 3, each absorbed vector updates
+//!
+//! ```text
+//! U_{i,j} ← normalize(V_{i,j} + β · U_{i,j})        β = 0.95
+//! ```
+//!
+//! Samples qualify under one of two rules:
+//!
+//! 1. **Reinforcement** — a cache hit whose discriminative score exceeds Γ:
+//!    vectors collected only up to the hit layer (the model stopped there).
+//! 2. **Expansion** — a cache miss whose softmax margin `prob₁ − prob₂`
+//!    exceeds Δ: vectors collected at every preset layer (the full model
+//!    ran, so all intermediate features exist).
+//!
+//! Both rules label the vectors with the *predicted* class — clients have
+//! no ground truth. Ambiguous-but-confident misclassifications therefore
+//! pollute U occasionally; Fig. 6's Γ/Δ trade-off measures exactly this.
+
+use std::collections::HashMap;
+
+use coca_math::vector::{axpy, l2_normalize, scale};
+use serde::{Deserialize, Serialize};
+
+/// Why a sample was absorbed (diagnostics + Fig. 6 accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbsorbRule {
+    /// Rule 1: high-confidence cache hit.
+    Reinforce,
+    /// Rule 2: high-margin cache miss.
+    Expand,
+}
+
+/// The client's sparse cache-update table.
+///
+/// Serializes as a list of `(class, layer, vector)` triples — JSON (the
+/// TCP transport's payload format) cannot encode tuple-keyed maps.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UpdateTable {
+    /// `(class, layer) → running unit-norm semantic center`.
+    #[serde(with = "entries_as_triples")]
+    entries: HashMap<(u32, u32), Vec<f32>>,
+}
+
+mod entries_as_triples {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<(u32, u32), Vec<f32>>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut triples: Vec<(u32, u32, &Vec<f32>)> =
+            map.iter().map(|(&(c, l), v)| (c, l, v)).collect();
+        triples.sort_by_key(|&(c, l, _)| (c, l));
+        serde::Serialize::serialize(&triples, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<HashMap<(u32, u32), Vec<f32>>, D::Error> {
+        let triples: Vec<(u32, u32, Vec<f32>)> = serde::Deserialize::deserialize(de)?;
+        Ok(triples.into_iter().map(|(c, l, v)| ((c, l), v)).collect())
+    }
+}
+
+impl UpdateTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one semantic vector for `(class, layer)` with decay `beta`
+    /// (Eq. 3), then re-normalizes.
+    pub fn absorb(&mut self, class: usize, layer: usize, vector: &[f32], beta: f32) {
+        let key = (class as u32, layer as u32);
+        match self.entries.get_mut(&key) {
+            Some(u) => {
+                debug_assert_eq!(u.len(), vector.len(), "dim mismatch in update table");
+                // U ← V + β·U, normalized.
+                scale(beta, u);
+                axpy(1.0, vector, u);
+                l2_normalize(u);
+            }
+            None => {
+                let mut v = vector.to_vec();
+                l2_normalize(&mut v);
+                self.entries.insert(key, v);
+            }
+        }
+    }
+
+    /// The entry for `(class, layer)`, if any sample was absorbed.
+    pub fn get(&self, class: usize, layer: usize) -> Option<&[f32]> {
+        self.entries.get(&(class as u32, layer as u32)).map(|v| v.as_slice())
+    }
+
+    /// Number of populated cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing was absorbed this round.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates populated cells as `(class, layer, vector)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &[f32])> {
+        self.entries.iter().map(|(&(c, l), v)| (c as usize, l as usize, v.as_slice()))
+    }
+
+    /// Drains the table for upload, leaving it empty for the next round.
+    pub fn take(&mut self) -> UpdateTable {
+        UpdateTable { entries: std::mem::take(&mut self.entries) }
+    }
+
+    /// Logical wire size: 8-byte key + dense f32 vector per cell.
+    pub fn wire_bytes(&self) -> usize {
+        self.entries.values().map(|v| 8 + 4 * v.len()).sum()
+    }
+}
+
+/// Decides whether an inference outcome qualifies for collection.
+///
+/// * `hit_score` — `Some(D_j)` for hits, `None` for misses.
+/// * `miss_margin` — `Some(prob₁ − prob₂)` for misses.
+pub fn absorb_rule(
+    hit_score: Option<f32>,
+    miss_margin: Option<f32>,
+    gamma: f32,
+    delta: f32,
+) -> Option<AbsorbRule> {
+    match (hit_score, miss_margin) {
+        (Some(d), _) if d > gamma => Some(AbsorbRule::Reinforce),
+        (Some(_), _) => None,
+        (None, Some(m)) if m > delta => Some(AbsorbRule::Expand),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_math::{cosine, l2_norm};
+
+    #[test]
+    fn absorb_keeps_unit_norm() {
+        let mut u = UpdateTable::new();
+        u.absorb(2, 5, &[3.0, 4.0], 0.95);
+        let v = u.get(2, 5).unwrap();
+        assert!((l2_norm(v) - 1.0).abs() < 1e-5);
+        u.absorb(2, 5, &[0.0, 1.0], 0.95);
+        assert!((l2_norm(u.get(2, 5).unwrap()) - 1.0).abs() < 1e-5);
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn repeated_absorption_tracks_new_direction() {
+        let mut u = UpdateTable::new();
+        u.absorb(0, 0, &[1.0, 0.0], 0.95);
+        // Stream of orthogonal vectors should pull the entry over.
+        for _ in 0..200 {
+            u.absorb(0, 0, &[0.0, 1.0], 0.95);
+        }
+        let v = u.get(0, 0).unwrap();
+        assert!(cosine(v, &[0.0, 1.0]) > 0.99, "entry {v:?}");
+    }
+
+    #[test]
+    fn beta_zero_means_last_sample_wins() {
+        let mut u = UpdateTable::new();
+        u.absorb(1, 1, &[1.0, 0.0], 0.0);
+        u.absorb(1, 1, &[0.0, 2.0], 0.0);
+        assert!(cosine(u.get(1, 1).unwrap(), &[0.0, 1.0]) > 0.999);
+    }
+
+    #[test]
+    fn take_drains_for_upload() {
+        let mut u = UpdateTable::new();
+        u.absorb(0, 0, &[1.0, 0.0], 0.95);
+        u.absorb(1, 3, &[0.0, 1.0], 0.95);
+        assert_eq!(u.wire_bytes(), 2 * (8 + 8));
+        let uploaded = u.take();
+        assert_eq!(uploaded.len(), 2);
+        assert!(u.is_empty());
+        let cells: Vec<(usize, usize)> = uploaded.iter().map(|(c, l, _)| (c, l)).collect();
+        assert!(cells.contains(&(0, 0)) && cells.contains(&(1, 3)));
+    }
+
+    #[test]
+    fn serde_round_trips_populated_tables() {
+        let mut u = UpdateTable::new();
+        u.absorb(3, 7, &[1.0, 0.0], 0.95);
+        u.absorb(0, 0, &[0.0, 1.0], 0.95);
+        let json = serde_json::to_string(&u).expect("tuple keys must not leak into JSON");
+        let back: UpdateTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(3, 7).unwrap(), u.get(3, 7).unwrap());
+    }
+
+    #[test]
+    fn rules_match_paper_conditions() {
+        let (g, d) = (0.10, 0.25);
+        // Hit above Γ → reinforce; at/below Γ → nothing (even with margin).
+        assert_eq!(absorb_rule(Some(0.2), None, g, d), Some(AbsorbRule::Reinforce));
+        assert_eq!(absorb_rule(Some(0.05), Some(0.9), g, d), None);
+        // Miss above Δ → expand; below → nothing.
+        assert_eq!(absorb_rule(None, Some(0.3), g, d), Some(AbsorbRule::Expand));
+        assert_eq!(absorb_rule(None, Some(0.2), g, d), None);
+        assert_eq!(absorb_rule(None, None, g, d), None);
+    }
+}

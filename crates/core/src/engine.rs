@@ -1,0 +1,431 @@
+//! The virtual-time multi-client engine (§IV.A round workflow, §VI.C/I).
+//!
+//! Clients boot staggered, then loop: request cache → (link + server FIFO
+//! queue + link) → run F frames locally → upload collected updates →
+//! request again. All cross-device interaction resolves through a
+//! discrete-event queue, so runs are exactly reproducible.
+//!
+//! [`Scenario`] pins down everything two *methods* must share to be
+//! comparable (model, feature universe, client drift profiles, class
+//! distributions, per-client streams); the baselines crate builds its
+//! drivers on the same scenario so CoCa and every baseline see identical
+//! frames.
+
+use coca_data::partition::{client_distributions, NonIidLevel};
+use coca_data::{DatasetSpec, StreamConfig, StreamGenerator};
+use coca_metrics::recorder::{LatencyRecorder, RunSummary};
+use coca_model::{ClientProfile, ModelId, ModelRuntime};
+use coca_net::{LinkModel, ServerQueue, WireSize};
+use coca_sim::{EventQueue, SeedTree, SimTime};
+use rand::Rng;
+
+use crate::client::{AbsorbStats, CocaClient};
+use crate::config::CocaConfig;
+use crate::proto::{CacheAllocation, UpdateUpload};
+use crate::server::{CocaServer, ServiceCostModel};
+
+/// Everything that defines the *workload* (shared across methods).
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Model under test.
+    pub model: ModelId,
+    /// Dataset (or subset).
+    pub dataset: DatasetSpec,
+    /// Number of edge clients.
+    pub num_clients: usize,
+    /// Non-IID level `p = 1/ε` (0 = IID).
+    pub non_iid: NonIidLevel,
+    /// Population class popularity (uniform or long-tail); length must
+    /// equal the dataset's class count.
+    pub global_popularity: Vec<f64>,
+    /// Per-client context-drift magnitude (non-IID feature shift).
+    pub drift_mag: f32,
+    /// Fraction of drift shared across clients.
+    pub drift_shared_frac: f32,
+    /// Override of the dataset's mean same-class run length.
+    pub mean_run_length: Option<f64>,
+    /// Master seed: fixes the universe, partitions and streams.
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// A scenario with uniform popularity and sensible defaults.
+    pub fn new(model: ModelId, dataset: DatasetSpec) -> Self {
+        let n = dataset.num_classes;
+        Self {
+            model,
+            dataset,
+            num_clients: 10,
+            non_iid: NonIidLevel::IID,
+            global_popularity: coca_data::distribution::uniform_weights(n),
+            drift_mag: 0.25,
+            drift_shared_frac: 0.7,
+            mean_run_length: None,
+            seed: 42,
+        }
+    }
+}
+
+/// A materialized workload: runtime + per-client profiles + distributions.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The simulated model (shared by every method).
+    pub rt: ModelRuntime,
+    /// Per-client drift profiles.
+    pub profiles: Vec<ClientProfile>,
+    /// Per-client class distributions.
+    pub distributions: Vec<Vec<f64>>,
+    cfg: ScenarioConfig,
+    seeds: SeedTree,
+}
+
+impl Scenario {
+    /// Builds the scenario deterministically from its config.
+    ///
+    /// # Panics
+    /// Panics if the popularity vector length mismatches the dataset.
+    pub fn build(cfg: ScenarioConfig) -> Self {
+        assert_eq!(
+            cfg.global_popularity.len(),
+            cfg.dataset.num_classes,
+            "popularity length must match class count"
+        );
+        let seeds = SeedTree::new(cfg.seed);
+        let rt = ModelRuntime::new(cfg.model, &cfg.dataset, &seeds.child("universe"));
+        let profiles: Vec<ClientProfile> = (0..cfg.num_clients)
+            .map(|k| {
+                ClientProfile::new(
+                    k as u64,
+                    cfg.drift_mag,
+                    cfg.drift_shared_frac,
+                    &seeds.child("universe"),
+                )
+            })
+            .collect();
+        let distributions = client_distributions(
+            &cfg.global_popularity,
+            cfg.num_clients,
+            cfg.non_iid,
+            &seeds.child("partition"),
+        );
+        Self { rt, profiles, distributions, cfg, seeds }
+    }
+
+    /// The scenario's configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
+    /// The scenario's seed node (method drivers derive their own children).
+    pub fn seeds(&self) -> &SeedTree {
+        &self.seeds
+    }
+
+    /// A fresh, deterministic frame stream for client `k`. Every call
+    /// returns an identical generator — methods compared on this scenario
+    /// consume byte-identical streams.
+    pub fn stream(&self, k: usize) -> StreamGenerator {
+        let run = self.cfg.mean_run_length.unwrap_or(self.cfg.dataset.mean_run_length);
+        StreamGenerator::new(
+            StreamConfig::new(self.distributions[k].clone(), run),
+            &self.seeds.child_idx("client-stream", k as u64),
+        )
+    }
+}
+
+/// Engine-level knobs on top of the scenario.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The CoCa configuration.
+    pub coca: CocaConfig,
+    /// Rounds each client executes.
+    pub rounds: usize,
+    /// Client↔server link. The default models the paper's testbed: WiFi
+    /// through a router plus the Docker/MPI stack — tens of ms round trip.
+    pub link: LinkModel,
+    /// Server-side service costs.
+    pub costs: ServiceCostModel,
+    /// Clients boot uniformly at random within this window.
+    pub boot_window_ms: f64,
+}
+
+impl EngineConfig {
+    /// Defaults used by the experiments.
+    pub fn new(coca: CocaConfig) -> Self {
+        Self {
+            coca,
+            rounds: 10,
+            link: LinkModel {
+                one_way_delay: coca_sim::SimDuration::from_millis_f64(18.0),
+                bandwidth_bps: 150.0e6,
+            },
+            costs: ServiceCostModel::default(),
+            boot_window_ms: 2_000.0,
+        }
+    }
+}
+
+/// Aggregated outcome of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Frames processed across all clients.
+    pub frames: u64,
+    /// Mean end-to-end inference latency (ms).
+    pub mean_latency_ms: f64,
+    /// Overall accuracy (%): correct predictions / all frames.
+    pub accuracy_pct: f64,
+    /// Overall cache hit ratio.
+    pub hit_ratio: f64,
+    /// Global per-frame latency distribution.
+    pub latency: LatencyRecorder,
+    /// Cache-request response latencies (request sent → cache installed),
+    /// the paper's Fig. 10(b) metric.
+    pub response_latency: LatencyRecorder,
+    /// Per-client summaries.
+    pub per_client: Vec<RunSummary>,
+    /// Collection-rule accounting summed over clients.
+    pub absorb: AbsorbStats,
+    /// Virtual instant the last event completed.
+    pub end_time: SimTime,
+}
+
+enum Ev {
+    /// A cache request arrives at the server.
+    Request { k: usize, sent: SimTime },
+    /// An allocation reaches the client.
+    Deliver { k: usize, alloc: CacheAllocation, sent: SimTime },
+    /// An upload arrives at the server.
+    Update { k: usize, upload: UpdateUpload },
+}
+
+/// The multi-client CoCa engine.
+pub struct Engine {
+    scenario: Scenario,
+    cfg: EngineConfig,
+    server: CocaServer,
+    clients: Vec<CocaClient>,
+    streams: Vec<StreamGenerator>,
+}
+
+impl Engine {
+    /// Builds the engine over a scenario.
+    pub fn new(scenario: Scenario, mut cfg: EngineConfig) -> Self {
+        if cfg.coca.cache_budget_bytes == 0 {
+            // Auto budget: 1/8 of the full cache (paper's Fig. 1(a) sweet
+            // spot is near 10 %).
+            cfg.coca.cache_budget_bytes =
+                scenario.rt.arch().full_cache_bytes(scenario.rt.num_classes()) / 8;
+        }
+        let mut server = CocaServer::new(&scenario.rt, cfg.coca, scenario.seeds());
+        server.set_costs(cfg.costs);
+        let clients: Vec<CocaClient> = scenario
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(k, p)| {
+                CocaClient::new(
+                    k as u64,
+                    cfg.coca,
+                    &scenario.rt,
+                    p.clone(),
+                    server.base_hit_profile().to_vec(),
+                )
+            })
+            .collect();
+        let streams: Vec<StreamGenerator> =
+            (0..scenario.cfg.num_clients).map(|k| scenario.stream(k)).collect();
+        Self { scenario, cfg, server, clients, streams }
+    }
+
+    /// The underlying scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The server (post-run inspection, e.g. the Fig. 2 experiment).
+    pub fn server(&self) -> &CocaServer {
+        &self.server
+    }
+
+    /// Runs every client for the configured number of rounds and returns
+    /// the aggregated report.
+    pub fn run(&mut self) -> EngineReport {
+        let n = self.clients.len();
+        let f = self.cfg.coca.round_frames;
+        let link = self.cfg.link;
+        let mut queue = ServerQueue::new();
+        let mut events: EventQueue<Ev> = EventQueue::new();
+        let mut rounds_left = vec![self.cfg.rounds; n];
+        let mut latency = LatencyRecorder::new();
+        let mut response_latency = LatencyRecorder::new();
+        let mut end_time = SimTime::ZERO;
+
+        // Staggered boots.
+        let boot_seeds = self.scenario.seeds().child("boot");
+        for k in 0..n {
+            let mut rng = boot_seeds.child_idx("client", k as u64).rng();
+            let at = SimTime::from_millis_f64(rng.gen_range(0.0..self.cfg.boot_window_ms.max(1e-9)));
+            let req = self.clients[k].cache_request();
+            events.schedule(at + link.transfer_time(req.wire_bytes()), Ev::Request { k, sent: at });
+        }
+
+        while let Some(ev) = events.pop() {
+            let now = ev.at;
+            end_time = end_time.max(now);
+            match ev.payload {
+                Ev::Request { k, sent } => {
+                    let req = self.clients[k].cache_request();
+                    let (alloc, service) = self.server.handle_request(&req);
+                    let done = queue.serve(now, service);
+                    let deliver_at = done.finish + link.transfer_time(alloc.wire_bytes());
+                    events.schedule(deliver_at, Ev::Deliver { k, alloc, sent });
+                }
+                Ev::Deliver { k, alloc, sent } => {
+                    response_latency.record(now.saturating_since(sent));
+                    self.clients[k].install_cache(alloc.cache);
+                    // Run the round synchronously in virtual time.
+                    let mut round_time = coca_sim::SimDuration::ZERO;
+                    for _ in 0..f {
+                        let frame = self.streams[k].next_frame();
+                        let res = self.clients[k].process_frame(&self.scenario.rt, &frame);
+                        latency.record(res.latency);
+                        round_time += res.latency;
+                    }
+                    let t_end = now + round_time;
+                    let upload = self.clients[k].end_round();
+                    let upload_bytes = upload.wire_bytes();
+                    events.schedule(t_end + link.transfer_time(upload_bytes), Ev::Update {
+                        k,
+                        upload,
+                    });
+                    rounds_left[k] -= 1;
+                    if rounds_left[k] > 0 {
+                        // The next request leaves once the upload is out.
+                        let req_sent = t_end + link.transfer_time(upload_bytes);
+                        let req = self.clients[k].cache_request();
+                        events.schedule(
+                            req_sent + link.transfer_time(req.wire_bytes()),
+                            Ev::Request { k, sent: req_sent },
+                        );
+                    }
+                }
+                Ev::Update { k, upload } => {
+                    let _ = k;
+                    let service = self.server.handle_update(&upload);
+                    queue.serve(now, service);
+                }
+            }
+        }
+
+        let per_client: Vec<RunSummary> =
+            self.clients.iter().map(|c| c.summary().clone()).collect();
+        let mut absorb = AbsorbStats::default();
+        for c in &self.clients {
+            absorb.merge(c.absorb_stats());
+        }
+        let mut hits = coca_metrics::HitRecorder::new(self.scenario.rt.num_cache_points());
+        let mut acc = coca_metrics::AccuracyRecorder::new();
+        for s in &per_client {
+            hits.merge(&s.hits);
+            acc.merge(&s.accuracy);
+        }
+        EngineReport {
+            frames: latency.count(),
+            mean_latency_ms: latency.mean_ms(),
+            accuracy_pct: acc.accuracy_pct(),
+            hit_ratio: hits.hit_ratio(),
+            latency,
+            response_latency,
+            per_client,
+            absorb,
+            end_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_model::ModelId;
+
+    fn small_scenario(seed: u64) -> Scenario {
+        let mut cfg =
+            ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        cfg.num_clients = 4;
+        cfg.seed = seed;
+        Scenario::build(cfg)
+    }
+
+    fn engine_cfg(rounds: usize) -> EngineConfig {
+        let mut coca = CocaConfig::for_model(ModelId::ResNet101);
+        coca.round_frames = 120; // keep tests quick
+        let mut e = EngineConfig::new(coca);
+        e.rounds = rounds;
+        e
+    }
+
+    #[test]
+    fn engine_runs_all_rounds_and_beats_edge_only() {
+        let scenario = small_scenario(70);
+        let full_ms = scenario.rt.full_compute().as_millis_f64();
+        let mut engine = Engine::new(scenario, engine_cfg(4));
+        let report = engine.run();
+        assert_eq!(report.frames, 4 * 4 * 120);
+        assert!(report.hit_ratio > 0.2, "hit ratio {}", report.hit_ratio);
+        assert!(
+            report.mean_latency_ms < full_ms,
+            "mean {} vs edge-only {}",
+            report.mean_latency_ms,
+            full_ms
+        );
+        assert!(report.accuracy_pct > 60.0);
+        assert_eq!(report.response_latency.count(), 4 * 4);
+        assert_eq!(report.per_client.len(), 4);
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let r1 = Engine::new(small_scenario(71), engine_cfg(3)).run();
+        let r2 = Engine::new(small_scenario(71), engine_cfg(3)).run();
+        assert_eq!(r1.mean_latency_ms, r2.mean_latency_ms);
+        assert_eq!(r1.accuracy_pct, r2.accuracy_pct);
+        assert_eq!(r1.hit_ratio, r2.hit_ratio);
+        assert_eq!(r1.end_time, r2.end_time);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let r1 = Engine::new(small_scenario(72), engine_cfg(2)).run();
+        let r2 = Engine::new(small_scenario(73), engine_cfg(2)).run();
+        assert_ne!(r1.mean_latency_ms, r2.mean_latency_ms);
+    }
+
+    #[test]
+    fn scenario_streams_are_replayable() {
+        let s = small_scenario(74);
+        let a = s.stream(2).take(50);
+        let b = s.stream(2).take(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_clients_increase_response_latency() {
+        let mk = |n: usize| {
+            let mut cfg =
+                ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+            cfg.num_clients = n;
+            cfg.seed = 75;
+            let mut e = engine_cfg(2);
+            e.boot_window_ms = 100.0; // force contention
+            Engine::new(Scenario::build(cfg), e).run()
+        };
+        let small = mk(2);
+        let big = mk(12);
+        assert!(
+            big.response_latency.mean_ms() > small.response_latency.mean_ms(),
+            "big {} small {}",
+            big.response_latency.mean_ms(),
+            small.response_latency.mean_ms()
+        );
+    }
+}

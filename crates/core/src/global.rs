@@ -1,0 +1,245 @@
+//! The server's two-dimensional global cache table (§IV.D).
+//!
+//! Rows are classes, columns are the model's preset cache layers. Each
+//! populated cell is a unit-norm semantic center. Per-client uploads merge
+//! in by frequency-weighted averaging (Eq. 4):
+//!
+//! ```text
+//! E_{i,j} ← γ · Φ_i/(Φ_i + φ_i) · E_{i,j} + φ_i/(Φ_i + φ_i) · U_{i,j}
+//! ```
+//!
+//! followed by re-normalization, and the global class frequency advances by
+//! Eq. 5: `Φ_i ← Φ_i + φ_i`.
+
+use coca_math::vector::{axpy, l2_normalize, scale};
+use serde::{Deserialize, Serialize};
+
+use crate::collect::UpdateTable;
+use crate::semantic::{CacheLayer, LocalCache};
+
+/// The global cache table plus the global class-frequency vector Φ.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalCacheTable {
+    classes: usize,
+    layers: usize,
+    /// Row-major `[class][layer]`; `None` = never populated.
+    entries: Vec<Option<Vec<f32>>>,
+    /// Φ — global class frequencies (Eq. 5).
+    frequency: Vec<u64>,
+}
+
+impl GlobalCacheTable {
+    /// An empty `classes × layers` table.
+    pub fn new(classes: usize, layers: usize) -> Self {
+        assert!(classes > 0 && layers > 0, "degenerate global cache shape");
+        Self { classes, layers, entries: vec![None; classes * layers], frequency: vec![0; classes] }
+    }
+
+    /// Number of class rows.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of layer columns.
+    pub fn num_layers(&self) -> usize {
+        self.layers
+    }
+
+    #[inline]
+    fn idx(&self, class: usize, layer: usize) -> usize {
+        debug_assert!(class < self.classes && layer < self.layers);
+        class * self.layers + layer
+    }
+
+    /// The entry at `(class, layer)`, if populated.
+    pub fn get(&self, class: usize, layer: usize) -> Option<&[f32]> {
+        self.entries[self.idx(class, layer)].as_deref()
+    }
+
+    /// Directly sets an entry (initial seeding from the shared dataset).
+    /// The vector is normalized on insertion.
+    pub fn set(&mut self, class: usize, layer: usize, mut vector: Vec<f32>) {
+        l2_normalize(&mut vector);
+        let i = self.idx(class, layer);
+        self.entries[i] = Some(vector);
+    }
+
+    /// Φ — the global class-frequency vector.
+    pub fn frequency(&self) -> &[u64] {
+        &self.frequency
+    }
+
+    /// Seeds Φ with prior counts (server-side shared-dataset profiling),
+    /// so the very first ACA call has non-degenerate scores.
+    pub fn seed_frequency(&mut self, counts: &[u64]) {
+        assert_eq!(counts.len(), self.classes, "frequency length mismatch");
+        self.frequency.copy_from_slice(counts);
+    }
+
+    /// Merges one client's upload: Eq. 4 for every populated cell of `u`,
+    /// then Eq. 5 for Φ. `phi` is the client's per-round class frequency
+    /// vector φ; `gamma` is the global decay (paper: 0.99).
+    ///
+    /// Cells never seen before adopt the client's vector directly (the
+    /// Eq. 4 weights with Φ_i = 0 reduce to exactly that only when the
+    /// entry exists; a missing entry has nothing to decay).
+    pub fn merge_update(&mut self, u: &UpdateTable, phi: &[u32], gamma: f32) {
+        assert_eq!(phi.len(), self.classes, "phi length mismatch");
+        for (class, layer, vector) in u.iter() {
+            if class >= self.classes || layer >= self.layers {
+                // Malformed upload cell; ignore rather than poison state.
+                continue;
+            }
+            let phi_i = phi[class] as f32;
+            if phi_i <= 0.0 {
+                // The paper weights by local frequency; a class the client
+                // claims it never saw contributes nothing.
+                continue;
+            }
+            let cap_phi = self.frequency[class] as f32;
+            let i = self.idx(class, layer);
+            match &mut self.entries[i] {
+                Some(e) => {
+                    debug_assert_eq!(e.len(), vector.len(), "dim mismatch in global merge");
+                    let w_old = gamma * cap_phi / (cap_phi + phi_i);
+                    let w_new = phi_i / (cap_phi + phi_i);
+                    scale(w_old, e);
+                    axpy(w_new, vector, e);
+                    l2_normalize(e);
+                }
+                None => {
+                    let mut v = vector.to_vec();
+                    l2_normalize(&mut v);
+                    self.entries[i] = Some(v);
+                }
+            }
+        }
+        // Eq. 5.
+        for (f, &p) in self.frequency.iter_mut().zip(phi) {
+            *f += p as u64;
+        }
+    }
+
+    /// Extracts a local cache: the given `layers`, each filled with the
+    /// entries of `classes` (cells never populated are skipped — a client
+    /// cannot match against a center that does not exist yet).
+    pub fn extract(&self, layers: &[usize], classes: &[usize]) -> LocalCache {
+        let mut out = Vec::with_capacity(layers.len());
+        for &layer in layers {
+            let mut cl = CacheLayer::new(layer);
+            for &class in classes {
+                if let Some(v) = self.get(class, layer) {
+                    cl.insert(class, v.to_vec());
+                }
+            }
+            if !cl.is_empty() {
+                out.push(cl);
+            }
+        }
+        LocalCache::from_layers(out)
+    }
+
+    /// Fraction of cells populated (diagnostics).
+    pub fn fill_ratio(&self) -> f64 {
+        let filled = self.entries.iter().filter(|e| e.is_some()).count();
+        filled as f64 / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_math::{cosine, l2_norm};
+
+    fn table() -> GlobalCacheTable {
+        GlobalCacheTable::new(4, 3)
+    }
+
+    fn upload(cells: &[(usize, usize, Vec<f32>)]) -> UpdateTable {
+        let mut u = UpdateTable::new();
+        for (c, l, v) in cells {
+            u.absorb(*c, *l, v, 0.0);
+        }
+        u
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_client_vector() {
+        let mut t = table();
+        let u = upload(&[(1, 2, vec![0.0, 3.0])]);
+        t.merge_update(&u, &[0, 5, 0, 0], 0.99);
+        let e = t.get(1, 2).unwrap();
+        assert!(cosine(e, &[0.0, 1.0]) > 0.999);
+        assert_eq!(t.frequency(), &[0, 5, 0, 0]);
+        assert!(t.get(0, 0).is_none());
+    }
+
+    #[test]
+    fn merge_weights_by_frequency() {
+        let mut t = table();
+        t.set(0, 0, vec![1.0, 0.0]);
+        t.seed_frequency(&[90, 0, 0, 0]);
+        // A client with small φ barely moves the entry...
+        let u = upload(&[(0, 0, vec![0.0, 1.0])]);
+        t.merge_update(&u, &[10, 0, 0, 0], 0.99);
+        let e = t.get(0, 0).unwrap().to_vec();
+        assert!(cosine(&e, &[1.0, 0.0]) > 0.9, "entry {e:?}");
+        assert_eq!(t.frequency()[0], 100);
+        // ...but a dominant client swings it.
+        let u = upload(&[(0, 0, vec![0.0, 1.0])]);
+        t.merge_update(&u, &[900, 0, 0, 0], 0.99);
+        let e = t.get(0, 0).unwrap().to_vec();
+        assert!(cosine(&e, &[0.0, 1.0]) > 0.9, "entry {e:?}");
+    }
+
+    #[test]
+    fn merged_entries_stay_unit_norm() {
+        let mut t = table();
+        t.set(2, 1, vec![1.0, 1.0]);
+        t.seed_frequency(&[0, 0, 7, 0]);
+        let u = upload(&[(2, 1, vec![-1.0, 1.0])]);
+        t.merge_update(&u, &[0, 0, 3, 0], 0.99);
+        assert!((l2_norm(t.get(2, 1).unwrap()) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_phi_classes_do_not_merge() {
+        let mut t = table();
+        t.set(3, 0, vec![1.0, 0.0]);
+        let u = upload(&[(3, 0, vec![0.0, 1.0])]);
+        t.merge_update(&u, &[0, 0, 0, 0], 0.99);
+        assert!(cosine(t.get(3, 0).unwrap(), &[1.0, 0.0]) > 0.999);
+    }
+
+    #[test]
+    fn out_of_range_cells_are_ignored() {
+        let mut t = table();
+        let mut u = UpdateTable::new();
+        u.absorb(99, 99, &[1.0, 0.0], 0.0);
+        t.merge_update(&u, &[1, 0, 0, 0], 0.99); // must not panic
+        assert_eq!(t.frequency()[0], 1);
+    }
+
+    #[test]
+    fn extract_skips_unpopulated_cells() {
+        let mut t = table();
+        t.set(0, 1, vec![1.0, 0.0]);
+        t.set(2, 1, vec![0.0, 1.0]);
+        t.set(0, 2, vec![1.0, 1.0]);
+        let cache = t.extract(&[1, 2], &[0, 2]);
+        assert_eq!(cache.num_layers(), 2);
+        assert_eq!(cache.layers()[0].len(), 2); // classes 0 and 2 at layer 1
+        assert_eq!(cache.layers()[1].len(), 1); // only class 0 at layer 2
+        // Requesting an entirely empty layer yields no activated layer.
+        let cache = t.extract(&[0], &[0, 1, 2, 3]);
+        assert_eq!(cache.num_layers(), 0);
+    }
+
+    #[test]
+    fn fill_ratio_counts_cells() {
+        let mut t = table();
+        assert_eq!(t.fill_ratio(), 0.0);
+        t.set(0, 0, vec![1.0, 0.0]);
+        assert!((t.fill_ratio() - 1.0 / 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! # coca-core — the CoCa framework
+//!
+//! The paper's contribution: multi-client collaborative semantic caching
+//! for edge inference. Module map (paper § in parentheses):
+//!
+//! * [`config`] — every threshold and decay the paper defines (Θ, Γ, Δ, α,
+//!   β, γ, F, hot-spot mass, recency base) plus ablation toggles.
+//! * [`semantic`] — cache entries, activated cache layers, the client's
+//!   local cache (§II.3).
+//! * [`lookup`] — inference with sequential cache lookups: cross-layer
+//!   accumulated cosine similarity (Eq. 1), discriminative score and hit
+//!   test (Eq. 2), early exit, virtual-time charging (§II.3, §III).
+//! * [`status`] — client status vectors τ (timestamps) and φ (frequencies)
+//!   (§IV.C).
+//! * [`collect`] — the cache-update table U with rule-1/rule-2 sample
+//!   selection and decay β (Eq. 3, §IV.C).
+//! * [`global`] — the server's two-dimensional global cache table with
+//!   frequency-weighted merging (Eq. 4) and global frequency Φ (Eq. 5)
+//!   (§IV.D).
+//! * [`aca`] — Adaptive Cache Allocation: hot-spot class scoring (Eq. 10)
+//!   and greedy benefit-ordered layer selection under the memory budget
+//!   (Algorithm 1, §V).
+//! * [`proto`] — serializable client↔server messages with logical wire
+//!   sizes (drives both the simulated links and the TCP deployment).
+//! * [`client`] / [`server`] — the two runtimes (§IV.A workflow).
+//! * [`engine`] — the virtual-time multi-client engine: staggered rounds,
+//!   link transfers, server FIFO queueing (§VI.C/I).
+
+pub mod aca;
+pub mod client;
+pub mod collect;
+pub mod config;
+pub mod engine;
+pub mod global;
+pub mod lookup;
+pub mod proto;
+pub mod semantic;
+pub mod server;
+pub mod status;
+
+pub use aca::{allocate, AcaInputs, AcaOutput};
+pub use client::{ClientReport, CocaClient};
+pub use config::CocaConfig;
+pub use engine::{Engine, EngineConfig, EngineReport};
+pub use global::GlobalCacheTable;
+pub use lookup::{infer_with_cache, InferenceResult};
+pub use semantic::{CacheLayer, LocalCache};
+pub use server::CocaServer;
+pub use status::ClientStatus;

@@ -1,0 +1,123 @@
+//! Client↔server protocol messages (§IV.A workflow).
+//!
+//! Serializable (serde) for the real TCP deployment; each message also
+//! reports its *logical* wire size — dense binary bytes — which is what the
+//! virtual-time link model charges.
+
+use serde::{Deserialize, Serialize};
+
+use coca_net::WireSize;
+
+use crate::collect::UpdateTable;
+use crate::semantic::LocalCache;
+
+/// Step 1: the client asks for a personalized cache, attaching its status.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheRequest {
+    /// Requesting client.
+    pub client_id: u64,
+    /// Round counter (0-based).
+    pub round: u64,
+    /// τ — class timestamps (steps since last appearance).
+    pub timestamps: Vec<u32>,
+    /// R — the client's standalone per-layer hit-ratio estimates.
+    pub hit_ratio: Vec<f64>,
+    /// Π — the client's cache budget in bytes.
+    pub budget_bytes: u64,
+}
+
+impl WireSize for CacheRequest {
+    fn wire_bytes(&self) -> usize {
+        8 + 8 + 4 * self.timestamps.len() + 8 * self.hit_ratio.len() + 8
+    }
+}
+
+/// Step 2: the server's personalized allocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheAllocation {
+    /// Round this allocation answers.
+    pub round: u64,
+    /// The extracted sub-table of the global cache.
+    pub cache: LocalCache,
+}
+
+impl WireSize for CacheAllocation {
+    fn wire_bytes(&self) -> usize {
+        // Entries dominate; plus a small header per layer (point id + class
+        // ids).
+        let headers: usize =
+            self.cache.layers().iter().map(|l| 8 + 4 * l.classes.len()).sum();
+        8 + headers + self.cache.total_bytes()
+    }
+}
+
+/// Step 3: end-of-round upload for global updates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UpdateUpload {
+    /// Uploading client.
+    pub client_id: u64,
+    /// Round the collection happened in.
+    pub round: u64,
+    /// U — the collected cache-update table (Eq. 3).
+    pub table: UpdateTable,
+    /// φ — per-round class frequencies (Eq. 5 input).
+    pub frequency: Vec<u32>,
+}
+
+impl WireSize for UpdateUpload {
+    fn wire_bytes(&self) -> usize {
+        8 + 8 + self.table.wire_bytes() + 4 * self.frequency.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::CacheLayer;
+
+    #[test]
+    fn request_wire_size_scales_with_classes() {
+        let small = CacheRequest {
+            client_id: 1,
+            round: 0,
+            timestamps: vec![0; 10],
+            hit_ratio: vec![0.1; 5],
+            budget_bytes: 1,
+        };
+        let large = CacheRequest {
+            client_id: 1,
+            round: 0,
+            timestamps: vec![0; 100],
+            hit_ratio: vec![0.1; 34],
+            budget_bytes: 1,
+        };
+        assert!(large.wire_bytes() > small.wire_bytes());
+        assert_eq!(small.wire_bytes(), 8 + 8 + 40 + 40 + 8);
+    }
+
+    #[test]
+    fn allocation_wire_size_tracks_entries() {
+        let mut layer = CacheLayer::new(3);
+        layer.insert(0, vec![1.0, 0.0, 0.0, 0.0]);
+        layer.insert(1, vec![0.0, 1.0, 0.0, 0.0]);
+        let alloc =
+            CacheAllocation { round: 2, cache: LocalCache::from_layers(vec![layer]) };
+        // 8 (round) + 8 (layer header) + 2 class ids + 2 entries × 16 B.
+        assert_eq!(alloc.wire_bytes(), 8 + 8 + 8 + 32);
+    }
+
+    #[test]
+    fn messages_serialize_round_trip() {
+        let up = UpdateUpload {
+            client_id: 3,
+            round: 1,
+            table: UpdateTable::new(),
+            frequency: vec![1, 2, 3],
+        };
+        let json = serde_json::to_string(&up).unwrap();
+        let back: UpdateUpload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.client_id, 3);
+        assert_eq!(back.frequency, vec![1, 2, 3]);
+        assert_eq!(up.wire_bytes(), 8 + 8 + 0 + 12);
+    }
+}

@@ -1,0 +1,184 @@
+//! The client's local semantic cache.
+//!
+//! A local cache is a set of *activated* cache layers; each activated layer
+//! holds one unit-norm semantic-center entry per hot-spot class. In CoCa
+//! the server extracts these as a sub-table of its global cache (§IV.B);
+//! baselines fill them by other policies.
+
+use serde::{Deserialize, Serialize};
+
+/// One activated cache layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheLayer {
+    /// Which preset cache point of the model this layer occupies.
+    pub point: usize,
+    /// Cached classes, parallel to `vectors`.
+    pub classes: Vec<usize>,
+    /// Unit-norm semantic centers, parallel to `classes`.
+    pub vectors: Vec<Vec<f32>>,
+}
+
+impl CacheLayer {
+    /// An empty activated layer at model point `point`.
+    pub fn new(point: usize) -> Self {
+        Self { point, classes: Vec::new(), vectors: Vec::new() }
+    }
+
+    /// Adds (or replaces) the entry for `class`.
+    pub fn insert(&mut self, class: usize, vector: Vec<f32>) {
+        debug_assert!(
+            (coca_math::l2_norm(&vector) - 1.0).abs() < 1e-3,
+            "cache entries must be unit-norm"
+        );
+        if let Some(i) = self.classes.iter().position(|&c| c == class) {
+            self.vectors[i] = vector;
+        } else {
+            self.classes.push(class);
+            self.vectors.push(vector);
+        }
+    }
+
+    /// Removes the entry for `class` if present; returns true if removed.
+    pub fn remove(&mut self, class: usize) -> bool {
+        if let Some(i) = self.classes.iter().position(|&c| c == class) {
+            self.classes.swap_remove(i);
+            self.vectors.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True iff the layer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Bytes occupied by this layer's entries (dense f32).
+    pub fn bytes(&self) -> usize {
+        self.vectors.iter().map(|v| v.len() * 4).sum()
+    }
+}
+
+/// A client's local cache: activated layers in depth order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LocalCache {
+    layers: Vec<CacheLayer>,
+}
+
+impl LocalCache {
+    /// An empty cache (inference degenerates to Edge-Only).
+    pub fn empty() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Builds from layers; they are sorted by model point and must not
+    /// contain duplicates.
+    ///
+    /// # Panics
+    /// Panics on duplicate points.
+    pub fn from_layers(mut layers: Vec<CacheLayer>) -> Self {
+        layers.sort_by_key(|l| l.point);
+        for w in layers.windows(2) {
+            assert_ne!(w[0].point, w[1].point, "duplicate cache layer at point {}", w[0].point);
+        }
+        Self { layers }
+    }
+
+    /// Activated layers, shallow to deep.
+    pub fn layers(&self) -> &[CacheLayer] {
+        &self.layers
+    }
+
+    /// Mutable access (used by replacement-policy baselines).
+    pub fn layers_mut(&mut self) -> &mut [CacheLayer] {
+        &mut self.layers
+    }
+
+    /// Number of activated layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True iff no layer is activated or all layers are empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.iter().all(|l| l.is_empty())
+    }
+
+    /// Total bytes of all entries.
+    pub fn total_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.bytes()).sum()
+    }
+
+    /// The union of cached classes across layers (sorted, deduplicated).
+    pub fn cached_classes(&self) -> Vec<usize> {
+        let mut all: Vec<usize> =
+            self.layers.iter().flat_map(|l| l.classes.iter().copied()).collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// The activated model points, shallow to deep.
+    pub fn activated_points(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.point).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, hot: usize) -> Vec<f32> {
+        let mut v = vec![0.0; dim];
+        v[hot % dim] = 1.0;
+        v
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut l = CacheLayer::new(3);
+        l.insert(7, unit(4, 0));
+        l.insert(9, unit(4, 1));
+        assert_eq!(l.len(), 2);
+        l.insert(7, unit(4, 2)); // replace
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.vectors[0], unit(4, 2));
+        assert!(l.remove(9));
+        assert!(!l.remove(9));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.bytes(), 16);
+    }
+
+    #[test]
+    fn from_layers_sorts_by_point() {
+        let cache = LocalCache::from_layers(vec![CacheLayer::new(5), CacheLayer::new(1)]);
+        assert_eq!(cache.activated_points(), vec![1, 5]);
+        assert!(cache.is_empty());
+        assert_eq!(cache.num_layers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_points_panic() {
+        let _ = LocalCache::from_layers(vec![CacheLayer::new(2), CacheLayer::new(2)]);
+    }
+
+    #[test]
+    fn cached_classes_dedups_across_layers() {
+        let mut a = CacheLayer::new(0);
+        a.insert(3, unit(2, 0));
+        a.insert(1, unit(2, 1));
+        let mut b = CacheLayer::new(4);
+        b.insert(1, unit(2, 0));
+        b.insert(2, unit(2, 1));
+        let cache = LocalCache::from_layers(vec![a, b]);
+        assert_eq!(cache.cached_classes(), vec![1, 2, 3]);
+        assert_eq!(cache.total_bytes(), 4 * 8);
+    }
+}

@@ -1,0 +1,370 @@
+//! The CoCa edge server (§IV.A, §IV.B, §IV.D).
+//!
+//! Maintains the global cache table and global class frequencies, seeds
+//! both from a shared dataset, answers cache requests by running ACA and
+//! extracting a personalized sub-table, and merges client uploads.
+
+use coca_data::distribution::uniform_weights;
+use coca_data::{StreamConfig, StreamGenerator};
+use rand::Rng;
+use coca_model::{ClientFeatureView, ClientProfile, ModelRuntime};
+use coca_sim::{SeedTree, SimDuration};
+
+use crate::aca::{allocate, AcaInputs, AcaOutput};
+use crate::config::CocaConfig;
+use crate::global::GlobalCacheTable;
+use crate::lookup::infer_with_cache;
+use crate::proto::{CacheAllocation, CacheRequest, UpdateUpload};
+use crate::semantic::{CacheLayer, LocalCache};
+
+/// Samples per class used to seed the global cache from the shared dataset.
+const SEED_SAMPLES_PER_CLASS: usize = 6;
+
+/// Frames used to profile the shared-dataset standalone hit-ratio curve.
+const PROFILE_FRAMES: usize = 600;
+
+/// Server-side service-time model (virtual milliseconds): Python-grade
+/// allocation and merge costs on the paper's edge server, proportional to
+/// the table cells touched.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceCostModel {
+    /// Fixed cost of handling a cache request (ACA + bookkeeping).
+    pub alloc_base_ms: f64,
+    /// Additional cost per kilobyte of extracted cache.
+    pub alloc_per_kb_ms: f64,
+    /// Fixed cost of merging one upload.
+    pub update_base_ms: f64,
+    /// Additional cost per kilobyte of uploaded table.
+    pub update_per_kb_ms: f64,
+}
+
+impl Default for ServiceCostModel {
+    fn default() -> Self {
+        Self { alloc_base_ms: 5.0, alloc_per_kb_ms: 0.012, update_base_ms: 2.5, update_per_kb_ms: 0.02 }
+    }
+}
+
+/// The edge server.
+#[derive(Debug)]
+pub struct CocaServer {
+    cfg: CocaConfig,
+    global: GlobalCacheTable,
+    /// Υ per layer, in ms (model compute only — paper §V.A).
+    saved_ms: Vec<f64>,
+    /// m_j — bytes per entry per layer.
+    entry_bytes: Vec<usize>,
+    /// Shared-dataset standalone hit-ratio profile (initial R for clients).
+    base_hit_profile: Vec<f64>,
+    /// Static allocation reused when dynamic cache allocation is disabled
+    /// (the Normal/GCU ablation arms).
+    static_alloc: Option<AcaOutput>,
+    costs: ServiceCostModel,
+}
+
+/// Seeds a global cache table from the shared dataset: averages a few
+/// curated clean (undrifted) samples per class per layer — the paper's
+/// "server generates the initial cache using the global shared dataset".
+///
+/// Shared between the CoCa server and cache baselines (SMTM and the
+/// replacement-policy harness start from the same initial centroids, so
+/// method comparisons isolate the *policy*, not the initialization).
+pub fn seed_global_table(rt: &ModelRuntime, seeds: &SeedTree) -> GlobalCacheTable {
+    let l = rt.num_cache_points();
+    let classes = rt.num_classes();
+    let mut global = GlobalCacheTable::new(classes, l);
+    let shared_seeds = seeds.child("server-shared");
+    let shared_profile = ClientProfile::new(u64::MAX, 0.0, 1.0, &shared_seeds);
+    let mut view = ClientFeatureView::new();
+    let mut frame_rng = shared_seeds.rng_for("seed-frames");
+    let mut seq = 0u64;
+    for class in 0..classes {
+        let mut sums: Vec<Vec<f32>> = (0..l).map(|j| vec![0.0f32; rt.feature_dim(j)]).collect();
+        for s in 0..SEED_SAMPLES_PER_CLASS {
+            // Curated clean samples: full class-signal visibility, so
+            // seeded centers carry undiminished class components.
+            let difficulty = 0.32 + 0.03 * s as f32;
+            let frame = coca_data::Frame {
+                seq,
+                class,
+                run_pos: 0,
+                difficulty,
+                run_difficulty: difficulty,
+                frame_seed: frame_rng.gen(),
+                run_seed: frame_rng.gen(),
+            };
+            seq += 1;
+            for (j, sum) in sums.iter_mut().enumerate() {
+                let v = rt.semantic_vector(&frame, &shared_profile, j, &mut view);
+                coca_math::vector::axpy(1.0, &v, sum);
+            }
+        }
+        for (j, sum) in sums.into_iter().enumerate() {
+            global.set(class, j, sum);
+        }
+    }
+    // Frequency prior: the shared dataset is balanced.
+    global.seed_frequency(&vec![SEED_SAMPLES_PER_CLASS as u64; classes]);
+    global
+}
+
+/// Profiles the standalone (cumulative) hit-ratio curve of a fully
+/// populated cache on the shared dataset — the initial R estimates.
+pub fn profile_hit_ratios(
+    rt: &ModelRuntime,
+    cfg: &CocaConfig,
+    global: &GlobalCacheTable,
+    seeds: &SeedTree,
+) -> Vec<f64> {
+    let l = rt.num_cache_points();
+    let classes = rt.num_classes();
+    let shared_seeds = seeds.child("server-shared");
+    let shared_profile = ClientProfile::new(u64::MAX, 0.0, 1.0, &shared_seeds);
+    let mut view = ClientFeatureView::new();
+    let all_layers: Vec<usize> = (0..l).collect();
+    let all_classes: Vec<usize> = (0..classes).collect();
+    let profile_cache = global.extract(&all_layers, &all_classes);
+    let mut hits = vec![0u64; l];
+    let mut prof_gen = StreamGenerator::new(
+        StreamConfig::new(uniform_weights(classes), 16.0),
+        &shared_seeds.child("profile-stream"),
+    );
+    for _ in 0..PROFILE_FRAMES {
+        let f = prof_gen.next_frame();
+        let r = infer_with_cache(rt, &shared_profile, &f, &profile_cache, cfg, &mut view);
+        if let Some(p) = r.hit_point {
+            hits[p] += 1;
+        }
+    }
+    let mut base_hit_profile = Vec::with_capacity(l);
+    let mut cumulative = 0.0;
+    for &h in &hits {
+        cumulative += h as f64 / PROFILE_FRAMES as f64;
+        base_hit_profile.push(cumulative);
+    }
+    base_hit_profile
+}
+
+impl CocaServer {
+    /// Builds the server: seeds the global cache and frequency prior from
+    /// the shared dataset and profiles the initial hit-ratio curve.
+    pub fn new(rt: &ModelRuntime, cfg: CocaConfig, seeds: &SeedTree) -> Self {
+        cfg.validate().expect("invalid CoCa configuration");
+        let l = rt.num_cache_points();
+        let global = seed_global_table(rt, seeds);
+        let saved_ms: Vec<f64> =
+            (0..l).map(|j| rt.saved_if_hit_at(j).as_millis_f64()).collect();
+        let entry_bytes: Vec<usize> = (0..l).map(|j| rt.entry_bytes(j)).collect();
+        let base_hit_profile = profile_hit_ratios(rt, &cfg, &global, seeds);
+
+        Self {
+            cfg,
+            global,
+            saved_ms,
+            entry_bytes,
+            base_hit_profile,
+            static_alloc: None,
+            costs: ServiceCostModel::default(),
+        }
+    }
+
+    /// Overrides the service-cost model (load experiments).
+    pub fn set_costs(&mut self, costs: ServiceCostModel) {
+        self.costs = costs;
+    }
+
+    /// The shared-dataset standalone hit-ratio profile — handed to newly
+    /// booted clients as their initial R.
+    pub fn base_hit_profile(&self) -> &[f64] {
+        &self.base_hit_profile
+    }
+
+    /// Read access to the global table (tests, Fig. 2 experiment).
+    pub fn global(&self) -> &GlobalCacheTable {
+        &self.global
+    }
+
+    /// Handles a cache request: runs ACA (or the static fallback when DCA
+    /// is disabled) and extracts the personalized sub-table. Returns the
+    /// allocation and the server compute charged to the queue.
+    pub fn handle_request(&mut self, req: &CacheRequest) -> (CacheAllocation, SimDuration) {
+        let decision = if self.cfg.enable_dca {
+            allocate(
+                &self.cfg,
+                &AcaInputs {
+                    global_freq: self.global.frequency(),
+                    timestamps: &req.timestamps,
+                    hit_ratio: &req.hit_ratio,
+                    saved_ms: &self.saved_ms,
+                    entry_bytes: &self.entry_bytes,
+                    budget_bytes: req.budget_bytes as usize,
+                },
+            )
+        } else {
+            // Static allocation: all classes, layers chosen once from the
+            // shared-dataset profile under the same budget.
+            self.static_alloc
+                .get_or_insert_with(|| {
+                    let all: Vec<u32> = vec![0; self.global.num_classes()];
+                    let _ = &all; // clarity: hot set = every class
+                    let hot: Vec<usize> = (0..self.global.num_classes()).collect();
+                    let layers = crate::aca::select_layers(
+                        &self.cfg,
+                        &AcaInputs {
+                            global_freq: self.global.frequency(),
+                            timestamps: &vec![0; self.global.num_classes()],
+                            hit_ratio: &self.base_hit_profile,
+                            saved_ms: &self.saved_ms,
+                            entry_bytes: &self.entry_bytes,
+                            budget_bytes: req.budget_bytes as usize,
+                        },
+                        hot.len(),
+                    );
+                    AcaOutput { hot_classes: hot, layers }
+                })
+                .clone()
+        };
+
+        let mut layers = decision.layers.clone();
+        layers.sort_unstable();
+        let cache = self.global.extract(&layers, &decision.hot_classes);
+        let kb = cache.total_bytes() as f64 / 1024.0;
+        let service = SimDuration::from_millis_f64(
+            self.costs.alloc_base_ms + self.costs.alloc_per_kb_ms * kb,
+        );
+        (CacheAllocation { round: req.round, cache }, service)
+    }
+
+    /// Merges one client upload (global cache updates, Eq. 4/5). When GCU
+    /// is disabled only the frequency vector advances (ACA still needs Φ).
+    pub fn handle_update(&mut self, up: &UpdateUpload) -> SimDuration {
+        let kb = up.table.wire_bytes() as f64 / 1024.0;
+        if self.cfg.enable_gcu {
+            self.global.merge_update(&up.table, &up.frequency, self.cfg.gamma_global);
+        } else {
+            self.global.merge_update(
+                &crate::collect::UpdateTable::new(),
+                &up.frequency,
+                self.cfg.gamma_global,
+            );
+        }
+        SimDuration::from_millis_f64(self.costs.update_base_ms + self.costs.update_per_kb_ms * kb)
+    }
+
+    /// Builds a cache holding *every* class at *every* layer (motivation
+    /// experiments; not used in normal operation).
+    pub fn full_cache(&self) -> LocalCache {
+        let layers: Vec<usize> = (0..self.global.num_layers()).collect();
+        let classes: Vec<usize> = (0..self.global.num_classes()).collect();
+        self.global.extract(&layers, &classes)
+    }
+
+    /// Builds a cache with the given layers and classes straight from the
+    /// global table (motivation experiments and baselines).
+    pub fn cache_for(&self, layers: &[usize], classes: &[usize]) -> LocalCache {
+        self.global.extract(layers, classes)
+    }
+
+    /// A single fully-populated layer (replacement-policy baselines).
+    pub fn layer_snapshot(&self, point: usize, classes: &[usize]) -> CacheLayer {
+        let mut l = CacheLayer::new(point);
+        for &c in classes {
+            if let Some(v) = self.global.get(c, point) {
+                l.insert(c, v.to_vec());
+            }
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_data::DatasetSpec;
+    use coca_model::ModelId;
+
+    fn server() -> (ModelRuntime, CocaServer) {
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(60);
+        let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let cfg = CocaConfig::for_model(ModelId::ResNet101);
+        let server = CocaServer::new(&rt, cfg, &seeds);
+        (rt, server)
+    }
+
+    #[test]
+    fn seeding_populates_global_cache() {
+        let (_, server) = server();
+        assert!(server.global().fill_ratio() > 0.95, "fill {}", server.global().fill_ratio());
+        assert!(server.global().frequency().iter().all(|&f| f > 0));
+    }
+
+    #[test]
+    fn base_hit_profile_is_cumulative_and_nontrivial() {
+        let (_, server) = server();
+        let prof = server.base_hit_profile();
+        assert!(prof.windows(2).all(|w| w[1] + 1e-12 >= w[0]), "must be non-decreasing");
+        let last = *prof.last().unwrap();
+        assert!(last > 0.3, "overall hit ratio on shared data {last}");
+        assert!(last <= 1.0);
+    }
+
+    #[test]
+    fn request_yields_budgeted_allocation() {
+        let (rt, mut server) = server();
+        let req = CacheRequest {
+            client_id: 0,
+            round: 0,
+            timestamps: vec![0; rt.num_classes()],
+            hit_ratio: server.base_hit_profile().to_vec(),
+            budget_bytes: 48 * 1024,
+        };
+        let (alloc, service) = server.handle_request(&req);
+        assert!(!alloc.cache.is_empty());
+        assert!(alloc.cache.total_bytes() <= 48 * 1024);
+        assert!(service.as_millis_f64() > 0.0);
+    }
+
+    #[test]
+    fn updates_move_the_global_table_only_with_gcu() {
+        let (rt, mut server) = server();
+        let layer = 10usize;
+        let before = server.global().get(3, layer).unwrap().to_vec();
+        let mut table = crate::collect::UpdateTable::new();
+        // Push an orthogonal-ish direction with overwhelming frequency.
+        let mut v = vec![0.0f32; rt.feature_dim(layer)];
+        v[0] = 1.0;
+        table.absorb(3, layer, &v, 0.0);
+        let mut phi = vec![0u32; rt.num_classes()];
+        phi[3] = 100_000;
+        let up = UpdateUpload { client_id: 0, round: 0, table, frequency: phi };
+        server.handle_update(&up);
+        let after = server.global().get(3, layer).unwrap().to_vec();
+        assert!(coca_math::cosine(&before, &after) < 0.999, "entry did not move");
+        assert!(server.global().frequency()[3] > 100_000);
+    }
+
+    #[test]
+    fn dca_off_gives_static_all_class_allocation() {
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(61);
+        let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let mut cfg = CocaConfig::for_model(ModelId::ResNet101);
+        cfg.enable_dca = false;
+        let mut server = CocaServer::new(&rt, cfg, &seeds);
+        // Heavily skewed timestamps would shrink a dynamic hot set; the
+        // static path must ignore them.
+        let mut tau = vec![1_000_000u32; rt.num_classes()];
+        tau[0] = 0;
+        let req = CacheRequest {
+            client_id: 0,
+            round: 0,
+            timestamps: tau,
+            hit_ratio: server.base_hit_profile().to_vec(),
+            budget_bytes: 64 * 1024,
+        };
+        let (alloc, _) = server.handle_request(&req);
+        for l in alloc.cache.layers() {
+            assert_eq!(l.len(), rt.num_classes(), "static allocation caches all classes");
+        }
+    }
+}

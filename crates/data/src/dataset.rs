@@ -1,0 +1,140 @@
+//! Dataset specifications.
+//!
+//! A [`DatasetSpec`] carries everything the rest of the system needs to
+//! know about a dataset: its class count, how expensive its inputs are
+//! relative to the UCF101 anchor (the paper's ResNet101 latency differs
+//! between UCF101 — 40.58 ms — and ImageNet-100 — 44.87 ms — purely from
+//! input scale), and how strong its temporal locality is (video streams
+//! have long same-class runs; image batches are shorter; audio clips
+//! shorter still).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier for the paper's three evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetId {
+    /// UCF101 action-recognition video dataset (101 classes).
+    Ucf101,
+    /// ImageNet-100 image-classification subset (100 classes).
+    ImageNet100,
+    /// ESC-50 environmental-sound classification (50 classes).
+    Esc50,
+}
+
+impl DatasetId {
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::Ucf101 => "ucf101",
+            DatasetId::ImageNet100 => "imagenet-100",
+            DatasetId::Esc50 => "esc-50",
+        }
+    }
+}
+
+/// A dataset as seen by the simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which dataset this is (or derives from, for subsets).
+    pub id: DatasetId,
+    /// Display name, e.g. `"ucf101-50"` for a 50-class subset.
+    pub name: String,
+    /// Number of classes in (this subset of) the dataset.
+    pub num_classes: usize,
+    /// Multiplier on model block latencies relative to the UCF101 anchor
+    /// (captures input-resolution differences).
+    pub input_cost_factor: f64,
+    /// Mean length of a same-class run in the frame stream (temporal
+    /// locality strength; the paper batches same-class samples).
+    pub mean_run_length: f64,
+    /// Baseline full-model accuracy anchor for this dataset on the paper's
+    /// reference model (ResNet101): used to calibrate feature noise.
+    pub reference_accuracy: f64,
+}
+
+impl DatasetSpec {
+    /// UCF101 with all 101 classes.
+    pub fn ucf101() -> Self {
+        Self {
+            id: DatasetId::Ucf101,
+            name: "ucf101".into(),
+            num_classes: 101,
+            input_cost_factor: 1.0,
+            // Video: pronounced temporal locality (~1s of 25fps footage per
+            // action segment in the paper's batched test streams).
+            mean_run_length: 24.0,
+            reference_accuracy: 0.8056, // paper Table I, ResNet101 on UCF101
+        }
+    }
+
+    /// ImageNet-100 with all 100 classes.
+    pub fn imagenet100() -> Self {
+        Self {
+            id: DatasetId::ImageNet100,
+            name: "imagenet-100".into(),
+            num_classes: 100,
+            // 44.87 / 40.58 from the paper's ResNet101 Edge-Only anchors.
+            input_cost_factor: 44.87 / 40.58,
+            // Batched image streams: same-class batches, shorter than video.
+            mean_run_length: 16.0,
+            reference_accuracy: 0.8207, // paper Table I, ResNet101 on ImageNet-100
+        }
+    }
+
+    /// ESC-50 with all 50 classes.
+    pub fn esc50() -> Self {
+        Self {
+            id: DatasetId::Esc50,
+            name: "esc-50".into(),
+            num_classes: 50,
+            input_cost_factor: 1.0,
+            // 5-second clips, windowed: moderate locality.
+            mean_run_length: 12.0,
+            reference_accuracy: 0.85,
+        }
+    }
+
+    /// Restricts the dataset to its first `n` classes (the paper evaluates
+    /// on 20-, 50- and 100-class subsets of UCF101).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or exceeds the class count.
+    pub fn subset(&self, n: usize) -> DatasetSpec {
+        assert!(n > 0 && n <= self.num_classes, "invalid subset size {n} of {}", self.num_classes);
+        let mut out = self.clone();
+        out.num_classes = n;
+        out.name = format!("{}-{}", self.id.name(), n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_paper_class_counts() {
+        assert_eq!(DatasetSpec::ucf101().num_classes, 101);
+        assert_eq!(DatasetSpec::imagenet100().num_classes, 100);
+        assert_eq!(DatasetSpec::esc50().num_classes, 50);
+    }
+
+    #[test]
+    fn subset_renames_and_shrinks() {
+        let s = DatasetSpec::ucf101().subset(50);
+        assert_eq!(s.num_classes, 50);
+        assert_eq!(s.name, "ucf101-50");
+        assert_eq!(s.id, DatasetId::Ucf101);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid subset")]
+    fn subset_rejects_oversize() {
+        let _ = DatasetSpec::esc50().subset(51);
+    }
+
+    #[test]
+    fn imagenet_costs_more_than_ucf() {
+        assert!(DatasetSpec::imagenet100().input_cost_factor > 1.0);
+    }
+}

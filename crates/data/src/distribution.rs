@@ -1,0 +1,154 @@
+//! Class-popularity constructions and the samplers behind them.
+//!
+//! * [`uniform_weights`] — the paper's "uniform group" (Table III).
+//! * [`long_tail_weights`] — exponential-decay sample counts with imbalance
+//!   ratio `ρ = max_i dᵢ / min_j dⱼ` (paper §VI.A: ρ = 90 makes the top
+//!   20 % of ImageNet-100 classes hold ≈ 60 % of samples).
+//! * [`dirichlet`] / [`gamma`] — Dirichlet sampling via Marsaglia–Tsang
+//!   Gamma, used by the non-IID client partitioner.
+
+use coca_math::vector::standard_normal;
+use rand::Rng;
+
+/// Uniform popularity over `n` classes.
+pub fn uniform_weights(n: usize) -> Vec<f64> {
+    assert!(n > 0, "uniform_weights: n must be positive");
+    vec![1.0 / n as f64; n]
+}
+
+/// Long-tail popularity over `n` classes with imbalance ratio `rho ≥ 1`:
+/// class `i` receives weight ∝ `rho^(-i/(n-1))`, so weight(0)/weight(n−1)
+/// = `rho`, matching the paper's exponential-decay construction.
+///
+/// Weights are returned normalized (summing to 1) in class order — class 0
+/// is the most frequent.
+pub fn long_tail_weights(n: usize, rho: f64) -> Vec<f64> {
+    assert!(n > 0, "long_tail_weights: n must be positive");
+    assert!(rho >= 1.0, "imbalance ratio must be ≥ 1, got {rho}");
+    if n == 1 {
+        return vec![1.0];
+    }
+    let mut w: Vec<f64> = (0..n).map(|i| rho.powf(-(i as f64) / (n as f64 - 1.0))).collect();
+    let sum: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= sum;
+    }
+    w
+}
+
+/// One Gamma(shape, 1) sample via Marsaglia–Tsang (2000), with the
+/// `shape < 1` boosting transform.
+///
+/// # Panics
+/// Panics if `shape` is not positive and finite.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0 && shape.is_finite(), "gamma: bad shape {shape}");
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a+1) · U^(1/a)
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng) as f64;
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// One Dirichlet sample with concentration vector `alpha`.
+///
+/// Returns a probability vector of the same length. Degenerate draws where
+/// every Gamma component underflows fall back to the normalized `alpha`.
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64> {
+    assert!(!alpha.is_empty(), "dirichlet: empty alpha");
+    let mut draws: Vec<f64> = alpha.iter().map(|&a| gamma(rng, a)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        let asum: f64 = alpha.iter().sum();
+        return alpha.iter().map(|&a| a / asum).collect();
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let w = uniform_weights(50);
+        assert_eq!(w.len(), 50);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| (x - 0.02).abs() < 1e-12));
+    }
+
+    #[test]
+    fn long_tail_achieves_requested_ratio() {
+        let w = long_tail_weights(100, 90.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((w[0] / w[99] - 90.0).abs() < 1e-6);
+        // Monotone decreasing.
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn long_tail_rho90_top20pct_holds_about_60pct() {
+        // The paper's calibration: ρ = 90 on 100 classes ⇒ top 20 classes
+        // hold ≈ 60 % of the mass.
+        let w = long_tail_weights(100, 90.0);
+        let top20: f64 = w[..20].iter().sum();
+        assert!((0.50..0.70).contains(&top20), "top-20 mass {top20}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for &shape in &[0.3f64, 1.0, 4.5] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < 0.1 * shape.max(0.5), "shape {shape}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_is_probability_vector() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let alpha = vec![0.5; 20];
+        for _ in 0..100 {
+            let d = dirichlet(&mut rng, &alpha);
+            assert_eq!(d.len(), 20);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(d.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn small_alpha_is_more_concentrated() {
+        // Smaller concentration ⇒ a single draw puts more mass on few
+        // classes. Compare the mean max component.
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mean_max = |alpha: f64, rng: &mut SmallRng| -> f64 {
+            let a = vec![alpha; 10];
+            (0..200).map(|_| {
+                dirichlet(rng, &a).into_iter().fold(f64::MIN, f64::max)
+            }).sum::<f64>() / 200.0
+        };
+        let skewed = mean_max(0.1, &mut rng);
+        let flat = mean_max(10.0, &mut rng);
+        assert!(skewed > flat + 0.2, "skewed {skewed}, flat {flat}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-client class distributions at a chosen non-IID level.
+//!
+//! The paper (§VI.A) constructs non-IID client data with a Dirichlet prior
+//! `Dir(ε)` and reports heterogeneity as `p = 1/ε`, sweeping
+//! `p ∈ {0, 1, 2, 10}` where `p = 0` is the IID case. We mirror that: for
+//! `p > 0` each client's class distribution is drawn from
+//! `Dir(α · global_popularity)` with concentration `α = I / p` (so larger
+//! `p` ⇒ smaller concentration ⇒ more heterogeneous clients), and `p = 0`
+//! returns the global popularity exactly.
+
+use crate::distribution::dirichlet;
+use coca_sim::SeedTree;
+use serde::{Deserialize, Serialize};
+
+/// The paper's non-IID knob `p = 1/ε` (`p = 0` ⇒ IID).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NonIidLevel(pub f64);
+
+impl NonIidLevel {
+    /// The IID setting (`p = 0`).
+    pub const IID: NonIidLevel = NonIidLevel(0.0);
+
+    /// True iff this is the IID setting.
+    pub fn is_iid(self) -> bool {
+        self.0 <= 0.0
+    }
+}
+
+/// Draws one class distribution per client.
+///
+/// * `global` — the population class popularity (uniform or long-tail),
+///   must be a probability vector.
+/// * `level` — the paper's `p`; `p = 0` duplicates `global` for everyone.
+/// * `seeds` — deterministic seed node; client `k` uses child
+///   `("partition", k)` so adding clients never reshuffles existing ones.
+///
+/// Every returned vector is a probability distribution over the same class
+/// set (zero-probability classes are possible and expected at high `p`).
+pub fn client_distributions(
+    global: &[f64],
+    num_clients: usize,
+    level: NonIidLevel,
+    seeds: &SeedTree,
+) -> Vec<Vec<f64>> {
+    assert!(num_clients > 0, "need at least one client");
+    assert!(!global.is_empty(), "empty global distribution");
+    let sum: f64 = global.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-6, "global distribution must sum to 1, got {sum}");
+
+    if level.is_iid() {
+        return vec![global.to_vec(); num_clients];
+    }
+    let concentration = global.len() as f64 / level.0;
+    // Floor each alpha so Gamma sampling stays numerically sane even for
+    // near-zero-popularity tail classes.
+    let alpha: Vec<f64> = global.iter().map(|&g| (concentration * g).max(1e-3)).collect();
+    (0..num_clients)
+        .map(|k| {
+            let mut rng = seeds.rng_for_idx("partition", k as u64);
+            dirichlet(&mut rng, &alpha)
+        })
+        .collect()
+}
+
+/// Total-variation distance between two distributions — used by tests and
+/// experiments to verify that larger `p` yields more heterogeneity.
+pub fn total_variation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "total_variation: length mismatch");
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{long_tail_weights, uniform_weights};
+
+    #[test]
+    fn iid_copies_global() {
+        let global = long_tail_weights(20, 10.0);
+        let parts = client_distributions(&global, 4, NonIidLevel::IID, &SeedTree::new(1));
+        assert_eq!(parts.len(), 4);
+        for p in &parts {
+            assert_eq!(p, &global);
+        }
+    }
+
+    #[test]
+    fn higher_p_is_more_heterogeneous() {
+        let global = uniform_weights(50);
+        let seeds = SeedTree::new(2);
+        let mean_tv = |p: f64| -> f64 {
+            let parts = client_distributions(&global, 10, NonIidLevel(p), &seeds);
+            parts.iter().map(|d| total_variation(d, &global)).sum::<f64>() / parts.len() as f64
+        };
+        let tv1 = mean_tv(1.0);
+        let tv10 = mean_tv(10.0);
+        assert!(tv10 > tv1, "tv(p=10)={tv10} should exceed tv(p=1)={tv1}");
+        assert!(tv1 > 0.01);
+    }
+
+    #[test]
+    fn partitions_are_probability_vectors() {
+        let global = long_tail_weights(100, 90.0);
+        let parts = client_distributions(&global, 8, NonIidLevel(2.0), &SeedTree::new(3));
+        for p in parts {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_and_stable_under_client_growth() {
+        let global = uniform_weights(10);
+        let seeds = SeedTree::new(4);
+        let a = client_distributions(&global, 3, NonIidLevel(1.0), &seeds);
+        let b = client_distributions(&global, 5, NonIidLevel(1.0), &seeds);
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[2], b[2]);
+    }
+}

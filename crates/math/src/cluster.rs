@@ -1,0 +1,169 @@
+//! Cluster-quality metrics over labelled vector sets.
+//!
+//! Quantitative replacement for the paper's Fig. 2 t-SNE evidence: after
+//! global cache updates, per-class cached centers should sit closer to their
+//! class's sample center than to any other class's samples. We measure this
+//! with (a) mean intra- vs inter-class cosine similarity and (b) the cosine
+//! silhouette score.
+
+use crate::vector::cosine;
+
+/// Intra/inter-class cosine similarity summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeparationReport {
+    /// Mean cosine similarity between samples and their own class center.
+    pub intra: f64,
+    /// Mean cosine similarity between samples and the nearest *other* class
+    /// center.
+    pub inter: f64,
+    /// `intra − inter`; larger is better separated.
+    pub gap: f64,
+}
+
+/// Measures how well `centers[c]` represents the samples labelled `c`.
+///
+/// `samples` pairs each vector with its class id; classes without a center
+/// (id ≥ `centers.len()`) are skipped.
+///
+/// Returns `None` if no sample matched a center or fewer than two centers
+/// exist (inter-class distance undefined).
+pub fn center_separation(
+    samples: &[(usize, Vec<f32>)],
+    centers: &[Vec<f32>],
+) -> Option<SeparationReport> {
+    if centers.len() < 2 {
+        return None;
+    }
+    let mut intra_sum = 0.0f64;
+    let mut inter_sum = 0.0f64;
+    let mut n = 0u64;
+    for (class, v) in samples {
+        if *class >= centers.len() {
+            continue;
+        }
+        let own = cosine(v, &centers[*class]) as f64;
+        let best_other = centers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i != class)
+            .map(|(_, c)| cosine(v, c) as f64)
+            .fold(f64::NEG_INFINITY, f64::max);
+        intra_sum += own;
+        inter_sum += best_other;
+        n += 1;
+    }
+    if n == 0 {
+        return None;
+    }
+    let intra = intra_sum / n as f64;
+    let inter = inter_sum / n as f64;
+    Some(SeparationReport { intra, inter, gap: intra - inter })
+}
+
+/// Cosine-distance silhouette score in [-1, 1]; larger means tighter,
+/// better-separated clusters.
+///
+/// Uses the standard definition with cosine distance `1 − cos`. Singleton
+/// clusters contribute silhouette 0 (scikit-learn convention). Returns
+/// `None` for fewer than two distinct labels.
+pub fn silhouette_cosine(samples: &[(usize, Vec<f32>)]) -> Option<f64> {
+    let n = samples.len();
+    let labels: std::collections::BTreeSet<usize> = samples.iter().map(|(c, _)| *c).collect();
+    if labels.len() < 2 || n < 2 {
+        return None;
+    }
+
+    // Pairwise distances, O(n²) — Fig. 2 uses a few hundred samples.
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = 1.0 - cosine(&samples[i].1, &samples[j].1) as f64;
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let own = samples[i].0;
+        let own_size = samples.iter().filter(|(c, _)| *c == own).count();
+        if own_size <= 1 {
+            continue; // silhouette 0 for singletons
+        }
+        // a(i): mean distance to own cluster (excluding self).
+        let a: f64 = samples
+            .iter()
+            .enumerate()
+            .filter(|(j, (c, _))| *c == own && *j != i)
+            .map(|(j, _)| dist[i * n + j])
+            .sum::<f64>()
+            / (own_size - 1) as f64;
+        // b(i): min over other clusters of mean distance.
+        let mut b = f64::INFINITY;
+        for &other in labels.iter().filter(|&&c| c != own) {
+            let members: Vec<usize> = samples
+                .iter()
+                .enumerate()
+                .filter(|(_, (c, _))| *c == other)
+                .map(|(j, _)| j)
+                .collect();
+            let mean =
+                members.iter().map(|&j| dist[i * n + j]).sum::<f64>() / members.len() as f64;
+            b = b.min(mean);
+        }
+        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        total += s;
+    }
+    Some(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<(usize, Vec<f32>)> {
+        let mut out = Vec::new();
+        for k in 0..10 {
+            let eps = 0.01 * k as f32;
+            out.push((0, vec![1.0, eps, 0.0]));
+            out.push((1, vec![eps, 0.0, 1.0]));
+        }
+        out
+    }
+
+    #[test]
+    fn well_separated_blobs_have_high_silhouette() {
+        let s = silhouette_cosine(&two_blobs()).unwrap();
+        assert!(s > 0.8, "silhouette {s}");
+    }
+
+    #[test]
+    fn mixed_blob_has_low_silhouette() {
+        // Same points, but each label now contains points from both blobs:
+        // pair k gets label (k % 2) for both of its members.
+        let mut samples = two_blobs();
+        for (i, (c, _)) in samples.iter_mut().enumerate() {
+            *c = (i / 2) % 2;
+        }
+        let s = silhouette_cosine(&samples).unwrap();
+        assert!(s < 0.2, "silhouette {s}");
+    }
+
+    #[test]
+    fn single_label_is_undefined() {
+        let samples = vec![(0, vec![1.0, 0.0]), (0, vec![0.9, 0.1])];
+        assert_eq!(silhouette_cosine(&samples), None);
+        assert!(center_separation(&samples, &[vec![1.0, 0.0]]).is_none());
+    }
+
+    #[test]
+    fn separation_improves_with_better_centers() {
+        let samples = two_blobs();
+        let good = vec![vec![1.0, 0.05, 0.0], vec![0.05, 0.0, 1.0]];
+        let bad = vec![vec![0.7, 0.0, 0.7], vec![0.7, 0.0, 0.7]];
+        let g = center_separation(&samples, &good).unwrap();
+        let b = center_separation(&samples, &bad).unwrap();
+        assert!(g.gap > b.gap);
+        assert!(g.intra > 0.99);
+    }
+}

@@ -1,0 +1,31 @@
+//! # coca-math — numeric kernels
+//!
+//! Small, dependency-light numeric building blocks shared by the whole
+//! reproduction:
+//!
+//! * [`vector`] — f32 vector kernels: dot products, L2 normalization, cosine
+//!   similarity (the heart of the semantic-cache lookup), random unit
+//!   vectors, centroids.
+//! * [`stats`] — Welford online mean/variance, exponential moving averages.
+//! * [`quantile`] — the P² streaming quantile estimator (latency
+//!   percentiles without retaining samples).
+//! * [`softmax`] — numerically stable softmax and top-2 probability margin
+//!   (the paper's rule-2 sample-collection test `prob₁ − prob₂ > Δ`).
+//! * [`topk`] — index-returning top-1/top-2/top-k selection.
+//! * [`pca`] — top-k principal components by power iteration (Fig. 2's
+//!   projection substitute for t-SNE).
+//! * [`cluster`] — silhouette score and intra/inter-class cosine statistics
+//!   (Fig. 2's quantitative clustering evidence).
+
+pub mod cluster;
+pub mod pca;
+pub mod quantile;
+pub mod softmax;
+pub mod stats;
+pub mod topk;
+pub mod vector;
+
+pub use quantile::P2Quantile;
+pub use stats::{Ewma, OnlineStats};
+pub use topk::{top1, top2, top_k_indices};
+pub use vector::{cosine, dot, l2_norm, l2_normalize, l2_normalized, mean_vector, random_unit};

@@ -1,0 +1,194 @@
+//! The P² (piecewise-parabolic) streaming quantile estimator.
+//!
+//! Jain & Chlamtac, CACM 1985. Estimates a single quantile in O(1) memory —
+//! the experiment harness tracks p50/p95/p99 latency across hundreds of
+//! thousands of simulated frames without retaining them.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimator for one quantile `q`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated quantile positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far (first five buffer into `heights`).
+    count: usize,
+}
+
+impl P2Quantile {
+    /// New estimator for quantile `q` in (0, 1).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside (0, 1).
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Convenience: a median estimator.
+    pub fn median() -> Self {
+        Self::new(0.5)
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.total_cmp(b));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Locate the cell containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            (0..4).find(|&i| x < self.heights[i + 1]).unwrap_or(3)
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers via parabolic (fallback: linear) formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let step_right = self.positions[i + 1] - self.positions[i];
+            let step_left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && step_right > 1.0) || (d <= -1.0 && step_left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let h = &self.heights;
+        let p = &self.positions;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate. For fewer than five observations, falls back to the
+    /// exact quantile of the buffered values. Returns `None` when empty.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let mut buf = self.heights[..n].to_vec();
+                buf.sort_by(|a, b| a.total_cmp(b));
+                let rank = (self.q * (n - 1) as f64).round() as usize;
+                Some(buf[rank.min(n - 1)])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+
+    /// Observations consumed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_quantile(mut xs: Vec<f64>, q: f64) -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[((xs.len() - 1) as f64 * q).round() as usize]
+    }
+
+    #[test]
+    fn median_of_uniform_is_near_half() {
+        let mut est = P2Quantile::median();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        for &x in &xs {
+            est.push(x);
+        }
+        let truth = exact_quantile(xs, 0.5);
+        assert!((est.estimate().unwrap() - truth).abs() < 0.02);
+    }
+
+    #[test]
+    fn p95_of_skewed_distribution() {
+        let mut est = P2Quantile::new(0.95);
+        let mut rng = SmallRng::seed_from_u64(2);
+        // Log-normal-ish: exp of normal.
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-9..1.0);
+                let v: f64 = rng.gen_range(0.0..1.0);
+                let n = (-2.0f64 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+                n.exp()
+            })
+            .collect();
+        for &x in &xs {
+            est.push(x);
+        }
+        let truth = exact_quantile(xs, 0.95);
+        let got = est.estimate().unwrap();
+        assert!((got - truth).abs() / truth < 0.1, "got {got}, truth {truth}");
+    }
+
+    #[test]
+    fn small_counts_fall_back_to_exact() {
+        let mut est = P2Quantile::median();
+        assert_eq!(est.estimate(), None);
+        est.push(3.0);
+        assert_eq!(est.estimate(), Some(3.0));
+        est.push(1.0);
+        est.push(2.0);
+        assert_eq!(est.estimate(), Some(2.0));
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn rejects_bad_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Numerically stable softmax and probability margins.
+//!
+//! The paper's rule-2 sample-collection test (§IV.C) inspects the final
+//! softmax output of a *missed* inference: the sample is absorbed into the
+//! cache-update table when `prob₁ − prob₂ > Δ`.
+
+/// In-place numerically stable softmax. An empty slice is a no-op.
+pub fn softmax_inplace(logits: &mut [f32]) {
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in logits.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in logits.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Softmax into a fresh vector.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = logits.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// The paper's confidence margin: `prob₁ − prob₂`, the gap between the two
+/// largest probabilities. Returns `prob₁` itself for single-element input
+/// and 0.0 for empty input.
+pub fn top2_margin(probs: &[f32]) -> f32 {
+    match probs.len() {
+        0 => 0.0,
+        1 => probs[0],
+        _ => {
+            let (mut best, mut second) = (f32::NEG_INFINITY, f32::NEG_INFINITY);
+            for &p in probs {
+                if p > best {
+                    second = best;
+                    best = p;
+                } else if p > second {
+                    second = p;
+                }
+            }
+            best - second
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        // Very large magnitudes must not produce NaN.
+        let c = softmax(&[1e30, -1e30]);
+        assert!(c.iter().all(|x| x.is_finite()));
+        assert!((c[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn margin_finds_top_two() {
+        assert!((top2_margin(&[0.7, 0.2, 0.1]) - 0.5).abs() < 1e-6);
+        assert!((top2_margin(&[0.1, 0.2, 0.7]) - 0.5).abs() < 1e-6);
+        assert_eq!(top2_margin(&[]), 0.0);
+        assert_eq!(top2_margin(&[0.4]), 0.4);
+    }
+
+    #[test]
+    fn uniform_distribution_has_zero_margin() {
+        let p = softmax(&[0.0; 10]);
+        assert!(top2_margin(&p).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,19 @@
+//! # coca-metrics — measurement plumbing
+//!
+//! Everything the evaluation harness needs to turn simulated inference runs
+//! into the tables and series the paper reports:
+//!
+//! * [`recorder`] — latency / accuracy / per-layer hit recorders built on
+//!   `coca-math` online statistics.
+//! * [`table`] — aligned ASCII (and Markdown) table rendering for the
+//!   experiment binaries.
+//! * [`record`] — serializable experiment records (`results/*.json`) that
+//!   EXPERIMENTS.md cites.
+
+pub mod record;
+pub mod recorder;
+pub mod table;
+
+pub use record::ExperimentRecord;
+pub use recorder::{AccuracyRecorder, HitRecorder, LatencyRecorder, RunSummary};
+pub use table::Table;

@@ -1,0 +1,383 @@
+//! Latency, accuracy and cache-hit recorders.
+
+use coca_math::{OnlineStats, P2Quantile};
+use coca_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Streaming latency statistics (mean/min/max + p50/p95/p99 estimates).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    stats: OnlineStats,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self {
+            stats: OnlineStats::new(),
+            p50: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, d: SimDuration) {
+        let ms = d.as_millis_f64();
+        self.stats.push(ms);
+        self.p50.push(ms);
+        self.p95.push(ms);
+        self.p99.push(ms);
+    }
+
+    /// Mean latency in milliseconds (0.0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Estimated median in milliseconds.
+    pub fn p50_ms(&self) -> Option<f64> {
+        self.p50.estimate()
+    }
+
+    /// Estimated 95th percentile in milliseconds.
+    pub fn p95_ms(&self) -> Option<f64> {
+        self.p95.estimate()
+    }
+
+    /// Estimated 99th percentile in milliseconds.
+    pub fn p99_ms(&self) -> Option<f64> {
+        self.p99.estimate()
+    }
+
+    /// Maximum observed latency in milliseconds.
+    pub fn max_ms(&self) -> Option<f64> {
+        self.stats.max()
+    }
+
+    /// Underlying mean/variance accumulator.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+}
+
+/// Counting accuracy recorder.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct AccuracyRecorder {
+    correct: u64,
+    total: u64,
+}
+
+impl AccuracyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction outcome.
+    pub fn record(&mut self, correct: bool) {
+        self.total += 1;
+        if correct {
+            self.correct += 1;
+        }
+    }
+
+    /// Accuracy in [0, 1] (0.0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Accuracy in percent.
+    pub fn accuracy_pct(&self) -> f64 {
+        self.accuracy() * 100.0
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Correct predictions recorded.
+    pub fn correct(&self) -> u64 {
+        self.correct
+    }
+
+    /// Merges another recorder's counts.
+    pub fn merge(&mut self, other: &AccuracyRecorder) {
+        self.correct += other.correct;
+        self.total += other.total;
+    }
+}
+
+/// Per-cache-layer hit bookkeeping.
+///
+/// Layer indices refer to the model's *preset* cache-layer positions
+/// (0-based); a sample that reaches the classifier head without any hit
+/// counts as a miss.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HitRecorder {
+    /// `hits[j]` = samples that exited at cache layer `j`.
+    hits: Vec<u64>,
+    /// `correct[j]` = exits at layer `j` whose class was the true label.
+    correct: Vec<u64>,
+    misses: u64,
+    miss_correct: u64,
+}
+
+impl HitRecorder {
+    /// Recorder for a model with `num_layers` preset cache layers.
+    pub fn new(num_layers: usize) -> Self {
+        Self { hits: vec![0; num_layers], correct: vec![0; num_layers], misses: 0, miss_correct: 0 }
+    }
+
+    /// Records a cache hit at `layer` (whether the returned class was
+    /// correct is tracked separately for the paper's "hit accuracy").
+    pub fn record_hit(&mut self, layer: usize, correct: bool) {
+        if layer >= self.hits.len() {
+            self.hits.resize(layer + 1, 0);
+            self.correct.resize(layer + 1, 0);
+        }
+        self.hits[layer] += 1;
+        if correct {
+            self.correct[layer] += 1;
+        }
+    }
+
+    /// Records a full inference (cache miss end-to-end).
+    pub fn record_miss(&mut self, correct: bool) {
+        self.misses += 1;
+        if correct {
+            self.miss_correct += 1;
+        }
+    }
+
+    /// Total samples observed.
+    pub fn total(&self) -> u64 {
+        self.hits.iter().sum::<u64>() + self.misses
+    }
+
+    /// Overall hit ratio in [0, 1].
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits.iter().sum::<u64>() as f64 / total as f64
+        }
+    }
+
+    /// Fraction of *all* samples that exited at `layer` (the paper's
+    /// per-layer hit ratio in Fig. 1(b)).
+    pub fn layer_hit_ratio(&self, layer: usize) -> f64 {
+        let total = self.total();
+        if total == 0 || layer >= self.hits.len() {
+            0.0
+        } else {
+            self.hits[layer] as f64 / total as f64
+        }
+    }
+
+    /// Accuracy of the samples that exited at `layer` (`None` if no exits).
+    pub fn layer_hit_accuracy(&self, layer: usize) -> Option<f64> {
+        if layer >= self.hits.len() || self.hits[layer] == 0 {
+            None
+        } else {
+            Some(self.correct[layer] as f64 / self.hits[layer] as f64)
+        }
+    }
+
+    /// Accuracy over all cache hits (`None` if no hits).
+    pub fn hit_accuracy(&self) -> Option<f64> {
+        let hits: u64 = self.hits.iter().sum();
+        if hits == 0 {
+            None
+        } else {
+            Some(self.correct.iter().sum::<u64>() as f64 / hits as f64)
+        }
+    }
+
+    /// Number of cache layers tracked.
+    pub fn num_layers(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Raw per-layer hit counts.
+    pub fn hits_per_layer(&self) -> &[u64] {
+        &self.hits
+    }
+
+    /// Full inferences recorded.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Merges another recorder (layer counts align by index).
+    pub fn merge(&mut self, other: &HitRecorder) {
+        if other.hits.len() > self.hits.len() {
+            self.hits.resize(other.hits.len(), 0);
+            self.correct.resize(other.correct.len(), 0);
+        }
+        for (i, (&h, &c)) in other.hits.iter().zip(&other.correct).enumerate() {
+            self.hits[i] += h;
+            self.correct[i] += c;
+        }
+        self.misses += other.misses;
+        self.miss_correct += other.miss_correct;
+    }
+}
+
+/// One run's end-to-end summary: what every experiment table reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Per-frame end-to-end inference latency.
+    pub latency: LatencyRecorder,
+    /// Overall classification accuracy.
+    pub accuracy: AccuracyRecorder,
+    /// Cache-hit structure.
+    pub hits: HitRecorder,
+}
+
+impl RunSummary {
+    /// Summary for a model with `num_layers` preset cache layers.
+    pub fn new(num_layers: usize) -> Self {
+        Self {
+            latency: LatencyRecorder::new(),
+            accuracy: AccuracyRecorder::new(),
+            hits: HitRecorder::new(num_layers),
+        }
+    }
+
+    /// Merges a per-client summary into a global one.
+    pub fn merge(&mut self, other: &RunSummary) {
+        // Latency quantile sketches cannot be merged exactly; the engine
+        // therefore records per-frame latencies into the global summary
+        // directly. Here we merge only the mergeable parts and the mean.
+        let mut merged = self.latency.stats().clone();
+        merged.merge(other.latency.stats());
+        self.accuracy.merge(&other.accuracy);
+        self.hits.merge(&other.hits);
+        // Rebuild the latency recorder around the merged moments; quantiles
+        // are left to whichever recorder saw data (documented limitation —
+        // the engine avoids needing merged quantiles).
+        let mut lat = LatencyRecorder::new();
+        std::mem::swap(&mut lat, &mut self.latency);
+        self.latency = lat;
+        *self.latency.stats_mut() = merged;
+    }
+}
+
+impl LatencyRecorder {
+    /// Mutable access to the moments accumulator (used by summary merging).
+    pub fn stats_mut(&mut self) -> &mut OnlineStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_recorder_tracks_mean_and_quantiles() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(SimDuration::from_millis(i));
+        }
+        assert_eq!(r.count(), 100);
+        assert!((r.mean_ms() - 50.5).abs() < 1e-9);
+        let p50 = r.p50_ms().unwrap();
+        assert!((p50 - 50.0).abs() < 3.0, "p50 {p50}");
+        let p99 = r.p99_ms().unwrap();
+        assert!(p99 > 95.0, "p99 {p99}");
+        assert_eq!(r.max_ms(), Some(100.0));
+    }
+
+    #[test]
+    fn accuracy_recorder_counts() {
+        let mut a = AccuracyRecorder::new();
+        assert_eq!(a.accuracy(), 0.0);
+        for i in 0..10 {
+            a.record(i % 4 != 0);
+        }
+        assert_eq!(a.total(), 10);
+        assert_eq!(a.correct(), 7);
+        assert!((a.accuracy_pct() - 70.0).abs() < 1e-9);
+        let mut b = AccuracyRecorder::new();
+        b.record(true);
+        b.merge(&a);
+        assert_eq!(b.total(), 11);
+        assert_eq!(b.correct(), 8);
+    }
+
+    #[test]
+    fn hit_recorder_layer_bookkeeping() {
+        let mut h = HitRecorder::new(3);
+        h.record_hit(0, true);
+        h.record_hit(0, false);
+        h.record_hit(2, true);
+        h.record_miss(true);
+        assert_eq!(h.total(), 4);
+        assert!((h.hit_ratio() - 0.75).abs() < 1e-9);
+        assert!((h.layer_hit_ratio(0) - 0.5).abs() < 1e-9);
+        assert_eq!(h.layer_hit_accuracy(0), Some(0.5));
+        assert_eq!(h.layer_hit_accuracy(1), None);
+        assert_eq!(h.layer_hit_accuracy(2), Some(1.0));
+        assert!((h.hit_accuracy().unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(h.misses(), 1);
+    }
+
+    #[test]
+    fn hit_recorder_grows_on_out_of_range_layer() {
+        let mut h = HitRecorder::new(1);
+        h.record_hit(5, true);
+        assert_eq!(h.num_layers(), 6);
+        assert_eq!(h.layer_hit_ratio(5), 1.0);
+    }
+
+    #[test]
+    fn hit_recorder_merge_aligns_layers() {
+        let mut a = HitRecorder::new(2);
+        a.record_hit(0, true);
+        let mut b = HitRecorder::new(4);
+        b.record_hit(3, false);
+        b.record_miss(false);
+        a.merge(&b);
+        assert_eq!(a.num_layers(), 4);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.hits_per_layer(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn run_summary_merge_combines_counts() {
+        let mut a = RunSummary::new(2);
+        a.latency.record(SimDuration::from_millis(10));
+        a.accuracy.record(true);
+        a.hits.record_hit(0, true);
+        let mut b = RunSummary::new(2);
+        b.latency.record(SimDuration::from_millis(30));
+        b.accuracy.record(false);
+        b.hits.record_miss(false);
+        a.merge(&b);
+        assert_eq!(a.accuracy.total(), 2);
+        assert_eq!(a.hits.total(), 2);
+        assert!((a.latency.stats().mean() - 20.0).abs() < 1e-9);
+    }
+}

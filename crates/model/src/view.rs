@@ -1,0 +1,144 @@
+//! Per-client state: identity/drift profile and feature memoization.
+
+use std::collections::HashMap;
+
+use coca_sim::SeedTree;
+
+/// A simulated client's data-distribution identity.
+///
+/// The context drift models non-IID *feature shift*: the same class looks
+/// different through this client's camera. `drift_shared_frac` is the
+/// portion of that shift shared with other clients of the deployment
+/// (spatial similarity — the paper's motivation for collaboration).
+#[derive(Debug, Clone)]
+pub struct ClientProfile {
+    /// Client id.
+    pub id: u64,
+    /// Magnitude of the context drift added to class centers (0 = client
+    /// data matches the model's training distribution exactly).
+    pub drift_mag: f32,
+    /// Fraction of the drift direction shared across clients (the rest is
+    /// client-unique), in [0, 1].
+    pub drift_shared_frac: f32,
+    /// Seed node for this client's unique directions.
+    pub(crate) seed: SeedTree,
+}
+
+impl ClientProfile {
+    /// Builds a client profile under the universe's seed tree.
+    pub fn new(id: u64, drift_mag: f32, drift_shared_frac: f32, seeds: &SeedTree) -> Self {
+        assert!((0.0..=1.0).contains(&drift_shared_frac), "shared fraction must be in [0,1]");
+        assert!(drift_mag >= 0.0, "drift magnitude must be non-negative");
+        Self {
+            id,
+            drift_mag,
+            drift_shared_frac,
+            seed: seeds.child("features").child_idx("client", id),
+        }
+    }
+}
+
+/// Memoization scratch space for one client's feature generation.
+///
+/// Purely an optimization: results are identical with a fresh view (the
+/// feature universe derives everything from seeds). Holds
+///
+/// * drifted class centers, keyed by `(class, layer)` — computed once per
+///   client instead of per frame, and
+/// * the current run's noise vectors per layer — frames of one run share
+///   them by construction.
+#[derive(Debug, Default)]
+pub struct ClientFeatureView {
+    drifted: HashMap<(u32, u32), Vec<f32>>,
+    run_seed: u64,
+    run_noise: HashMap<u32, Vec<f32>>,
+}
+
+impl ClientFeatureView {
+    /// An empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized drifted center for `(class, layer)`, computing
+    /// it with `make` on first use.
+    pub fn drifted_center(
+        &mut self,
+        class: usize,
+        layer: usize,
+        make: impl FnOnce() -> Vec<f32>,
+    ) -> Vec<f32> {
+        self.drifted.entry((class as u32, layer as u32)).or_insert_with(make).clone()
+    }
+
+    /// Returns the memoized run-noise vector for `layer` within the run
+    /// identified by `run_seed`; switching runs clears the per-run cache.
+    pub fn run_noise(
+        &mut self,
+        run_seed: u64,
+        layer: usize,
+        make: impl FnOnce() -> Vec<f32>,
+    ) -> Vec<f32> {
+        if run_seed != self.run_seed {
+            self.run_seed = run_seed;
+            self.run_noise.clear();
+        }
+        self.run_noise.entry(layer as u32).or_insert_with(make).clone()
+    }
+
+    /// Drops memoized drifted centers (used by tests and by long-running
+    /// clients when the universe's drift evolves).
+    pub fn invalidate_centers(&mut self) {
+        self.drifted.clear();
+    }
+
+    /// Number of memoized centers (diagnostics).
+    pub fn cached_centers(&self) -> usize {
+        self.drifted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drifted_center_computes_once() {
+        let mut view = ClientFeatureView::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = view.drifted_center(4, 2, || {
+                calls += 1;
+                vec![1.0, 0.0]
+            });
+            assert_eq!(v, vec![1.0, 0.0]);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(view.cached_centers(), 1);
+        view.invalidate_centers();
+        assert_eq!(view.cached_centers(), 0);
+    }
+
+    #[test]
+    fn run_noise_resets_on_new_run() {
+        let mut view = ClientFeatureView::new();
+        let a = view.run_noise(1, 0, || vec![0.5]);
+        let same = view.run_noise(1, 0, || vec![0.9]);
+        assert_eq!(a, same, "same run must reuse noise");
+        let fresh = view.run_noise(2, 0, || vec![0.9]);
+        assert_eq!(fresh, vec![0.9], "new run must regenerate noise");
+    }
+
+    #[test]
+    fn profile_validates_inputs() {
+        let seeds = SeedTree::new(1);
+        let p = ClientProfile::new(3, 0.2, 0.5, &seeds);
+        assert_eq!(p.id, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared fraction")]
+    fn profile_rejects_bad_shared_frac() {
+        let _ = ClientProfile::new(0, 0.2, 1.5, &SeedTree::new(1));
+    }
+}

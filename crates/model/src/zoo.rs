@@ -1,0 +1,236 @@
+//! The model zoo: the paper's five evaluation models.
+//!
+//! Feature dimensions follow each network's real channel progression,
+//! scaled down ×8 for the ResNet bottleneck outputs (2048 → 256 etc.) to
+//! keep the reproduction's cosine kernels cheap; the *relative* widths —
+//! what drives per-layer lookup cost and shallow-layer confusability — are
+//! preserved. Depth profiles (κ, separation, disambiguation) rise smoothly
+//! with depth; absolute anchors were calibrated against the paper's
+//! motivation experiments (Fig. 1, Table I) — see `coca-bench`'s
+//! `calibrate` binary.
+
+use crate::arch::{smoothstep, CachePoint, ModelArch, ModelId};
+
+/// Depth-profile anchors shared by the zoo constructors.
+#[derive(Debug, Clone, Copy)]
+struct DepthProfile {
+    kappa: (f32, f32),
+    separation: (f32, f32),
+    disambiguation: (f32, f32),
+    /// Extra strength of the classifier-head feature over the deepest
+    /// cache point.
+    head_bonus: f32,
+}
+
+impl DepthProfile {
+    fn point(&self, t: f64, dim: usize) -> CachePoint {
+        let s = smoothstep(t) as f32;
+        // Disambiguation front-loads (t^0.45): residual ambiguity at middle
+        // layers must already be close to the head's, otherwise ambiguous
+        // content would take confident wrong exits at depths where the full
+        // model would still have recovered — an accuracy-loss channel real
+        // networks do not have at this magnitude.
+        let d = (t.powf(0.45)) as f32;
+        CachePoint {
+            dim,
+            kappa: self.kappa.0 + (self.kappa.1 - self.kappa.0) * s,
+            separation: self.separation.0 + (self.separation.1 - self.separation.0) * s,
+            disambiguation: self.disambiguation.0
+                + (self.disambiguation.1 - self.disambiguation.0) * d,
+        }
+    }
+
+    fn head(&self, deepest_dim: usize) -> CachePoint {
+        let mut h = self.point(1.0, deepest_dim);
+        h.kappa = (h.kappa + self.head_bonus).min(0.97);
+        h.disambiguation = (h.disambiguation + 0.08).min(0.95);
+        h
+    }
+}
+
+fn profile_for(depth_class: ModelId) -> DepthProfile {
+    match depth_class {
+        // Deeper residual models produce cleaner, better separated deep
+        // features — this is what makes ResNet152 more accurate than
+        // ResNet50 in the reproduction, mirroring the paper's accuracy
+        // ordering.
+        ModelId::Vgg16Bn => DepthProfile {
+            kappa: (0.46, 0.76),
+            separation: (0.33, 0.54),
+            disambiguation: (0.30, 0.46),
+            head_bonus: 0.05,
+        },
+        ModelId::ResNet50 => DepthProfile {
+            kappa: (0.46, 0.79),
+            separation: (0.32, 0.57),
+            disambiguation: (0.30, 0.48),
+            head_bonus: 0.05,
+        },
+        ModelId::ResNet101 => DepthProfile {
+            kappa: (0.45, 0.82),
+            separation: (0.31, 0.60),
+            disambiguation: (0.30, 0.50),
+            head_bonus: 0.05,
+        },
+        ModelId::ResNet152 => DepthProfile {
+            kappa: (0.44, 0.85),
+            separation: (0.30, 0.64),
+            disambiguation: (0.30, 0.54),
+            head_bonus: 0.05,
+        },
+        ModelId::AstBase => DepthProfile {
+            kappa: (0.46, 0.83),
+            separation: (0.32, 0.62),
+            disambiguation: (0.30, 0.50),
+            head_bonus: 0.05,
+        },
+    }
+}
+
+fn build(
+    id: ModelId,
+    dims: Vec<usize>,
+    block_weights: Vec<f64>,
+    base_latency_ms: f64,
+) -> ModelArch {
+    let l = dims.len();
+    assert!(l >= 2);
+    assert_eq!(block_weights.len(), l + 1);
+    let prof = profile_for(id);
+    let cache_points: Vec<CachePoint> = dims
+        .iter()
+        .enumerate()
+        .map(|(j, &dim)| prof.point(j as f64 / (l - 1) as f64, dim))
+        .collect();
+    let head = prof.head(*dims.last().unwrap());
+    let arch = ModelArch { id, cache_points, head, block_weights, base_latency_ms };
+    arch.validate().expect("zoo model must validate");
+    arch
+}
+
+/// ResNet-style dims/weights: a stem point plus `blocks_per_stage` residual
+/// blocks across four stages. Per-block FLOPs in ResNets are roughly equal
+/// across stages (spatial halving compensates channel doubling); the stem
+/// and the final pool+fc block are cheaper.
+fn resnet(id: ModelId, blocks_per_stage: [usize; 4], base_latency_ms: f64) -> ModelArch {
+    let stage_dims = [48usize, 64, 128, 256];
+    let mut dims = vec![32]; // stem output
+    let mut weights = vec![0.8]; // stem block
+    for (s, &n) in blocks_per_stage.iter().enumerate() {
+        for _ in 0..n {
+            dims.push(stage_dims[s]);
+            weights.push(1.0);
+        }
+    }
+    weights.push(0.5); // pool + fc tail
+    build(id, dims, weights, base_latency_ms)
+}
+
+/// VGG16_BN: 13 conv layers, channel progression 64→512. Early conv layers
+/// run at full spatial resolution and dominate compute, hence the
+/// decreasing block weights.
+pub fn vgg16_bn() -> ModelArch {
+    let dims = vec![64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512];
+    let weights = vec![
+        1.4, 1.4, 1.3, 1.3, 1.2, 1.2, 1.2, 1.0, 1.0, 1.0, 0.8, 0.8, 0.8,
+        0.6, // dense layers + softmax tail
+    ];
+    build(ModelId::Vgg16Bn, dims, weights, 29.94)
+}
+
+/// ResNet-50: stem + 3/4/6/3 residual blocks (17 cache points).
+pub fn resnet50() -> ModelArch {
+    resnet(ModelId::ResNet50, [3, 4, 6, 3], 23.50)
+}
+
+/// ResNet-101: stem + 3/4/23/3 residual blocks (34 cache points — the
+/// paper's "up to 34 cache layers can be inserted").
+pub fn resnet101() -> ModelArch {
+    resnet(ModelId::ResNet101, [3, 4, 23, 3], 40.58)
+}
+
+/// ResNet-152: stem + 3/8/36/3 residual blocks (51 cache points).
+pub fn resnet152() -> ModelArch {
+    resnet(ModelId::ResNet152, [3, 8, 36, 3], 62.85)
+}
+
+/// AST-Base: 12 transformer blocks of constant width.
+pub fn ast_base() -> ModelArch {
+    let dims = vec![192; 12];
+    // 12 cache points ⇒ 13 blocks: block 0 is patch embedding + the first
+    // transformer block, blocks 1–11 are transformer blocks, block 12 is
+    // the classification head.
+    let mut weights = vec![1.6];
+    weights.extend(std::iter::repeat(1.0).take(11));
+    weights.push(0.4);
+    build(ModelId::AstBase, dims, weights, 92.0)
+}
+
+/// Constructs any zoo model by id.
+pub fn model(id: ModelId) -> ModelArch {
+    match id {
+        ModelId::Vgg16Bn => vgg16_bn(),
+        ModelId::ResNet50 => resnet50(),
+        ModelId::ResNet101 => resnet101(),
+        ModelId::ResNet152 => resnet152(),
+        ModelId::AstBase => ast_base(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_point_counts_match_paper() {
+        assert_eq!(vgg16_bn().num_cache_points(), 13);
+        assert_eq!(resnet50().num_cache_points(), 17);
+        assert_eq!(resnet101().num_cache_points(), 34); // paper §III.1
+        assert_eq!(resnet152().num_cache_points(), 51);
+        assert_eq!(ast_base().num_cache_points(), 12);
+    }
+
+    #[test]
+    fn all_models_validate() {
+        for id in ModelId::all() {
+            assert!(model(id).validate().is_ok(), "{:?}", id);
+        }
+    }
+
+    #[test]
+    fn profiles_increase_with_depth() {
+        for id in ModelId::all() {
+            let m = model(id);
+            let first = m.cache_points.first().unwrap();
+            let last = m.cache_points.last().unwrap();
+            assert!(last.kappa > first.kappa, "{:?}", id);
+            assert!(last.separation > first.separation, "{:?}", id);
+            assert!(last.disambiguation >= first.disambiguation, "{:?}", id);
+            assert!(m.head.kappa >= last.kappa);
+        }
+    }
+
+    #[test]
+    fn deeper_resnets_have_stronger_deep_features() {
+        let k50 = resnet50().cache_points.last().unwrap().kappa;
+        let k101 = resnet101().cache_points.last().unwrap().kappa;
+        let k152 = resnet152().cache_points.last().unwrap().kappa;
+        assert!(k50 < k101 && k101 < k152);
+    }
+
+    #[test]
+    fn base_latencies_match_paper_anchors() {
+        assert!((vgg16_bn().base_latency_ms - 29.94).abs() < 1e-9);
+        assert!((resnet101().base_latency_ms - 40.58).abs() < 1e-9);
+        assert!((resnet152().base_latency_ms - 62.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resnet101_full_cache_size_is_small() {
+        // Paper: ~3.2 MB for 34 layers on a 50-class task at full channel
+        // widths; our ×8-scaled dims give proportionally ~1/8 of that.
+        let m = resnet101();
+        let bytes = m.full_cache_bytes(50);
+        assert!(bytes > 100_000 && bytes < 2_000_000, "bytes = {bytes}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # coca-net — networking substrate
+//!
+//! The paper's testbed wires Jetson clients to an edge server over WiFi and
+//! exchanges caches via MPI. Two first-order effects matter to the
+//! evaluation:
+//!
+//! 1. **Transfer time** of serialized caches/updates (< 1 MB per exchange,
+//!    paper §VI.I) — modelled by [`link::LinkModel`] as one-way delay +
+//!    bytes / bandwidth.
+//! 2. **Server queueing** when many clients request allocations around the
+//!    same round boundary (the paper's Fig. 10(b) response-latency growth
+//!    from 60 → 160 clients) — modelled by [`queue::ServerQueue`], a
+//!    single-server FIFO in virtual time.
+//!
+//! For running the protocol across real processes, [`transport`] provides
+//! length-prefixed framing over TCP plus an in-memory loopback, both
+//! implementing the same [`transport::Transport`] trait; the
+//! `distributed_tcp` example and integration tests drive them.
+
+pub mod link;
+pub mod queue;
+pub mod transport;
+pub mod wire;
+
+pub use link::LinkModel;
+pub use queue::ServerQueue;
+pub use transport::{InMemoryTransport, TcpTransport, Transport};
+pub use wire::{decode_frame, encode_frame, FrameError, WireSize};

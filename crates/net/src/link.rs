@@ -1,0 +1,71 @@
+//! Client↔server link cost model.
+
+use coca_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point wireless link.
+///
+/// Transfer time = one-way propagation delay + payload / bandwidth. The
+/// defaults model the paper's router-based WiFi testbed: ~2 ms one-way
+/// delay and 150 Mbit/s goodput — a 1 MB cache download then costs
+/// ≈ 55 ms, consistent with the paper's ~57 ms cache-response latencies at
+/// low client counts (Fig. 10(b)).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// One-way propagation + protocol-stack delay.
+    pub one_way_delay: SimDuration,
+    /// Goodput in bits per second.
+    pub bandwidth_bps: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self { one_way_delay: SimDuration::from_millis_f64(2.0), bandwidth_bps: 150.0e6 }
+    }
+}
+
+impl LinkModel {
+    /// An idealized link with zero cost (unit tests, single-node runs).
+    pub fn zero() -> Self {
+        Self { one_way_delay: SimDuration::ZERO, bandwidth_bps: f64::INFINITY }
+    }
+
+    /// Time to deliver `bytes` of payload one way.
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        let serialization = if self.bandwidth_bps.is_finite() && self.bandwidth_bps > 0.0 {
+            SimDuration::from_millis_f64(bytes as f64 * 8.0 / self.bandwidth_bps * 1e3)
+        } else {
+            SimDuration::ZERO
+        };
+        self.one_way_delay + serialization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_megabyte_on_default_link_takes_tens_of_ms() {
+        let link = LinkModel::default();
+        let t = link.transfer_time(1_000_000).as_millis_f64();
+        assert!((50.0..60.0).contains(&t), "1 MB transfer {t} ms");
+    }
+
+    #[test]
+    fn empty_payload_costs_only_delay() {
+        let link = LinkModel::default();
+        assert_eq!(link.transfer_time(0), link.one_way_delay);
+    }
+
+    #[test]
+    fn zero_link_is_free() {
+        assert_eq!(LinkModel::zero().transfer_time(1 << 30), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes() {
+        let link = LinkModel::default();
+        assert!(link.transfer_time(2000) > link.transfer_time(1000));
+    }
+}

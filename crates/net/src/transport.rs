@@ -1,0 +1,221 @@
+//! Real transports: in-memory loopback and TCP.
+//!
+//! The virtual-time engine does not use these (it resolves communication
+//! through the link/queue models); they exist so the protocol can also run
+//! across real processes — the `distributed_tcp` example spawns a server
+//! and several client processes/threads wired through [`TcpTransport`].
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::wire::{decode_frame, encode_frame, FrameError};
+
+/// A bidirectional, message-oriented channel.
+pub trait Transport {
+    /// Sends one message (blocking until handed to the OS / peer queue).
+    fn send<T: Serialize>(&mut self, msg: &T) -> io::Result<()>;
+
+    /// Receives the next message, blocking up to `timeout`.
+    /// `Ok(None)` signals a timeout; errors signal a broken peer.
+    fn recv<T: DeserializeOwned>(&mut self, timeout: Duration) -> io::Result<Option<T>>;
+}
+
+fn frame_err(e: FrameError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+// ---------------------------------------------------------------- memory --
+
+/// In-process transport over crossbeam channels; [`InMemoryTransport::pair`]
+/// yields two connected endpoints.
+#[derive(Debug)]
+pub struct InMemoryTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl InMemoryTransport {
+    /// Two connected endpoints.
+    pub fn pair() -> (InMemoryTransport, InMemoryTransport) {
+        let (atx, arx) = unbounded();
+        let (btx, brx) = unbounded();
+        (InMemoryTransport { tx: atx, rx: brx }, InMemoryTransport { tx: btx, rx: arx })
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn send<T: Serialize>(&mut self, msg: &T) -> io::Result<()> {
+        let bytes = encode_frame(msg).map_err(frame_err)?;
+        self.tx
+            .send(bytes.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+    }
+
+    fn recv<T: DeserializeOwned>(&mut self, timeout: Duration) -> io::Result<Option<T>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(bytes) => {
+                let (msg, _) = decode_frame(&bytes)
+                    .map_err(frame_err)?
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "short frame"))?;
+                Ok(Some(msg))
+            }
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- tcp --
+
+/// Length-prefixed framing over a TCP stream.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// Connects to a listening peer.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, buf: Vec::new() })
+    }
+
+    /// Accepts one connection from `listener`.
+    pub fn accept(listener: &TcpListener) -> io::Result<Self> {
+        let (stream, _) = listener.accept()?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, buf: Vec::new() })
+    }
+
+    /// The underlying stream's peer address (diagnostics).
+    pub fn peer_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.stream.peer_addr()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send<T: Serialize>(&mut self, msg: &T) -> io::Result<()> {
+        let bytes = encode_frame(msg).map_err(frame_err)?;
+        self.stream.write_all(&bytes)
+    }
+
+    fn recv<T: DeserializeOwned>(&mut self, timeout: Duration) -> io::Result<Option<T>> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        loop {
+            // Try to decode from what we have.
+            match decode_frame::<T>(&self.buf).map_err(frame_err)? {
+                Some((msg, used)) => {
+                    self.buf.drain(..used);
+                    return Ok(Some(msg));
+                }
+                None => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    match self.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "peer closed",
+                            ))
+                        }
+                        Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            return Ok(None)
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Ping {
+        n: u64,
+        body: Vec<f32>,
+    }
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn in_memory_round_trip() {
+        let (mut a, mut b) = InMemoryTransport::pair();
+        a.send(&Ping { n: 1, body: vec![1.0, 2.0] }).unwrap();
+        let got: Ping = b.recv(T).unwrap().unwrap();
+        assert_eq!(got, Ping { n: 1, body: vec![1.0, 2.0] });
+        b.send(&Ping { n: 2, body: vec![] }).unwrap();
+        let back: Ping = a.recv(T).unwrap().unwrap();
+        assert_eq!(back.n, 2);
+    }
+
+    #[test]
+    fn in_memory_timeout_returns_none() {
+        let (mut a, _b) = InMemoryTransport::pair();
+        let r: Option<Ping> = a.recv(Duration::from_millis(10)).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn in_memory_detects_dropped_peer() {
+        let (mut a, b) = InMemoryTransport::pair();
+        drop(b);
+        let r: io::Result<Option<Ping>> = a.recv(T);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn tcp_round_trip_and_multiple_messages() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut t = TcpTransport::accept(&listener).unwrap();
+            for expect in 0..3u64 {
+                let m: Ping = t.recv(T).unwrap().unwrap();
+                assert_eq!(m.n, expect);
+                t.send(&Ping { n: m.n + 100, body: m.body }).unwrap();
+            }
+        });
+        let mut c = TcpTransport::connect(addr).unwrap();
+        for n in 0..3u64 {
+            c.send(&Ping { n, body: vec![n as f32; 64] }).unwrap();
+            let r: Ping = c.recv(T).unwrap().unwrap();
+            assert_eq!(r.n, n + 100);
+            assert_eq!(r.body.len(), 64);
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_large_frame() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut t = TcpTransport::accept(&listener).unwrap();
+            let m: Ping = t.recv(T).unwrap().unwrap();
+            t.send(&m).unwrap();
+        });
+        let mut c = TcpTransport::connect(addr).unwrap();
+        let big = Ping { n: 9, body: vec![0.5; 300_000] };
+        c.send(&big).unwrap();
+        let r: Ping = c.recv(T).unwrap().unwrap();
+        assert_eq!(r.body.len(), 300_000);
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,171 @@
+//! Wire sizing and length-prefixed framing.
+//!
+//! Two distinct concerns live here:
+//!
+//! * [`WireSize`] — how many bytes a message *logically* occupies on the
+//!   wire (dense binary: f32 vectors at 4 bytes each plus small headers).
+//!   The virtual-time link model charges this size. Implementations live
+//!   next to each message type.
+//! * [`encode_frame`]/[`decode_frame`] — the actual byte framing used by
+//!   the real transports: a 4-byte big-endian length prefix followed by a
+//!   JSON payload. JSON keeps the cross-process protocol debuggable; the
+//!   simulation never pays its size overhead because the link model uses
+//!   `WireSize` instead.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Logical wire size of a message in bytes.
+pub trait WireSize {
+    /// Bytes this value occupies in a dense binary encoding.
+    fn wire_bytes(&self) -> usize;
+}
+
+impl WireSize for Vec<f32> {
+    fn wire_bytes(&self) -> usize {
+        4 + self.len() * 4
+    }
+}
+
+impl WireSize for Vec<f64> {
+    fn wire_bytes(&self) -> usize {
+        4 + self.len() * 8
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_bytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_bytes)
+    }
+}
+
+/// Framing/parsing failures for the real transports.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Frame exceeds the hard cap (corrupt stream or protocol mismatch).
+    TooLarge(usize),
+    /// Truncated frame.
+    Truncated,
+    /// Payload failed to deserialize.
+    Codec(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Hard cap on a single frame (64 MiB) — far above any CoCa exchange, low
+/// enough to fail fast on garbage length prefixes.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Encodes `msg` as `[u32 big-endian length][JSON bytes]`.
+pub fn encode_frame<T: Serialize>(msg: &T) -> Result<Bytes, FrameError> {
+    let payload = serde_json::to_vec(msg).map_err(|e| FrameError::Codec(e.to_string()))?;
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(payload.len()));
+    }
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(&payload);
+    Ok(buf.freeze())
+}
+
+/// Decodes one frame from `buf`. On success returns the message and the
+/// total bytes consumed; returns `Ok(None)` if `buf` does not yet hold a
+/// complete frame.
+pub fn decode_frame<T: DeserializeOwned>(mut buf: &[u8]) -> Result<Option<(T, usize)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = buf.get_u32() as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    if buf.len() < len {
+        return Ok(None);
+    }
+    let msg =
+        serde_json::from_slice(&buf[..len]).map_err(|e| FrameError::Codec(e.to_string()))?;
+    Ok(Some((msg, 4 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        id: u32,
+        xs: Vec<f32>,
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let msg = Demo { id: 7, xs: vec![1.0, 2.5, -3.0] };
+        let bytes = encode_frame(&msg).unwrap();
+        let (back, used): (Demo, usize) = decode_frame(&bytes).unwrap().unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_data() {
+        let msg = Demo { id: 1, xs: vec![0.0; 16] };
+        let bytes = encode_frame(&msg).unwrap();
+        for cut in [0usize, 3, 4, bytes.len() - 1] {
+            let r: Option<(Demo, usize)> = decode_frame(&bytes[..cut]).unwrap();
+            assert!(r.is_none(), "cut at {cut} should be incomplete");
+        }
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let a = Demo { id: 1, xs: vec![] };
+        let b = Demo { id: 2, xs: vec![9.0] };
+        let mut stream = encode_frame(&a).unwrap().to_vec();
+        stream.extend_from_slice(&encode_frame(&b).unwrap());
+        let (m1, used): (Demo, usize) = decode_frame(&stream).unwrap().unwrap();
+        assert_eq!(m1, a);
+        let (m2, used2): (Demo, usize) = decode_frame(&stream[used..]).unwrap().unwrap();
+        assert_eq!(m2, b);
+        assert_eq!(used + used2, stream.len());
+    }
+
+    #[test]
+    fn oversized_length_prefix_errors() {
+        let mut garbage = BytesMut::new();
+        garbage.put_u32(u32::MAX);
+        garbage.put_slice(&[0u8; 8]);
+        let r: Result<Option<(Demo, usize)>, _> = decode_frame(&garbage);
+        assert!(matches!(r, Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_codec_error() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(3);
+        buf.put_slice(b"zzz");
+        let r: Result<Option<(Demo, usize)>, _> = decode_frame(&buf);
+        assert!(matches!(r, Err(FrameError::Codec(_))));
+    }
+
+    #[test]
+    fn wire_size_of_vectors() {
+        let v: Vec<f32> = vec![0.0; 128];
+        assert_eq!(v.wire_bytes(), 4 + 512);
+        let o: Option<Vec<f32>> = None;
+        assert_eq!(o.wire_bytes(), 1);
+        let o = Some(v);
+        assert_eq!(o.wire_bytes(), 1 + 4 + 512);
+    }
+}

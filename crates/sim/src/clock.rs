@@ -1,0 +1,75 @@
+//! A monotonically advancing virtual clock.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A cursor over virtual time.
+///
+/// Components that execute sequentially on one simulated device (a client
+/// performing inference, the server draining its request queue) share a
+/// `VirtualClock` and advance it by the calibrated cost of each operation.
+///
+/// The clock is deliberately *not* shared across simulated devices — each
+/// device owns its own clock, and cross-device interactions (messages) are
+/// resolved by the discrete-event queue in [`crate::event`].
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: SimTime,
+}
+
+impl VirtualClock {
+    /// A clock starting at the simulation epoch.
+    pub fn new() -> Self {
+        Self { now: SimTime::ZERO }
+    }
+
+    /// A clock starting at an arbitrary instant (used when a device joins an
+    /// already-running simulation).
+    pub fn starting_at(now: SimTime) -> Self {
+        Self { now }
+    }
+
+    /// Current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance(&mut self, d: SimDuration) -> SimTime {
+        self.now += d;
+        self.now
+    }
+
+    /// Moves the clock forward to `t` if `t` is in the future; a device that
+    /// waits for a message cannot travel back in time, so earlier instants
+    /// leave the clock untouched.
+    pub fn advance_to(&mut self, t: SimTime) -> SimTime {
+        if t > self.now {
+            self.now = t;
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimDuration::from_millis(3));
+        assert_eq!(c.now().as_millis_f64(), 3.0);
+        c.advance_to(SimTime::from_millis_f64(2.0)); // no-op: in the past
+        assert_eq!(c.now().as_millis_f64(), 3.0);
+        c.advance_to(SimTime::from_millis_f64(10.0));
+        assert_eq!(c.now().as_millis_f64(), 10.0);
+    }
+
+    #[test]
+    fn starting_at_offsets_epoch() {
+        let mut c = VirtualClock::starting_at(SimTime::from_millis_f64(100.0));
+        c.advance(SimDuration::from_millis(1));
+        assert_eq!(c.now().as_millis_f64(), 101.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Virtual timestamps and durations.
+//!
+//! All latencies in the reproduction are expressed in virtual time with
+//! nanosecond resolution. Nanoseconds (as `u64`) keep arithmetic exact —
+//! summing millions of sub-millisecond lookup costs in `f64` milliseconds
+//! would accumulate rounding error and break determinism checks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, measured in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, measured in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a timestamp from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Builds a timestamp from milliseconds (fractional values are rounded
+    /// to the nearest nanosecond).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimTime(ms_to_nanos(ms))
+    }
+
+    /// Raw nanoseconds since the simulation epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the simulation epoch, as `f64`.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Builds a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Builds a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Builds a duration from fractional milliseconds (rounded to ns).
+    ///
+    /// Negative or non-finite inputs clamp to zero: cost models occasionally
+    /// produce tiny negative values from calibration subtraction, and a
+    /// virtual charge can never be negative.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimDuration(ms_to_nanos(ms))
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// True iff this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales the duration by a non-negative factor.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration(ms_to_nanos(self.as_millis_f64() * factor))
+    }
+}
+
+/// Converts fractional milliseconds to nanoseconds, clamping negatives and
+/// non-finite values to zero.
+fn ms_to_nanos(ms: f64) -> u64 {
+    if !ms.is_finite() || ms <= 0.0 {
+        return 0;
+    }
+    (ms * 1.0e6).round() as u64
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction went negative");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction went negative");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millis_round_trip() {
+        let d = SimDuration::from_millis_f64(40.58);
+        assert!((d.as_millis_f64() - 40.58).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nan_millis_clamp_to_zero() {
+        assert_eq!(SimDuration::from_millis_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_millis(5);
+        let t2 = t1 + SimDuration::from_micros(250);
+        assert_eq!((t2 - t0).as_nanos(), 5_250_000);
+        assert_eq!(t2.saturating_since(t0), t2 - t0);
+        assert_eq!(t0.saturating_since(t2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_sum_and_scale() {
+        let parts = [
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(500),
+            SimDuration::from_micros(500),
+        ];
+        let total: SimDuration = parts.iter().copied().sum();
+        assert_eq!(total, SimDuration::from_millis(2));
+        assert_eq!(total.mul_f64(2.5), SimDuration::from_millis(5));
+        assert_eq!(total * 3, SimDuration::from_millis(6));
+        assert_eq!(total / 2, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn ordering_is_by_instant() {
+        let a = SimTime::from_millis_f64(1.0);
+        let b = SimTime::from_millis_f64(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+}

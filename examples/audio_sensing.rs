@@ -1,0 +1,43 @@
+//! Environmental audio sensing: AST on ESC-50.
+//!
+//! The paper's third modality — an Audio Spectrogram Transformer
+//! classifying environmental sounds on distributed sensors. Sweeps the
+//! non-IID level to show caching gains growing with heterogeneity
+//! (stronger per-sensor locality), mirroring Fig. 7(b).
+//!
+//! ```sh
+//! cargo run --release --example audio_sensing
+//! ```
+
+use coca::prelude::*;
+
+fn main() {
+    let mut table = Table::new(
+        "Audio sensing — AST-Base / ESC-50, 6 sensors",
+        &["non-IID p", "Edge-Only (ms)", "CoCa (ms)", "Reduction (%)", "CoCa acc. (%)"],
+    );
+
+    for p in [0.0f64, 1.0, 2.0, 10.0] {
+        let mut sc = ScenarioConfig::new(ModelId::AstBase, DatasetSpec::esc50());
+        sc.num_clients = 6;
+        sc.seed = 55;
+        sc.non_iid = NonIidLevel(p);
+
+        let scenario = Scenario::build(sc.clone());
+        let edge = coca::baselines::run_edge_only(&scenario, 5, 300);
+
+        let mut engine_cfg = EngineConfig::new(CocaConfig::for_model(ModelId::AstBase));
+        engine_cfg.rounds = 5;
+        let report = Engine::new(Scenario::build(sc), engine_cfg).run();
+
+        table.row(&[
+            format!("{p:.0}"),
+            format!("{:.2}", edge.mean_latency_ms),
+            format!("{:.2}", report.mean_latency_ms),
+            format!("{:.1}", (1.0 - report.mean_latency_ms / edge.mean_latency_ms) * 100.0),
+            format!("{:.2}", report.accuracy_pct),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nHigher heterogeneity concentrates each sensor's classes — caching gains grow.");
+}
