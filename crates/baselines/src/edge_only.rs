@@ -2,35 +2,72 @@
 //!
 //! The reference point every acceleration method is measured against —
 //! both for latency (no cache, no lookup overhead) and for accuracy (no
-//! early-exit errors).
+//! early-exit errors). As a [`MethodDriver`] it is fully degenerate: no
+//! allocation phase, no server queries, no uploads — clients boot and burn
+//! through frames at full-model cost inside the shared event loop.
 
+use coca_core::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
 use coca_core::engine::Scenario;
-use coca_metrics::recorder::{LatencyRecorder, RunSummary};
+use coca_data::Frame;
 use coca_model::ClientFeatureView;
+use coca_sim::SimDuration;
 
 use crate::report::MethodReport;
 
-/// Runs Edge-Only over `rounds × frames_per_round` frames per client.
-pub fn run_edge_only(scenario: &Scenario, rounds: usize, frames_per_round: usize) -> MethodReport {
-    let rt = &scenario.rt;
-    let full = rt.full_compute();
-    let mut latency = LatencyRecorder::new();
-    let mut per_client = Vec::with_capacity(scenario.profiles.len());
-    for (k, profile) in scenario.profiles.iter().enumerate() {
-        let mut stream = scenario.stream(k);
-        let mut view = ClientFeatureView::new();
-        let mut summary = RunSummary::new(rt.num_cache_points());
-        for _ in 0..rounds * frames_per_round {
-            let frame = stream.next_frame();
-            let p = rt.classify(&frame, profile, &mut view);
-            summary.latency.record(full);
-            summary.accuracy.record(p.correct);
-            summary.hits.record_miss(p.correct);
-            latency.record(full);
+/// The Edge-Only method driver.
+pub struct EdgeOnlyDriver<'s> {
+    scenario: &'s Scenario,
+    views: Vec<ClientFeatureView>,
+    full: SimDuration,
+}
+
+impl<'s> EdgeOnlyDriver<'s> {
+    /// Builds the driver over a scenario.
+    pub fn new(scenario: &'s Scenario) -> Self {
+        let n = scenario.profiles.len();
+        Self {
+            scenario,
+            views: (0..n).map(|_| ClientFeatureView::new()).collect(),
+            full: scenario.rt.full_compute(),
         }
-        per_client.push(summary);
     }
-    MethodReport::from_parts("Edge-Only", latency, per_client)
+}
+
+impl MethodDriver for EdgeOnlyDriver<'_> {
+    type Request = NoMsg;
+    type Alloc = NoMsg;
+    type Query = NoMsg;
+    type Reply = NoMsg;
+    type Upload = NoMsg;
+
+    fn name(&self) -> &str {
+        "Edge-Only"
+    }
+
+    fn process_frame(&mut self, k: usize, frame: &Frame) -> FrameStep<NoMsg> {
+        let rt = &self.scenario.rt;
+        let p = rt.classify(frame, &self.scenario.profiles[k], &mut self.views[k]);
+        FrameStep::Done(FrameOutcome {
+            compute: self.full,
+            correct: p.correct,
+            hit_point: None,
+        })
+    }
+}
+
+/// Runs Edge-Only over `rounds × frames_per_round` frames per client
+/// through the generic engine.
+pub fn run_edge_only(scenario: &Scenario, rounds: usize, frames_per_round: usize) -> MethodReport {
+    run_edge_only_with(scenario, &DriveConfig::new(rounds, frames_per_round))
+}
+
+/// Runs Edge-Only under explicit engine knobs — pass the *same*
+/// [`DriveConfig`] to every method of a comparison so all rows price
+/// identical network and boot conditions.
+pub fn run_edge_only_with(scenario: &Scenario, drive_cfg: &DriveConfig) -> MethodReport {
+    let mut driver = EdgeOnlyDriver::new(scenario);
+    let report = drive(scenario, &mut driver, drive_cfg);
+    MethodReport::from_engine("Edge-Only", report)
 }
 
 #[cfg(test)]

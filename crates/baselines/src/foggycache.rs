@@ -13,12 +13,22 @@
 //!
 //! Unlike the semantic-cache methods, entries are *individual samples*
 //! (feature vector + label), not class centroids.
+//!
+//! As a [`MethodDriver`], the remote lookup is a **real request/response
+//! event pair** through the shared engine: the query pays feature-vector
+//! uplink, server FIFO queue wait, an H-kNN service time, and reply
+//! downlink — the same contention model CoCa's allocation traffic faces —
+//! instead of the flat `server_rtt_ms` the old private loop charged.
+//! Samples learned from full inferences piggyback onto the reply cycle
+//! (inserted into the shared store at resume time, no extra charge).
 
 use std::collections::HashMap;
 
+use coca_core::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
 use coca_core::engine::Scenario;
-use coca_metrics::recorder::{LatencyRecorder, RunSummary};
-use coca_model::{ClientFeatureView, ModelRuntime};
+use coca_data::Frame;
+use coca_model::ClientFeatureView;
+use coca_net::WireSize;
 use coca_sim::{SeedTree, SimDuration};
 use serde::{Deserialize, Serialize};
 
@@ -41,8 +51,6 @@ pub struct FoggyCacheConfig {
     pub lsh_tables: usize,
     /// Initial hyperplanes (bits) per table; adapted per round.
     pub lsh_bits: usize,
-    /// Round-trip time charged for a server lookup (ms).
-    pub server_rtt_ms: f64,
     /// Input-level jitter added to the matching key. FoggyCache keys on
     /// *raw input* features, which vary across consecutive video frames
     /// (motion, exposure) far more than pooled semantic features do; the
@@ -60,7 +68,6 @@ impl Default for FoggyCacheConfig {
             server_capacity: 12_000,
             lsh_tables: 4,
             lsh_bits: 10,
-            server_rtt_ms: 14.0,
             input_jitter: 0.08,
         }
     }
@@ -170,7 +177,7 @@ impl Alsh {
 }
 
 /// Number of samples observed before a store freezes its centering
-/// direction (see [`Store::whiten`]).
+/// direction (see [`Store::whiten_with`]).
 const CENTER_FREEZE: usize = 50;
 
 /// A sample store with A-LSH index and LRU eviction.
@@ -264,8 +271,10 @@ impl Store {
         self.observe_for_center(&feature);
         if self.samples.len() >= self.capacity {
             // LRU eviction.
-            if let Some((&victim, _)) =
-                self.samples.iter().min_by_key(|(_, s)| s.last_used)
+            // Tie-break equal-recency victims by id: HashMap iteration
+            // order is per-process random, and cross-process runs must be
+            // byte-identical.
+            if let Some((&victim, _)) = self.samples.iter().min_by_key(|(&id, s)| (s.last_used, id))
             {
                 let s = self.samples.remove(&victim).expect("victim exists");
                 self.alsh.remove(victim, &s.key);
@@ -276,7 +285,15 @@ impl Store {
         self.clock += 1;
         let key = self.whiten_with(&feature);
         self.alsh.insert(id, &key);
-        self.samples.insert(id, Sample { feature, key, label, last_used: self.clock });
+        self.samples.insert(
+            id,
+            Sample {
+                feature,
+                key,
+                label,
+                last_used: self.clock,
+            },
+        );
     }
 
     /// H-kNN lookup: `Some((label, candidates_scanned))` on a homogeneous,
@@ -297,7 +314,9 @@ impl Store {
         let mut scored: Vec<(f32, u32)> = cand
             .into_iter()
             .filter_map(|id| {
-                self.samples.get(&id).map(|s| (coca_math::cosine(v, &s.key), id))
+                self.samples
+                    .get(&id)
+                    .map(|s| (coca_math::cosine(v, &s.key), id))
             })
             .collect();
         scored.sort_by(|a, b| b.0.total_cmp(&a.0));
@@ -313,8 +332,13 @@ impl Store {
             e.0 += 1;
             e.1 += sim;
         }
-        let (&label, &(count, sim_sum)) =
-            votes.iter().max_by_key(|(_, (c, _))| *c).expect("non-empty");
+        // Tie-break equal vote counts by smallest label: HashMap iteration
+        // order is per-process random, and cross-process runs must be
+        // byte-identical.
+        let (&label, &(count, sim_sum)) = votes
+            .iter()
+            .max_by_key(|(&l, &(c, _))| (c, std::cmp::Reverse(l)))
+            .expect("non-empty");
         let homogeneity = count as f64 / cfg.k as f64;
         let mean_sim = sim_sum / count as f32;
         if homogeneity >= cfg.homogeneity && mean_sim >= cfg.min_similarity {
@@ -345,8 +369,12 @@ impl Store {
             return;
         };
         let dim = self.alsh.dim;
-        let mut alsh =
-            Alsh::new(dim, cfg.lsh_tables, new_bits, &self.seeds.child_idx("rebuild", new_bits as u64));
+        let mut alsh = Alsh::new(
+            dim,
+            cfg.lsh_tables,
+            new_bits,
+            &self.seeds.child_idx("rebuild", new_bits as u64),
+        );
         for (&id, s) in &self.samples {
             alsh.insert(id, &s.key);
         }
@@ -354,87 +382,212 @@ impl Store {
     }
 }
 
-/// Runs FoggyCache over the scenario. Clients interleave frame-by-frame so
-/// the shared server store evolves the way concurrent clients would see it.
+/// A remote H-kNN lookup: the client's input-level feature vector.
+#[derive(Debug, Clone)]
+pub struct FoggyQuery {
+    /// The (jittered, normalized) query feature.
+    pub vector: Vec<f32>,
+}
+
+impl WireSize for FoggyQuery {
+    fn wire_bytes(&self) -> usize {
+        self.vector.wire_bytes()
+    }
+}
+
+/// The server's H-kNN answer.
+#[derive(Debug, Clone, Copy)]
+pub struct FoggyReply {
+    /// The reused label, if the global neighbourhood was homogeneous.
+    pub label: Option<usize>,
+}
+
+impl WireSize for FoggyReply {
+    fn wire_bytes(&self) -> usize {
+        1 + 4
+    }
+}
+
+/// One FoggyCache client: its local store plus per-frame state.
+struct FoggyClient {
+    local: Store,
+    view: ClientFeatureView,
+    /// Feature of the frame currently awaiting a server reply.
+    pending_vec: Option<Vec<f32>>,
+}
+
+/// The FoggyCache method driver: local A-LSH stores per client, one shared
+/// global store served through the engine's FIFO queue.
+pub struct FoggyCacheDriver<'s> {
+    scenario: &'s Scenario,
+    cfg: FoggyCacheConfig,
+    seeds: SeedTree,
+    server_store: Store,
+    clients: Vec<FoggyClient>,
+    feature_point: usize,
+    feature_time: SimDuration,
+    /// Client-rounds completed; the shared store adapts once per full
+    /// sweep of the fleet.
+    rounds_completed: usize,
+}
+
+impl<'s> FoggyCacheDriver<'s> {
+    /// Builds the driver over a scenario.
+    pub fn new(scenario: &'s Scenario, cfg: FoggyCacheConfig) -> Self {
+        let rt = &scenario.rt;
+        let feature_point = 0usize; // shallow, input-level features
+        let dim = rt.feature_dim(feature_point);
+        let seeds = scenario.seeds().child("foggycache");
+        let server_store = Store::new(dim, cfg.server_capacity, &cfg, seeds.child("server"));
+        let clients = (0..scenario.profiles.len())
+            .map(|k| FoggyClient {
+                local: Store::new(
+                    dim,
+                    cfg.local_capacity,
+                    &cfg,
+                    seeds.child_idx("local", k as u64),
+                ),
+                view: ClientFeatureView::new(),
+                pending_vec: None,
+            })
+            .collect();
+        Self {
+            scenario,
+            cfg,
+            seeds,
+            server_store,
+            clients,
+            feature_point,
+            feature_time: rt.compute_to_point(feature_point),
+            rounds_completed: 0,
+        }
+    }
+}
+
+impl MethodDriver for FoggyCacheDriver<'_> {
+    type Request = NoMsg;
+    type Alloc = NoMsg;
+    type Query = FoggyQuery;
+    type Reply = FoggyReply;
+    type Upload = NoMsg;
+
+    fn name(&self) -> &str {
+        "FoggyCache"
+    }
+
+    fn process_frame(&mut self, k: usize, frame: &Frame) -> FrameStep<FoggyQuery> {
+        let rt = &self.scenario.rt;
+        let cfg = &self.cfg;
+        let client = &mut self.clients[k];
+        let mut v = rt.semantic_vector(
+            frame,
+            &self.scenario.profiles[k],
+            self.feature_point,
+            &mut client.view,
+        );
+        if cfg.input_jitter > 0.0 {
+            let mut jrng = self.seeds.child_idx("jitter", frame.frame_seed).rng();
+            let eta = coca_math::random_unit(&mut jrng, v.len());
+            coca_math::vector::axpy(cfg.input_jitter, &eta, &mut v);
+            coca_math::vector::l2_normalize(&mut v);
+        }
+
+        // Local lookup.
+        let (local_hit, scanned) = client.local.lookup(&v, cfg);
+        let elapsed = self.feature_time + rt.lookup_cost(self.feature_point, scanned + cfg.k);
+        match local_hit {
+            Some(label) => FrameStep::Done(FrameOutcome {
+                compute: elapsed,
+                correct: label == frame.class,
+                hit_point: Some(self.feature_point),
+            }),
+            None => {
+                // Remote lookup on local miss: a real request/response pair
+                // through the shared link + server queue.
+                client.pending_vec = Some(v.clone());
+                FrameStep::NeedServer {
+                    elapsed,
+                    query: FoggyQuery { vector: v },
+                }
+            }
+        }
+    }
+
+    fn serve_query(&mut self, _k: usize, query: FoggyQuery) -> (FoggyReply, SimDuration) {
+        let rt = &self.scenario.rt;
+        let (label, scanned) = self.server_store.lookup(&query.vector, &self.cfg);
+        // Server compute: the H-kNN scan over the candidate set.
+        let service = rt.lookup_cost(self.feature_point, scanned + self.cfg.k);
+        (FoggyReply { label }, service)
+    }
+
+    fn resume_frame(
+        &mut self,
+        k: usize,
+        frame: &Frame,
+        reply: FoggyReply,
+    ) -> FrameStep<FoggyQuery> {
+        let rt = &self.scenario.rt;
+        let client = &mut self.clients[k];
+        let v = client
+            .pending_vec
+            .take()
+            .expect("resume without a pending query");
+        match reply.label {
+            Some(label) => FrameStep::Done(FrameOutcome {
+                compute: SimDuration::ZERO,
+                correct: label == frame.class,
+                hit_point: Some(self.feature_point),
+            }),
+            None => {
+                // Full inference; store the sample locally and at the
+                // server (the upload piggybacks on the reply cycle).
+                let p = rt.classify(frame, &self.scenario.profiles[k], &mut client.view);
+                let compute = rt.full_compute() - self.feature_time;
+                client.local.insert(v.clone(), p.class);
+                self.server_store.insert(v, p.class);
+                FrameStep::Done(FrameOutcome {
+                    compute,
+                    correct: p.correct,
+                    hit_point: None,
+                })
+            }
+        }
+    }
+
+    fn end_round(&mut self, k: usize) -> Option<NoMsg> {
+        // Per-round A-LSH adaptation: each local store at its own round
+        // boundary, the shared store once per full sweep of the fleet.
+        self.clients[k].local.adapt(&self.cfg);
+        self.rounds_completed += 1;
+        if self.rounds_completed.is_multiple_of(self.clients.len()) {
+            self.server_store.adapt(&self.cfg);
+        }
+        None
+    }
+}
+
+/// Runs FoggyCache over the scenario through the generic engine.
 pub fn run_foggycache(
     scenario: &Scenario,
     cfg: &FoggyCacheConfig,
     rounds: usize,
     frames_per_round: usize,
 ) -> MethodReport {
-    let rt: &ModelRuntime = &scenario.rt;
-    let n = scenario.profiles.len();
-    let feature_point = 0usize; // shallow, input-level features
-    let dim = rt.feature_dim(feature_point);
-    let seeds = scenario.seeds().child("foggycache");
+    run_foggycache_with(scenario, cfg, &DriveConfig::new(rounds, frames_per_round))
+}
 
-    let mut server_store = Store::new(dim, cfg.server_capacity, cfg, seeds.child("server"));
-    let mut locals: Vec<Store> = (0..n)
-        .map(|k| Store::new(dim, cfg.local_capacity, cfg, seeds.child_idx("local", k as u64)))
-        .collect();
-    let mut streams: Vec<_> = (0..n).map(|k| scenario.stream(k)).collect();
-    let mut views: Vec<ClientFeatureView> = (0..n).map(|_| ClientFeatureView::new()).collect();
-    let mut summaries: Vec<RunSummary> =
-        (0..n).map(|_| RunSummary::new(rt.num_cache_points())).collect();
-    let mut latency = LatencyRecorder::new();
-
-    let feature_time = rt.compute_to_point(feature_point);
-    let rtt = SimDuration::from_millis_f64(cfg.server_rtt_ms);
-
-    for round in 0..rounds {
-        for _ in 0..frames_per_round {
-            for k in 0..n {
-                let frame = streams[k].next_frame();
-                let mut v =
-                    rt.semantic_vector(&frame, &scenario.profiles[k], feature_point, &mut views[k]);
-                if cfg.input_jitter > 0.0 {
-                    let mut jrng = seeds.child_idx("jitter", frame.frame_seed).rng();
-                    let eta = coca_math::random_unit(&mut jrng, v.len());
-                    coca_math::vector::axpy(cfg.input_jitter, &eta, &mut v);
-                    coca_math::vector::l2_normalize(&mut v);
-                }
-
-                // Local lookup.
-                let (local_hit, scanned_l) = locals[k].lookup(&v, cfg);
-                let mut time = feature_time + rt.lookup_cost(feature_point, scanned_l + cfg.k);
-                let (predicted, hit) = if let Some(label) = local_hit {
-                    (label, true)
-                } else {
-                    // Remote lookup on local miss.
-                    let (remote_hit, scanned_r) = server_store.lookup(&v, cfg);
-                    time += rtt + rt.lookup_cost(feature_point, scanned_r + cfg.k);
-                    if let Some(label) = remote_hit {
-                        (label, true)
-                    } else {
-                        // Full inference; store the sample locally and at
-                        // the server (upload piggybacks, no extra charge).
-                        let p = rt.classify(&frame, &scenario.profiles[k], &mut views[k]);
-                        time += rt.full_compute() - feature_time;
-                        locals[k].insert(v.clone(), p.class);
-                        server_store.insert(v.clone(), p.class);
-                        (p.class, false)
-                    }
-                };
-
-                let correct = predicted == frame.class;
-                summaries[k].latency.record(time);
-                summaries[k].accuracy.record(correct);
-                if hit {
-                    summaries[k].hits.record_hit(feature_point, correct);
-                } else {
-                    summaries[k].hits.record_miss(correct);
-                }
-                latency.record(time);
-            }
-        }
-        // Per-round A-LSH adaptation.
-        let _ = round;
-        for store in locals.iter_mut() {
-            store.adapt(cfg);
-        }
-        server_store.adapt(cfg);
-    }
-    MethodReport::from_parts("FoggyCache", latency, summaries)
+/// Runs FoggyCache under explicit engine knobs — pass the *same*
+/// [`DriveConfig`] to every method of a comparison so all rows price
+/// identical network and boot conditions.
+pub fn run_foggycache_with(
+    scenario: &Scenario,
+    cfg: &FoggyCacheConfig,
+    drive_cfg: &DriveConfig,
+) -> MethodReport {
+    let mut driver = FoggyCacheDriver::new(scenario, *cfg);
+    let report = drive(scenario, &mut driver, drive_cfg);
+    MethodReport::from_engine("FoggyCache", report)
 }
 
 #[cfg(test)]
@@ -479,7 +632,10 @@ mod tests {
 
     #[test]
     fn store_lru_evicts_oldest() {
-        let cfg = FoggyCacheConfig { local_capacity: 4, ..Default::default() };
+        let cfg = FoggyCacheConfig {
+            local_capacity: 4,
+            ..Default::default()
+        };
         let mut store = Store::new(8, 4, &cfg, SeedTree::new(91));
         let mut rng = SmallRng::seed_from_u64(2);
         for i in 0..8 {
@@ -545,5 +701,15 @@ mod tests {
         assert!(r.hit_ratio > 0.15, "hit ratio {}", r.hit_ratio);
         assert!(r.mean_latency_ms < full, "{} vs {full}", r.mean_latency_ms);
         assert!(r.accuracy_pct > 55.0, "accuracy {}", r.accuracy_pct);
+    }
+
+    #[test]
+    fn foggycache_is_deterministic() {
+        let cfg = FoggyCacheConfig::default();
+        let a = run_foggycache(&scenario(94), &cfg, 2, 100);
+        let b = run_foggycache(&scenario(94), &cfg, 2, 100);
+        assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+        assert_eq!(a.accuracy_pct, b.accuracy_pct);
+        assert_eq!(a.frame_digest, b.frame_digest);
     }
 }

@@ -9,16 +9,20 @@
 //! the exit layer's pooled features, trained on a buffer of recent
 //! *self-labelled* samples (labels come from the full model — the exact
 //! self-distillation loop learned caches use). Retraining runs every
-//! round and its compute is charged to the client, reproducing the
-//! paper's criticism: retraining overhead degrades QoS, and rare classes
-//! never accumulate enough buffer samples for a usable exit predictor —
-//! the long-tail weakness.
+//! `retrain_frames` frames and its compute is charged to the client,
+//! reproducing the paper's criticism: retraining overhead degrades QoS,
+//! and rare classes never accumulate enough buffer samples for a usable
+//! exit predictor — the long-tail weakness.
+//!
+//! As a [`MethodDriver`] the method is degenerate on the network (exits
+//! and retraining are all on-device); it rides the shared event loop so
+//! its latencies face the same virtual clock as every other method.
 
 use std::collections::VecDeque;
 
+use coca_core::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
 use coca_core::engine::Scenario;
-use coca_metrics::recorder::{LatencyRecorder, RunSummary};
-use coca_model::ModelRuntime;
+use coca_data::Frame;
 use coca_model::ClientFeatureView;
 use coca_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -70,7 +74,11 @@ struct ExitProbe {
 
 impl ExitProbe {
     fn new(point: usize, classes: usize) -> Self {
-        Self { point, centroids: vec![None; classes], buffer: VecDeque::new() }
+        Self {
+            point,
+            centroids: vec![None; classes],
+            buffer: VecDeque::new(),
+        }
     }
 
     fn push_sample(&mut self, feature: Vec<f32>, label: usize, capacity: usize) {
@@ -132,95 +140,140 @@ impl ExitProbe {
     }
 }
 
-/// Runs LearnedCache over the scenario.
+/// One LearnedCache client: its exit probes plus retraining bookkeeping.
+struct LearnedClient {
+    probes: Vec<ExitProbe>,
+    view: ClientFeatureView,
+    since_retrain: usize,
+    pending_retrain_ms: f64,
+}
+
+/// The LearnedCache method driver.
+pub struct LearnedCacheDriver<'s> {
+    scenario: &'s Scenario,
+    cfg: LearnedCacheConfig,
+    clients: Vec<LearnedClient>,
+}
+
+impl<'s> LearnedCacheDriver<'s> {
+    /// Builds the driver over a scenario.
+    pub fn new(scenario: &'s Scenario, cfg: LearnedCacheConfig) -> Self {
+        let rt = &scenario.rt;
+        let l = rt.num_cache_points();
+        let classes = rt.num_classes();
+        // Exits spread evenly, skipping the very first point (too little
+        // compute saved to matter for a learned gate).
+        let exits: Vec<usize> = (1..=cfg.num_exits)
+            .map(|e| ((e * l) / (cfg.num_exits + 1)).min(l - 1))
+            .collect();
+        let clients = (0..scenario.profiles.len())
+            .map(|_| LearnedClient {
+                probes: exits.iter().map(|&p| ExitProbe::new(p, classes)).collect(),
+                view: ClientFeatureView::new(),
+                since_retrain: 0,
+                pending_retrain_ms: 0.0,
+            })
+            .collect();
+        Self {
+            scenario,
+            cfg,
+            clients,
+        }
+    }
+}
+
+impl MethodDriver for LearnedCacheDriver<'_> {
+    type Request = NoMsg;
+    type Alloc = NoMsg;
+    type Query = NoMsg;
+    type Reply = NoMsg;
+    type Upload = NoMsg;
+
+    fn name(&self) -> &str {
+        "LearnedCache"
+    }
+
+    fn process_frame(&mut self, k: usize, frame: &Frame) -> FrameStep<NoMsg> {
+        let rt = &self.scenario.rt;
+        let cfg = &self.cfg;
+        let profile = &self.scenario.profiles[k];
+        let client = &mut self.clients[k];
+        let mut time = SimDuration::ZERO;
+        // Amortize any retraining burst onto the following frame (the
+        // device is busy; the next inference waits).
+        if client.pending_retrain_ms > 0.0 {
+            time += SimDuration::from_millis_f64(client.pending_retrain_ms);
+            client.pending_retrain_ms = 0.0;
+        }
+
+        let mut outcome: Option<(usize, usize)> = None; // (class, point)
+        for probe in &client.probes {
+            let v = rt.semantic_vector(frame, profile, probe.point, &mut client.view);
+            let (pred, present) = probe.predict(&v, cfg.exit_threshold);
+            time += rt.lookup_cost(probe.point, present);
+            if let Some(class) = pred {
+                outcome = Some((class, probe.point));
+                break;
+            }
+        }
+
+        let (predicted, hit_point) = match outcome {
+            Some((class, point)) => {
+                time += rt.compute_to_point(point);
+                (class, Some(point))
+            }
+            None => {
+                // Full inference; label feeds every exit buffer.
+                let p = rt.classify(frame, profile, &mut client.view);
+                time += rt.full_compute();
+                for probe in client.probes.iter_mut() {
+                    let v = rt.semantic_vector(frame, profile, probe.point, &mut client.view);
+                    probe.push_sample(v, p.class, cfg.buffer_capacity);
+                }
+                (p.class, None)
+            }
+        };
+
+        client.since_retrain += 1;
+        if client.since_retrain >= cfg.retrain_frames {
+            client.since_retrain = 0;
+            let mut samples = 0usize;
+            for probe in client.probes.iter_mut() {
+                let dim = rt.feature_dim(probe.point);
+                samples += probe.retrain(dim, cfg.min_samples_per_class);
+            }
+            client.pending_retrain_ms = samples as f64 * cfg.retrain_ms_per_sample;
+        }
+
+        FrameStep::Done(FrameOutcome {
+            compute: time,
+            correct: predicted == frame.class,
+            hit_point,
+        })
+    }
+}
+
+/// Runs LearnedCache over the scenario through the generic engine.
 pub fn run_learnedcache(
     scenario: &Scenario,
     cfg: &LearnedCacheConfig,
     rounds: usize,
     frames_per_round: usize,
 ) -> MethodReport {
-    let rt: &ModelRuntime = &scenario.rt;
-    let l = rt.num_cache_points();
-    let classes = rt.num_classes();
-    // Exits spread evenly, skipping the very first point (too little
-    // compute saved to matter for a learned gate).
-    let exits: Vec<usize> = (1..=cfg.num_exits)
-        .map(|e| ((e * l) / (cfg.num_exits + 1)).min(l - 1))
-        .collect();
+    run_learnedcache_with(scenario, cfg, &DriveConfig::new(rounds, frames_per_round))
+}
 
-    let mut latency = LatencyRecorder::new();
-    let mut per_client = Vec::with_capacity(scenario.profiles.len());
-
-    for (k, profile) in scenario.profiles.iter().enumerate() {
-        let mut probes: Vec<ExitProbe> =
-            exits.iter().map(|&p| ExitProbe::new(p, classes)).collect();
-        let mut stream = scenario.stream(k);
-        let mut view = ClientFeatureView::new();
-        let mut summary = RunSummary::new(l);
-        let mut since_retrain = 0usize;
-        let mut pending_retrain_ms = 0.0f64;
-
-        for _ in 0..rounds * frames_per_round {
-            let frame = stream.next_frame();
-            let mut time = SimDuration::ZERO;
-            // Amortize any retraining burst onto the following frame (the
-            // device is busy; the next inference waits).
-            if pending_retrain_ms > 0.0 {
-                time += SimDuration::from_millis_f64(pending_retrain_ms);
-                pending_retrain_ms = 0.0;
-            }
-
-            let mut outcome: Option<(usize, usize)> = None; // (class, point)
-            for probe in &probes {
-                let v = rt.semantic_vector(&frame, profile, probe.point, &mut view);
-                let (pred, present) = probe.predict(&v, cfg.exit_threshold);
-                time += rt.lookup_cost(probe.point, present);
-                if let Some(class) = pred {
-                    outcome = Some((class, probe.point));
-                    break;
-                }
-            }
-
-            let (predicted, hit_point) = match outcome {
-                Some((class, point)) => {
-                    time += rt.compute_to_point(point);
-                    (class, Some(point))
-                }
-                None => {
-                    // Full inference; label feeds every exit buffer.
-                    let p = rt.classify(&frame, profile, &mut view);
-                    time += rt.full_compute();
-                    for probe in probes.iter_mut() {
-                        let v = rt.semantic_vector(&frame, profile, probe.point, &mut view);
-                        probe.push_sample(v, p.class, cfg.buffer_capacity);
-                    }
-                    (p.class, None)
-                }
-            };
-
-            let correct = predicted == frame.class;
-            summary.latency.record(time);
-            summary.accuracy.record(correct);
-            match hit_point {
-                Some(p) => summary.hits.record_hit(p, correct),
-                None => summary.hits.record_miss(correct),
-            }
-            latency.record(time);
-
-            since_retrain += 1;
-            if since_retrain >= cfg.retrain_frames {
-                since_retrain = 0;
-                let mut samples = 0usize;
-                for probe in probes.iter_mut() {
-                    let dim = rt.feature_dim(probe.point);
-                    samples += probe.retrain(dim, cfg.min_samples_per_class);
-                }
-                pending_retrain_ms = samples as f64 * cfg.retrain_ms_per_sample;
-            }
-        }
-        per_client.push(summary);
-    }
-    MethodReport::from_parts("LearnedCache", latency, per_client)
+/// Runs LearnedCache under explicit engine knobs — pass the *same*
+/// [`DriveConfig`] to every method of a comparison so all rows price
+/// identical network and boot conditions.
+pub fn run_learnedcache_with(
+    scenario: &Scenario,
+    cfg: &LearnedCacheConfig,
+    drive_cfg: &DriveConfig,
+) -> MethodReport {
+    let mut driver = LearnedCacheDriver::new(scenario, *cfg);
+    let report = drive(scenario, &mut driver, drive_cfg);
+    MethodReport::from_engine("LearnedCache", report)
 }
 
 #[cfg(test)]
@@ -249,7 +302,10 @@ mod tests {
         assert_eq!(n, 40);
         assert!(probe.centroids[0].is_some());
         assert!(probe.centroids[1].is_some());
-        assert!(probe.centroids[2].is_none(), "unseen class must have no centroid");
+        assert!(
+            probe.centroids[2].is_none(),
+            "unseen class must have no centroid"
+        );
         let (pred, present) = probe.predict(&[1.0, 0.0, 0.0], 0.05);
         assert_eq!(pred, Some(0));
         assert_eq!(present, 2);
@@ -272,5 +328,6 @@ mod tests {
         let a = run_learnedcache(&scenario(96), &cfg, 2, 100);
         let b = run_learnedcache(&scenario(96), &cfg, 2, 100);
         assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+        assert_eq!(a.frame_digest, b.frame_digest);
     }
 }

@@ -1,18 +1,24 @@
 //! # coca-baselines — the paper's comparison systems
 //!
 //! Full implementations of every baseline the evaluation compares against
-//! (§VI.B), all driven over the *same* [`coca_core::engine::Scenario`] so
-//! each method sees byte-identical frame streams:
+//! (§VI.B). Each baseline is a
+//! [`MethodDriver`](coca_core::driver::MethodDriver) plugged into the
+//! **same generic virtual-time engine** ([`coca_core::driver::drive`]) that
+//! runs CoCa: identical staggered boots, link transfer delays and server
+//! FIFO queueing, over the *same* [`coca_core::engine::Scenario`] — so
+//! each method sees byte-identical frame streams (asserted via
+//! [`MethodReport::frame_digest`]) under identical contention:
 //!
 //! * [`edge_only`] — plain full-model inference (the latency/accuracy
-//!   reference).
+//!   reference); a fully degenerate driver with no server traffic.
 //! * [`smtm`] — SMTM-style single-client semantic caching: all preset
 //!   cache layers active, hot-spot classes chosen *locally* by frequency ×
 //!   recency (95 % mass), local centroid updates, no cross-client sharing.
 //! * [`foggycache`] — FoggyCache-style cross-device approximate
 //!   computation reuse: A-LSH indexed sample cache over shallow features,
-//!   H-kNN homogenized voting, LRU replacement, server-side global store
-//!   queried on local misses.
+//!   H-kNN homogenized voting, LRU replacement. The server-side global
+//!   store is queried on local misses through **real request/response
+//!   event pairs** (uplink + FIFO queue + service + downlink).
 //! * [`learnedcache`] — LearnedCache-style multi-exit inference with
 //!   per-exit learned predictors (nearest-centroid probes trained on
 //!   recent self-labelled samples) and periodic retraining whose compute
@@ -29,9 +35,140 @@ pub mod replacement;
 pub mod report;
 pub mod smtm;
 
-pub use edge_only::run_edge_only;
-pub use foggycache::FoggyCacheConfig;
-pub use learnedcache::LearnedCacheConfig;
-pub use replacement::ReplacementPolicy;
+pub use edge_only::run_edge_only_with;
+pub use edge_only::{run_edge_only, EdgeOnlyDriver};
+pub use foggycache::run_foggycache_with;
+pub use foggycache::{FoggyCacheConfig, FoggyCacheDriver};
+pub use learnedcache::{run_learnedcache_with, LearnedCacheConfig, LearnedCacheDriver};
+pub use replacement::{run_replacement_with, ReplacementDriver, ReplacementPolicy};
 pub use report::MethodReport;
-pub use smtm::SmtmConfig;
+pub use smtm::{run_smtm_with, SmtmConfig, SmtmDriver};
+
+#[cfg(test)]
+mod fairness_tests {
+    //! Cross-method fairness: every driver consumes byte-identical frame
+    //! streams from the shared scenario, and every run is deterministic.
+
+    use crate::foggycache::run_foggycache;
+    use crate::learnedcache::run_learnedcache;
+    use crate::replacement::run_replacement;
+    use crate::smtm::run_smtm;
+    use crate::{run_edge_only, FoggyCacheConfig, LearnedCacheConfig, SmtmConfig};
+    use coca_core::engine::{Engine, EngineConfig, Scenario, ScenarioConfig};
+    use coca_core::CocaConfig;
+    use coca_data::DatasetSpec;
+    use coca_model::ModelId;
+
+    fn scenario_cfg(seed: u64) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        cfg.num_clients = 3;
+        cfg.seed = seed;
+        cfg
+    }
+
+    #[test]
+    fn all_six_methods_consume_byte_identical_frame_streams() {
+        let (rounds, frames) = (2, 80);
+        let coca_cfg = CocaConfig::for_model(ModelId::ResNet101).with_round_frames(frames);
+        let sc = scenario_cfg(300);
+
+        let digests: Vec<(String, u64)> = vec![
+            {
+                let s = Scenario::build(sc.clone());
+                let r = run_edge_only(&s, rounds, frames);
+                (r.name, r.frame_digest)
+            },
+            {
+                let s = Scenario::build(sc.clone());
+                let r = run_smtm(&s, &SmtmConfig::from_coca(&coca_cfg), rounds, frames);
+                (r.name, r.frame_digest)
+            },
+            {
+                let s = Scenario::build(sc.clone());
+                let r = run_foggycache(&s, &FoggyCacheConfig::default(), rounds, frames);
+                (r.name, r.frame_digest)
+            },
+            {
+                let s = Scenario::build(sc.clone());
+                let cfg = LearnedCacheConfig::for_model(coca_cfg.theta, frames);
+                let r = run_learnedcache(&s, &cfg, rounds, frames);
+                (r.name, r.frame_digest)
+            },
+            {
+                let s = Scenario::build(sc.clone());
+                let r = run_replacement(&s, crate::ReplacementPolicy::Lru, 10, 4, rounds, frames);
+                (r.name, r.frame_digest)
+            },
+            {
+                let mut engine_cfg = EngineConfig::new(coca_cfg);
+                engine_cfg.rounds = rounds;
+                let mut engine = Engine::new(Scenario::build(sc.clone()), engine_cfg);
+                let r = engine.run();
+                ("CoCa".to_string(), r.frame_digest)
+            },
+        ];
+
+        let reference = digests[0].1;
+        assert_ne!(reference, 0, "digest must be populated");
+        for (name, digest) in &digests {
+            assert_eq!(
+                *digest, reference,
+                "{name} consumed a different frame stream than {}",
+                digests[0].0
+            );
+        }
+    }
+
+    #[test]
+    fn every_baseline_run_is_deterministic() {
+        // Mirrors `engine_is_deterministic` for each ported driver: same
+        // scenario, same config → bit-identical report.
+        let (rounds, frames) = (2, 60);
+        let coca_cfg = CocaConfig::for_model(ModelId::ResNet101).with_round_frames(frames);
+        let runs: Vec<Box<dyn Fn() -> crate::MethodReport>> = vec![
+            Box::new(move || run_edge_only(&Scenario::build(scenario_cfg(301)), rounds, frames)),
+            Box::new(move || {
+                run_smtm(
+                    &Scenario::build(scenario_cfg(301)),
+                    &SmtmConfig::from_coca(&coca_cfg),
+                    rounds,
+                    frames,
+                )
+            }),
+            Box::new(move || {
+                run_foggycache(
+                    &Scenario::build(scenario_cfg(301)),
+                    &FoggyCacheConfig::default(),
+                    rounds,
+                    frames,
+                )
+            }),
+            Box::new(move || {
+                run_learnedcache(
+                    &Scenario::build(scenario_cfg(301)),
+                    &LearnedCacheConfig::for_model(coca_cfg.theta, frames),
+                    rounds,
+                    frames,
+                )
+            }),
+            Box::new(move || {
+                run_replacement(
+                    &Scenario::build(scenario_cfg(301)),
+                    crate::ReplacementPolicy::Rand,
+                    8,
+                    4,
+                    rounds,
+                    frames,
+                )
+            }),
+        ];
+        for run in runs {
+            let a = run();
+            let b = run();
+            assert_eq!(a.mean_latency_ms, b.mean_latency_ms, "{} latency", a.name);
+            assert_eq!(a.accuracy_pct, b.accuracy_pct, "{} accuracy", a.name);
+            assert_eq!(a.hit_ratio, b.hit_ratio, "{} hit ratio", a.name);
+            assert_eq!(a.frame_digest, b.frame_digest, "{} digest", a.name);
+        }
+    }
+}

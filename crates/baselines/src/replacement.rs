@@ -5,14 +5,20 @@
 //! by LRU / FIFO / RAND replacement; ACA is run with the same total memory
 //! for fairness. Entries are fetched from the shared seeded centroid table
 //! when inserted (the server "loads" the class's centroid to the client).
+//!
+//! As a [`MethodDriver`] the policies are degenerate on the network: the
+//! paper treats them as local caches, so misses materialize entries from
+//! the local replica of the seeded table at zero network cost and the
+//! driver issues no server traffic.
 
+use coca_core::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
 use coca_core::engine::Scenario;
 use coca_core::global::GlobalCacheTable;
 use coca_core::lookup::infer_with_cache;
 use coca_core::semantic::{CacheLayer, LocalCache};
 use coca_core::server::{profile_hit_ratios, seed_global_table};
 use coca_core::CocaConfig;
-use coca_metrics::recorder::{LatencyRecorder, RunSummary};
+use coca_data::Frame;
 use coca_model::ClientFeatureView;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -55,7 +61,12 @@ struct ManagedCache {
 
 impl ManagedCache {
     fn new(capacity: usize) -> Self {
-        Self { classes: Vec::new(), stamp: Vec::new(), capacity, clock: 0 }
+        Self {
+            classes: Vec::new(),
+            stamp: Vec::new(),
+            capacity,
+            clock: 0,
+        }
     }
 
     fn contains(&self, class: usize) -> bool {
@@ -134,8 +145,115 @@ fn materialize(table: &GlobalCacheTable, layers: &[usize], managed: &ManagedCach
     LocalCache::from_layers(out)
 }
 
-/// Runs one replacement policy over the scenario with `cache_size` entries
-/// per layer on `num_layers` fixed high-benefit layers.
+/// One replacement-policy client.
+struct ReplacementClient {
+    managed: ManagedCache,
+    rng: SmallRng,
+    cache: LocalCache,
+    view: ClientFeatureView,
+}
+
+/// The replacement-policy method driver.
+pub struct ReplacementDriver<'s> {
+    scenario: &'s Scenario,
+    policy: ReplacementPolicy,
+    lookup_cfg: CocaConfig,
+    table: GlobalCacheTable,
+    layers: Vec<usize>,
+    clients: Vec<ReplacementClient>,
+}
+
+impl<'s> ReplacementDriver<'s> {
+    /// Builds the driver: `cache_size` entries per layer on `num_layers`
+    /// fixed high-benefit layers.
+    pub fn new(
+        scenario: &'s Scenario,
+        policy: ReplacementPolicy,
+        cache_size: usize,
+        num_layers: usize,
+    ) -> Self {
+        let rt = &scenario.rt;
+        let lookup_cfg = CocaConfig::for_model(rt.arch().id);
+        let table = seed_global_table(rt, scenario.seeds());
+        let profile = profile_hit_ratios(rt, &lookup_cfg, &table, scenario.seeds());
+        let saved: Vec<f64> = (0..rt.num_cache_points())
+            .map(|j| rt.saved_if_hit_at(j).as_millis_f64())
+            .collect();
+        let bytes: Vec<usize> = (0..rt.num_cache_points())
+            .map(|j| rt.entry_bytes(j))
+            .collect();
+        let layers = fixed_high_benefit_layers(&profile, &saved, &bytes, num_layers);
+        let clients: Vec<ReplacementClient> = (0..scenario.profiles.len())
+            .map(|k| {
+                let managed = ManagedCache::new(cache_size);
+                let cache = materialize(&table, &layers, &managed);
+                ReplacementClient {
+                    managed,
+                    rng: scenario
+                        .seeds()
+                        .child("replacement")
+                        .child_idx("client", k as u64)
+                        .rng(),
+                    cache,
+                    view: ClientFeatureView::new(),
+                }
+            })
+            .collect();
+        Self {
+            scenario,
+            policy,
+            lookup_cfg,
+            table,
+            layers,
+            clients,
+        }
+    }
+}
+
+impl MethodDriver for ReplacementDriver<'_> {
+    type Request = NoMsg;
+    type Alloc = NoMsg;
+    type Query = NoMsg;
+    type Reply = NoMsg;
+    type Upload = NoMsg;
+
+    fn name(&self) -> &str {
+        self.policy.name()
+    }
+
+    fn process_frame(&mut self, k: usize, frame: &Frame) -> FrameStep<NoMsg> {
+        let client = &mut self.clients[k];
+        let res = infer_with_cache(
+            &self.scenario.rt,
+            &self.scenario.profiles[k],
+            frame,
+            &client.cache,
+            &self.lookup_cfg,
+            &mut client.view,
+        );
+        match res.hit_point {
+            Some(_) => client.managed.touch(res.predicted, self.policy),
+            None => {
+                // Miss: load the predicted class's centroid set.
+                if client
+                    .managed
+                    .insert(res.predicted, self.policy, &mut client.rng)
+                {
+                    client.cache = materialize(&self.table, &self.layers, &client.managed);
+                }
+            }
+        }
+        FrameStep::Done(FrameOutcome {
+            compute: res.latency,
+            correct: res.correct,
+            hit_point: res.hit_point,
+        })
+    }
+}
+
+/// Runs one replacement policy over the scenario through the generic
+/// engine, with `cache_size` entries per layer on `num_layers` fixed
+/// high-benefit layers.
 pub fn run_replacement(
     scenario: &Scenario,
     policy: ReplacementPolicy,
@@ -144,63 +262,38 @@ pub fn run_replacement(
     rounds: usize,
     frames_per_round: usize,
 ) -> MethodReport {
-    let rt = &scenario.rt;
-    let cfg = CocaConfig::for_model(rt.arch().id);
-    let table = seed_global_table(rt, scenario.seeds());
-    let profile = profile_hit_ratios(rt, &cfg, &table, scenario.seeds());
-    let saved: Vec<f64> =
-        (0..rt.num_cache_points()).map(|j| rt.saved_if_hit_at(j).as_millis_f64()).collect();
-    let bytes: Vec<usize> = (0..rt.num_cache_points()).map(|j| rt.entry_bytes(j)).collect();
-    let layers = fixed_high_benefit_layers(&profile, &saved, &bytes, num_layers);
+    run_replacement_with(
+        scenario,
+        policy,
+        cache_size,
+        num_layers,
+        &DriveConfig::new(rounds, frames_per_round),
+    )
+}
 
-    let mut latency = LatencyRecorder::new();
-    let mut per_client = Vec::with_capacity(scenario.profiles.len());
-
-    for (k, profile_k) in scenario.profiles.iter().enumerate() {
-        let mut managed = ManagedCache::new(cache_size);
-        let mut rng = scenario
-            .seeds()
-            .child("replacement")
-            .child_idx("client", k as u64)
-            .rng();
-        let mut stream = scenario.stream(k);
-        let mut view = ClientFeatureView::new();
-        let mut summary = RunSummary::new(rt.num_cache_points());
-        let mut cache = materialize(&table, &layers, &managed);
-
-        for _ in 0..rounds * frames_per_round {
-            let frame = stream.next_frame();
-            let res = infer_with_cache(rt, profile_k, &frame, &cache, &cfg, &mut view);
-            summary.latency.record(res.latency);
-            summary.accuracy.record(res.correct);
-            match res.hit_point {
-                Some(p) => {
-                    summary.hits.record_hit(p, res.correct);
-                    managed.touch(res.predicted, policy);
-                }
-                None => {
-                    summary.hits.record_miss(res.correct);
-                    // Miss: load the predicted class's centroid set.
-                    if managed.insert(res.predicted, policy, &mut rng) {
-                        cache = materialize(&table, &layers, &managed);
-                    }
-                }
-            }
-            latency.record(res.latency);
-        }
-        per_client.push(summary);
-    }
-    MethodReport::from_parts(policy.name(), latency, per_client)
+/// Runs one replacement policy under explicit engine knobs — pass the
+/// *same* [`DriveConfig`] to every method of a comparison so all rows
+/// price identical network and boot conditions.
+pub fn run_replacement_with(
+    scenario: &Scenario,
+    policy: ReplacementPolicy,
+    cache_size: usize,
+    num_layers: usize,
+    drive_cfg: &DriveConfig,
+) -> MethodReport {
+    let mut driver = ReplacementDriver::new(scenario, policy, cache_size, num_layers);
+    let report = drive(scenario, &mut driver, drive_cfg);
+    MethodReport::from_engine(policy.name(), report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use coca_core::engine::ScenarioConfig;
     use coca_data::distribution::long_tail_weights;
     use coca_data::DatasetSpec;
     use coca_model::ModelId;
+    use rand::SeedableRng;
 
     fn scenario(seed: u64) -> Scenario {
         let mut cfg = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
@@ -266,6 +359,7 @@ mod tests {
         let a = run_replacement(&scenario(98), ReplacementPolicy::Lru, 8, 4, 2, 120);
         let b = run_replacement(&scenario(98), ReplacementPolicy::Lru, 8, 4, 2, 120);
         assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+        assert_eq!(a.frame_digest, b.frame_digest);
         // Tiny capacity forces constant eviction, where policies diverge.
         let c = run_replacement(&scenario(98), ReplacementPolicy::Lru, 3, 4, 2, 120);
         let d = run_replacement(&scenario(98), ReplacementPolicy::Rand, 3, 4, 2, 120);

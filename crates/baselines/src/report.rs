@@ -1,6 +1,7 @@
 //! The common result type emitted by every method driver.
 
-use coca_metrics::recorder::{AccuracyRecorder, HitRecorder, LatencyRecorder, RunSummary};
+use coca_core::engine::EngineReport;
+use coca_metrics::recorder::{LatencyRecorder, RunSummary};
 use serde::{Deserialize, Serialize};
 
 /// Aggregated outcome of running one method over a scenario.
@@ -16,6 +17,9 @@ pub struct MethodReport {
     pub accuracy_pct: f64,
     /// Overall cache/exit hit ratio (0 for Edge-Only).
     pub hit_ratio: f64,
+    /// Order-independent digest of the `(client, frame)` stream consumed;
+    /// equal digests prove two methods saw byte-identical workloads.
+    pub frame_digest: u64,
     /// Global per-frame latency distribution.
     pub latency: LatencyRecorder,
     /// Per-client summaries.
@@ -23,27 +27,17 @@ pub struct MethodReport {
 }
 
 impl MethodReport {
-    /// Builds the report from per-client summaries plus the global
-    /// latency recorder the driver maintained.
-    pub fn from_parts(
-        name: impl Into<String>,
-        latency: LatencyRecorder,
-        per_client: Vec<RunSummary>,
-    ) -> Self {
-        let mut acc = AccuracyRecorder::new();
-        let mut hits = HitRecorder::new(0);
-        for s in &per_client {
-            acc.merge(&s.accuracy);
-            hits.merge(&s.hits);
-        }
+    /// Builds the report from a generic-engine run.
+    pub fn from_engine(name: impl Into<String>, report: EngineReport) -> Self {
         Self {
             name: name.into(),
-            frames: latency.count(),
-            mean_latency_ms: latency.mean_ms(),
-            accuracy_pct: acc.accuracy_pct(),
-            hit_ratio: hits.hit_ratio(),
-            latency,
-            per_client,
+            frames: report.frames,
+            mean_latency_ms: report.mean_latency_ms,
+            accuracy_pct: report.accuracy_pct,
+            hit_ratio: report.hit_ratio,
+            frame_digest: report.frame_digest,
+            latency: report.latency,
+            per_client: report.per_client,
         }
     }
 }
@@ -51,23 +45,25 @@ impl MethodReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coca_sim::SimDuration;
+    use coca_core::driver::{drive, DriveConfig};
+    use coca_core::engine::{Scenario, ScenarioConfig};
+    use coca_data::DatasetSpec;
+    use coca_model::ModelId;
 
     #[test]
-    fn from_parts_aggregates() {
-        let mut lat = LatencyRecorder::new();
-        lat.record(SimDuration::from_millis(10));
-        lat.record(SimDuration::from_millis(30));
-        let mut a = RunSummary::new(2);
-        a.accuracy.record(true);
-        a.hits.record_hit(0, true);
-        let mut b = RunSummary::new(2);
-        b.accuracy.record(false);
-        b.hits.record_miss(false);
-        let r = MethodReport::from_parts("Demo", lat, vec![a, b]);
-        assert_eq!(r.frames, 2);
-        assert_eq!(r.mean_latency_ms, 20.0);
-        assert_eq!(r.accuracy_pct, 50.0);
-        assert_eq!(r.hit_ratio, 0.5);
+    fn from_engine_copies_every_aggregate() {
+        let mut sc = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        sc.num_clients = 2;
+        sc.seed = 310;
+        let scenario = Scenario::build(sc);
+        let mut driver = crate::EdgeOnlyDriver::new(&scenario);
+        let engine = drive(&scenario, &mut driver, &DriveConfig::new(1, 50));
+        let digest = engine.frame_digest;
+        let r = MethodReport::from_engine("Demo", engine);
+        assert_eq!(r.name, "Demo");
+        assert_eq!(r.frames, 2 * 50);
+        assert_eq!(r.per_client.len(), 2);
+        assert_ne!(r.frame_digest, 0);
+        assert_eq!(r.frame_digest, digest);
     }
 }

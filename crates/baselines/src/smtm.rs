@@ -13,8 +13,14 @@
 //!   same thresholds, but into a private table; no cross-client sharing,
 //!   so non-IID feature drift is only ever corrected from the client's own
 //!   samples).
+//!
+//! As a [`MethodDriver`] SMTM is degenerate on the network: no allocation
+//! phase, no server queries, no uploads — everything resolves on-device.
+//! Hot-spot refresh runs at the shared round boundary inside
+//! [`MethodDriver::end_round`].
 
 use coca_core::collect::{absorb_rule, AbsorbRule, UpdateTable};
+use coca_core::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
 use coca_core::engine::Scenario;
 use coca_core::global::GlobalCacheTable;
 use coca_core::lookup::infer_with_cache;
@@ -22,7 +28,7 @@ use coca_core::semantic::LocalCache;
 use coca_core::server::seed_global_table;
 use coca_core::status::ClientStatus;
 use coca_core::CocaConfig;
-use coca_metrics::recorder::{LatencyRecorder, RunSummary};
+use coca_data::Frame;
 use coca_model::ClientFeatureView;
 use serde::{Deserialize, Serialize};
 
@@ -86,7 +92,6 @@ struct SmtmClient {
     update: UpdateTable,
     cache: LocalCache,
     view: ClientFeatureView,
-    summary: RunSummary,
 }
 
 impl SmtmClient {
@@ -145,81 +150,136 @@ impl SmtmClient {
     }
 }
 
-/// Runs SMTM over the scenario.
+/// The SMTM method driver.
+pub struct SmtmDriver<'s> {
+    scenario: &'s Scenario,
+    cfg: SmtmConfig,
+    /// The lookup path reuses CoCa's Eq. 1/2 implementation via a
+    /// CocaConfig carrying SMTM's thresholds.
+    lookup_cfg: CocaConfig,
+    clients: Vec<SmtmClient>,
+}
+
+impl<'s> SmtmDriver<'s> {
+    /// Builds the driver over a scenario.
+    pub fn new(scenario: &'s Scenario, cfg: SmtmConfig) -> Self {
+        let rt = &scenario.rt;
+        let mut lookup_cfg = CocaConfig::for_model(rt.arch().id);
+        lookup_cfg.theta = cfg.theta;
+        lookup_cfg.gamma_collect = cfg.gamma_collect;
+        lookup_cfg.delta_collect = cfg.delta_collect;
+        lookup_cfg.beta = cfg.beta;
+        let clients: Vec<SmtmClient> = (0..scenario.profiles.len())
+            .map(|_| {
+                let mut c = SmtmClient {
+                    table: seed_global_table(rt, scenario.seeds()),
+                    status: ClientStatus::new(rt.num_classes()),
+                    total_freq: vec![0; rt.num_classes()],
+                    update: UpdateTable::new(),
+                    cache: LocalCache::empty(),
+                    view: ClientFeatureView::new(),
+                };
+                c.refresh_cache(&cfg);
+                c
+            })
+            .collect();
+        Self {
+            scenario,
+            cfg,
+            lookup_cfg,
+            clients,
+        }
+    }
+}
+
+impl MethodDriver for SmtmDriver<'_> {
+    type Request = NoMsg;
+    type Alloc = NoMsg;
+    type Query = NoMsg;
+    type Reply = NoMsg;
+    type Upload = NoMsg;
+
+    fn name(&self) -> &str {
+        "SMTM"
+    }
+
+    fn process_frame(&mut self, k: usize, frame: &Frame) -> FrameStep<NoMsg> {
+        let rt = &self.scenario.rt;
+        let cfg = &self.cfg;
+        let client = &mut self.clients[k];
+        let res = infer_with_cache(
+            rt,
+            &self.scenario.profiles[k],
+            frame,
+            &client.cache,
+            &self.lookup_cfg,
+            &mut client.view,
+        );
+        client.status.observe(res.predicted);
+        client.total_freq[res.predicted] += 1;
+
+        let miss_margin = res.full_prediction.as_ref().map(|p| p.margin);
+        let hit_score = res.hit_point.map(|_| res.hit_score);
+        match absorb_rule(hit_score, miss_margin, cfg.gamma_collect, cfg.delta_collect) {
+            Some(AbsorbRule::Reinforce) => {
+                for (point, v) in &res.observed {
+                    client.update.absorb(res.predicted, *point, v, cfg.beta);
+                }
+            }
+            Some(AbsorbRule::Expand) => {
+                for point in 0..rt.num_cache_points() {
+                    let v = rt.semantic_vector(
+                        frame,
+                        &self.scenario.profiles[k],
+                        point,
+                        &mut client.view,
+                    );
+                    client.update.absorb(res.predicted, point, &v, cfg.beta);
+                }
+            }
+            None => {}
+        }
+        FrameStep::Done(FrameOutcome {
+            compute: res.latency,
+            correct: res.correct,
+            hit_point: res.hit_point,
+        })
+    }
+
+    fn end_round(&mut self, k: usize) -> Option<NoMsg> {
+        let client = &mut self.clients[k];
+        if self.cfg.local_updates {
+            client.apply_updates();
+        } else {
+            client.update.take();
+        }
+        client.refresh_cache(&self.cfg);
+        client.status.reset_round();
+        None
+    }
+}
+
+/// Runs SMTM over the scenario through the generic engine.
 pub fn run_smtm(
     scenario: &Scenario,
     cfg: &SmtmConfig,
     rounds: usize,
     frames_per_round: usize,
 ) -> MethodReport {
-    let rt = &scenario.rt;
-    // The lookup path reuses CoCa's Eq. 1/2 implementation via a CocaConfig
-    // carrying SMTM's thresholds.
-    let mut lookup_cfg = CocaConfig::for_model(rt.arch().id);
-    lookup_cfg.theta = cfg.theta;
-    lookup_cfg.gamma_collect = cfg.gamma_collect;
-    lookup_cfg.delta_collect = cfg.delta_collect;
-    lookup_cfg.beta = cfg.beta;
+    run_smtm_with(scenario, cfg, &DriveConfig::new(rounds, frames_per_round))
+}
 
-    let mut latency = LatencyRecorder::new();
-    let mut per_client = Vec::with_capacity(scenario.profiles.len());
-
-    for (k, profile) in scenario.profiles.iter().enumerate() {
-        let mut client = SmtmClient {
-            table: seed_global_table(rt, scenario.seeds()),
-            status: ClientStatus::new(rt.num_classes()),
-            total_freq: vec![0; rt.num_classes()],
-            update: UpdateTable::new(),
-            cache: LocalCache::empty(),
-            view: ClientFeatureView::new(),
-            summary: RunSummary::new(rt.num_cache_points()),
-        };
-        client.refresh_cache(cfg);
-        let mut stream = scenario.stream(k);
-
-        for _ in 0..rounds {
-            for _ in 0..frames_per_round {
-                let frame = stream.next_frame();
-                let res =
-                    infer_with_cache(rt, profile, &frame, &client.cache, &lookup_cfg, &mut client.view);
-                client.status.observe(res.predicted);
-                client.total_freq[res.predicted] += 1;
-                client.summary.latency.record(res.latency);
-                client.summary.accuracy.record(res.correct);
-                match res.hit_point {
-                    Some(p) => client.summary.hits.record_hit(p, res.correct),
-                    None => client.summary.hits.record_miss(res.correct),
-                }
-                latency.record(res.latency);
-
-                let miss_margin = res.full_prediction.as_ref().map(|p| p.margin);
-                let hit_score = res.hit_point.map(|_| res.hit_score);
-                match absorb_rule(hit_score, miss_margin, cfg.gamma_collect, cfg.delta_collect) {
-                    Some(AbsorbRule::Reinforce) => {
-                        for (point, v) in &res.observed {
-                            client.update.absorb(res.predicted, *point, v, cfg.beta);
-                        }
-                    }
-                    Some(AbsorbRule::Expand) => {
-                        for point in 0..rt.num_cache_points() {
-                            let v = rt.semantic_vector(&frame, profile, point, &mut client.view);
-                            client.update.absorb(res.predicted, point, &v, cfg.beta);
-                        }
-                    }
-                    None => {}
-                }
-            }
-            if cfg.local_updates {
-                client.apply_updates();
-            } else {
-                client.update.take();
-            }
-            client.refresh_cache(cfg);
-            client.status.reset_round();
-        }
-        per_client.push(client.summary);
-    }
-    MethodReport::from_parts("SMTM", latency, per_client)
+/// Runs SMTM under explicit engine knobs — pass the *same*
+/// [`DriveConfig`] to every method of a comparison so all rows price
+/// identical network and boot conditions.
+pub fn run_smtm_with(
+    scenario: &Scenario,
+    cfg: &SmtmConfig,
+    drive_cfg: &DriveConfig,
+) -> MethodReport {
+    let mut driver = SmtmDriver::new(scenario, *cfg);
+    let report = drive(scenario, &mut driver, drive_cfg);
+    MethodReport::from_engine("SMTM", report)
 }
 
 #[cfg(test)]
@@ -254,5 +314,6 @@ mod tests {
         let b = run_smtm(&scenario(82), &cfg, 2, 100);
         assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
         assert_eq!(a.accuracy_pct, b.accuracy_pct);
+        assert_eq!(a.frame_digest, b.frame_digest);
     }
 }

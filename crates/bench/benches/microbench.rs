@@ -29,7 +29,9 @@ fn bench_lookup(c: &mut Criterion) {
     let client = scenario.profiles[0].clone();
     let mut group = c.benchmark_group("semantic_lookup");
     for layers in [2usize, 6, 12] {
-        let pts: Vec<usize> = (0..layers).map(|i| i * rt.num_cache_points() / layers).collect();
+        let pts: Vec<usize> = (0..layers)
+            .map(|i| i * rt.num_cache_points() / layers)
+            .collect();
         let classes: Vec<usize> = (0..50).collect();
         let cache = table.extract(&pts, &classes);
         let mut stream = scenario.stream(0);
@@ -96,9 +98,14 @@ fn bench_codec(c: &mut Criterion) {
         id: u64,
         xs: Vec<f32>,
     }
-    let msg = Payload { id: 42, xs: vec![0.5; 4096] };
+    let msg = Payload {
+        id: 42,
+        xs: vec![0.5; 4096],
+    };
     let bytes = encode_frame(&msg).unwrap();
-    c.bench_function("codec_encode_16kB", |b| b.iter(|| encode_frame(&msg).unwrap()));
+    c.bench_function("codec_encode_16kB", |b| {
+        b.iter(|| encode_frame(&msg).unwrap())
+    });
     c.bench_function("codec_decode_16kB", |b| {
         b.iter(|| decode_frame::<Payload>(&bytes).unwrap().unwrap())
     });

@@ -39,8 +39,18 @@ fn model_accuracy(id: ModelId, classes: usize, drift: f32) -> (f64, f64, f64) {
             margins_wrong.push(p.margin as f64);
         }
     }
-    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
-    (correct as f64 / n as f64 * 100.0, mean(&margins_correct), mean(&margins_wrong))
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    (
+        correct as f64 / n as f64 * 100.0,
+        mean(&margins_correct),
+        mean(&margins_wrong),
+    )
 }
 
 fn per_layer_curves() {
@@ -86,9 +96,16 @@ fn per_layer_curves() {
             None => misses += 1,
         }
     }
-    println!("\n== ResNet101/UCF101-50, all 34 layers, 50 classes, theta={} ==", cfg.theta);
-    println!("mean latency {:.2} ms (edge-only {:.2}), miss ratio {:.3}", lat / n as f64,
-        rt.full_compute().as_millis_f64(), misses as f64 / n as f64);
+    println!(
+        "\n== ResNet101/UCF101-50, all 34 layers, 50 classes, theta={} ==",
+        cfg.theta
+    );
+    println!(
+        "mean latency {:.2} ms (edge-only {:.2}), miss ratio {:.3}",
+        lat / n as f64,
+        rt.full_compute().as_millis_f64(),
+        misses as f64 / n as f64
+    );
     println!(
         "cached accuracy {:.2}%  edge-only accuracy {:.2}%  loss {:.2} points",
         cached_correct as f64 / n as f64 * 100.0,
@@ -137,7 +154,12 @@ fn engine_probe_full(label: &str, drift: f32, gcu: bool, budget: usize) {
     for j in 0..agg.num_layers() {
         let ratio = agg.layer_hit_ratio(j);
         if ratio > 0.005 {
-            print!(" {}:{:.1}/{:.0}", j, ratio * 100.0, agg.layer_hit_accuracy(j).unwrap_or(0.0) * 100.0);
+            print!(
+                " {}:{:.1}/{:.0}",
+                j,
+                ratio * 100.0,
+                agg.layer_hit_accuracy(j).unwrap_or(0.0) * 100.0
+            );
         }
     }
     println!();
@@ -180,7 +202,10 @@ fn engine_probe(label: &str, drift: f32, gcu: bool) {
         }
     }
     if hit_cnt > 0 {
-        println!("hit accuracy (weighted) {:.2}%", hit_acc_sum / hit_cnt as f64 * 100.0);
+        println!(
+            "hit accuracy (weighted) {:.2}%",
+            hit_acc_sum / hit_cnt as f64 * 100.0
+        );
     }
     // Aggregate per-layer hit accuracy bands across clients.
     let mut agg = coca_metrics::HitRecorder::new(0);
@@ -226,7 +251,12 @@ fn aca_probe() {
     println!(
         "allocated layers {:?} classes/layer {:?} bytes {}",
         alloc.cache.activated_points(),
-        alloc.cache.layers().iter().map(|l| l.len()).collect::<Vec<_>>(),
+        alloc
+            .cache
+            .layers()
+            .iter()
+            .map(|l| l.len())
+            .collect::<Vec<_>>(),
         alloc.cache.total_bytes()
     );
     // Seeded-entry fidelity: cosine between seeded global entries and the
@@ -247,7 +277,10 @@ fn aca_probe() {
 fn main() {
     aca_probe();
     println!("== Full-model accuracy (4000 frames, UCF101 subsets) ==");
-    println!("{:>12} {:>8} {:>12} {:>12}", "model", "acc%", "margin(ok)", "margin(err)");
+    println!(
+        "{:>12} {:>8} {:>12} {:>12}",
+        "model", "acc%", "margin(ok)", "margin(err)"
+    );
     for (id, classes) in [
         (ModelId::Vgg16Bn, 100),
         (ModelId::ResNet50, 50),
@@ -257,10 +290,16 @@ fn main() {
         (ModelId::AstBase, 50),
     ] {
         let (acc, mc, mw) = model_accuracy(id, classes, 0.25);
-        println!("{:>12} {:>8.2} {:>12.3} {:>12.3} (I={classes})", format!("{:?}", id), acc, mc, mw);
+        println!(
+            "{:>12} {:>8.2} {:>12.3} {:>12.3} (I={classes})",
+            format!("{:?}", id),
+            acc,
+            mc,
+            mw
+        );
     }
     per_layer_curves();
-    engine_probe_full("full-budget drift=0 no-gcu", 0.0, false, 16<<20);
+    engine_probe_full("full-budget drift=0 no-gcu", 0.0, false, 16 << 20);
     engine_probe("drift=0, no-gcu", 0.0, false);
     engine_probe("drift=0, gcu", 0.0, true);
     engine_probe("drift=0.25, no-gcu", 0.25, false);

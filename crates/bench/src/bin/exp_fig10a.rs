@@ -3,7 +3,7 @@
 //! VGG16_BN on long-tail UCF101-100, F ∈ {150 … 900}. Total frames per
 //! client are held constant so rows differ only in update cadence.
 
-use coca_bench::harness::{run_coca_engine, RunSpec};
+use coca_bench::harness::{parallel_sweep, run_coca_engine, RunSpec};
 use coca_bench::output::save_record;
 use coca_core::engine::ScenarioConfig;
 use coca_core::CocaConfig;
@@ -27,12 +27,20 @@ fn main() {
         &["F", "Lat. (ms)", "Acc. (%)", "Resp. lat. (ms)"],
     );
     let mut record = ExperimentRecord::new("fig10a", "update cycle F sweep");
-    record.param("model", model.name()).param("dataset", "ucf101-100 long-tail");
+    record
+        .param("model", model.name())
+        .param("dataset", "ucf101-100 long-tail");
 
-    for f in [150usize, 300, 450, 600, 750, 900] {
+    // Each F value is an independent scenario run: fan across cores.
+    let sweep = parallel_sweep(vec![150usize, 300, 450, 600, 750, 900], |f| {
         let coca = CocaConfig::for_model(model).with_round_frames(f);
-        let spec = RunSpec { rounds: (TOTAL_FRAMES / f).max(2), frames: f };
-        let (_, r) = run_coca_engine(&sc, coca, spec);
+        let spec = RunSpec {
+            rounds: (TOTAL_FRAMES / f).max(2),
+            frames: f,
+        };
+        (f, run_coca_engine(&sc, coca, spec).1)
+    });
+    for (f, r) in sweep {
         out.row(&[
             f.to_string(),
             fmt_f(r.mean_latency_ms, 2),

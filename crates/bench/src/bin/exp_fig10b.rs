@@ -3,7 +3,7 @@
 //! Four models, client counts 60 → 160. Response latency = request sent →
 //! personalized cache installed (link transfers + server FIFO queueing).
 
-use coca_bench::harness::{run_coca_engine, RunSpec};
+use coca_bench::harness::{parallel_sweep, run_coca_engine, RunSpec};
 use coca_bench::output::save_record;
 use coca_core::engine::ScenarioConfig;
 use coca_core::CocaConfig;
@@ -15,25 +15,39 @@ use serde_json::json;
 
 fn main() {
     let client_counts = [60usize, 100, 140, 160];
-    let spec = RunSpec { rounds: 2, frames: 120 };
+    let spec = RunSpec {
+        rounds: 2,
+        frames: 120,
+    };
     let mut record = ExperimentRecord::new("fig10b", "response latency vs client count");
 
     let mut out = Table::new(
         "Fig. 10(b) — mean cache-response latency (ms) vs #clients",
         &["Model", "60", "100", "140", "160"],
     );
-    for model in [ModelId::Vgg16Bn, ModelId::ResNet50, ModelId::ResNet101, ModelId::AstBase] {
+    for model in [
+        ModelId::Vgg16Bn,
+        ModelId::ResNet50,
+        ModelId::ResNet101,
+        ModelId::AstBase,
+    ] {
         let dataset = if model == ModelId::AstBase {
             DatasetSpec::esc50()
         } else {
             DatasetSpec::ucf101().subset(100)
         };
         let mut row = vec![model.name().to_string()];
-        for &n in &client_counts {
+        // One run per client count, fanned across cores.
+        let sweep = parallel_sweep(client_counts.to_vec(), |n| {
             let mut sc = ScenarioConfig::new(model, dataset.clone());
             sc.seed = 11_022;
             sc.num_clients = n;
-            let (_, r) = run_coca_engine(&sc, CocaConfig::for_model(model), spec);
+            (
+                n,
+                run_coca_engine(&sc, CocaConfig::for_model(model), spec).1,
+            )
+        });
+        for (n, r) in sweep {
             row.push(fmt_f(r.response_latency.mean_ms(), 2));
             record.push_row(&[
                 ("model", json!(model.name())),

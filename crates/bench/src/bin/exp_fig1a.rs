@@ -19,7 +19,10 @@ fn spaced_layers(total: usize, count: usize) -> Vec<usize> {
     if count == 0 {
         return Vec::new();
     }
-    (0..count).map(|i| (i * total) / count.max(1)).map(|j| j.min(total - 1)).collect()
+    (0..count)
+        .map(|i| (i * total) / count.max(1))
+        .map(|j| j.min(total - 1))
+        .collect()
 }
 
 fn main() {
@@ -40,10 +43,13 @@ fn main() {
         &["Cache size (%)", "Layers", "Bytes", "Lat. (ms)", "Acc. (%)"],
     );
     let mut record = ExperimentRecord::new("fig1a", "latency/accuracy vs cache size");
-    record.param("model", "resnet101").param("dataset", "ucf101-50").param("frames", frames);
+    record
+        .param("model", "resnet101")
+        .param("dataset", "ucf101-50")
+        .param("frames", frames);
 
     for pct in [0usize, 3, 6, 10, 20, 40, 70, 100] {
-        let count = (pct * rt.num_cache_points() + 99) / 100;
+        let count = (pct * rt.num_cache_points()).div_ceil(100);
         let layers = spaced_layers(rt.num_cache_points(), count);
         let cache = table.extract(&layers, &all_classes);
         let mut stream = scenario.stream(0);
@@ -75,6 +81,8 @@ fn main() {
     }
     record.param("full_cache_bytes", full_bytes);
     print!("{}", out.render());
-    println!("(paper: latency minimum near 10% of the full cache, accuracy stable within 2 points)");
+    println!(
+        "(paper: latency minimum near 10% of the full cache, accuracy stable within 2 points)"
+    );
     save_record(&record);
 }

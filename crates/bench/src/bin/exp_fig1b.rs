@@ -44,7 +44,10 @@ fn main() {
         &["Layer", "Hit ratio (%)", "Hit acc. (%)"],
     );
     let mut record = ExperimentRecord::new("fig1b", "per-layer hit ratio and accuracy");
-    record.param("model", "resnet101").param("dataset", "ucf101-50").param("frames", frames);
+    record
+        .param("model", "resnet101")
+        .param("dataset", "ucf101-50")
+        .param("frames", frames);
     for j in 0..rt.num_cache_points() {
         let ratio = hits.layer_hit_ratio(j) * 100.0;
         let acc = hits.layer_hit_accuracy(j).map(|a| a * 100.0);

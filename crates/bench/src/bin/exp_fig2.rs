@@ -6,7 +6,7 @@
 //! must sit closer to the clients' true (drifted) sample centers.
 
 use coca_bench::output::save_record;
-use coca_core::engine::{EngineConfig, Engine, Scenario, ScenarioConfig};
+use coca_core::engine::{Engine, EngineConfig, Scenario, ScenarioConfig};
 use coca_core::server::seed_global_table;
 use coca_core::CocaConfig;
 use coca_data::DatasetSpec;
@@ -45,7 +45,7 @@ fn main() {
     let mut view = ClientFeatureView::new();
     let mut samples: Vec<(usize, Vec<f32>)> = Vec::new();
     let mut stream = scenario.stream(0);
-    let mut counts = vec![0usize; CLASSES];
+    let mut counts = [0usize; CLASSES];
     let per_class = 30usize;
     while counts.iter().take(SAMPLE_CLASSES).any(|&c| c < per_class) {
         let f = stream.next_frame();

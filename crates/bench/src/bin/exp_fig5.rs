@@ -19,10 +19,19 @@ fn sweep(model: ModelId, thetas: &[f32], seed: u64, record: &mut ExperimentRecor
     let mut sc = ScenarioConfig::new(model, DatasetSpec::ucf101().subset(100));
     sc.seed = seed;
     sc.num_clients = 4;
-    let spec = RunSpec { rounds: 5, frames: 300 };
+    let spec = RunSpec {
+        rounds: 5,
+        frames: 300,
+    };
     let mut out = Table::new(
         format!("Fig. 5 — {} on UCF101-100: threshold Θ sweep", model.name()),
-        &["Θ", "Hit ratio (%)", "Hit acc. (%)", "Total acc. (%)", "Lat. (ms)"],
+        &[
+            "Θ",
+            "Hit ratio (%)",
+            "Hit acc. (%)",
+            "Total acc. (%)",
+            "Lat. (ms)",
+        ],
     );
     for &theta in thetas {
         let coca = CocaConfig::for_model(model).with_theta(theta);
@@ -54,10 +63,18 @@ fn sweep(model: ModelId, thetas: &[f32], seed: u64, record: &mut ExperimentRecor
 fn main() {
     let mut record = ExperimentRecord::new("fig5", "threshold Θ sweep");
     record.param("dataset", "ucf101-100").param("clients", 4);
-    sweep(ModelId::Vgg16Bn, &[0.027, 0.031, 0.035, 0.039, 0.043], 11_006, &mut record);
-    sweep(ModelId::ResNet101, &[0.008, 0.010, 0.012, 0.014, 0.016], 11_007, &mut record);
-    println!(
-        "(paper: raising Θ lowers the hit ratio and raises hit/total accuracy and latency)"
+    sweep(
+        ModelId::Vgg16Bn,
+        &[0.027, 0.031, 0.035, 0.039, 0.043],
+        11_006,
+        &mut record,
     );
+    sweep(
+        ModelId::ResNet101,
+        &[0.008, 0.010, 0.012, 0.014, 0.016],
+        11_007,
+        &mut record,
+    );
+    println!("(paper: raising Θ lowers the hit ratio and raises hit/total accuracy and latency)");
     save_record(&record);
 }

@@ -23,7 +23,10 @@ fn main() {
     let mut sc = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(100));
     sc.seed = 11_008;
     sc.num_clients = 4;
-    let spec = RunSpec { rounds: 5, frames: 300 };
+    let spec = RunSpec {
+        rounds: 5,
+        frames: 300,
+    };
     let mut record = ExperimentRecord::new("fig6", "collection thresholds Γ and Δ");
     record.param("dataset", "ucf101-100").param("clients", 4);
 

@@ -16,7 +16,10 @@ use serde_json::json;
 
 fn sweep(model: ModelId, dataset: DatasetSpec, seed: u64, record: &mut ExperimentRecord) {
     let levels = [0.0f64, 1.0, 2.0, 10.0];
-    let spec = RunSpec { rounds: 5, frames: 300 };
+    let spec = RunSpec {
+        rounds: 5,
+        frames: 300,
+    };
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut names: Vec<String> = Vec::new();
     for (li, &p) in levels.iter().enumerate() {
@@ -42,7 +45,11 @@ fn sweep(model: ModelId, dataset: DatasetSpec, seed: u64, record: &mut Experimen
         }
     }
     let mut out = Table::new(
-        format!("Fig. 7 — {} on {}: latency (ms) vs non-IID level p", model.name(), dataset.name),
+        format!(
+            "Fig. 7 — {} on {}: latency (ms) vs non-IID level p",
+            model.name(),
+            dataset.name
+        ),
         &["Method", "p=0 (IID)", "p=1", "p=2", "p=10"],
     );
     for row in rows {
@@ -54,7 +61,12 @@ fn sweep(model: ModelId, dataset: DatasetSpec, seed: u64, record: &mut Experimen
 fn main() {
     let mut record = ExperimentRecord::new("fig7", "latency vs non-IID level");
     record.param("clients", 6);
-    sweep(ModelId::ResNet101, DatasetSpec::ucf101().subset(100), 11_012, &mut record);
+    sweep(
+        ModelId::ResNet101,
+        DatasetSpec::ucf101().subset(100),
+        11_012,
+        &mut record,
+    );
     sweep(ModelId::AstBase, DatasetSpec::esc50(), 11_013, &mut record);
     println!(
         "(paper: cache methods speed up as p grows — locality strengthens — and CoCa stays \

@@ -5,10 +5,8 @@
 //! entries per layer; ACA runs with the same total memory budget. An
 //! ACA-without-deflation series covers the DESIGN.md §7 ablation.
 
-use coca_baselines::replacement::{
-    fixed_high_benefit_layers, run_replacement, ReplacementPolicy,
-};
-use coca_bench::harness::{run_coca_engine, RunSpec};
+use coca_baselines::replacement::{fixed_high_benefit_layers, run_replacement, ReplacementPolicy};
+use coca_bench::harness::{parallel_sweep, run_coca_engine, RunSpec};
 use coca_bench::output::save_record;
 use coca_core::engine::{Scenario, ScenarioConfig};
 use coca_core::server::{profile_hit_ratios, seed_global_table};
@@ -28,7 +26,10 @@ fn main() {
     sc.seed = 11_016;
     sc.num_clients = 4;
     sc.global_popularity = long_tail_weights(100, 90.0);
-    let spec = RunSpec { rounds: 5, frames: 300 };
+    let spec = RunSpec {
+        rounds: 5,
+        frames: 300,
+    };
 
     // The fixed layer set (for byte-budget parity with ACA).
     let probe = Scenario::build(sc.clone());
@@ -38,8 +39,9 @@ fn main() {
     let saved: Vec<f64> = (0..probe.rt.num_cache_points())
         .map(|j| probe.rt.saved_if_hit_at(j).as_millis_f64())
         .collect();
-    let bytes: Vec<usize> =
-        (0..probe.rt.num_cache_points()).map(|j| probe.rt.entry_bytes(j)).collect();
+    let bytes: Vec<usize> = (0..probe.rt.num_cache_points())
+        .map(|j| probe.rt.entry_bytes(j))
+        .collect();
     let layers = fixed_high_benefit_layers(&profile, &saved, &bytes, NUM_LAYERS);
     let bytes_per_entry_set: usize = layers.iter().map(|&j| bytes[j]).sum();
 
@@ -61,37 +63,64 @@ fn main() {
         vec!["ACA".into()],
         vec!["ACA (no deflation)".into()],
     ];
+    // The full (size × method) grid fans across cores; every job rebuilds
+    // its scenario deterministically, so the sweep is order-stable.
+    let mut jobs: Vec<(usize, usize)> = Vec::new(); // (row, size)
     for &size in &sizes {
-        for (i, policy) in
-            [ReplacementPolicy::Fifo, ReplacementPolicy::Lru, ReplacementPolicy::Rand]
-                .iter()
-                .enumerate()
-        {
-            let scenario = Scenario::build(sc.clone());
-            let r = run_replacement(&scenario, *policy, size, NUM_LAYERS, spec.rounds, spec.frames);
-            rows[i].push(format!("{} ({}%)", fmt_f(r.mean_latency_ms, 2), fmt_f(r.accuracy_pct, 0)));
-            record.push_row(&[
-                ("method", json!(policy.name())),
-                ("cache_size", json!(size)),
-                ("latency_ms", json!(r.mean_latency_ms)),
-                ("accuracy_pct", json!(r.accuracy_pct)),
-            ]);
+        for row in 0..rows.len() {
+            jobs.push((row, size));
         }
-        // ACA with the same total memory.
-        let budget = bytes_per_entry_set * size;
-        for (row, deflation) in [(3usize, true), (4, false)] {
-            let mut coca = CocaConfig::for_model(model).with_budget(budget);
-            coca.aca_deflation = deflation;
-            let (_, r) = run_coca_engine(&sc, coca, spec);
-            rows[row].push(format!("{} ({}%)", fmt_f(r.mean_latency_ms, 2), fmt_f(r.accuracy_pct, 0)));
-            record.push_row(&[
-                ("method", json!(if deflation { "ACA" } else { "ACA-no-deflation" })),
-                ("cache_size", json!(size)),
-                ("budget_bytes", json!(budget)),
-                ("latency_ms", json!(r.mean_latency_ms)),
-                ("accuracy_pct", json!(r.accuracy_pct)),
-            ]);
+    }
+    let results = parallel_sweep(jobs, |(row, size)| {
+        let r = match row {
+            0..=2 => {
+                let policy = [
+                    ReplacementPolicy::Fifo,
+                    ReplacementPolicy::Lru,
+                    ReplacementPolicy::Rand,
+                ][row];
+                let scenario = Scenario::build(sc.clone());
+                run_replacement(
+                    &scenario,
+                    policy,
+                    size,
+                    NUM_LAYERS,
+                    spec.rounds,
+                    spec.frames,
+                )
+            }
+            _ => {
+                // ACA with the same total memory.
+                let deflation = row == 3;
+                let mut coca = CocaConfig::for_model(model).with_budget(bytes_per_entry_set * size);
+                coca.aca_deflation = deflation;
+                let (_, r) = run_coca_engine(&sc, coca, spec);
+                coca_bench::harness::coca_method_report(
+                    if deflation { "ACA" } else { "ACA-no-deflation" },
+                    r,
+                )
+            }
+        };
+        (row, size, r)
+    });
+    for (row, size, r) in results {
+        rows[row].push(format!(
+            "{} ({}%)",
+            fmt_f(r.mean_latency_ms, 2),
+            fmt_f(r.accuracy_pct, 0)
+        ));
+        let mut cells = vec![
+            ("method", json!(r.name)),
+            ("cache_size", json!(size)),
+            ("latency_ms", json!(r.mean_latency_ms)),
+            ("accuracy_pct", json!(r.accuracy_pct)),
+        ];
+        if row >= 3 {
+            // The memory-parity datum of the ACA arms: the byte budget
+            // equivalent to `size` entries on the fixed layer set.
+            cells.push(("budget_bytes", json!(bytes_per_entry_set * size)));
         }
+        record.push_row(&cells);
     }
     for row in rows {
         out.row(&row);

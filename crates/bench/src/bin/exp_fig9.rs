@@ -33,7 +33,12 @@ fn main() {
         &["Model", "Normal", "GCU", "DCA", "DCA+GCU"],
     );
 
-    for model in [ModelId::Vgg16Bn, ModelId::ResNet50, ModelId::ResNet101, ModelId::ResNet152] {
+    for model in [
+        ModelId::Vgg16Bn,
+        ModelId::ResNet50,
+        ModelId::ResNet101,
+        ModelId::ResNet152,
+    ] {
         let mut sc = ScenarioConfig::new(model, DatasetSpec::ucf101().subset(50));
         sc.seed = 11_018;
         sc.num_clients = 6;

@@ -25,9 +25,12 @@ fn run_dataset(dataset: DatasetSpec, seed: u64) -> Vec<(usize, f64, f64)> {
     let cfg = CocaConfig::for_model(ModelId::ResNet101);
     let table = seed_global_table(rt, scenario.seeds());
     let profile = profile_hit_ratios(rt, &cfg, &table, scenario.seeds());
-    let saved: Vec<f64> =
-        (0..rt.num_cache_points()).map(|j| rt.saved_if_hit_at(j).as_millis_f64()).collect();
-    let bytes: Vec<usize> = (0..rt.num_cache_points()).map(|j| rt.entry_bytes(j)).collect();
+    let saved: Vec<f64> = (0..rt.num_cache_points())
+        .map(|j| rt.saved_if_hit_at(j).as_millis_f64())
+        .collect();
+    let bytes: Vec<usize> = (0..rt.num_cache_points())
+        .map(|j| rt.entry_bytes(j))
+        .collect();
     let layers = fixed_high_benefit_layers(&profile, &saved, &bytes, 5);
     let client = scenario.profiles[0].clone();
     let frames = 4000usize;
@@ -47,7 +50,11 @@ fn run_dataset(dataset: DatasetSpec, seed: u64) -> Vec<(usize, f64, f64)> {
                 lat += r.latency.as_millis_f64();
                 correct += r.correct as u64;
             }
-            (k, lat / frames as f64, correct as f64 / frames as f64 * 100.0)
+            (
+                k,
+                lat / frames as f64,
+                correct as f64 / frames as f64 * 100.0,
+            )
         })
         .collect()
 }
@@ -58,7 +65,13 @@ fn main() {
 
     let mut out = Table::new(
         "Table I — ResNet101: hot-spot class count vs latency/accuracy",
-        &["Hot classes", "UCF Lat.(ms)", "UCF Acc.(%)", "IN Lat.(ms)", "IN Acc.(%)"],
+        &[
+            "Hot classes",
+            "UCF Lat.(ms)",
+            "UCF Acc.(%)",
+            "IN Lat.(ms)",
+            "IN Acc.(%)",
+        ],
     );
     let mut record = ExperimentRecord::new("table1", "hot-spot class sweep");
     record.param("model", "resnet101");

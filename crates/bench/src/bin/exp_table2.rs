@@ -28,7 +28,13 @@ fn main() {
 
         let mut out = Table::new(
             format!("Table II — {} on UCF101-100", model.name()),
-            &["Method", "<3% Lat.(ms)", "<3% Acc.(%)", "<5% Lat.(ms)", "<5% Acc.(%)"],
+            &[
+                "Method",
+                "<3% Lat.(ms)",
+                "<3% Acc.(%)",
+                "<5% Lat.(ms)",
+                "<5% Acc.(%)",
+            ],
         );
         for (a, b) in slo3.iter().zip(&slo5) {
             out.row(&[

@@ -20,7 +20,10 @@ fn main() {
     let spec = RunSpec::standard();
     let model = ModelId::ResNet101;
     let mut record = ExperimentRecord::new("table3", "uniform vs long-tail groups");
-    record.param("model", model.name()).param("dataset", "imagenet-100").param("rho", 90.0);
+    record
+        .param("model", model.name())
+        .param("dataset", "imagenet-100")
+        .param("rho", 90.0);
 
     let mut run_group = |name: &str, popularity: Vec<f64>, seed: u64| {
         let mut sc = ScenarioConfig::new(model, dataset.clone());
@@ -44,7 +47,13 @@ fn main() {
 
     let mut out = Table::new(
         "Table III — ResNet101 / ImageNet-100: uniform vs long-tail",
-        &["Method", "Unif Lat.(ms)", "Unif Acc.(%)", "LT Lat.(ms)", "LT Acc.(%)"],
+        &[
+            "Method",
+            "Unif Lat.(ms)",
+            "Unif Acc.(%)",
+            "LT Lat.(ms)",
+            "LT Acc.(%)",
+        ],
     );
     for (u, l) in uniform.iter().zip(&longtail) {
         out.row(&[

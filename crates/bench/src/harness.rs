@@ -1,17 +1,25 @@
-//! Method runners shared by the experiment binaries.
+//! Method runners and the parallel sweep engine shared by the experiment
+//! binaries.
 //!
 //! Every method consumes a scenario rebuilt from the same
 //! [`ScenarioConfig`] — identical feature universe, client drift profiles
-//! and frame streams — so rows of one table differ only by the method.
+//! and frame streams — and runs through the same generic virtual-time
+//! engine ([`coca_core::driver::drive`]), so rows of one table differ only
+//! by the method.
+//!
+//! Sweeps fan out over a rayon-style thread pool via [`parallel_sweep`]:
+//! each job rebuilds its scenario deterministically and runs in isolation,
+//! and results come back **in input order**, so a parallel sweep is
+//! bit-identical to running the same jobs serially.
 
-use coca_baselines::foggycache::run_foggycache;
-use coca_baselines::learnedcache::run_learnedcache;
-use coca_baselines::smtm::run_smtm;
 use coca_baselines::{
-    run_edge_only, FoggyCacheConfig, LearnedCacheConfig, MethodReport, SmtmConfig,
+    run_edge_only_with, run_foggycache_with, run_learnedcache_with, run_smtm_with,
+    FoggyCacheConfig, LearnedCacheConfig, MethodReport, SmtmConfig,
 };
+use coca_core::driver::DriveConfig;
 use coca_core::engine::{Engine, EngineConfig, EngineReport, Scenario, ScenarioConfig};
 use coca_core::CocaConfig;
+use rayon::prelude::*;
 
 /// How long each method runs.
 #[derive(Debug, Clone, Copy)]
@@ -26,26 +34,80 @@ impl RunSpec {
     /// The default experiment length: enough rounds for the collaborative
     /// machinery to reach steady state while keeping sweeps fast.
     pub fn standard() -> Self {
-        Self { rounds: 6, frames: 300 }
+        Self {
+            rounds: 6,
+            frames: 300,
+        }
     }
 
     /// Shorter runs for wide parameter sweeps.
     pub fn quick() -> Self {
-        Self { rounds: 4, frames: 200 }
+        Self {
+            rounds: 4,
+            frames: 200,
+        }
+    }
+}
+
+/// Runs `job` over every item on the workspace thread pool, returning
+/// results in input order (bit-identical to a serial map — each job must
+/// derive all randomness from its input, which scenario-seeded runs do).
+pub fn parallel_sweep<T, R, F>(items: Vec<T>, job: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    items.into_par_iter().map(job).collect()
+}
+
+/// The methods of the paper's comparison tables, as sweepable jobs.
+#[derive(Debug, Clone, Copy)]
+enum Method {
+    EdgeOnly,
+    LearnedCache,
+    FoggyCache,
+    Smtm,
+    Coca,
+}
+
+impl Method {
+    /// Runs this method under `drive_cfg` — the *one* set of engine knobs
+    /// every method of the comparison shares, so all rows price identical
+    /// network and boot conditions.
+    fn run(self, sc: &ScenarioConfig, coca: CocaConfig, drive_cfg: &DriveConfig) -> MethodReport {
+        match self {
+            Method::EdgeOnly => run_edge_only_with(&Scenario::build(sc.clone()), drive_cfg),
+            Method::LearnedCache => {
+                let cfg = LearnedCacheConfig::for_model(coca.theta, drive_cfg.frames_per_round);
+                run_learnedcache_with(&Scenario::build(sc.clone()), &cfg, drive_cfg)
+            }
+            Method::FoggyCache => run_foggycache_with(
+                &Scenario::build(sc.clone()),
+                &FoggyCacheConfig::default(),
+                drive_cfg,
+            ),
+            Method::Smtm => {
+                let cfg = SmtmConfig::from_coca(&coca);
+                run_smtm_with(&Scenario::build(sc.clone()), &cfg, drive_cfg)
+            }
+            Method::Coca => {
+                let mut coca = coca;
+                coca.round_frames = drive_cfg.frames_per_round;
+                let mut engine_cfg = EngineConfig::new(coca);
+                engine_cfg.rounds = drive_cfg.rounds;
+                engine_cfg.link = drive_cfg.link;
+                engine_cfg.boot_window_ms = drive_cfg.boot_window_ms;
+                let mut engine = Engine::new(Scenario::build(sc.clone()), engine_cfg);
+                MethodReport::from_engine("CoCa", engine.run())
+            }
+        }
     }
 }
 
 /// Converts an engine report into the common method report shape.
 pub fn coca_method_report(name: &str, r: EngineReport) -> MethodReport {
-    MethodReport {
-        name: name.into(),
-        frames: r.frames,
-        mean_latency_ms: r.mean_latency_ms,
-        accuracy_pct: r.accuracy_pct,
-        hit_ratio: r.hit_ratio,
-        latency: r.latency,
-        per_client: r.per_client,
-    }
+    MethodReport::from_engine(name, r)
 }
 
 /// Runs CoCa (the full engine) over a freshly built scenario.
@@ -68,30 +130,20 @@ pub fn run_coca_engine(
     (engine, report)
 }
 
-/// Runs all five methods of the paper's comparison tables, in the paper's
-/// reporting order: Edge-Only, LearnedCache, FoggyCache, SMTM, CoCa.
+/// Runs all five methods of the paper's comparison tables **in parallel**,
+/// returned in the paper's reporting order: Edge-Only, LearnedCache,
+/// FoggyCache, SMTM, CoCa. Each method rebuilds the scenario from `sc`, so
+/// every row of the comparison consumed byte-identical frame streams.
 pub fn run_all_methods(sc: &ScenarioConfig, coca: CocaConfig, spec: RunSpec) -> Vec<MethodReport> {
-    let mut out = Vec::with_capacity(5);
-    {
-        let scenario = Scenario::build(sc.clone());
-        out.push(run_edge_only(&scenario, spec.rounds, spec.frames));
-    }
-    {
-        let scenario = Scenario::build(sc.clone());
-        let cfg = LearnedCacheConfig::for_model(coca.theta, spec.frames);
-        out.push(run_learnedcache(&scenario, &cfg, spec.rounds, spec.frames));
-    }
-    {
-        let scenario = Scenario::build(sc.clone());
-        out.push(run_foggycache(&scenario, &FoggyCacheConfig::default(), spec.rounds, spec.frames));
-    }
-    {
-        let scenario = Scenario::build(sc.clone());
-        let cfg = SmtmConfig::from_coca(&coca);
-        out.push(run_smtm(&scenario, &cfg, spec.rounds, spec.frames));
-    }
-    out.push(run_coca(sc, coca, spec));
-    out
+    let drive_cfg = DriveConfig::new(spec.rounds, spec.frames);
+    let methods = vec![
+        Method::EdgeOnly,
+        Method::LearnedCache,
+        Method::FoggyCache,
+        Method::Smtm,
+        Method::Coca,
+    ];
+    parallel_sweep(methods, |m| m.run(sc, coca, &drive_cfg))
 }
 
 #[cfg(test)]
@@ -106,18 +158,63 @@ mod tests {
         sc.num_clients = 2;
         sc.seed = 200;
         let coca = CocaConfig::for_model(ModelId::ResNet101);
-        let spec = RunSpec { rounds: 2, frames: 80 };
+        let spec = RunSpec {
+            rounds: 2,
+            frames: 80,
+        };
         let reports = run_all_methods(&sc, coca, spec);
         assert_eq!(reports.len(), 5);
         let names: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
-        assert_eq!(names, vec!["Edge-Only", "LearnedCache", "FoggyCache", "SMTM", "CoCa"]);
+        assert_eq!(
+            names,
+            vec!["Edge-Only", "LearnedCache", "FoggyCache", "SMTM", "CoCa"]
+        );
         for r in &reports {
             assert_eq!(r.frames, 2 * 2 * 80, "{}", r.name);
+            // The engine digest proves identical streams across methods.
+            assert_eq!(r.frame_digest, reports[0].frame_digest, "{}", r.name);
         }
         // Edge-Only is the latency ceiling (within noise).
         let edge = reports[0].mean_latency_ms;
         for r in &reports[1..] {
-            assert!(r.mean_latency_ms <= edge * 1.15, "{} at {}", r.name, r.mean_latency_ms);
+            assert!(
+                r.mean_latency_ms <= edge * 1.15,
+                "{} at {}",
+                r.name,
+                r.mean_latency_ms
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let mut sc = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        sc.num_clients = 2;
+        sc.seed = 201;
+        let coca = CocaConfig::for_model(ModelId::ResNet101);
+        let spec = RunSpec {
+            rounds: 2,
+            frames: 60,
+        };
+        let seeds: Vec<u64> = (0..6).collect();
+        let parallel = parallel_sweep(seeds.clone(), |s| {
+            let mut sc = sc.clone();
+            sc.seed = 400 + s;
+            run_coca(&sc, coca, spec)
+        });
+        let serial: Vec<MethodReport> = seeds
+            .iter()
+            .map(|&s| {
+                let mut sc = sc.clone();
+                sc.seed = 400 + s;
+                run_coca(&sc, coca, spec)
+            })
+            .collect();
+        for (p, q) in parallel.iter().zip(&serial) {
+            assert_eq!(p.mean_latency_ms, q.mean_latency_ms);
+            assert_eq!(p.accuracy_pct, q.accuracy_pct);
+            assert_eq!(p.hit_ratio, q.hit_ratio);
+            assert_eq!(p.frame_digest, q.frame_digest);
         }
     }
 }

@@ -51,7 +51,10 @@ pub struct AcaOutput {
 impl AcaOutput {
     /// Total bytes this allocation occupies given per-layer entry sizes.
     pub fn bytes(&self, entry_bytes: &[usize]) -> usize {
-        self.layers.iter().map(|&j| entry_bytes[j] * self.hot_classes.len()).sum()
+        self.layers
+            .iter()
+            .map(|&j| entry_bytes[j] * self.hot_classes.len())
+            .sum()
     }
 
     /// Dense indicator matrix X (row-major classes × layers), as in the
@@ -127,7 +130,7 @@ pub fn select_layers(cfg: &CocaConfig, inputs: &AcaInputs<'_>, num_hot: usize) -
             if cfg.aca_per_byte {
                 zeta /= inputs.entry_bytes[j].max(1) as f64;
             }
-            if zeta > 0.0 && best.map_or(true, |(_, bz)| zeta > bz) {
+            if zeta > 0.0 && best.is_none_or(|(_, bz)| zeta > bz) {
                 best = Some((j, zeta));
             }
         }
@@ -157,7 +160,10 @@ pub fn select_layers(cfg: &CocaConfig, inputs: &AcaInputs<'_>, num_hot: usize) -
 pub fn allocate(cfg: &CocaConfig, inputs: &AcaInputs<'_>) -> AcaOutput {
     let hot_classes = select_hot_classes(cfg, inputs);
     let layers = select_layers(cfg, inputs, hot_classes.len());
-    AcaOutput { hot_classes, layers }
+    AcaOutput {
+        hot_classes,
+        layers,
+    }
 }
 
 #[cfg(test)]
@@ -266,7 +272,10 @@ mod tests {
         cfg.aca_deflation = false;
         let without = select_layers(&cfg, &inp, 1);
         assert_eq!(without[0], 1);
-        assert_eq!(without[1], 2, "without deflation the twin layer is double-counted");
+        assert_eq!(
+            without[1], 2,
+            "without deflation the twin layer is double-counted"
+        );
     }
 
     #[test]
@@ -303,7 +312,10 @@ mod tests {
 
     #[test]
     fn indicator_matrix_shape() {
-        let out = AcaOutput { hot_classes: vec![0, 2], layers: vec![1] };
+        let out = AcaOutput {
+            hot_classes: vec![0, 2],
+            layers: vec![1],
+        };
         let x = out.indicator(3, 2);
         assert_eq!(x, vec![false, true, false, false, false, true]);
     }

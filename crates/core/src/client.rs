@@ -176,7 +176,14 @@ impl CocaClient {
 
     /// Processes one frame: cached inference, status update, collection.
     pub fn process_frame(&mut self, rt: &ModelRuntime, frame: &Frame) -> InferenceResult {
-        let res = infer_with_cache(rt, &self.profile, frame, &self.cache, &self.cfg, &mut self.view);
+        let res = infer_with_cache(
+            rt,
+            &self.profile,
+            frame,
+            &self.cache,
+            &self.cfg,
+            &mut self.view,
+        );
 
         // Status tracks *predicted* classes — the client has no labels.
         self.status.observe(res.predicted);
@@ -200,7 +207,12 @@ impl CocaClient {
         // Collection rules (§IV.C).
         let miss_margin = res.full_prediction.as_ref().map(|p| p.margin);
         let hit_score = res.hit_point.map(|_| res.hit_score);
-        match absorb_rule(hit_score, miss_margin, self.cfg.gamma_collect, self.cfg.delta_collect) {
+        match absorb_rule(
+            hit_score,
+            miss_margin,
+            self.cfg.gamma_collect,
+            self.cfg.delta_collect,
+        ) {
             Some(AbsorbRule::Reinforce) => {
                 self.absorb.reinforced += 1;
                 if res.predicted == frame.class {
@@ -273,8 +285,7 @@ mod tests {
         let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
         let profile = ClientProfile::new(0, 0.2, 0.7, &seeds);
         let cfg = CocaConfig::for_model(ModelId::ResNet101);
-        let client =
-            CocaClient::new(0, cfg, &rt, profile, vec![0.1; rt.num_cache_points()]);
+        let client = CocaClient::new(0, cfg, &rt, profile, vec![0.1; rt.num_cache_points()]);
         let stream = StreamGenerator::new(
             StreamConfig::new(uniform_weights(20), 16.0),
             &SeedTree::new(51),

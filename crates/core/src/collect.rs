@@ -36,34 +36,31 @@ pub enum AbsorbRule {
 
 /// The client's sparse cache-update table.
 ///
-/// Serializes as a list of `(class, layer, vector)` triples — JSON (the
-/// TCP transport's payload format) cannot encode tuple-keyed maps.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Serializes as a sorted list of `(class, layer, vector)` triples — JSON
+/// (the TCP transport's payload format) cannot encode tuple-keyed maps —
+/// via the manual impls below.
+#[derive(Debug, Clone, Default)]
 pub struct UpdateTable {
     /// `(class, layer) → running unit-norm semantic center`.
-    #[serde(with = "entries_as_triples")]
     entries: HashMap<(u32, u32), Vec<f32>>,
 }
 
-mod entries_as_triples {
-    use super::*;
-    use serde::{Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(
-        map: &HashMap<(u32, u32), Vec<f32>>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
+impl Serialize for UpdateTable {
+    fn to_value(&self) -> serde::Value {
         let mut triples: Vec<(u32, u32, &Vec<f32>)> =
-            map.iter().map(|(&(c, l), v)| (c, l, v)).collect();
+            self.entries.iter().map(|(&(c, l), v)| (c, l, v)).collect();
+        // Sorted so the wire format is deterministic across HashMap states.
         triples.sort_by_key(|&(c, l, _)| (c, l));
-        serde::Serialize::serialize(&triples, ser)
+        triples.to_value()
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<HashMap<(u32, u32), Vec<f32>>, D::Error> {
-        let triples: Vec<(u32, u32, Vec<f32>)> = serde::Deserialize::deserialize(de)?;
-        Ok(triples.into_iter().map(|(c, l, v)| ((c, l), v)).collect())
+impl Deserialize for UpdateTable {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let triples: Vec<(u32, u32, Vec<f32>)> = Deserialize::from_value(v)?;
+        Ok(Self {
+            entries: triples.into_iter().map(|(c, l, v)| ((c, l), v)).collect(),
+        })
     }
 }
 
@@ -95,7 +92,9 @@ impl UpdateTable {
 
     /// The entry for `(class, layer)`, if any sample was absorbed.
     pub fn get(&self, class: usize, layer: usize) -> Option<&[f32]> {
-        self.entries.get(&(class as u32, layer as u32)).map(|v| v.as_slice())
+        self.entries
+            .get(&(class as u32, layer as u32))
+            .map(|v| v.as_slice())
     }
 
     /// Number of populated cells.
@@ -110,12 +109,16 @@ impl UpdateTable {
 
     /// Iterates populated cells as `(class, layer, vector)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &[f32])> {
-        self.entries.iter().map(|(&(c, l), v)| (c as usize, l as usize, v.as_slice()))
+        self.entries
+            .iter()
+            .map(|(&(c, l), v)| (c as usize, l as usize, v.as_slice()))
     }
 
     /// Drains the table for upload, leaving it empty for the next round.
     pub fn take(&mut self) -> UpdateTable {
-        UpdateTable { entries: std::mem::take(&mut self.entries) }
+        UpdateTable {
+            entries: std::mem::take(&mut self.entries),
+        }
     }
 
     /// Logical wire size: 8-byte key + dense f32 vector per cell.
@@ -206,7 +209,10 @@ mod tests {
     fn rules_match_paper_conditions() {
         let (g, d) = (0.10, 0.25);
         // Hit above Γ → reinforce; at/below Γ → nothing (even with margin).
-        assert_eq!(absorb_rule(Some(0.2), None, g, d), Some(AbsorbRule::Reinforce));
+        assert_eq!(
+            absorb_rule(Some(0.2), None, g, d),
+            Some(AbsorbRule::Reinforce)
+        );
         assert_eq!(absorb_rule(Some(0.05), Some(0.9), g, d), None);
         // Miss above Δ → expand; below → nothing.
         assert_eq!(absorb_rule(None, Some(0.3), g, d), Some(AbsorbRule::Expand));

@@ -112,7 +112,7 @@ impl CocaConfig {
 
     /// Validates ranges; engine constructors call this.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.theta > 0.0) {
+        if !(self.theta.is_finite() && self.theta > 0.0) {
             return Err(format!("theta must be positive, got {}", self.theta));
         }
         if !(0.0..1.0).contains(&self.alpha) {

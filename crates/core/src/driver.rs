@@ -1,0 +1,437 @@
+//! The generic virtual-time method engine (`MethodDriver` + [`drive`]).
+//!
+//! The paper compares CoCa against FoggyCache-, SMTM- and LearnedCache-
+//! style baselines under *identical* multi-client conditions. For those
+//! numbers to be apples-to-apples, every method must execute inside the
+//! same discrete-event loop: staggered client boots, link transfer delays,
+//! and a single server FIFO queue that prices contention. This module
+//! extracts that loop from the CoCa-specific engine so *any* method — the
+//! full CoCa protocol, FoggyCache's per-frame remote lookups, or a purely
+//! local cache policy — runs through one event loop and emits one report
+//! shape.
+//!
+//! A method implements [`MethodDriver`]; the engine owns the workload
+//! (frame streams from the shared [`Scenario`]), virtual time, the link
+//! and the server queue. Per round and client the engine:
+//!
+//! 1. asks the driver for an optional **cache request** (CoCa's §IV.A
+//!    step 1; purely local methods return `None` and boot straight into
+//!    frames);
+//! 2. prices request uplink, server FIFO queueing, driver-reported service
+//!    time and allocation downlink, then **installs** the allocation;
+//! 3. feeds `frames_per_round` frames through [`MethodDriver::process_frame`].
+//!    A frame may pause on a **server query** (FoggyCache's remote lookup):
+//!    the engine turns it into a real request/response event pair — uplink,
+//!    queue wait, service, downlink — and resumes the frame on delivery;
+//! 4. collects an optional end-of-round **upload** whose server-side merge
+//!    cost is attributed to the uploading client's summary.
+//!
+//! Determinism: all randomness derives from the scenario's [`SeedTree`],
+//! event ties break FIFO, and every consumed frame folds into an
+//! order-independent digest so tests can assert two methods saw
+//! byte-identical streams.
+
+use coca_data::{Frame, StreamGenerator};
+use coca_metrics::recorder::{LatencyRecorder, RunSummary};
+use coca_net::{LinkModel, ServerQueue, WireSize};
+use coca_sim::{EventQueue, SimDuration, SimTime};
+use rand::Rng;
+
+use crate::engine::{EngineReport, Scenario};
+
+/// What one fully processed frame cost and produced.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameOutcome {
+    /// Local virtual compute consumed by this step (excludes any network
+    /// wait, which the engine accounts from event timestamps).
+    pub compute: SimDuration,
+    /// Whether the emitted prediction matched the frame's ground truth.
+    pub correct: bool,
+    /// Cache point of the hit, `None` for a full inference / miss.
+    pub hit_point: Option<usize>,
+}
+
+/// Result of advancing one frame inside a driver.
+#[derive(Debug)]
+pub enum FrameStep<Q> {
+    /// The frame finished locally.
+    Done(FrameOutcome),
+    /// The frame needs the server: `elapsed` local compute was spent, then
+    /// `query` departs for the server. The engine delivers the reply to
+    /// [`MethodDriver::resume_frame`].
+    NeedServer {
+        /// Local compute consumed before the query left.
+        elapsed: SimDuration,
+        /// The query message (its [`WireSize`] prices the uplink).
+        query: Q,
+    },
+}
+
+/// An uninhabited message type for protocol slots a method does not use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoMsg {}
+
+impl WireSize for NoMsg {
+    fn wire_bytes(&self) -> usize {
+        match *self {}
+    }
+}
+
+/// One method (client fleet + server), plugged into the generic engine.
+///
+/// All methods on `&mut self`: a driver owns both the per-client and the
+/// server-side state of its method (FoggyCache's shared global store, the
+/// CoCa server's global table, …). `k` is the client index within the
+/// scenario.
+pub trait MethodDriver {
+    /// Round-start request (client → server).
+    type Request: WireSize;
+    /// Allocation answering a request (server → client).
+    type Alloc: WireSize;
+    /// Mid-frame query (client → server), e.g. FoggyCache remote lookup.
+    type Query: WireSize;
+    /// Reply to a mid-frame query (server → client).
+    type Reply: WireSize;
+    /// End-of-round upload (client → server).
+    type Upload: WireSize;
+
+    /// Method name as printed in tables.
+    fn name(&self) -> &str;
+
+    /// Client `k`'s round-start cache request; `None` for methods with no
+    /// allocation phase (they boot straight into frame processing).
+    fn cache_request(&mut self, _k: usize) -> Option<Self::Request> {
+        None
+    }
+
+    /// Server handling of a cache request: the allocation plus the server
+    /// compute charged to the FIFO queue.
+    fn serve_request(&mut self, _k: usize, _req: Self::Request) -> (Self::Alloc, SimDuration) {
+        unreachable!("driver returned a cache request but does not serve requests")
+    }
+
+    /// Installs a delivered allocation on client `k`.
+    fn install(&mut self, _k: usize, _alloc: Self::Alloc) {
+        unreachable!("driver returned a cache request but does not install allocations")
+    }
+
+    /// Processes the next frame on client `k`.
+    fn process_frame(&mut self, k: usize, frame: &Frame) -> FrameStep<Self::Query>;
+
+    /// Server handling of a mid-frame query: the reply plus the server
+    /// compute charged to the FIFO queue.
+    fn serve_query(&mut self, _k: usize, _query: Self::Query) -> (Self::Reply, SimDuration) {
+        unreachable!("driver issued a server query but does not serve queries")
+    }
+
+    /// Resumes client `k`'s paused frame once the reply arrives.
+    fn resume_frame(
+        &mut self,
+        _k: usize,
+        _frame: &Frame,
+        _reply: Self::Reply,
+    ) -> FrameStep<Self::Query> {
+        unreachable!("driver issued a server query but does not resume frames")
+    }
+
+    /// Client `k`'s end-of-round upload, if the method uploads anything.
+    fn end_round(&mut self, _k: usize) -> Option<Self::Upload> {
+        None
+    }
+
+    /// Server handling of an upload: the merge compute charged to the FIFO
+    /// queue (and attributed to client `k`'s summary).
+    fn serve_upload(&mut self, _k: usize, _upload: Self::Upload) -> SimDuration {
+        unreachable!("driver returned an upload but does not serve uploads")
+    }
+}
+
+/// Method-agnostic engine knobs: how long to run and what the network and
+/// boot pattern look like. Two methods compared under the same
+/// `DriveConfig` and [`Scenario`] face identical contention.
+#[derive(Debug, Clone, Copy)]
+pub struct DriveConfig {
+    /// Rounds each client executes.
+    pub rounds: usize,
+    /// Frames per round (CoCa's F; every method runs the same count).
+    pub frames_per_round: usize,
+    /// Client↔server link shared by all traffic.
+    pub link: LinkModel,
+    /// Clients boot uniformly at random within this window (ms).
+    pub boot_window_ms: f64,
+}
+
+impl DriveConfig {
+    /// Defaults: the paper's router-based WiFi testbed link and a 2 s boot
+    /// window.
+    pub fn new(rounds: usize, frames_per_round: usize) -> Self {
+        Self {
+            rounds,
+            frames_per_round,
+            link: LinkModel::default(),
+            boot_window_ms: 2_000.0,
+        }
+    }
+}
+
+/// SplitMix64 finalizer used by the frame digest.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-independent digest contribution of one consumed frame.
+fn frame_digest(k: usize, frame: &Frame) -> u64 {
+    let mut h = mix64(k as u64 ^ 0xC0CA);
+    h = mix64(h ^ frame.seq);
+    h = mix64(h ^ frame.class as u64);
+    h = mix64(h ^ frame.frame_seed);
+    h = mix64(h ^ frame.run_seed);
+    h = mix64(h ^ frame.difficulty.to_bits() as u64);
+    h
+}
+
+enum Ev<D: MethodDriver> {
+    /// A no-request client boots straight into its frames.
+    Begin { k: usize },
+    /// A cache request arrives at the server.
+    Request {
+        k: usize,
+        sent: SimTime,
+        req: D::Request,
+    },
+    /// An allocation reaches the client.
+    Deliver {
+        k: usize,
+        sent: SimTime,
+        alloc: D::Alloc,
+    },
+    /// A mid-frame query arrives at the server.
+    Query {
+        k: usize,
+        sent: SimTime,
+        query: D::Query,
+    },
+    /// A query reply reaches the client.
+    Reply {
+        k: usize,
+        sent: SimTime,
+        reply: D::Reply,
+    },
+    /// An end-of-round upload arrives at the server.
+    Upload { k: usize, upload: D::Upload },
+}
+
+/// Per-client engine-side bookkeeping.
+struct ClientState {
+    rounds_left: usize,
+    frames_done: usize,
+    /// A frame paused on a server query: the frame plus the local compute
+    /// and network wait accumulated so far.
+    pending: Option<(Frame, SimDuration)>,
+}
+
+struct Exec<D: MethodDriver> {
+    cfg: DriveConfig,
+    streams: Vec<StreamGenerator>,
+    events: EventQueue<Ev<D>>,
+    queue: ServerQueue,
+    st: Vec<ClientState>,
+    summaries: Vec<RunSummary>,
+    latency: LatencyRecorder,
+    response_latency: LatencyRecorder,
+    digest: u64,
+    end_time: SimTime,
+}
+
+impl<D: MethodDriver> Exec<D> {
+    fn record_frame(&mut self, k: usize, total: SimDuration, o: &FrameOutcome) {
+        self.summaries[k].latency.record(total);
+        self.summaries[k].accuracy.record(o.correct);
+        match o.hit_point {
+            Some(p) => self.summaries[k].hits.record_hit(p, o.correct),
+            None => self.summaries[k].hits.record_miss(o.correct),
+        }
+        self.latency.record(total);
+    }
+
+    /// Runs client `k`'s frames synchronously in virtual time starting at
+    /// `t`, until the round pauses on a server query or the client's
+    /// rounds are exhausted.
+    fn run_frames(&mut self, driver: &mut D, k: usize, mut t: SimTime) {
+        let link = self.cfg.link;
+        let f = self.cfg.frames_per_round;
+        loop {
+            if self.st[k].frames_done == f {
+                self.st[k].frames_done = 0;
+                self.st[k].rounds_left -= 1;
+                // The client is busy until its upload is handed to the
+                // link; the next request (or round) starts after that.
+                let mut free_at = t;
+                if let Some(upload) = driver.end_round(k) {
+                    free_at = t + link.transfer_time(upload.wire_bytes());
+                    self.events.schedule(free_at, Ev::Upload { k, upload });
+                }
+                if self.st[k].rounds_left == 0 {
+                    self.end_time = self.end_time.max(free_at);
+                    return;
+                }
+                t = free_at;
+                if let Some(req) = driver.cache_request(k) {
+                    self.events.schedule(
+                        t + link.transfer_time(req.wire_bytes()),
+                        Ev::Request { k, sent: t, req },
+                    );
+                    self.end_time = self.end_time.max(t);
+                    return;
+                }
+                continue;
+            }
+            let frame = self.streams[k].next_frame();
+            self.digest ^= frame_digest(k, &frame);
+            match driver.process_frame(k, &frame) {
+                FrameStep::Done(o) => {
+                    self.record_frame(k, o.compute, &o);
+                    t += o.compute;
+                    self.st[k].frames_done += 1;
+                }
+                FrameStep::NeedServer { elapsed, query } => {
+                    t += elapsed;
+                    self.st[k].pending = Some((frame, elapsed));
+                    self.events.schedule(
+                        t + link.transfer_time(query.wire_bytes()),
+                        Ev::Query { k, sent: t, query },
+                    );
+                    self.end_time = self.end_time.max(t);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Runs `driver` over `scenario` for `cfg.rounds × cfg.frames_per_round`
+/// frames per client and returns the aggregated report.
+pub fn drive<D: MethodDriver>(
+    scenario: &Scenario,
+    driver: &mut D,
+    cfg: &DriveConfig,
+) -> EngineReport {
+    let n = scenario.config().num_clients;
+    let l = scenario.rt.num_cache_points();
+    let mut exec: Exec<D> = Exec {
+        cfg: *cfg,
+        streams: (0..n).map(|k| scenario.stream(k)).collect(),
+        events: EventQueue::new(),
+        queue: ServerQueue::new(),
+        st: (0..n)
+            .map(|_| ClientState {
+                rounds_left: cfg.rounds,
+                frames_done: 0,
+                pending: None,
+            })
+            .collect(),
+        summaries: (0..n).map(|_| RunSummary::new(l)).collect(),
+        latency: LatencyRecorder::new(),
+        response_latency: LatencyRecorder::new(),
+        digest: 0,
+        end_time: SimTime::ZERO,
+    };
+
+    // Staggered boots (same seed path as the original CoCa-only engine).
+    let boot_seeds = scenario.seeds().child("boot");
+    for k in 0..n {
+        let mut rng = boot_seeds.child_idx("client", k as u64).rng();
+        let at = SimTime::from_millis_f64(rng.gen_range(0.0..cfg.boot_window_ms.max(1e-9)));
+        match driver.cache_request(k) {
+            Some(req) => exec.events.schedule(
+                at + cfg.link.transfer_time(req.wire_bytes()),
+                Ev::Request { k, sent: at, req },
+            ),
+            None => exec.events.schedule(at, Ev::Begin { k }),
+        }
+    }
+
+    while let Some(ev) = exec.events.pop() {
+        let now = ev.at;
+        exec.end_time = exec.end_time.max(now);
+        match ev.payload {
+            Ev::Begin { k } => exec.run_frames(driver, k, now),
+            Ev::Request { k, sent, req } => {
+                let (alloc, service) = driver.serve_request(k, req);
+                let done = exec.queue.serve(now, service);
+                exec.events.schedule(
+                    done.finish + cfg.link.transfer_time(alloc.wire_bytes()),
+                    Ev::Deliver { k, sent, alloc },
+                );
+            }
+            Ev::Deliver { k, sent, alloc } => {
+                exec.response_latency.record(now.saturating_since(sent));
+                driver.install(k, alloc);
+                exec.run_frames(driver, k, now);
+            }
+            Ev::Query { k, sent, query } => {
+                let (reply, service) = driver.serve_query(k, query);
+                let done = exec.queue.serve(now, service);
+                exec.events.schedule(
+                    done.finish + cfg.link.transfer_time(reply.wire_bytes()),
+                    Ev::Reply { k, sent, reply },
+                );
+            }
+            Ev::Reply { k, sent, reply } => {
+                exec.response_latency.record(now.saturating_since(sent));
+                let (frame, mut elapsed) = exec.st[k]
+                    .pending
+                    .take()
+                    .expect("reply without a paused frame");
+                elapsed += now.saturating_since(sent);
+                match driver.resume_frame(k, &frame, reply) {
+                    FrameStep::Done(o) => {
+                        exec.record_frame(k, elapsed + o.compute, &o);
+                        exec.st[k].frames_done += 1;
+                        exec.run_frames(driver, k, now + o.compute);
+                    }
+                    FrameStep::NeedServer {
+                        elapsed: more,
+                        query,
+                    } => {
+                        let t = now + more;
+                        exec.st[k].pending = Some((frame, elapsed + more));
+                        exec.events.schedule(
+                            t + cfg.link.transfer_time(query.wire_bytes()),
+                            Ev::Query { k, sent: t, query },
+                        );
+                    }
+                }
+            }
+            Ev::Upload { k, upload } => {
+                let service = driver.serve_upload(k, upload);
+                let svc = exec.queue.serve(now, service);
+                // Attribute the upload's queue sojourn (wait + merge
+                // compute) to the uploading client's summary.
+                exec.summaries[k].upload.record(svc.sojourn_since(now));
+            }
+        }
+    }
+
+    let mut hits = coca_metrics::HitRecorder::new(l);
+    let mut acc = coca_metrics::AccuracyRecorder::new();
+    for s in &exec.summaries {
+        hits.merge(&s.hits);
+        acc.merge(&s.accuracy);
+    }
+    EngineReport {
+        frames: exec.latency.count(),
+        mean_latency_ms: exec.latency.mean_ms(),
+        accuracy_pct: acc.accuracy_pct(),
+        hit_ratio: hits.hit_ratio(),
+        latency: exec.latency,
+        response_latency: exec.response_latency,
+        per_client: exec.summaries,
+        absorb: crate::client::AbsorbStats::default(),
+        frame_digest: exec.digest,
+        end_time: exec.end_time,
+    }
+}

@@ -1,27 +1,30 @@
-//! The virtual-time multi-client engine (§IV.A round workflow, §VI.C/I).
+//! The CoCa instantiation of the virtual-time engine (§IV.A round
+//! workflow, §VI.C/I) plus the workload model every method shares.
 //!
 //! Clients boot staggered, then loop: request cache → (link + server FIFO
 //! queue + link) → run F frames locally → upload collected updates →
-//! request again. All cross-device interaction resolves through a
-//! discrete-event queue, so runs are exactly reproducible.
+//! request again. All cross-device interaction resolves through the
+//! discrete-event loop in [`crate::driver`], so runs are exactly
+//! reproducible.
 //!
 //! [`Scenario`] pins down everything two *methods* must share to be
 //! comparable (model, feature universe, client drift profiles, class
 //! distributions, per-client streams); the baselines crate builds its
-//! drivers on the same scenario so CoCa and every baseline see identical
-//! frames.
+//! [`MethodDriver`](crate::driver::MethodDriver)s on the same scenario so
+//! CoCa and every baseline see byte-identical frames through the same
+//! event loop — [`EngineReport::frame_digest`] proves it per run.
 
 use coca_data::partition::{client_distributions, NonIidLevel};
-use coca_data::{DatasetSpec, StreamConfig, StreamGenerator};
+use coca_data::{DatasetSpec, Frame, StreamConfig, StreamGenerator};
 use coca_metrics::recorder::{LatencyRecorder, RunSummary};
 use coca_model::{ClientProfile, ModelId, ModelRuntime};
-use coca_net::{LinkModel, ServerQueue, WireSize};
-use coca_sim::{EventQueue, SeedTree, SimTime};
-use rand::Rng;
+use coca_net::LinkModel;
+use coca_sim::{SeedTree, SimDuration, SimTime};
 
 use crate::client::{AbsorbStats, CocaClient};
 use crate::config::CocaConfig;
-use crate::proto::{CacheAllocation, UpdateUpload};
+use crate::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
+use crate::proto::{CacheAllocation, CacheRequest, UpdateUpload};
 use crate::server::{CocaServer, ServiceCostModel};
 
 /// Everything that defines the *workload* (shared across methods).
@@ -108,7 +111,13 @@ impl Scenario {
             cfg.non_iid,
             &seeds.child("partition"),
         );
-        Self { rt, profiles, distributions, cfg, seeds }
+        Self {
+            rt,
+            profiles,
+            distributions,
+            cfg,
+            seeds,
+        }
     }
 
     /// The scenario's configuration.
@@ -125,7 +134,10 @@ impl Scenario {
     /// returns an identical generator — methods compared on this scenario
     /// consume byte-identical streams.
     pub fn stream(&self, k: usize) -> StreamGenerator {
-        let run = self.cfg.mean_run_length.unwrap_or(self.cfg.dataset.mean_run_length);
+        let run = self
+            .cfg
+            .mean_run_length
+            .unwrap_or(self.cfg.dataset.mean_run_length);
         StreamGenerator::new(
             StreamConfig::new(self.distributions[k].clone(), run),
             &self.seeds.child_idx("client-stream", k as u64),
@@ -140,8 +152,10 @@ pub struct EngineConfig {
     pub coca: CocaConfig,
     /// Rounds each client executes.
     pub rounds: usize,
-    /// Client↔server link. The default models the paper's testbed: WiFi
-    /// through a router plus the Docker/MPI stack — tens of ms round trip.
+    /// Client↔server link. The default is the paper's router-based WiFi
+    /// testbed model (≈2 ms one-way, 150 Mbit/s goodput), shared with
+    /// every baseline driver so cross-method numbers price the same
+    /// network.
     pub link: LinkModel,
     /// Server-side service costs.
     pub costs: ServiceCostModel,
@@ -150,17 +164,30 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
-    /// Defaults used by the experiments.
+    /// Defaults used by the experiments. The link is the shared
+    /// [`LinkModel::default`] testbed model (≈2 ms one-way, 150 Mbit/s) —
+    /// the *same* link every baseline driver runs under, so cross-method
+    /// latency numbers price identical network conditions.
     pub fn new(coca: CocaConfig) -> Self {
+        // Network/boot defaults come from DriveConfig so CoCa and the
+        // baseline runners share a single source of truth.
+        let shared = DriveConfig::new(10, coca.round_frames);
         Self {
             coca,
-            rounds: 10,
-            link: LinkModel {
-                one_way_delay: coca_sim::SimDuration::from_millis_f64(18.0),
-                bandwidth_bps: 150.0e6,
-            },
+            rounds: shared.rounds,
+            link: shared.link,
             costs: ServiceCostModel::default(),
-            boot_window_ms: 2_000.0,
+            boot_window_ms: shared.boot_window_ms,
+        }
+    }
+
+    /// The method-agnostic engine knobs this configuration induces.
+    pub fn drive_config(&self) -> DriveConfig {
+        DriveConfig {
+            rounds: self.rounds,
+            frames_per_round: self.coca.round_frames,
+            link: self.link,
+            boot_window_ms: self.boot_window_ms,
         }
     }
 }
@@ -183,19 +210,65 @@ pub struct EngineReport {
     pub response_latency: LatencyRecorder,
     /// Per-client summaries.
     pub per_client: Vec<RunSummary>,
-    /// Collection-rule accounting summed over clients.
+    /// Collection-rule accounting summed over clients (CoCa only; zeroed
+    /// for methods without collection rules).
     pub absorb: AbsorbStats,
+    /// Order-independent digest of every `(client, frame)` consumed. Two
+    /// methods run over the same scenario and length must agree exactly —
+    /// the cross-method fairness invariant.
+    pub frame_digest: u64,
     /// Virtual instant the last event completed.
     pub end_time: SimTime,
 }
 
-enum Ev {
-    /// A cache request arrives at the server.
-    Request { k: usize, sent: SimTime },
-    /// An allocation reaches the client.
-    Deliver { k: usize, alloc: CacheAllocation, sent: SimTime },
-    /// An upload arrives at the server.
-    Update { k: usize, upload: UpdateUpload },
+/// The CoCa protocol as a [`MethodDriver`]: requests/allocations/uploads
+/// flow through the generic event loop; frames never query the server
+/// mid-inference (CoCa resolves lookups locally).
+struct CocaDriver<'a> {
+    rt: &'a ModelRuntime,
+    server: &'a mut CocaServer,
+    clients: &'a mut [CocaClient],
+}
+
+impl MethodDriver for CocaDriver<'_> {
+    type Request = CacheRequest;
+    type Alloc = CacheAllocation;
+    type Query = NoMsg;
+    type Reply = NoMsg;
+    type Upload = UpdateUpload;
+
+    fn name(&self) -> &str {
+        "CoCa"
+    }
+
+    fn cache_request(&mut self, k: usize) -> Option<CacheRequest> {
+        Some(self.clients[k].cache_request())
+    }
+
+    fn serve_request(&mut self, _k: usize, req: CacheRequest) -> (CacheAllocation, SimDuration) {
+        self.server.handle_request(&req)
+    }
+
+    fn install(&mut self, k: usize, alloc: CacheAllocation) {
+        self.clients[k].install_cache(alloc.cache);
+    }
+
+    fn process_frame(&mut self, k: usize, frame: &Frame) -> FrameStep<NoMsg> {
+        let res = self.clients[k].process_frame(self.rt, frame);
+        FrameStep::Done(FrameOutcome {
+            compute: res.latency,
+            correct: res.correct,
+            hit_point: res.hit_point,
+        })
+    }
+
+    fn end_round(&mut self, k: usize) -> Option<UpdateUpload> {
+        Some(self.clients[k].end_round())
+    }
+
+    fn serve_upload(&mut self, _k: usize, upload: UpdateUpload) -> SimDuration {
+        self.server.handle_update(&upload)
+    }
 }
 
 /// The multi-client CoCa engine.
@@ -204,7 +277,6 @@ pub struct Engine {
     cfg: EngineConfig,
     server: CocaServer,
     clients: Vec<CocaClient>,
-    streams: Vec<StreamGenerator>,
 }
 
 impl Engine {
@@ -213,8 +285,11 @@ impl Engine {
         if cfg.coca.cache_budget_bytes == 0 {
             // Auto budget: 1/8 of the full cache (paper's Fig. 1(a) sweet
             // spot is near 10 %).
-            cfg.coca.cache_budget_bytes =
-                scenario.rt.arch().full_cache_bytes(scenario.rt.num_classes()) / 8;
+            cfg.coca.cache_budget_bytes = scenario
+                .rt
+                .arch()
+                .full_cache_bytes(scenario.rt.num_classes())
+                / 8;
         }
         let mut server = CocaServer::new(&scenario.rt, cfg.coca, scenario.seeds());
         server.set_costs(cfg.costs);
@@ -232,9 +307,12 @@ impl Engine {
                 )
             })
             .collect();
-        let streams: Vec<StreamGenerator> =
-            (0..scenario.cfg.num_clients).map(|k| scenario.stream(k)).collect();
-        Self { scenario, cfg, server, clients, streams }
+        Self {
+            scenario,
+            cfg,
+            server,
+            clients,
+        }
     }
 
     /// The underlying scenario.
@@ -247,99 +325,23 @@ impl Engine {
         &self.server
     }
 
-    /// Runs every client for the configured number of rounds and returns
-    /// the aggregated report.
+    /// Runs every client for the configured number of rounds through the
+    /// generic event loop and returns the aggregated report.
     pub fn run(&mut self) -> EngineReport {
-        let n = self.clients.len();
-        let f = self.cfg.coca.round_frames;
-        let link = self.cfg.link;
-        let mut queue = ServerQueue::new();
-        let mut events: EventQueue<Ev> = EventQueue::new();
-        let mut rounds_left = vec![self.cfg.rounds; n];
-        let mut latency = LatencyRecorder::new();
-        let mut response_latency = LatencyRecorder::new();
-        let mut end_time = SimTime::ZERO;
-
-        // Staggered boots.
-        let boot_seeds = self.scenario.seeds().child("boot");
-        for k in 0..n {
-            let mut rng = boot_seeds.child_idx("client", k as u64).rng();
-            let at = SimTime::from_millis_f64(rng.gen_range(0.0..self.cfg.boot_window_ms.max(1e-9)));
-            let req = self.clients[k].cache_request();
-            events.schedule(at + link.transfer_time(req.wire_bytes()), Ev::Request { k, sent: at });
-        }
-
-        while let Some(ev) = events.pop() {
-            let now = ev.at;
-            end_time = end_time.max(now);
-            match ev.payload {
-                Ev::Request { k, sent } => {
-                    let req = self.clients[k].cache_request();
-                    let (alloc, service) = self.server.handle_request(&req);
-                    let done = queue.serve(now, service);
-                    let deliver_at = done.finish + link.transfer_time(alloc.wire_bytes());
-                    events.schedule(deliver_at, Ev::Deliver { k, alloc, sent });
-                }
-                Ev::Deliver { k, alloc, sent } => {
-                    response_latency.record(now.saturating_since(sent));
-                    self.clients[k].install_cache(alloc.cache);
-                    // Run the round synchronously in virtual time.
-                    let mut round_time = coca_sim::SimDuration::ZERO;
-                    for _ in 0..f {
-                        let frame = self.streams[k].next_frame();
-                        let res = self.clients[k].process_frame(&self.scenario.rt, &frame);
-                        latency.record(res.latency);
-                        round_time += res.latency;
-                    }
-                    let t_end = now + round_time;
-                    let upload = self.clients[k].end_round();
-                    let upload_bytes = upload.wire_bytes();
-                    events.schedule(t_end + link.transfer_time(upload_bytes), Ev::Update {
-                        k,
-                        upload,
-                    });
-                    rounds_left[k] -= 1;
-                    if rounds_left[k] > 0 {
-                        // The next request leaves once the upload is out.
-                        let req_sent = t_end + link.transfer_time(upload_bytes);
-                        let req = self.clients[k].cache_request();
-                        events.schedule(
-                            req_sent + link.transfer_time(req.wire_bytes()),
-                            Ev::Request { k, sent: req_sent },
-                        );
-                    }
-                }
-                Ev::Update { k, upload } => {
-                    let _ = k;
-                    let service = self.server.handle_update(&upload);
-                    queue.serve(now, service);
-                }
-            }
-        }
-
-        let per_client: Vec<RunSummary> =
-            self.clients.iter().map(|c| c.summary().clone()).collect();
+        let drive_cfg = self.cfg.drive_config();
+        let mut driver = CocaDriver {
+            rt: &self.scenario.rt,
+            server: &mut self.server,
+            clients: &mut self.clients,
+        };
+        let mut report = drive(&self.scenario, &mut driver, &drive_cfg);
+        // CoCa-specific accounting the generic loop cannot see.
         let mut absorb = AbsorbStats::default();
         for c in &self.clients {
             absorb.merge(c.absorb_stats());
         }
-        let mut hits = coca_metrics::HitRecorder::new(self.scenario.rt.num_cache_points());
-        let mut acc = coca_metrics::AccuracyRecorder::new();
-        for s in &per_client {
-            hits.merge(&s.hits);
-            acc.merge(&s.accuracy);
-        }
-        EngineReport {
-            frames: latency.count(),
-            mean_latency_ms: latency.mean_ms(),
-            accuracy_pct: acc.accuracy_pct(),
-            hit_ratio: hits.hit_ratio(),
-            latency,
-            response_latency,
-            per_client,
-            absorb,
-            end_time,
-        }
+        report.absorb = absorb;
+        report
     }
 }
 
@@ -349,8 +351,7 @@ mod tests {
     use coca_model::ModelId;
 
     fn small_scenario(seed: u64) -> Scenario {
-        let mut cfg =
-            ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        let mut cfg = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
         cfg.num_clients = 4;
         cfg.seed = seed;
         Scenario::build(cfg)
@@ -411,8 +412,7 @@ mod tests {
     #[test]
     fn more_clients_increase_response_latency() {
         let mk = |n: usize| {
-            let mut cfg =
-                ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+            let mut cfg = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
             cfg.num_clients = n;
             cfg.seed = 75;
             let mut e = engine_cfg(2);

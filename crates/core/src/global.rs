@@ -32,7 +32,12 @@ impl GlobalCacheTable {
     /// An empty `classes × layers` table.
     pub fn new(classes: usize, layers: usize) -> Self {
         assert!(classes > 0 && layers > 0, "degenerate global cache shape");
-        Self { classes, layers, entries: vec![None; classes * layers], frequency: vec![0; classes] }
+        Self {
+            classes,
+            layers,
+            entries: vec![None; classes * layers],
+            frequency: vec![0; classes],
+        }
     }
 
     /// Number of class rows.
@@ -230,7 +235,7 @@ mod tests {
         assert_eq!(cache.num_layers(), 2);
         assert_eq!(cache.layers()[0].len(), 2); // classes 0 and 2 at layer 1
         assert_eq!(cache.layers()[1].len(), 1); // only class 0 at layer 2
-        // Requesting an entirely empty layer yields no activated layer.
+                                                // Requesting an entirely empty layer yields no activated layer.
         let cache = t.extract(&[0], &[0, 1, 2, 3]);
         assert_eq!(cache.num_layers(), 0);
     }

@@ -23,13 +23,20 @@
 //! * [`proto`] — serializable client↔server messages with logical wire
 //!   sizes (drives both the simulated links and the TCP deployment).
 //! * [`client`] / [`server`] — the two runtimes (§IV.A workflow).
-//! * [`engine`] — the virtual-time multi-client engine: staggered rounds,
-//!   link transfers, server FIFO queueing (§VI.C/I).
+//! * [`driver`] — the **generic virtual-time engine**: the
+//!   [`MethodDriver`](driver::MethodDriver) trait any method implements,
+//!   and the [`drive`](driver::drive) event loop that prices staggered
+//!   boots, link transfers, server FIFO queueing and per-frame server
+//!   queries identically for every method (§VI.C/I).
+//! * [`engine`] — the shared workload model ([`engine::Scenario`]) and the
+//!   CoCa instantiation of the generic engine ([`engine::Engine`]); the
+//!   baselines crate plugs its own drivers into the same loop.
 
 pub mod aca;
 pub mod client;
 pub mod collect;
 pub mod config;
+pub mod driver;
 pub mod engine;
 pub mod global;
 pub mod lookup;
@@ -41,6 +48,7 @@ pub mod status;
 pub use aca::{allocate, AcaInputs, AcaOutput};
 pub use client::{ClientReport, CocaClient};
 pub use config::CocaConfig;
+pub use driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
 pub use engine::{Engine, EngineConfig, EngineReport};
 pub use global::GlobalCacheTable;
 pub use lookup::{infer_with_cache, InferenceResult};

@@ -206,7 +206,7 @@ mod tests {
         let mut hits = 0usize;
         let mut total_ms = 0.0;
         for f in &fs {
-            let r = infer_with_cache(&rt, &client, &f, &cache, &cfg, &mut view);
+            let r = infer_with_cache(&rt, &client, f, &cache, &cfg, &mut view);
             if r.is_hit() {
                 hits += 1;
                 assert!(r.hit_score > cfg.theta);
@@ -238,9 +238,7 @@ mod tests {
             let mut view = ClientFeatureView::new();
             let cfg = cfg.with_theta(theta);
             fs.iter()
-                .filter(|f| {
-                    infer_with_cache(&rt, &client, f, &cache, &cfg, &mut view).is_hit()
-                })
+                .filter(|f| infer_with_cache(&rt, &client, f, &cache, &cfg, &mut view).is_hit())
                 .count()
         };
         let low = count_hits(0.004);
@@ -314,6 +312,9 @@ mod tests {
                 hits_two += 1;
             }
         }
-        assert!(hits_two >= hits_one, "two layers {hits_two} vs one {hits_one}");
+        assert!(
+            hits_two >= hits_one,
+            "two layers {hits_two} vs one {hits_one}"
+        );
     }
 }

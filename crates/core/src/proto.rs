@@ -45,8 +45,12 @@ impl WireSize for CacheAllocation {
     fn wire_bytes(&self) -> usize {
         // Entries dominate; plus a small header per layer (point id + class
         // ids).
-        let headers: usize =
-            self.cache.layers().iter().map(|l| 8 + 4 * l.classes.len()).sum();
+        let headers: usize = self
+            .cache
+            .layers()
+            .iter()
+            .map(|l| 8 + 4 * l.classes.len())
+            .sum();
         8 + headers + self.cache.total_bytes()
     }
 }
@@ -100,8 +104,10 @@ mod tests {
         let mut layer = CacheLayer::new(3);
         layer.insert(0, vec![1.0, 0.0, 0.0, 0.0]);
         layer.insert(1, vec![0.0, 1.0, 0.0, 0.0]);
-        let alloc =
-            CacheAllocation { round: 2, cache: LocalCache::from_layers(vec![layer]) };
+        let alloc = CacheAllocation {
+            round: 2,
+            cache: LocalCache::from_layers(vec![layer]),
+        };
         // 8 (round) + 8 (layer header) + 2 class ids + 2 entries × 16 B.
         assert_eq!(alloc.wire_bytes(), 8 + 8 + 8 + 32);
     }
@@ -118,6 +124,6 @@ mod tests {
         let back: UpdateUpload = serde_json::from_str(&json).unwrap();
         assert_eq!(back.client_id, 3);
         assert_eq!(back.frequency, vec![1, 2, 3]);
-        assert_eq!(up.wire_bytes(), 8 + 8 + 0 + 12);
+        assert_eq!(up.wire_bytes(), (8 + 8) + 12);
     }
 }

@@ -21,7 +21,11 @@ pub struct CacheLayer {
 impl CacheLayer {
     /// An empty activated layer at model point `point`.
     pub fn new(point: usize) -> Self {
-        Self { point, classes: Vec::new(), vectors: Vec::new() }
+        Self {
+            point,
+            classes: Vec::new(),
+            vectors: Vec::new(),
+        }
     }
 
     /// Adds (or replaces) the entry for `class`.
@@ -85,7 +89,11 @@ impl LocalCache {
     pub fn from_layers(mut layers: Vec<CacheLayer>) -> Self {
         layers.sort_by_key(|l| l.point);
         for w in layers.windows(2) {
-            assert_ne!(w[0].point, w[1].point, "duplicate cache layer at point {}", w[0].point);
+            assert_ne!(
+                w[0].point, w[1].point,
+                "duplicate cache layer at point {}",
+                w[0].point
+            );
         }
         Self { layers }
     }
@@ -117,8 +125,11 @@ impl LocalCache {
 
     /// The union of cached classes across layers (sorted, deduplicated).
     pub fn cached_classes(&self) -> Vec<usize> {
-        let mut all: Vec<usize> =
-            self.layers.iter().flat_map(|l| l.classes.iter().copied()).collect();
+        let mut all: Vec<usize> = self
+            .layers
+            .iter()
+            .flat_map(|l| l.classes.iter().copied())
+            .collect();
         all.sort_unstable();
         all.dedup();
         all

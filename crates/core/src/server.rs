@@ -6,9 +6,9 @@
 
 use coca_data::distribution::uniform_weights;
 use coca_data::{StreamConfig, StreamGenerator};
-use rand::Rng;
 use coca_model::{ClientFeatureView, ClientProfile, ModelRuntime};
 use coca_sim::{SeedTree, SimDuration};
+use rand::Rng;
 
 use crate::aca::{allocate, AcaInputs, AcaOutput};
 use crate::config::CocaConfig;
@@ -40,7 +40,12 @@ pub struct ServiceCostModel {
 
 impl Default for ServiceCostModel {
     fn default() -> Self {
-        Self { alloc_base_ms: 5.0, alloc_per_kb_ms: 0.012, update_base_ms: 2.5, update_per_kb_ms: 0.02 }
+        Self {
+            alloc_base_ms: 5.0,
+            alloc_per_kb_ms: 0.012,
+            update_base_ms: 2.5,
+            update_per_kb_ms: 0.02,
+        }
     }
 }
 
@@ -136,9 +141,11 @@ pub fn profile_hit_ratios(
         }
     }
     let mut base_hit_profile = Vec::with_capacity(l);
-    let mut cumulative = 0.0;
+    let mut cumulative = 0.0f64;
     for &h in &hits {
-        cumulative += h as f64 / PROFILE_FRAMES as f64;
+        // A ratio, so never above 1; the clamp guards against the float
+        // accumulation creeping past it when every profile frame hits.
+        cumulative = (cumulative + h as f64 / PROFILE_FRAMES as f64).min(1.0);
         base_hit_profile.push(cumulative);
     }
     base_hit_profile
@@ -151,8 +158,9 @@ impl CocaServer {
         cfg.validate().expect("invalid CoCa configuration");
         let l = rt.num_cache_points();
         let global = seed_global_table(rt, seeds);
-        let saved_ms: Vec<f64> =
-            (0..l).map(|j| rt.saved_if_hit_at(j).as_millis_f64()).collect();
+        let saved_ms: Vec<f64> = (0..l)
+            .map(|j| rt.saved_if_hit_at(j).as_millis_f64())
+            .collect();
         let entry_bytes: Vec<usize> = (0..l).map(|j| rt.entry_bytes(j)).collect();
         let base_hit_profile = profile_hit_ratios(rt, &cfg, &global, seeds);
 
@@ -219,7 +227,10 @@ impl CocaServer {
                         },
                         hot.len(),
                     );
-                    AcaOutput { hot_classes: hot, layers }
+                    AcaOutput {
+                        hot_classes: hot,
+                        layers,
+                    }
                 })
                 .clone()
         };
@@ -231,7 +242,13 @@ impl CocaServer {
         let service = SimDuration::from_millis_f64(
             self.costs.alloc_base_ms + self.costs.alloc_per_kb_ms * kb,
         );
-        (CacheAllocation { round: req.round, cache }, service)
+        (
+            CacheAllocation {
+                round: req.round,
+                cache,
+            },
+            service,
+        )
     }
 
     /// Merges one client upload (global cache updates, Eq. 4/5). When GCU
@@ -239,7 +256,8 @@ impl CocaServer {
     pub fn handle_update(&mut self, up: &UpdateUpload) -> SimDuration {
         let kb = up.table.wire_bytes() as f64 / 1024.0;
         if self.cfg.enable_gcu {
-            self.global.merge_update(&up.table, &up.frequency, self.cfg.gamma_global);
+            self.global
+                .merge_update(&up.table, &up.frequency, self.cfg.gamma_global);
         } else {
             self.global.merge_update(
                 &crate::collect::UpdateTable::new(),
@@ -294,7 +312,11 @@ mod tests {
     #[test]
     fn seeding_populates_global_cache() {
         let (_, server) = server();
-        assert!(server.global().fill_ratio() > 0.95, "fill {}", server.global().fill_ratio());
+        assert!(
+            server.global().fill_ratio() > 0.95,
+            "fill {}",
+            server.global().fill_ratio()
+        );
         assert!(server.global().frequency().iter().all(|&f| f > 0));
     }
 
@@ -302,7 +324,10 @@ mod tests {
     fn base_hit_profile_is_cumulative_and_nontrivial() {
         let (_, server) = server();
         let prof = server.base_hit_profile();
-        assert!(prof.windows(2).all(|w| w[1] + 1e-12 >= w[0]), "must be non-decreasing");
+        assert!(
+            prof.windows(2).all(|w| w[1] + 1e-12 >= w[0]),
+            "must be non-decreasing"
+        );
         let last = *prof.last().unwrap();
         assert!(last > 0.3, "overall hit ratio on shared data {last}");
         assert!(last <= 1.0);
@@ -336,10 +361,18 @@ mod tests {
         table.absorb(3, layer, &v, 0.0);
         let mut phi = vec![0u32; rt.num_classes()];
         phi[3] = 100_000;
-        let up = UpdateUpload { client_id: 0, round: 0, table, frequency: phi };
+        let up = UpdateUpload {
+            client_id: 0,
+            round: 0,
+            table,
+            frequency: phi,
+        };
         server.handle_update(&up);
         let after = server.global().get(3, layer).unwrap().to_vec();
-        assert!(coca_math::cosine(&before, &after) < 0.999, "entry did not move");
+        assert!(
+            coca_math::cosine(&before, &after) < 0.999,
+            "entry did not move"
+        );
         assert!(server.global().frequency()[3] > 100_000);
     }
 
@@ -364,7 +397,11 @@ mod tests {
         };
         let (alloc, _) = server.handle_request(&req);
         for l in alloc.cache.layers() {
-            assert_eq!(l.len(), rt.num_classes(), "static allocation caches all classes");
+            assert_eq!(
+                l.len(),
+                rt.num_classes(),
+                "static allocation caches all classes"
+            );
         }
     }
 }

@@ -28,7 +28,10 @@ impl ClientStatus {
     /// Fresh status for `num_classes` classes. All timestamps start at the
     /// cap ("never seen"), so unseen classes score minimally in ACA.
     pub fn new(num_classes: usize) -> Self {
-        Self { timestamps: vec![TAU_CAP; num_classes], frequency: vec![0; num_classes] }
+        Self {
+            timestamps: vec![TAU_CAP; num_classes],
+            frequency: vec![0; num_classes],
+        }
     }
 
     /// Records one inference whose (predicted) class is `class`.

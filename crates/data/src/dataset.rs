@@ -100,7 +100,11 @@ impl DatasetSpec {
     /// # Panics
     /// Panics if `n` is zero or exceeds the class count.
     pub fn subset(&self, n: usize) -> DatasetSpec {
-        assert!(n > 0 && n <= self.num_classes, "invalid subset size {n} of {}", self.num_classes);
+        assert!(
+            n > 0 && n <= self.num_classes,
+            "invalid subset size {n} of {}",
+            self.num_classes
+        );
         let mut out = self.clone();
         out.num_classes = n;
         out.name = format!("{}-{}", self.id.name(), n);

@@ -28,7 +28,9 @@ pub fn long_tail_weights(n: usize, rho: f64) -> Vec<f64> {
     if n == 1 {
         return vec![1.0];
     }
-    let mut w: Vec<f64> = (0..n).map(|i| rho.powf(-(i as f64) / (n as f64 - 1.0))).collect();
+    let mut w: Vec<f64> = (0..n)
+        .map(|i| rho.powf(-(i as f64) / (n as f64 - 1.0)))
+        .collect();
     let sum: f64 = w.iter().sum();
     for x in &mut w {
         *x /= sum;
@@ -120,7 +122,10 @@ mod tests {
         for &shape in &[0.3f64, 1.0, 4.5] {
             let n = 20_000;
             let mean: f64 = (0..n).map(|_| gamma(&mut rng, shape)).sum::<f64>() / n as f64;
-            assert!((mean - shape).abs() < 0.1 * shape.max(0.5), "shape {shape}: mean {mean}");
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(0.5),
+                "shape {shape}: mean {mean}"
+            );
         }
     }
 
@@ -143,9 +148,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(13);
         let mean_max = |alpha: f64, rng: &mut SmallRng| -> f64 {
             let a = vec![alpha; 10];
-            (0..200).map(|_| {
-                dirichlet(rng, &a).into_iter().fold(f64::MIN, f64::max)
-            }).sum::<f64>() / 200.0
+            (0..200)
+                .map(|_| dirichlet(rng, &a).into_iter().fold(f64::MIN, f64::max))
+                .sum::<f64>()
+                / 200.0
         };
         let skewed = mean_max(0.1, &mut rng);
         let flat = mean_max(10.0, &mut rng);

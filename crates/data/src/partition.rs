@@ -45,7 +45,10 @@ pub fn client_distributions(
     assert!(num_clients > 0, "need at least one client");
     assert!(!global.is_empty(), "empty global distribution");
     let sum: f64 = global.iter().sum();
-    assert!((sum - 1.0).abs() < 1e-6, "global distribution must sum to 1, got {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "global distribution must sum to 1, got {sum}"
+    );
 
     if level.is_iid() {
         return vec![global.to_vec(); num_clients];
@@ -53,7 +56,10 @@ pub fn client_distributions(
     let concentration = global.len() as f64 / level.0;
     // Floor each alpha so Gamma sampling stays numerically sane even for
     // near-zero-popularity tail classes.
-    let alpha: Vec<f64> = global.iter().map(|&g| (concentration * g).max(1e-3)).collect();
+    let alpha: Vec<f64> = global
+        .iter()
+        .map(|&g| (concentration * g).max(1e-3))
+        .collect();
     (0..num_clients)
         .map(|k| {
             let mut rng = seeds.rng_for_idx("partition", k as u64);
@@ -90,7 +96,11 @@ mod tests {
         let seeds = SeedTree::new(2);
         let mean_tv = |p: f64| -> f64 {
             let parts = client_distributions(&global, 10, NonIidLevel(p), &seeds);
-            parts.iter().map(|d| total_variation(d, &global)).sum::<f64>() / parts.len() as f64
+            parts
+                .iter()
+                .map(|d| total_variation(d, &global))
+                .sum::<f64>()
+                / parts.len() as f64
         };
         let tv1 = mean_tv(1.0);
         let tv10 = mean_tv(10.0);

@@ -104,7 +104,10 @@ impl StreamConfig {
     /// A stream over `class_weights` with the given mean run length and
     /// default difficulty mixture.
     pub fn new(class_weights: Vec<f64>, mean_run_length: f64) -> Self {
-        assert!(!class_weights.is_empty(), "StreamConfig: empty class weights");
+        assert!(
+            !class_weights.is_empty(),
+            "StreamConfig: empty class weights"
+        );
         assert!(mean_run_length >= 1.0, "mean run length must be ≥ 1");
         Self {
             class_weights,
@@ -229,7 +232,11 @@ impl StreamGenerator {
             self.start_run();
         }
         let d = &self.cfg.difficulty;
-        let factor = if self.run_pos == 0 { d.run_start_factor } else { d.run_follow_factor };
+        let factor = if self.run_pos == 0 {
+            d.run_start_factor
+        } else {
+            d.run_follow_factor
+        };
         let jitter: f32 = self.rng.gen_range(0.9..1.1);
         let frame = Frame {
             seq: self.seq,
@@ -304,13 +311,17 @@ mod tests {
         g.cfg.forbid_immediate_repeat = false;
         g.cfg.recurrence_prob = 0.0;
         let frames = g.take(100_000);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for f in &frames {
             counts[f.class] += 1;
         }
         for (i, &c) in counts.iter().enumerate() {
             let emp = c as f64 / frames.len() as f64;
-            assert!((emp - w[i]).abs() < 0.01, "class {i}: emp {emp} vs {}", w[i]);
+            assert!(
+                (emp - w[i]).abs() < 0.01,
+                "class {i}: emp {emp} vs {}",
+                w[i]
+            );
         }
     }
 
@@ -319,8 +330,11 @@ mod tests {
         let mut g = gen(uniform_weights(5), 10.0, 4);
         let frames = g.take(20_000);
         let mean = |pred: &dyn Fn(&Frame) -> bool| -> f64 {
-            let xs: Vec<f64> =
-                frames.iter().filter(|f| pred(f)).map(|f| f.difficulty as f64).collect();
+            let xs: Vec<f64> = frames
+                .iter()
+                .filter(|f| pred(f))
+                .map(|f| f.difficulty as f64)
+                .collect();
             xs.iter().sum::<f64>() / xs.len() as f64
         };
         let start = mean(&|f: &Frame| f.run_pos == 0);

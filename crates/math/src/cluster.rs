@@ -57,7 +57,11 @@ pub fn center_separation(
     }
     let intra = intra_sum / n as f64;
     let inter = inter_sum / n as f64;
-    Some(SeparationReport { intra, inter, gap: intra - inter })
+    Some(SeparationReport {
+        intra,
+        inter,
+        gap: intra - inter,
+    })
 }
 
 /// Cosine-distance silhouette score in [-1, 1]; larger means tighter,
@@ -107,11 +111,14 @@ pub fn silhouette_cosine(samples: &[(usize, Vec<f32>)]) -> Option<f64> {
                 .filter(|(_, (c, _))| *c == other)
                 .map(|(j, _)| j)
                 .collect();
-            let mean =
-                members.iter().map(|&j| dist[i * n + j]).sum::<f64>() / members.len() as f64;
+            let mean = members.iter().map(|&j| dist[i * n + j]).sum::<f64>() / members.len() as f64;
             b = b.min(mean);
         }
-        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        let s = if a.max(b) > 0.0 {
+            (b - a) / a.max(b)
+        } else {
+            0.0
+        };
         total += s;
     }
     Some(total / n as f64)

@@ -78,7 +78,11 @@ impl Pca {
             components.push(v);
             eigenvalues.push(lambda);
         }
-        Pca { components, mean, eigenvalues }
+        Pca {
+            components,
+            mean,
+            eigenvalues,
+        }
     }
 
     /// Projects one sample onto the fitted components.
@@ -97,7 +101,11 @@ mod tests {
     fn recovers_dominant_axis() {
         // Data stretched along (1,1,0)/sqrt(2), tiny noise elsewhere.
         let mut rng = SmallRng::seed_from_u64(5);
-        let axis = [std::f32::consts::FRAC_1_SQRT_2, std::f32::consts::FRAC_1_SQRT_2, 0.0];
+        let axis = [
+            std::f32::consts::FRAC_1_SQRT_2,
+            std::f32::consts::FRAC_1_SQRT_2,
+            0.0,
+        ];
         let rows: Vec<Vec<f32>> = (0..200)
             .map(|_| {
                 let t: f32 = rng.gen_range(-3.0..3.0);
@@ -131,7 +139,7 @@ mod tests {
 
     #[test]
     fn projection_of_mean_is_origin() {
-        let rows = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        let rows = [vec![1.0f32, 2.0], vec![3.0, 4.0]];
         let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
         let pca = Pca::fit(&refs, 1, 20);
         let p = pca.project(&[2.0, 3.0]);

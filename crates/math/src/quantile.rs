@@ -83,12 +83,12 @@ impl P2Quantile {
             if (d >= 1.0 && step_right > 1.0) || (d <= -1.0 && step_left < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += d;
             }
@@ -171,7 +171,10 @@ mod tests {
         }
         let truth = exact_quantile(xs, 0.95);
         let got = est.estimate().unwrap();
-        assert!((got - truth).abs() / truth < 0.1, "got {got}, truth {truth}");
+        assert!(
+            (got - truth).abs() / truth < 0.1,
+            "got {got}, truth {truth}"
+        );
     }
 
     #[test]

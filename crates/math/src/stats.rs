@@ -18,7 +18,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -112,7 +118,10 @@ impl Ewma {
     /// # Panics
     /// Panics if `alpha` is outside (0, 1].
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "Ewma alpha must be in (0,1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "Ewma alpha must be in (0,1], got {alpha}"
+        );
         Self { alpha, value: None }
     }
 

@@ -13,7 +13,13 @@ use rand::Rng;
 /// Panics if the slices differ in length.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     // Four accumulators give the optimizer freedom to vectorize without
     // changing the result much; exactness is not required here.
     let mut acc = [0.0f32; 4];

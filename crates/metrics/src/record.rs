@@ -26,7 +26,12 @@ pub struct ExperimentRecord {
 impl ExperimentRecord {
     /// A new empty record.
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
-        Self { id: id.into(), title: title.into(), params: Map::new(), rows: Vec::new() }
+        Self {
+            id: id.into(),
+            title: title.into(),
+            params: Map::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Sets one parameter.
@@ -75,7 +80,11 @@ mod tests {
     fn round_trips_through_json() {
         let mut r = ExperimentRecord::new("tab1", "hot-spot class sweep");
         r.param("model", "resnet101").param("seed", 42);
-        r.push_row(&[("classes", json!(50)), ("lat_ms", json!(30.53)), ("acc", json!(80.08))]);
+        r.push_row(&[
+            ("classes", json!(50)),
+            ("lat_ms", json!(30.53)),
+            ("acc", json!(80.08)),
+        ]);
         let text = r.to_json();
         let back: ExperimentRecord = serde_json::from_str(&text).unwrap();
         assert_eq!(back.id, "tab1");

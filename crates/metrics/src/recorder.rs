@@ -145,7 +145,12 @@ pub struct HitRecorder {
 impl HitRecorder {
     /// Recorder for a model with `num_layers` preset cache layers.
     pub fn new(num_layers: usize) -> Self {
-        Self { hits: vec![0; num_layers], correct: vec![0; num_layers], misses: 0, miss_correct: 0 }
+        Self {
+            hits: vec![0; num_layers],
+            correct: vec![0; num_layers],
+            misses: 0,
+            miss_correct: 0,
+        }
     }
 
     /// Records a cache hit at `layer` (whether the returned class was
@@ -253,6 +258,9 @@ pub struct RunSummary {
     pub accuracy: AccuracyRecorder,
     /// Cache-hit structure.
     pub hits: HitRecorder,
+    /// Server-side sojourn (queue wait + merge compute) of this client's
+    /// end-of-round uploads — the per-client share of server upload load.
+    pub upload: LatencyRecorder,
 }
 
 impl RunSummary {
@@ -262,6 +270,7 @@ impl RunSummary {
             latency: LatencyRecorder::new(),
             accuracy: AccuracyRecorder::new(),
             hits: HitRecorder::new(num_layers),
+            upload: LatencyRecorder::new(),
         }
     }
 
@@ -270,7 +279,7 @@ impl RunSummary {
         // Latency quantile sketches cannot be merged exactly; the engine
         // therefore records per-frame latencies into the global summary
         // directly. Here we merge only the mergeable parts and the mean.
-        let mut merged = self.latency.stats().clone();
+        let mut merged = *self.latency.stats();
         merged.merge(other.latency.stats());
         self.accuracy.merge(&other.accuracy);
         self.hits.merge(&other.hits);
@@ -281,6 +290,9 @@ impl RunSummary {
         std::mem::swap(&mut lat, &mut self.latency);
         self.latency = lat;
         *self.latency.stats_mut() = merged;
+        let mut upload = *self.upload.stats();
+        upload.merge(other.upload.stats());
+        *self.upload.stats_mut() = upload;
     }
 }
 

@@ -64,7 +64,11 @@ impl Table {
         if !self.title.is_empty() {
             let _ = writeln!(out, "== {} ==", self.title);
         }
-        let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let line: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
         let fmt_row = |cells: &[String]| -> String {
             cells
                 .iter()
@@ -88,7 +92,15 @@ impl Table {
             let _ = writeln!(out, "**{}**\n", self.title);
         }
         let _ = writeln!(out, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }

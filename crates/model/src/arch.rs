@@ -39,7 +39,13 @@ impl ModelId {
 
     /// All five models, in the paper's reporting order.
     pub fn all() -> [ModelId; 5] {
-        [ModelId::Vgg16Bn, ModelId::ResNet50, ModelId::ResNet101, ModelId::ResNet152, ModelId::AstBase]
+        [
+            ModelId::Vgg16Bn,
+            ModelId::ResNet50,
+            ModelId::ResNet101,
+            ModelId::ResNet152,
+            ModelId::AstBase,
+        ]
     }
 }
 
@@ -93,7 +99,9 @@ impl ModelArch {
     /// Byte size of a full cache column set: one entry per point for
     /// `classes` classes — the paper's "total cache size" reference.
     pub fn full_cache_bytes(&self, classes: usize) -> usize {
-        (0..self.num_cache_points()).map(|j| self.entry_bytes(j) * classes).sum()
+        (0..self.num_cache_points())
+            .map(|j| self.entry_bytes(j) * classes)
+            .sum()
     }
 
     /// Validates internal consistency (used by tests and constructors).
@@ -111,7 +119,12 @@ impl ModelArch {
         if self.block_weights.iter().any(|&w| w <= 0.0) {
             return Err("non-positive block weight".into());
         }
-        for (j, p) in self.cache_points.iter().chain(std::iter::once(&self.head)).enumerate() {
+        for (j, p) in self
+            .cache_points
+            .iter()
+            .chain(std::iter::once(&self.head))
+            .enumerate()
+        {
             if p.dim == 0 {
                 return Err(format!("cache point {j} has zero dim"));
             }
@@ -119,10 +132,16 @@ impl ModelArch {
                 return Err(format!("cache point {j} kappa {} out of (0,1)", p.kappa));
             }
             if !(0.0..=1.0).contains(&p.separation) {
-                return Err(format!("cache point {j} separation {} out of [0,1]", p.separation));
+                return Err(format!(
+                    "cache point {j} separation {} out of [0,1]",
+                    p.separation
+                ));
             }
             if !(0.0..1.0).contains(&p.disambiguation) {
-                return Err(format!("cache point {j} disambiguation {} out of [0,1)", p.disambiguation));
+                return Err(format!(
+                    "cache point {j} disambiguation {} out of [0,1)",
+                    p.disambiguation
+                ));
             }
         }
         Ok(())
@@ -141,7 +160,12 @@ mod tests {
     use super::*;
 
     fn point(dim: usize) -> CachePoint {
-        CachePoint { dim, kappa: 0.5, separation: 0.5, disambiguation: 0.2 }
+        CachePoint {
+            dim,
+            kappa: 0.5,
+            separation: 0.5,
+            disambiguation: 0.2,
+        }
     }
 
     #[test]

@@ -142,7 +142,10 @@ impl FeatureUniverse {
     /// # Panics
     /// Panics if `num_classes < 2` (classification needs alternatives).
     pub fn new(arch: &ModelArch, num_classes: usize, seeds: &SeedTree, cfg: FeatureConfig) -> Self {
-        assert!(num_classes >= 2, "need at least two classes, got {num_classes}");
+        assert!(
+            num_classes >= 2,
+            "need at least two classes, got {num_classes}"
+        );
         let seeds = seeds.child("features");
         let mut points: Vec<CachePoint> = arch.cache_points.clone();
         points.push(arch.head);
@@ -160,10 +163,15 @@ impl FeatureUniverse {
         // width; each layer sees them through its own random coordinate
         // subsample (a sparse Johnson–Lindenstrauss map), which preserves
         // inner products in expectation.
-        let master_dim = points.iter().map(|p| p.dim).max().expect("non-empty layers");
+        let master_dim = points
+            .iter()
+            .map(|p| p.dim)
+            .max()
+            .expect("non-empty layers");
         let mut master_rng = seeds.rng_for("master-space");
-        let master_groups: Vec<Vec<f32>> =
-            (0..num_groups).map(|_| random_unit(&mut master_rng, master_dim)).collect();
+        let master_groups: Vec<Vec<f32>> = (0..num_groups)
+            .map(|_| random_unit(&mut master_rng, master_dim))
+            .collect();
         let master_ids: Vec<Vec<f32>> = (0..num_classes)
             .map(|class| {
                 let unique = random_unit(&mut master_rng, master_dim);
@@ -173,8 +181,9 @@ impl FeatureUniverse {
                 z
             })
             .collect();
-        let master_drift: Vec<Vec<f32>> =
-            (0..num_classes).map(|_| random_unit(&mut master_rng, master_dim)).collect();
+        let master_drift: Vec<Vec<f32>> = (0..num_classes)
+            .map(|_| random_unit(&mut master_rng, master_dim))
+            .collect();
 
         let mut common = Vec::with_capacity(points.len());
         let mut offsets = Vec::with_capacity(points.len());
@@ -198,11 +207,14 @@ impl FeatureUniverse {
                 let k = view_rng.gen_range(0..=i);
                 coords.swap(i, k);
             }
-            let signs: Vec<f32> =
-                (0..dim).map(|_| if view_rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let signs: Vec<f32> = (0..dim)
+                .map(|_| if view_rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             let rescale = (master_dim as f32 / dim as f32).sqrt();
             let project = |z: &[f32]| -> Vec<f32> {
-                (0..dim).map(|d| signs[d] * z[coords[d]] * rescale).collect()
+                (0..dim)
+                    .map(|d| signs[d] * z[coords[d]] * rescale)
+                    .collect()
             };
             let mut layer_offsets = Vec::with_capacity(num_classes);
             let mut layer_centers = Vec::with_capacity(num_classes);
@@ -225,8 +237,9 @@ impl FeatureUniverse {
         let siblings: Vec<Vec<usize>> = (0..num_classes)
             .map(|c| {
                 let mine = group_of(c);
-                let sibs: Vec<usize> =
-                    (0..num_classes).filter(|&o| o != c && group_of(o) == mine).collect();
+                let sibs: Vec<usize> = (0..num_classes)
+                    .filter(|&o| o != c && group_of(o) == mine)
+                    .collect();
                 if sibs.is_empty() {
                     // Degenerate group: fall back to all other classes.
                     (0..num_classes).filter(|&o| o != c).collect()
@@ -371,12 +384,14 @@ impl FeatureUniverse {
         let m_layer = (m - self.cfg.ambiguity_relief * p.disambiguation).clamp(0.0, 1.0);
 
         // φ = (1−m)·h'_t + m·h'_c over drifted offsets (memoized).
-        let h_true =
-            view.drifted_center(frame.class, layer, || self.drifted_offset(layer, frame.class, client));
+        let h_true = view.drifted_center(frame.class, layer, || {
+            self.drifted_offset(layer, frame.class, client)
+        });
         let mut phi: Vec<f32> = vec![0.0; dim];
         if m_layer > 1e-4 {
-            let h_conf = view
-                .drifted_center(confuser, layer, || self.drifted_offset(layer, confuser, client));
+            let h_conf = view.drifted_center(confuser, layer, || {
+                self.drifted_offset(layer, confuser, client)
+            });
             axpy(1.0 - m_layer, &h_true, &mut phi);
             axpy(m_layer, &h_conf, &mut phi);
         } else {
@@ -435,8 +450,11 @@ impl FeatureUniverse {
             }
         }
         if cw < 1.0 {
-            let mut iso_rng =
-                self.seeds.child_idx("noise-iso", seed).child_idx("l", layer as u64).rng();
+            let mut iso_rng = self
+                .seeds
+                .child_idx("noise-iso", seed)
+                .child_idx("l", layer as u64)
+                .rng();
             let iso = random_unit(&mut iso_rng, dim);
             axpy((1.0 - cw) * difficulty.min(2.5), &iso, &mut out);
         }

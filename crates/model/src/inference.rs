@@ -56,7 +56,12 @@ impl ModelRuntime {
         let arch = zoo::model(id);
         let latency = LatencyProfile::new(&arch, dataset.input_cost_factor);
         let universe = FeatureUniverse::new(&arch, dataset.num_classes, seeds, cfg);
-        Self { arch, latency, universe, dataset: dataset.clone() }
+        Self {
+            arch,
+            latency,
+            universe,
+            dataset: dataset.clone(),
+        }
     }
 
     /// The architecture.
@@ -133,7 +138,12 @@ impl ModelRuntime {
         softmax_inplace(&mut logits);
         let class = top1(&logits).expect("non-empty class set");
         let margin = top2_margin(&logits);
-        Prediction { class, correct: class == frame.class, probs: logits, margin }
+        Prediction {
+            class,
+            correct: class == frame.class,
+            probs: logits,
+            margin,
+        }
     }
 
     // ----- virtual-time accounting (delegates to the latency profile) ----
@@ -183,17 +193,27 @@ mod tests {
 
     fn accuracy(rt: &ModelRuntime, client: &ClientProfile, frames: &[Frame]) -> f64 {
         let mut view = ClientFeatureView::new();
-        let correct =
-            frames.iter().filter(|f| rt.classify(f, client, &mut view).correct).count();
+        let correct = frames
+            .iter()
+            .filter(|f| rt.classify(f, client, &mut view).correct)
+            .count();
         correct as f64 / frames.len() as f64
     }
 
     #[test]
     fn resnet101_accuracy_is_near_paper_anchor() {
         // Paper: ResNet101 on UCF101-50 = 80.56 %. The feature geometry is
-        // calibrated to land near that; accept a generous band.
+        // calibrated to land near that; accept a generous band. Headline
+        // accuracy tracks the stream's hard-run share, which is noisy per
+        // stream seed (a 4000-frame stream holds only ~200 runs), so
+        // average over a few independent streams.
         let (rt, client) = runtime(ModelId::ResNet101, 50);
-        let acc = accuracy(&rt, &client, &stream(50, 4000, 31));
+        let seeds = [31u64, 32, 33];
+        let acc = seeds
+            .iter()
+            .map(|&s| accuracy(&rt, &client, &stream(50, 4000, s)))
+            .sum::<f64>()
+            / seeds.len() as f64;
         assert!((0.74..=0.88).contains(&acc), "accuracy {acc}");
     }
 
@@ -259,7 +279,10 @@ mod tests {
         let frames = stream(50, 3000, 35);
         let easy: Vec<&Frame> = frames.iter().filter(|f| f.run_difficulty < 0.6).collect();
         assert!(easy.len() > 100);
-        let correct = easy.iter().filter(|f| rt.classify(f, &client, &mut view).correct).count();
+        let correct = easy
+            .iter()
+            .filter(|f| rt.classify(f, &client, &mut view).correct)
+            .count();
         let acc = correct as f64 / easy.len() as f64;
         assert!(acc > 0.97, "easy accuracy {acc}");
     }

@@ -47,7 +47,10 @@ impl LatencyProfile {
     /// Builds the profile for `arch` with inputs scaled by
     /// `input_cost_factor` (1.0 = the UCF101 anchor).
     pub fn new(arch: &ModelArch, input_cost_factor: f64) -> Self {
-        assert!(input_cost_factor > 0.0, "input cost factor must be positive");
+        assert!(
+            input_cost_factor > 0.0,
+            "input cost factor must be positive"
+        );
         let weight_sum: f64 = arch.block_weights.iter().sum();
         let total_ms = arch.base_latency_ms * input_cost_factor;
         let blocks: Vec<SimDuration> = arch
@@ -145,8 +148,11 @@ mod tests {
     #[test]
     fn per_entry_ms_at_dim128() {
         let arch = zoo::resnet101();
-        let total_lookup_ms: f64 =
-            arch.cache_points.iter().map(|p| lookup_cost_ms(p.dim, 50)).sum();
+        let total_lookup_ms: f64 = arch
+            .cache_points
+            .iter()
+            .map(|p| lookup_cost_ms(p.dim, 50))
+            .sum();
         let frac = total_lookup_ms / 40.58;
         assert!(
             (frac - RESNET101_FULL_LOOKUP_FRACTION).abs() < 0.01,

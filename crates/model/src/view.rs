@@ -27,7 +27,10 @@ pub struct ClientProfile {
 impl ClientProfile {
     /// Builds a client profile under the universe's seed tree.
     pub fn new(id: u64, drift_mag: f32, drift_shared_frac: f32, seeds: &SeedTree) -> Self {
-        assert!((0.0..=1.0).contains(&drift_shared_frac), "shared fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&drift_shared_frac),
+            "shared fraction must be in [0,1]"
+        );
         assert!(drift_mag >= 0.0, "drift magnitude must be non-negative");
         Self {
             id,
@@ -68,7 +71,10 @@ impl ClientFeatureView {
         layer: usize,
         make: impl FnOnce() -> Vec<f32>,
     ) -> Vec<f32> {
-        self.drifted.entry((class as u32, layer as u32)).or_insert_with(make).clone()
+        self.drifted
+            .entry((class as u32, layer as u32))
+            .or_insert_with(make)
+            .clone()
     }
 
     /// Returns the memoized run-noise vector for `layer` within the run
@@ -83,7 +89,10 @@ impl ClientFeatureView {
             self.run_seed = run_seed;
             self.run_noise.clear();
         }
-        self.run_noise.entry(layer as u32).or_insert_with(make).clone()
+        self.run_noise
+            .entry(layer as u32)
+            .or_insert_with(make)
+            .clone()
     }
 
     /// Drops memoized drifted centers (used by tests and by long-running

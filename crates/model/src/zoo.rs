@@ -103,7 +103,13 @@ fn build(
         .map(|(j, &dim)| prof.point(j as f64 / (l - 1) as f64, dim))
         .collect();
     let head = prof.head(*dims.last().unwrap());
-    let arch = ModelArch { id, cache_points, head, block_weights, base_latency_ms };
+    let arch = ModelArch {
+        id,
+        cache_points,
+        head,
+        block_weights,
+        base_latency_ms,
+    };
     arch.validate().expect("zoo model must validate");
     arch
 }
@@ -130,7 +136,9 @@ fn resnet(id: ModelId, blocks_per_stage: [usize; 4], base_latency_ms: f64) -> Mo
 /// run at full spatial resolution and dominate compute, hence the
 /// decreasing block weights.
 pub fn vgg16_bn() -> ModelArch {
-    let dims = vec![64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512];
+    let dims = vec![
+        64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512,
+    ];
     let weights = vec![
         1.4, 1.4, 1.3, 1.3, 1.2, 1.2, 1.2, 1.0, 1.0, 1.0, 0.8, 0.8, 0.8,
         0.6, // dense layers + softmax tail
@@ -161,7 +169,7 @@ pub fn ast_base() -> ModelArch {
     // transformer block, blocks 1–11 are transformer blocks, block 12 is
     // the classification head.
     let mut weights = vec![1.6];
-    weights.extend(std::iter::repeat(1.0).take(11));
+    weights.extend(std::iter::repeat_n(1.0, 11));
     weights.push(0.4);
     build(ModelId::AstBase, dims, weights, 92.0)
 }

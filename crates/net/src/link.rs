@@ -20,14 +20,20 @@ pub struct LinkModel {
 
 impl Default for LinkModel {
     fn default() -> Self {
-        Self { one_way_delay: SimDuration::from_millis_f64(2.0), bandwidth_bps: 150.0e6 }
+        Self {
+            one_way_delay: SimDuration::from_millis_f64(2.0),
+            bandwidth_bps: 150.0e6,
+        }
     }
 }
 
 impl LinkModel {
     /// An idealized link with zero cost (unit tests, single-node runs).
     pub fn zero() -> Self {
-        Self { one_way_delay: SimDuration::ZERO, bandwidth_bps: f64::INFINITY }
+        Self {
+            one_way_delay: SimDuration::ZERO,
+            bandwidth_bps: f64::INFINITY,
+        }
     }
 
     /// Time to deliver `bytes` of payload one way.

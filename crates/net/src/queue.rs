@@ -119,7 +119,11 @@ mod tests {
         let sojourn = |n: usize| -> f64 {
             let mut q = ServerQueue::new();
             let total: f64 = (0..n)
-                .map(|_| q.serve(ms(0.0), dur(0.5)).sojourn_since(ms(0.0)).as_millis_f64())
+                .map(|_| {
+                    q.serve(ms(0.0), dur(0.5))
+                        .sojourn_since(ms(0.0))
+                        .as_millis_f64()
+                })
                 .sum();
             total / n as f64
         };

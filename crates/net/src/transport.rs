@@ -44,7 +44,10 @@ impl InMemoryTransport {
     pub fn pair() -> (InMemoryTransport, InMemoryTransport) {
         let (atx, arx) = unbounded();
         let (btx, brx) = unbounded();
-        (InMemoryTransport { tx: atx, rx: brx }, InMemoryTransport { tx: btx, rx: arx })
+        (
+            InMemoryTransport { tx: atx, rx: brx },
+            InMemoryTransport { tx: btx, rx: arx },
+        )
     }
 }
 
@@ -86,14 +89,20 @@ impl TcpTransport {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream, buf: Vec::new() })
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
     }
 
     /// Accepts one connection from `listener`.
     pub fn accept(listener: &TcpListener) -> io::Result<Self> {
         let (stream, _) = listener.accept()?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream, buf: Vec::new() })
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
     }
 
     /// The underlying stream's peer address (diagnostics).
@@ -121,10 +130,7 @@ impl Transport for TcpTransport {
                     let mut chunk = [0u8; 16 * 1024];
                     match self.stream.read(&mut chunk) {
                         Ok(0) => {
-                            return Err(io::Error::new(
-                                io::ErrorKind::UnexpectedEof,
-                                "peer closed",
-                            ))
+                            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed"))
                         }
                         Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                         Err(e)
@@ -157,9 +163,19 @@ mod tests {
     #[test]
     fn in_memory_round_trip() {
         let (mut a, mut b) = InMemoryTransport::pair();
-        a.send(&Ping { n: 1, body: vec![1.0, 2.0] }).unwrap();
+        a.send(&Ping {
+            n: 1,
+            body: vec![1.0, 2.0],
+        })
+        .unwrap();
         let got: Ping = b.recv(T).unwrap().unwrap();
-        assert_eq!(got, Ping { n: 1, body: vec![1.0, 2.0] });
+        assert_eq!(
+            got,
+            Ping {
+                n: 1,
+                body: vec![1.0, 2.0]
+            }
+        );
         b.send(&Ping { n: 2, body: vec![] }).unwrap();
         let back: Ping = a.recv(T).unwrap().unwrap();
         assert_eq!(back.n, 2);
@@ -189,12 +205,20 @@ mod tests {
             for expect in 0..3u64 {
                 let m: Ping = t.recv(T).unwrap().unwrap();
                 assert_eq!(m.n, expect);
-                t.send(&Ping { n: m.n + 100, body: m.body }).unwrap();
+                t.send(&Ping {
+                    n: m.n + 100,
+                    body: m.body,
+                })
+                .unwrap();
             }
         });
         let mut c = TcpTransport::connect(addr).unwrap();
         for n in 0..3u64 {
-            c.send(&Ping { n, body: vec![n as f32; 64] }).unwrap();
+            c.send(&Ping {
+                n,
+                body: vec![n as f32; 64],
+            })
+            .unwrap();
             let r: Ping = c.recv(T).unwrap().unwrap();
             assert_eq!(r.n, n + 100);
             assert_eq!(r.body.len(), 64);
@@ -212,7 +236,10 @@ mod tests {
             t.send(&m).unwrap();
         });
         let mut c = TcpTransport::connect(addr).unwrap();
-        let big = Ping { n: 9, body: vec![0.5; 300_000] };
+        let big = Ping {
+            n: 9,
+            body: vec![0.5; 300_000],
+        };
         c.send(&big).unwrap();
         let r: Ping = c.recv(T).unwrap().unwrap();
         assert_eq!(r.body.len(), 300_000);

@@ -93,8 +93,7 @@ pub fn decode_frame<T: DeserializeOwned>(mut buf: &[u8]) -> Result<Option<(T, us
     if buf.len() < len {
         return Ok(None);
     }
-    let msg =
-        serde_json::from_slice(&buf[..len]).map_err(|e| FrameError::Codec(e.to_string()))?;
+    let msg = serde_json::from_slice(&buf[..len]).map_err(|e| FrameError::Codec(e.to_string()))?;
     Ok(Some((msg, 4 + len)))
 }
 
@@ -111,7 +110,10 @@ mod tests {
 
     #[test]
     fn frame_round_trip() {
-        let msg = Demo { id: 7, xs: vec![1.0, 2.5, -3.0] };
+        let msg = Demo {
+            id: 7,
+            xs: vec![1.0, 2.5, -3.0],
+        };
         let bytes = encode_frame(&msg).unwrap();
         let (back, used): (Demo, usize) = decode_frame(&bytes).unwrap().unwrap();
         assert_eq!(back, msg);
@@ -120,7 +122,10 @@ mod tests {
 
     #[test]
     fn partial_frames_wait_for_more_data() {
-        let msg = Demo { id: 1, xs: vec![0.0; 16] };
+        let msg = Demo {
+            id: 1,
+            xs: vec![0.0; 16],
+        };
         let bytes = encode_frame(&msg).unwrap();
         for cut in [0usize, 3, 4, bytes.len() - 1] {
             let r: Option<(Demo, usize)> = decode_frame(&bytes[..cut]).unwrap();
@@ -131,7 +136,10 @@ mod tests {
     #[test]
     fn two_frames_back_to_back() {
         let a = Demo { id: 1, xs: vec![] };
-        let b = Demo { id: 2, xs: vec![9.0] };
+        let b = Demo {
+            id: 2,
+            xs: vec![9.0],
+        };
         let mut stream = encode_frame(&a).unwrap().to_vec();
         stream.extend_from_slice(&encode_frame(&b).unwrap());
         let (m1, used): (Demo, usize) = decode_frame(&stream).unwrap().unwrap();

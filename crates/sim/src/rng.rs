@@ -41,7 +41,9 @@ pub struct SeedTree {
 impl SeedTree {
     /// Root of a seed tree.
     pub fn new(master_seed: u64) -> Self {
-        Self { seed: splitmix64(master_seed) }
+        Self {
+            seed: splitmix64(master_seed),
+        }
     }
 
     /// The raw seed at this node.
@@ -51,12 +53,16 @@ impl SeedTree {
 
     /// Derives a labelled child node.
     pub fn child(&self, label: &str) -> SeedTree {
-        SeedTree { seed: mix_label(self.seed, label) }
+        SeedTree {
+            seed: mix_label(self.seed, label),
+        }
     }
 
     /// Derives an indexed child node (e.g. one per client or per class).
     pub fn child_idx(&self, label: &str, index: u64) -> SeedTree {
-        SeedTree { seed: splitmix64(mix_label(self.seed, label) ^ splitmix64(index)) }
+        SeedTree {
+            seed: splitmix64(mix_label(self.seed, label) ^ splitmix64(index)),
+        }
     }
 
     /// Materializes an RNG for this node.
@@ -84,8 +90,16 @@ mod tests {
     fn same_path_same_stream() {
         let a = SeedTree::new(42).child("model").child_idx("client", 3);
         let b = SeedTree::new(42).child("model").child_idx("client", 3);
-        let xs: Vec<u64> = a.rng().sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u64> = b.rng().sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u64> = a
+            .rng()
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = b
+            .rng()
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 
@@ -100,7 +114,10 @@ mod tests {
 
     #[test]
     fn different_master_seeds_differ() {
-        assert_ne!(SeedTree::new(1).child("x").seed(), SeedTree::new(2).child("x").seed());
+        assert_ne!(
+            SeedTree::new(1).child("x").seed(),
+            SeedTree::new(2).child("x").seed()
+        );
     }
 
     #[test]

@@ -14,7 +14,13 @@ use coca::prelude::*;
 fn main() {
     let mut table = Table::new(
         "Audio sensing — AST-Base / ESC-50, 6 sensors",
-        &["non-IID p", "Edge-Only (ms)", "CoCa (ms)", "Reduction (%)", "CoCa acc. (%)"],
+        &[
+            "non-IID p",
+            "Edge-Only (ms)",
+            "CoCa (ms)",
+            "Reduction (%)",
+            "CoCa acc. (%)",
+        ],
     );
 
     for p in [0.0f64, 1.0, 2.0, 10.0] {
@@ -34,7 +40,10 @@ fn main() {
             format!("{p:.0}"),
             format!("{:.2}", edge.mean_latency_ms),
             format!("{:.2}", report.mean_latency_ms),
-            format!("{:.1}", (1.0 - report.mean_latency_ms / edge.mean_latency_ms) * 100.0),
+            format!(
+                "{:.1}",
+                (1.0 - report.mean_latency_ms / edge.mean_latency_ms) * 100.0
+            ),
             format!("{:.2}", report.accuracy_pct),
         ]);
     }

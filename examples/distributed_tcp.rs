@@ -44,8 +44,9 @@ fn main() {
         let probe = Scenario::build(sc.clone());
         probe.rt.arch().full_cache_bytes(probe.rt.num_classes()) / 8
     };
-    let coca_cfg =
-        CocaConfig::for_model(ModelId::ResNet101).with_round_frames(FRAMES).with_budget(budget);
+    let coca_cfg = CocaConfig::for_model(ModelId::ResNet101)
+        .with_round_frames(FRAMES)
+        .with_budget(budget);
 
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
@@ -55,10 +56,11 @@ fn main() {
     let server_scenario = Scenario::build(sc.clone());
     let server_thread = thread::spawn(move || {
         let mut server = CocaServer::new(&server_scenario.rt, coca_cfg, server_scenario.seeds());
-        let transports: Vec<TcpTransport> =
-            (0..CLIENTS).map(|_| TcpTransport::accept(&listener).expect("accept")).collect();
+        let transports: Vec<TcpTransport> = (0..CLIENTS)
+            .map(|_| TcpTransport::accept(&listener).expect("accept"))
+            .collect();
         let mut transports = transports;
-        let mut finished = vec![false; CLIENTS];
+        let mut finished = [false; CLIENTS];
         let mut served = 0usize;
         while finished.iter().any(|f| !f) {
             for (i, t) in transports.iter_mut().enumerate() {
@@ -84,8 +86,10 @@ fn main() {
                 }
             }
         }
-        println!("server: {served} allocations served, global fill {:.2}",
-            server.global().fill_ratio());
+        println!(
+            "server: {served} allocations served, global fill {:.2}",
+            server.global().fill_ratio()
+        );
     });
 
     // --- Client threads.
@@ -97,8 +101,7 @@ fn main() {
                 let rt = &scenario.rt;
                 // Initial hit profile comes from a local server replica in
                 // a real deployment the server ships it with the model.
-                let profile_src =
-                    CocaServer::new(rt, coca_cfg, scenario.seeds());
+                let profile_src = CocaServer::new(rt, coca_cfg, scenario.seeds());
                 let mut client = CocaClient::new(
                     k as u64,
                     coca_cfg,
@@ -111,7 +114,8 @@ fn main() {
                 let mut total_ms = 0.0;
                 let mut frames = 0u64;
                 for _ in 0..ROUNDS {
-                    t.send(&ToServer::Request(client.cache_request())).expect("send request");
+                    t.send(&ToServer::Request(client.cache_request()))
+                        .expect("send request");
                     let alloc: CacheAllocation =
                         t.recv(TIMEOUT).expect("recv").expect("allocation");
                     client.install_cache(alloc.cache);
@@ -125,7 +129,11 @@ fn main() {
                     t.send(&ToServer::Update(upload)).expect("send update");
                 }
                 t.send(&ToServer::Done).expect("send done");
-                (k, total_ms / frames as f64, client.summary().accuracy.accuracy_pct())
+                (
+                    k,
+                    total_ms / frames as f64,
+                    client.summary().accuracy.accuracy_pct(),
+                )
             })
         })
         .collect();
@@ -133,9 +141,7 @@ fn main() {
     let full = Scenario::build(sc).rt.full_compute().as_millis_f64();
     for h in handles {
         let (k, mean, acc) = h.join().expect("client thread");
-        println!(
-            "client {k}: mean latency {mean:.2} ms (edge-only {full:.2}), accuracy {acc:.2}%"
-        );
+        println!("client {k}: mean latency {mean:.2} ms (edge-only {full:.2}), accuracy {acc:.2}%");
     }
     server_thread.join().expect("server thread");
     println!("distributed CoCa run complete — protocol exchanged over real TCP sockets");

@@ -36,7 +36,13 @@ fn main() {
 
     let mut table = Table::new(
         "Driver assistance — ResNet152, long-tail (rho = 90) UCF101-100, 8 vehicles",
-        &["Method", "Mean lat. (ms)", "Reduction (%)", "Accuracy (%)", "Acc. loss (pts)"],
+        &[
+            "Method",
+            "Mean lat. (ms)",
+            "Reduction (%)",
+            "Accuracy (%)",
+            "Acc. loss (pts)",
+        ],
     );
     let base_lat = edge.mean_latency_ms;
     let base_acc = edge.accuracy_pct;

@@ -28,9 +28,16 @@ fn main() {
     let mut engine = Engine::new(Scenario::build(sc), engine_cfg);
     let report = engine.run();
 
-    let mut table = Table::new("CoCa quickstart — ResNet101 / UCF101-50, 6 clients", &[
-        "Method", "Mean lat. (ms)", "p95 lat. (ms)", "Accuracy (%)", "Hit ratio",
-    ]);
+    let mut table = Table::new(
+        "CoCa quickstart — ResNet101 / UCF101-50, 6 clients",
+        &[
+            "Method",
+            "Mean lat. (ms)",
+            "p95 lat. (ms)",
+            "Accuracy (%)",
+            "Hit ratio",
+        ],
+    );
     table.row(&[
         "Edge-Only".into(),
         format!("{:.2}", edge.mean_latency_ms),

@@ -34,9 +34,18 @@ fn main() {
 
     let mut table = Table::new(
         "Smart city — 10 non-IID cameras (p = 10), ResNet101 / UCF101-100",
-        &["Setting", "Mean lat. (ms)", "Accuracy (%)", "Hit ratio", "Hit acc. (%)"],
+        &[
+            "Setting",
+            "Mean lat. (ms)",
+            "Accuracy (%)",
+            "Hit ratio",
+            "Hit acc. (%)",
+        ],
     );
-    for (name, r) in [("No global updates", &solo), ("Collaborative (CoCa)", &collab)] {
+    for (name, r) in [
+        ("No global updates", &solo),
+        ("Collaborative (CoCa)", &collab),
+    ] {
         let mut hits = coca::metrics::HitRecorder::new(0);
         for s in &r.per_client {
             hits.merge(&s.hits);
@@ -46,7 +55,10 @@ fn main() {
             format!("{:.2}", r.mean_latency_ms),
             format!("{:.2}", r.accuracy_pct),
             format!("{:.3}", r.hit_ratio),
-            format!("{:.1}", hits.hit_accuracy().map(|a| a * 100.0).unwrap_or(0.0)),
+            format!(
+                "{:.1}",
+                hits.hit_accuracy().map(|a| a * 100.0).unwrap_or(0.0)
+            ),
         ]);
     }
     print!("{}", table.render());

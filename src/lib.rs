@@ -15,7 +15,11 @@
 //! This façade crate re-exports the workspace:
 //!
 //! * [`core`](coca_core) — the CoCa framework itself: semantic cache,
-//!   global table, ACA, client/server runtimes, multi-client engine.
+//!   global table, ACA, client/server runtimes, and the **generic
+//!   virtual-time engine**: every method (CoCa and all baselines)
+//!   implements [`MethodDriver`](coca_core::driver::MethodDriver) and runs
+//!   through the same staggered-boot, link-delay, server-FIFO event loop,
+//!   so cross-method comparisons share one contention model.
 //! * [`model`](coca_model) — the DNN inference simulator substrate.
 //! * [`data`](coca_data) — datasets, non-IID partitioning, long-tail
 //!   construction, temporally local streams.

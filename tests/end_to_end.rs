@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full CoCa stack end to end.
 
-use coca::baselines::{run_edge_only, SmtmConfig};
 use coca::baselines::smtm::run_smtm;
+use coca::baselines::{run_edge_only, SmtmConfig};
 use coca::prelude::*;
 
 fn small_scenario(seed: u64) -> ScenarioConfig {
@@ -91,20 +91,21 @@ fn coca_dominates_smtm_on_accuracy_at_comparable_latency() {
 
 #[test]
 fn long_tail_improves_coca_latency() {
-    let mut uniform = small_scenario(505);
-    uniform.dataset = DatasetSpec::ucf101().subset(100);
-    uniform.global_popularity = uniform_weights(100);
-    let mut longtail = uniform.clone();
-    longtail.global_popularity = long_tail_weights(100, 90.0);
-
-    let u = run_coca(&uniform, 4, 250);
-    let l = run_coca(&longtail, 4, 250);
-    assert!(
-        l.mean_latency_ms < u.mean_latency_ms,
-        "long-tail {} should beat uniform {}",
-        l.mean_latency_ms,
-        u.mean_latency_ms
-    );
+    // Directional-but-noisy property: with 3 clients a single seed can
+    // flip on feature-geometry luck, so compare means over a few seeds.
+    let mean_over_seeds = |popularity: Vec<f64>| -> f64 {
+        let mut total = 0.0;
+        for seed in [505, 506, 507] {
+            let mut sc = small_scenario(seed);
+            sc.dataset = DatasetSpec::ucf101().subset(100);
+            sc.global_popularity = popularity.clone();
+            total += run_coca(&sc, 4, 250).mean_latency_ms;
+        }
+        total / 3.0
+    };
+    let u = mean_over_seeds(uniform_weights(100));
+    let l = mean_over_seeds(long_tail_weights(100, 90.0));
+    assert!(l < u, "long-tail {l} should beat uniform {u}");
 }
 
 #[test]
@@ -127,8 +128,9 @@ fn ablation_arms_order_sanely() {
         probe.rt.arch().full_cache_bytes(probe.rt.num_classes()) / 24
     };
     let arm = |dca: bool, gcu: bool| {
-        let mut coca =
-            CocaConfig::for_model(ModelId::ResNet101).with_round_frames(200).with_budget(budget);
+        let mut coca = CocaConfig::for_model(ModelId::ResNet101)
+            .with_round_frames(200)
+            .with_budget(budget);
         coca.enable_dca = dca;
         coca.enable_gcu = gcu;
         let mut engine_cfg = EngineConfig::new(coca);
@@ -145,7 +147,12 @@ fn ablation_arms_order_sanely() {
         let scenario = Scenario::build(sc.clone());
         scenario.rt.full_compute().as_millis_f64()
     };
-    assert!(full.mean_latency_ms < edge_ms * 0.75, "DCA+GCU {} vs edge {}", full.mean_latency_ms, edge_ms);
+    assert!(
+        full.mean_latency_ms < edge_ms * 0.75,
+        "DCA+GCU {} vs edge {}",
+        full.mean_latency_ms,
+        edge_ms
+    );
     assert!(normal.mean_latency_ms < edge_ms * 0.75);
     assert!(
         full.accuracy_pct >= normal.accuracy_pct - 2.0,
@@ -164,7 +171,10 @@ fn response_latency_grows_with_client_count() {
         let mut engine_cfg = EngineConfig::new(coca);
         engine_cfg.rounds = 2;
         engine_cfg.boot_window_ms = 200.0;
-        Engine::new(Scenario::build(sc), engine_cfg).run().response_latency.mean_ms()
+        Engine::new(Scenario::build(sc), engine_cfg)
+            .run()
+            .response_latency
+            .mean_ms()
     };
     let small = lat(2);
     let big = lat(16);

@@ -1,0 +1,146 @@
+//! Offline shim for the [`criterion`](https://docs.rs/criterion) surface
+//! this workspace uses: `criterion_group!`/`criterion_main!`,
+//! `Criterion::{bench_function, benchmark_group}`, `Bencher::iter` and
+//! `BenchmarkId::new`.
+//!
+//! Each benchmark runs a short warmup, then a fixed measurement burst, and
+//! prints the mean time per iteration. No statistics, plots or baselines —
+//! enough to keep `cargo bench` meaningful offline.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall time per measured benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, called repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + calibration: estimate the per-call cost.
+        let start = Instant::now();
+        let mut calls = 0u64;
+        while start.elapsed() < TARGET / 10 || calls < 10 {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = start.elapsed().as_secs_f64() / calls as f64;
+        let n = ((TARGET.as_secs_f64() / per_call.max(1e-9)) as u64).clamp(10, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / n as f64;
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { mean_ns: 0.0 };
+    f(&mut b);
+    let (value, unit) = if b.mean_ns >= 1e6 {
+        (b.mean_ns / 1e6, "ms")
+    } else if b.mean_ns >= 1e3 {
+        (b.mean_ns / 1e3, "µs")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("bench {label:<40} {value:>10.3} {unit}/iter");
+}
+
+/// The benchmark registry/driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `"layers/12"`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("group");
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline shim for the [`rand`](https://docs.rs/rand) 0.8 API surface this
+//! workspace uses: `SmallRng`, `SeedableRng::seed_from_u64`, `Rng::{gen,
+//! gen_range, gen_bool, sample_iter}` and `distributions::Standard`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `SmallRng`, which is fine here: the workspace pins
+//! determinism to its own `SeedTree`, not to upstream rand's streams.
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{DistIter, Distribution, Standard};
+
+/// A random number generator: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Multiply-shift bounded sampling; bias is ≪ 2⁻⁶⁴ and the
+                // workspace only needs statistical uniformity.
+                let x = rng.next_u64() as u128;
+                self.start + ((x * span) >> 64) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end as u128).wrapping_sub(start as u128) + 1;
+                let x = rng.next_u64() as u128;
+                start + ((x * span) >> 64) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = unit_f64(rng) as $t;
+                let v = self.start + u * (self.end - self.start);
+                // Guard against rounding up to the excluded endpoint.
+                if v < self.end { v } else { self.start }
+            }
+        }
+    )*};
+}
+float_sample_range!(f32, f64);
+
+/// A uniform draw in `[0, 1)` with 53 random bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// User-facing sampling helpers (auto-implemented for every [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Samples a value of any [`Standard`]-distributed type.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        unit_f64(self) < p
+    }
+
+    /// Consumes the generator into an infinite sampling iterator.
+    fn sample_iter<T, D: Distribution<T>>(self, distr: D) -> DistIter<D, Self, T>
+    where
+        Self: Sized,
+    {
+        DistIter::new(distr, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let z: usize = rng.gen_range(64usize..2048);
+            assert!((64..2048).contains(&z));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds_and_spread() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut lo = 0usize;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x));
+            if x < 0.5 {
+                lo += 1;
+            }
+        }
+        assert!((4_000..6_000).contains(&lo), "half-mass count {lo}");
+    }
+
+    #[test]
+    fn standard_samples_all_used_types() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _: u64 = rng.gen();
+        let _: f64 = rng.gen();
+        let _: f32 = rng.gen();
+        let _: bool = rng.gen();
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn sample_iter_yields_standard_draws() {
+        let xs: Vec<u64> = SmallRng::seed_from_u64(4)
+            .sample_iter(Standard)
+            .take(4)
+            .collect();
+        let ys: Vec<u64> = SmallRng::seed_from_u64(4)
+            .sample_iter(Standard)
+            .take(4)
+            .collect();
+        assert_eq!(xs, ys);
+        assert_eq!(xs.len(), 4);
+    }
+}

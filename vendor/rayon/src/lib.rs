@@ -1,0 +1,144 @@
+//! Offline shim for the [`rayon`](https://docs.rs/rayon) API surface this
+//! workspace uses: `vec.into_par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Work is distributed over `std::thread::scope` workers pulling indices
+//! from an atomic counter; results land at their input index, so `collect`
+//! is **order-preserving** and therefore bit-identical to a serial map —
+//! the property the bench harness' sweep runner relies on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads used for a batch of `n` items.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of scoped threads, preserving input
+/// order in the output.
+fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = current_num_threads().min(n);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("item taken once");
+                let out = f(item);
+                *results[i].lock().expect("result lock") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// A pending parallel iteration over owned items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+/// A pending parallel map.
+pub struct MapPar<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> MapPar<T, F> {
+        MapPar {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> MapPar<T, F> {
+    /// Runs the map and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Starts a parallel iteration.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = xs.iter().map(|x| x * x + 1).collect();
+        let parallel: Vec<u64> = xs.into_par_iter().map(|x| x * x + 1).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![9].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..256)
+            .collect::<Vec<i32>>()
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                // Give other workers a chance to grab indices.
+                std::thread::yield_now();
+            })
+            .collect();
+        let threads = seen.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(threads >= 1, "thread set unexpectedly empty");
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline shim for serde's derive macros.
+//!
+//! Parses the item's token stream by hand (no `syn`/`quote` in an offline
+//! build) and emits impls of the vendored `serde::Serialize` /
+//! `serde::Deserialize` traits. Supported shapes — the only ones this
+//! workspace derives on:
+//!
+//! * structs with named fields (serialized as a JSON object),
+//! * tuple structs (newtypes serialize as the inner value, wider tuples as
+//!   an array),
+//! * enums with unit variants (serialized as the variant name) and newtype
+//!   variants (externally tagged: `{"Variant": value}`).
+//!
+//! `#[serde(...)]` attributes are rejected; types needing a custom wire
+//! shape implement the traits by hand.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant: its name and whether it carries a single payload.
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+/// Strips leading `#[...]` attribute pairs from `tokens[i..]`, panicking on
+/// `#[serde(...)]` which this shim does not interpret.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner = g.stream().to_string();
+                assert!(
+                    !inner.starts_with("serde"),
+                    "serde shim derive: #[serde(...)] attributes are unsupported; \
+                     implement Serialize/Deserialize manually (found `{inner}`)"
+                );
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(...)`) at `tokens[i..]`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Splits a field/variant list on top-level commas (angle-bracket aware).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are unsupported ({name})");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let fields = split_top_level(&body)
+                    .into_iter()
+                    .filter(|f| !f.is_empty())
+                    .map(|f| {
+                        let j = skip_vis(&f, skip_attrs(&f, 0));
+                        match &f[j] {
+                            TokenTree::Ident(id) => id.to_string(),
+                            other => panic!(
+                                "serde shim derive: expected field name in {name}, found {other}"
+                            ),
+                        }
+                    })
+                    .collect();
+                Item::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_top_level(&body)
+                    .into_iter()
+                    .filter(|f| !f.is_empty())
+                    .count();
+                Item::TupleStruct { name, arity }
+            }
+            other => panic!("serde shim derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let variants = split_top_level(&body)
+                    .into_iter()
+                    .filter(|v| !v.is_empty())
+                    .map(|v| {
+                        let j = skip_attrs(&v, 0);
+                        let vname = match &v[j] {
+                            TokenTree::Ident(id) => id.to_string(),
+                            other => panic!(
+                                "serde shim derive: expected variant name in {name}, found {other}"
+                            ),
+                        };
+                        let newtype = match v.get(j + 1) {
+                            None => false,
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis && v.len() == j + 2 =>
+                            {
+                                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                                let arity = split_top_level(&inner)
+                                    .into_iter()
+                                    .filter(|f| !f.is_empty())
+                                    .count();
+                                assert!(
+                                    arity == 1,
+                                    "serde shim derive: variant {name}::{vname} has {arity} \
+                                     fields; only unit and single-payload variants are supported"
+                                );
+                                true
+                            }
+                            other => panic!(
+                                "serde shim derive: unsupported variant shape for \
+                                 {name}::{vname}: {other:?}"
+                            ),
+                        };
+                        Variant {
+                            name: vname,
+                            newtype,
+                        }
+                    })
+                    .collect();
+                Item::Enum { name, variants }
+            }
+            other => panic!("serde shim derive: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.insert(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __m = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    if v.newtype {
+                        format!(
+                            "{name}::{vn}(__x) => {{\n\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert(::std::string::String::from({vn:?}), \
+                                     ::serde::Serialize::to_value(__x));\n\
+                                 ::serde::Value::Object(__m)\n\
+                             }}\n"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let reads: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__m, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Object(__m) => Ok({name} {{ {reads} }}),\n\
+                             __other => Err(::serde::Error::custom(format!(\n\
+                                 \"expected object for {name}, got {{}}\", __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let reads: String = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v.as_array() {{\n\
+                             Some(__a) if __a.len() == {arity} => Ok({name}({reads})),\n\
+                             _ => Err(::serde::Error::custom(\n\
+                                 \"expected {arity}-element array for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| !v.newtype)
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => Ok({name}::{vn}),\n")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| v.newtype)
+                .map(|v| {
+                    let vn = &v.name;
+                    format!(
+                        "if let Some(__x) = __m.get({vn:?}) {{\n\
+                             return Ok({name}::{vn}(::serde::Deserialize::from_value(__x)?));\n\
+                         }}\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown {name} variant `{{}}`\", __other))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__m) => {{\n\
+                                 {tagged_arms}\n\
+                                 Err(::serde::Error::custom(\n\
+                                     \"unknown tagged variant for enum {name}\"))\n\
+                             }}\n\
+                             __other => Err(::serde::Error::custom(format!(\n\
+                                 \"expected string or object for enum {name}, got {{}}\",\n\
+                                 __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,103 @@
+//! Offline shim for the [`serde_json`](https://docs.rs/serde_json) API
+//! surface this workspace uses: `Value`/`Map`, `json!`, `to_vec`,
+//! `to_string[_pretty]`, `from_slice`, `from_str`.
+//!
+//! The value model and the JSON text codec live in the vendored `serde`
+//! crate; this facade adds the typed entry points.
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// Infallible in this shim, but returns `Result` for signature parity with
+/// the real crate (callers `.unwrap()`/`?` it).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Infallible conversion backing the [`json!`] macro.
+#[doc(hidden)]
+pub fn __value_of<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string(&value.to_value()))
+}
+
+/// Serializes to two-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string_pretty(&value.to_value()))
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes from JSON text.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::from_str(s)?)
+}
+
+/// Deserializes from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from any serializable expression.
+///
+/// Only the expression form is supported (`json!(expr)`), which is the only
+/// form the workspace uses; object/array literal syntax is not implemented.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($e:expr) => {
+        $crate::__value_of(&$e)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_round_trip() {
+        let xs = vec![1.5f32, -2.0, 3.25];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<f32> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+        let bytes = to_vec(&xs).unwrap();
+        let back2: Vec<f32> = from_slice(&bytes).unwrap();
+        assert_eq!(back2, xs);
+    }
+
+    #[test]
+    fn json_macro_wraps_expressions() {
+        assert_eq!(json!(50), Value::Number(Number::U(50)));
+        assert_eq!(json!("hi"), Value::String("hi".into()));
+        assert_eq!(json!(1.25), Value::Number(Number::F(1.25)));
+        assert_eq!(json!(null), Value::Null);
+        let name = String::from("x");
+        // By-reference expansion: `name` stays usable.
+        let v = json!(name);
+        assert_eq!(v, Value::String("x".into()));
+        assert_eq!(name, "x");
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let mut m = Map::new();
+        m.insert("a".into(), json!(1));
+        let text = to_string_pretty(&Value::Object(m)).unwrap();
+        assert_eq!(text, "{\n  \"a\": 1\n}");
+    }
+}
