@@ -6,7 +6,9 @@
 //! allocation phase, no server queries, no uploads — clients boot and burn
 //! through frames at full-model cost inside the shared event loop.
 
-use coca_core::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
+use coca_core::driver::{
+    drive, drive_plan, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MethodDriver, NoMsg,
+};
 use coca_core::engine::Scenario;
 use coca_data::Frame;
 use coca_model::ClientFeatureView;
@@ -67,6 +69,15 @@ pub fn run_edge_only(scenario: &Scenario, rounds: usize, frames_per_round: usize
 pub fn run_edge_only_with(scenario: &Scenario, drive_cfg: &DriveConfig) -> MethodReport {
     let mut driver = EdgeOnlyDriver::new(scenario);
     let report = drive(scenario, &mut driver, drive_cfg);
+    MethodReport::from_engine("Edge-Only", report)
+}
+
+/// Runs Edge-Only under an explicit [`DrivePlan`] — the dynamic-scenario
+/// entry point (mid-run joins, early leaves, time-varying links). Edge-
+/// Only has no shared state, so churn needs no method-side handling.
+pub fn run_edge_only_plan(scenario: &Scenario, plan: &DrivePlan) -> MethodReport {
+    let mut driver = EdgeOnlyDriver::new(scenario);
+    let report = drive_plan(scenario, &mut driver, plan);
     MethodReport::from_engine("Edge-Only", report)
 }
 

@@ -24,7 +24,9 @@
 
 use std::collections::HashMap;
 
-use coca_core::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
+use coca_core::driver::{
+    drive, drive_plan, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MethodDriver, NoMsg,
+};
 use coca_core::engine::Scenario;
 use coca_data::Frame;
 use coca_model::ClientFeatureView;
@@ -82,6 +84,9 @@ struct Sample {
     key: Vec<f32>,
     label: usize,
     last_used: u64,
+    /// Client that contributed the sample — provenance for retiring a
+    /// leaver's contributions from the shared global store.
+    owner: u32,
 }
 
 /// Adaptive random-hyperplane LSH over one store.
@@ -267,7 +272,7 @@ impl Store {
         }
     }
 
-    fn insert(&mut self, feature: Vec<f32>, label: usize) {
+    fn insert(&mut self, feature: Vec<f32>, label: usize, owner: u32) {
         self.observe_for_center(&feature);
         if self.samples.len() >= self.capacity {
             // LRU eviction.
@@ -292,8 +297,28 @@ impl Store {
                 key,
                 label,
                 last_used: self.clock,
+                owner,
             },
         );
+    }
+
+    /// Removes every sample contributed by `owner` (a departed client)
+    /// from the store and its A-LSH index. Returns how many were retired.
+    fn retire_owner(&mut self, owner: u32) -> usize {
+        // Sorted for a deterministic removal order (HashMap iteration is
+        // per-process random).
+        let mut victims: Vec<u32> = self
+            .samples
+            .iter()
+            .filter(|(_, s)| s.owner == owner)
+            .map(|(&id, _)| id)
+            .collect();
+        victims.sort_unstable();
+        for id in &victims {
+            let s = self.samples.remove(id).expect("victim exists");
+            self.alsh.remove(*id, &s.key);
+        }
+        victims.len()
     }
 
     /// H-kNN lookup: `Some((label, candidates_scanned))` on a homogeneous,
@@ -544,8 +569,8 @@ impl MethodDriver for FoggyCacheDriver<'_> {
                 // server (the upload piggybacks on the reply cycle).
                 let p = rt.classify(frame, &self.scenario.profiles[k], &mut client.view);
                 let compute = rt.full_compute() - self.feature_time;
-                client.local.insert(v.clone(), p.class);
-                self.server_store.insert(v, p.class);
+                client.local.insert(v.clone(), p.class, k as u32);
+                self.server_store.insert(v, p.class, k as u32);
                 FrameStep::Done(FrameOutcome {
                     compute,
                     correct: p.correct,
@@ -564,6 +589,15 @@ impl MethodDriver for FoggyCacheDriver<'_> {
             self.server_store.adapt(&self.cfg);
         }
         None
+    }
+
+    fn on_leave(&mut self, k: usize) {
+        // Retire the leaver's contributions from the shared global store:
+        // its device is gone, and FoggyCache's cross-device reuse must not
+        // keep answering from samples nobody refreshes. (The paper's LRU
+        // critique still applies — retirement is immediate here because
+        // the simulated server learns of the departure at the boundary.)
+        self.server_store.retire_owner(k as u32);
     }
 }
 
@@ -587,6 +621,20 @@ pub fn run_foggycache_with(
 ) -> MethodReport {
     let mut driver = FoggyCacheDriver::new(scenario, *cfg);
     let report = drive(scenario, &mut driver, drive_cfg);
+    MethodReport::from_engine("FoggyCache", report)
+}
+
+/// Runs FoggyCache under an explicit [`DrivePlan`] — the dynamic-scenario
+/// entry point (mid-run joins, early leaves, time-varying links). A
+/// leaver's samples are retired from the shared global store at its
+/// departure boundary.
+pub fn run_foggycache_plan(
+    scenario: &Scenario,
+    cfg: &FoggyCacheConfig,
+    plan: &DrivePlan,
+) -> MethodReport {
+    let mut driver = FoggyCacheDriver::new(scenario, *cfg);
+    let report = drive_plan(scenario, &mut driver, plan);
     MethodReport::from_engine("FoggyCache", report)
 }
 
@@ -640,7 +688,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         for i in 0..8 {
             let v = coca_math::random_unit(&mut rng, 8);
-            store.insert(v, i);
+            store.insert(v, i, 0);
         }
         assert_eq!(store.samples.len(), 4);
         // The surviving labels are the most recent ones.
@@ -652,7 +700,7 @@ mod tests {
     fn warm_up(store: &mut Store, rng: &mut SmallRng, dim: usize) {
         for i in 0..CENTER_FREEZE {
             let v = coca_math::random_unit(rng, dim);
-            store.insert(v, 1000 + i);
+            store.insert(v, 1000 + i, 0);
         }
         assert!(store.center.is_some());
     }
@@ -675,7 +723,7 @@ mod tests {
             let mut v = base.clone();
             v[1] += 0.001 * i as f32;
             coca_math::vector::l2_normalize(&mut v);
-            store.insert(v, i % 2);
+            store.insert(v, i % 2, 0);
         }
         let (hit, _) = store.lookup(&base, &cfg);
         assert_eq!(hit, None);
@@ -686,7 +734,7 @@ mod tests {
             let mut v = base.clone();
             v[1] += 0.001 * i as f32;
             coca_math::vector::l2_normalize(&mut v);
-            store.insert(v, 7);
+            store.insert(v, 7, 0);
         }
         let (hit, _) = store.lookup(&base, &cfg);
         assert_eq!(hit, Some(7));
@@ -701,6 +749,27 @@ mod tests {
         assert!(r.hit_ratio > 0.15, "hit ratio {}", r.hit_ratio);
         assert!(r.mean_latency_ms < full, "{} vs {full}", r.mean_latency_ms);
         assert!(r.accuracy_pct > 55.0, "accuracy {}", r.accuracy_pct);
+    }
+
+    #[test]
+    fn retire_owner_removes_only_the_leavers_samples() {
+        let cfg = FoggyCacheConfig::default();
+        let mut store = Store::new(8, 1000, &cfg, SeedTree::new(95));
+        let mut rng = SmallRng::seed_from_u64(5);
+        for i in 0..30u32 {
+            let v = coca_math::random_unit(&mut rng, 8);
+            store.insert(v, i as usize, i % 3);
+        }
+        let retired = store.retire_owner(1);
+        assert_eq!(retired, 10);
+        assert_eq!(store.samples.len(), 20);
+        assert!(store.samples.values().all(|s| s.owner != 1));
+        // The index no longer returns retired ids.
+        let probe = coca_math::random_unit(&mut rng, 8);
+        for id in store.alsh.candidates(&probe) {
+            assert!(store.samples.contains_key(&id), "dangling id {id}");
+        }
+        assert_eq!(store.retire_owner(1), 0, "idempotent");
     }
 
     #[test]

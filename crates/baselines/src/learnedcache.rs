@@ -20,7 +20,9 @@
 
 use std::collections::VecDeque;
 
-use coca_core::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
+use coca_core::driver::{
+    drive, drive_plan, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MethodDriver, NoMsg,
+};
 use coca_core::engine::Scenario;
 use coca_data::Frame;
 use coca_model::ClientFeatureView;
@@ -273,6 +275,20 @@ pub fn run_learnedcache_with(
 ) -> MethodReport {
     let mut driver = LearnedCacheDriver::new(scenario, *cfg);
     let report = drive(scenario, &mut driver, drive_cfg);
+    MethodReport::from_engine("LearnedCache", report)
+}
+
+/// Runs LearnedCache under an explicit [`DrivePlan`] — the
+/// dynamic-scenario entry point. Exits and retraining are all on-device,
+/// so churn needs no shared-state handling; a joiner simply starts with
+/// empty training buffers.
+pub fn run_learnedcache_plan(
+    scenario: &Scenario,
+    cfg: &LearnedCacheConfig,
+    plan: &DrivePlan,
+) -> MethodReport {
+    let mut driver = LearnedCacheDriver::new(scenario, *cfg);
+    let report = drive_plan(scenario, &mut driver, plan);
     MethodReport::from_engine("LearnedCache", report)
 }
 

@@ -35,14 +35,18 @@ pub mod replacement;
 pub mod report;
 pub mod smtm;
 
-pub use edge_only::run_edge_only_with;
-pub use edge_only::{run_edge_only, EdgeOnlyDriver};
-pub use foggycache::run_foggycache_with;
-pub use foggycache::{FoggyCacheConfig, FoggyCacheDriver};
-pub use learnedcache::{run_learnedcache_with, LearnedCacheConfig, LearnedCacheDriver};
-pub use replacement::{run_replacement_with, ReplacementDriver, ReplacementPolicy};
+pub use edge_only::{run_edge_only, run_edge_only_plan, run_edge_only_with, EdgeOnlyDriver};
+pub use foggycache::{
+    run_foggycache_plan, run_foggycache_with, FoggyCacheConfig, FoggyCacheDriver,
+};
+pub use learnedcache::{
+    run_learnedcache_plan, run_learnedcache_with, LearnedCacheConfig, LearnedCacheDriver,
+};
+pub use replacement::{
+    run_replacement_plan, run_replacement_with, ReplacementDriver, ReplacementPolicy,
+};
 pub use report::MethodReport;
-pub use smtm::{run_smtm_with, SmtmConfig, SmtmDriver};
+pub use smtm::{run_smtm_plan, run_smtm_with, SmtmConfig, SmtmDriver};
 
 #[cfg(test)]
 mod fairness_tests {
@@ -116,6 +120,74 @@ mod fairness_tests {
                 "{name} consumed a different frame stream than {}",
                 digests[0].0
             );
+        }
+    }
+
+    #[test]
+    fn all_six_methods_agree_on_digest_under_a_dynamic_timeline() {
+        // Churn + drift + link dynamics: the fairness invariant must hold
+        // for the same reason it holds statically — frame-consuming
+        // events are keyed in client-progress space.
+        use coca_core::spec::{PopularityShift, ScenarioSpec};
+        use coca_net::LinkModel;
+        use coca_sim::SimDuration;
+
+        let frames = 60;
+        let coca_cfg = CocaConfig::for_model(ModelId::ResNet101).with_round_frames(frames);
+        let spec = ScenarioSpec::new(scenario_cfg(320), 3, frames)
+            .join(4_000.0, 2)
+            .leave(1, 2)
+            .popularity_shift(None, 90, PopularityShift::Rotate(5))
+            .link_change(
+                Some(0),
+                2_000.0,
+                LinkModel {
+                    one_way_delay: SimDuration::from_millis(30),
+                    bandwidth_bps: 2.0e6,
+                },
+            );
+        let expected_frames = ((3 - 1) * 3 + 2 + 2) as u64 * frames as u64;
+
+        let digests: Vec<(String, u64, u64)> = vec![
+            {
+                let (s, plan) = spec.materialize();
+                let r = crate::run_edge_only_plan(&s, &plan);
+                (r.name, r.frame_digest, r.frames)
+            },
+            {
+                let (s, plan) = spec.materialize();
+                let r = crate::run_smtm_plan(&s, &SmtmConfig::from_coca(&coca_cfg), &plan);
+                (r.name, r.frame_digest, r.frames)
+            },
+            {
+                let (s, plan) = spec.materialize();
+                let r = crate::run_foggycache_plan(&s, &FoggyCacheConfig::default(), &plan);
+                (r.name, r.frame_digest, r.frames)
+            },
+            {
+                let (s, plan) = spec.materialize();
+                let cfg = LearnedCacheConfig::for_model(coca_cfg.theta, frames);
+                let r = crate::run_learnedcache_plan(&s, &cfg, &plan);
+                (r.name, r.frame_digest, r.frames)
+            },
+            {
+                let (s, plan) = spec.materialize();
+                let r =
+                    crate::run_replacement_plan(&s, crate::ReplacementPolicy::Lru, 10, 4, &plan);
+                (r.name, r.frame_digest, r.frames)
+            },
+            {
+                let (s, plan) = spec.materialize();
+                let mut engine = Engine::new(s, EngineConfig::new(coca_cfg));
+                let r = engine.run_plan(&plan);
+                ("CoCa".to_string(), r.frame_digest, r.frames)
+            },
+        ];
+        let reference = digests[0].1;
+        assert_ne!(reference, 0);
+        for (name, digest, n) in &digests {
+            assert_eq!(*digest, reference, "{name} diverged from the shared stream");
+            assert_eq!(*n, expected_frames, "{name} consumed a different count");
         }
     }
 

@@ -11,7 +11,9 @@
 //! the local replica of the seeded table at zero network cost and the
 //! driver issues no server traffic.
 
-use coca_core::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
+use coca_core::driver::{
+    drive, drive_plan, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MethodDriver, NoMsg,
+};
 use coca_core::engine::Scenario;
 use coca_core::global::GlobalCacheTable;
 use coca_core::lookup::infer_with_cache;
@@ -283,6 +285,22 @@ pub fn run_replacement_with(
 ) -> MethodReport {
     let mut driver = ReplacementDriver::new(scenario, policy, cache_size, num_layers);
     let report = drive(scenario, &mut driver, drive_cfg);
+    MethodReport::from_engine(policy.name(), report)
+}
+
+/// Runs one replacement policy under an explicit [`DrivePlan`] — the
+/// dynamic-scenario entry point. The managed caches are strictly local,
+/// so churn needs no shared-state handling; a joiner starts with an empty
+/// managed cache.
+pub fn run_replacement_plan(
+    scenario: &Scenario,
+    policy: ReplacementPolicy,
+    cache_size: usize,
+    num_layers: usize,
+    plan: &DrivePlan,
+) -> MethodReport {
+    let mut driver = ReplacementDriver::new(scenario, policy, cache_size, num_layers);
+    let report = drive_plan(scenario, &mut driver, plan);
     MethodReport::from_engine(policy.name(), report)
 }
 

@@ -2,6 +2,7 @@
 
 use coca_core::engine::EngineReport;
 use coca_metrics::recorder::{LatencyRecorder, RunSummary};
+use coca_metrics::WindowedSummary;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated outcome of running one method over a scenario.
@@ -22,6 +23,8 @@ pub struct MethodReport {
     pub frame_digest: u64,
     /// Global per-frame latency distribution.
     pub latency: LatencyRecorder,
+    /// Per-interval (virtual-time window) hit/latency/accuracy series.
+    pub windowed: WindowedSummary,
     /// Per-client summaries.
     pub per_client: Vec<RunSummary>,
 }
@@ -37,6 +40,7 @@ impl MethodReport {
             hit_ratio: report.hit_ratio,
             frame_digest: report.frame_digest,
             latency: report.latency,
+            windowed: report.windowed,
             per_client: report.per_client,
         }
     }

@@ -20,7 +20,9 @@
 //! [`MethodDriver::end_round`].
 
 use coca_core::collect::{absorb_rule, AbsorbRule, UpdateTable};
-use coca_core::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
+use coca_core::driver::{
+    drive, drive_plan, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MethodDriver, NoMsg,
+};
 use coca_core::engine::Scenario;
 use coca_core::global::GlobalCacheTable;
 use coca_core::lookup::infer_with_cache;
@@ -279,6 +281,16 @@ pub fn run_smtm_with(
 ) -> MethodReport {
     let mut driver = SmtmDriver::new(scenario, *cfg);
     let report = drive(scenario, &mut driver, drive_cfg);
+    MethodReport::from_engine("SMTM", report)
+}
+
+/// Runs SMTM under an explicit [`DrivePlan`] — the dynamic-scenario entry
+/// point. SMTM is strictly per-client, so churn needs no shared-state
+/// handling: a joiner's private table is freshly seeded at boot, and a
+/// leaver takes its table with it.
+pub fn run_smtm_plan(scenario: &Scenario, cfg: &SmtmConfig, plan: &DrivePlan) -> MethodReport {
+    let mut driver = SmtmDriver::new(scenario, *cfg);
+    let report = drive_plan(scenario, &mut driver, plan);
     MethodReport::from_engine("SMTM", report)
 }
 

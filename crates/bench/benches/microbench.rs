@@ -1,17 +1,21 @@
 //! Criterion micro-benchmarks over the hot paths of the reproduction:
 //! semantic lookup, ACA allocation, global-table merge, wire codec, A-LSH
-//! query and end-to-end frame throughput.
+//! query, end-to-end frame throughput, and the generic engine's per-frame
+//! overhead (a degenerate driver through `drive()` — the event-loop tax
+//! every method pays). The engine bench also refreshes the committed
+//! `BENCH_engine.json` baseline at the repo root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use coca_core::collect::UpdateTable;
+use coca_core::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
 use coca_core::engine::{Scenario, ScenarioConfig};
 use coca_core::server::seed_global_table;
 use coca_core::{aca, infer_with_cache, CocaConfig};
-use coca_data::DatasetSpec;
+use coca_data::{DatasetSpec, Frame};
 use coca_model::{ClientFeatureView, ModelId};
 use coca_net::{decode_frame, encode_frame};
-use coca_sim::SeedTree;
+use coca_sim::{SeedTree, SimDuration};
 use rand::Rng;
 
 fn scenario() -> Scenario {
@@ -137,12 +141,78 @@ fn bench_frame_throughput(c: &mut Criterion) {
     });
 }
 
+/// A fully degenerate method: constant compute, no server traffic. What
+/// remains when it runs through `drive()` is pure engine overhead —
+/// stream generation, digest folding, event scheduling, recorders.
+struct NullDriver;
+
+impl MethodDriver for NullDriver {
+    type Request = NoMsg;
+    type Alloc = NoMsg;
+    type Query = NoMsg;
+    type Reply = NoMsg;
+    type Upload = NoMsg;
+
+    fn name(&self) -> &str {
+        "Null"
+    }
+
+    fn process_frame(&mut self, _k: usize, _frame: &Frame) -> FrameStep<NoMsg> {
+        FrameStep::Done(FrameOutcome {
+            compute: SimDuration::from_micros(10),
+            correct: true,
+            hit_point: None,
+        })
+    }
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let mut sc = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+    sc.seed = 9004;
+    sc.num_clients = 4;
+    let scenario = Scenario::build(sc);
+    let cfg = DriveConfig::new(2, 250); // 4 × 2 × 250 = 2000 frames per run
+    let frames: u64 = 4 * 2 * 250;
+    c.bench_function("engine_drive_null_2k_frames", |b| {
+        b.iter(|| drive(&scenario, &mut NullDriver, &cfg))
+    });
+
+    // Explicit measurement for the committed baseline (the shim's
+    // Criterion does not expose its mean).
+    let warmup = drive(&scenario, &mut NullDriver, &cfg);
+    assert_eq!(warmup.frames, frames);
+    let iters = 20u32;
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(drive(&scenario, &mut NullDriver, &cfg));
+    }
+    let per_frame_ns = start.elapsed().as_secs_f64() * 1e9 / (iters as u64 * frames) as f64;
+    println!(
+        "bench {:<40} {per_frame_ns:>10.1} ns/frame (engine overhead)",
+        "engine_overhead_per_frame"
+    );
+
+    // Refresh the committed baseline at the repo root.
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_engine.json");
+    let json = format!(
+        "{{\n  \"bench\": \"engine_drive_null\",\n  \"description\": \"drive() event-loop overhead per frame with a degenerate driver (stream gen + digest + scheduling + recorders)\",\n  \"clients\": 4,\n  \"rounds\": 2,\n  \"frames_per_round\": 250,\n  \"per_frame_ns\": {per_frame_ns:.1},\n  \"regenerate\": \"cargo bench -p coca-bench\"\n}}\n"
+    );
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[baseline written to {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write baseline: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_lookup,
     bench_aca,
     bench_global_merge,
     bench_codec,
-    bench_frame_throughput
+    bench_frame_throughput,
+    bench_engine_overhead
 );
 criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Curated dynamics experiment: **client churn**.
+//!
+//! A third of an 6-client long-tail fleet leaves mid-run while three new
+//! clients join at staggered instants, one of them on a degraded link.
+//! All six methods run over the identical `ScenarioSpec`; the windowed
+//! series shows how each handles fleet turnover — CoCa re-allocates at
+//! the next round boundary, FoggyCache retires the leavers' global-store
+//! contributions, the purely local methods only lose/gain their own
+//! devices.
+//!
+//! The spec is also written to `results/specs/churn.json`, replayable via
+//! `exp_scenario`.
+
+use coca_bench::scenario_exp::{run_spec_experiment, save_spec};
+use coca_core::engine::ScenarioConfig;
+use coca_core::spec::ScenarioSpec;
+use coca_core::CocaConfig;
+use coca_data::distribution::long_tail_weights;
+use coca_data::DatasetSpec;
+use coca_model::ModelId;
+use coca_net::LinkModel;
+use coca_sim::SimDuration;
+
+fn main() {
+    let model = ModelId::ResNet101;
+    let mut sc = ScenarioConfig::new(model, DatasetSpec::ucf101().subset(50));
+    sc.num_clients = 6;
+    sc.seed = 12_001;
+    sc.global_popularity = long_tail_weights(50, 90.0);
+
+    let congested = LinkModel {
+        one_way_delay: SimDuration::from_millis(15),
+        bandwidth_bps: 10.0e6,
+    };
+
+    // 6 rounds x 250 frames base; clients 1 and 4 depart after rounds 2
+    // and 3; three joiners arrive at 30/60/90 s (the third on a congested
+    // link from the moment it boots).
+    let spec = ScenarioSpec::new(sc, 6, 250)
+        .leave(1, 2)
+        .leave(4, 3)
+        .join(30_000.0, 4)
+        .join(60_000.0, 3)
+        .join(90_000.0, 3)
+        .link_change(Some(8), 90_000.0, congested);
+
+    save_spec("churn", &spec);
+    run_spec_experiment(
+        "churn",
+        "Dynamics — client churn (leaves at round boundaries, staggered joins)",
+        &spec,
+        CocaConfig::for_model(model),
+    );
+}

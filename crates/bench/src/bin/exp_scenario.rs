@@ -1,0 +1,51 @@
+//! Generic dynamic-scenario runner: loads a JSON [`ScenarioSpec`] and
+//! runs **all six methods** (Edge-Only, LearnedCache, FoggyCache, SMTM,
+//! Replacement-LRU, CoCa) over it through the shared harness, reporting
+//! overall and windowed (per-interval) metrics.
+//!
+//! ```sh
+//! cargo run --release -p coca-bench --bin exp_scenario -- results/specs/churn.json
+//! ```
+//!
+//! The record is saved as `results/scenario_<stem>.json`. See the README's
+//! "Dynamic scenarios" section for the JSON format.
+
+use coca_bench::scenario_exp::run_spec_experiment;
+use coca_core::spec::ScenarioSpec;
+use coca_core::CocaConfig;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: exp_scenario <spec.json>");
+            eprintln!("  (curated specs land in results/specs/ via exp_churn / exp_drift)");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("exp_scenario: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let spec = match ScenarioSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("exp_scenario: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stem = std::path::Path::new(&path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "spec".into());
+    let coca = CocaConfig::for_model(spec.scenario.model);
+    run_spec_experiment(
+        &format!("scenario_{stem}"),
+        &format!("Dynamic scenario — {path}"),
+        &spec,
+        coca,
+    );
+}

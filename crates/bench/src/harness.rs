@@ -13,13 +13,22 @@
 //! bit-identical to running the same jobs serially.
 
 use coca_baselines::{
-    run_edge_only_with, run_foggycache_with, run_learnedcache_with, run_smtm_with,
-    FoggyCacheConfig, LearnedCacheConfig, MethodReport, SmtmConfig,
+    run_edge_only_plan, run_edge_only_with, run_foggycache_plan, run_foggycache_with,
+    run_learnedcache_plan, run_learnedcache_with, run_replacement_plan, run_replacement_with,
+    run_smtm_plan, run_smtm_with, FoggyCacheConfig, LearnedCacheConfig, MethodReport,
+    ReplacementPolicy, SmtmConfig,
 };
 use coca_core::driver::DriveConfig;
 use coca_core::engine::{Engine, EngineConfig, EngineReport, Scenario, ScenarioConfig};
+use coca_core::spec::ScenarioSpec;
 use coca_core::CocaConfig;
 use rayon::prelude::*;
+
+/// Entries-per-layer budget for the Replacement (LRU) row of the
+/// six-method dynamic comparisons (Fig. 8's mid-size setting).
+pub const SPEC_REPLACEMENT_ENTRIES: usize = 30;
+/// Fixed high-benefit layer count for the Replacement row.
+pub const SPEC_REPLACEMENT_LAYERS: usize = 4;
 
 /// How long each method runs.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +77,9 @@ enum Method {
     LearnedCache,
     FoggyCache,
     Smtm,
+    /// The Fig. 8-style managed cache (only part of the six-method
+    /// dynamic comparisons; the five-method paper tables omit it).
+    ReplacementLru,
     Coca,
 }
 
@@ -91,6 +103,13 @@ impl Method {
                 let cfg = SmtmConfig::from_coca(&coca);
                 run_smtm_with(&Scenario::build(sc.clone()), &cfg, drive_cfg)
             }
+            Method::ReplacementLru => run_replacement_with(
+                &Scenario::build(sc.clone()),
+                ReplacementPolicy::Lru,
+                SPEC_REPLACEMENT_ENTRIES,
+                SPEC_REPLACEMENT_LAYERS,
+                drive_cfg,
+            ),
             Method::Coca => {
                 let mut coca = coca;
                 coca.round_frames = drive_cfg.frames_per_round;
@@ -100,6 +119,39 @@ impl Method {
                 engine_cfg.boot_window_ms = drive_cfg.boot_window_ms;
                 let mut engine = Engine::new(Scenario::build(sc.clone()), engine_cfg);
                 MethodReport::from_engine("CoCa", engine.run())
+            }
+        }
+    }
+
+    /// Runs this method under a materialized [`ScenarioSpec`] pair — the
+    /// dynamic-scenario twin of [`Method::run`]. `coca.round_frames` must
+    /// already equal the spec's `frames_per_round`.
+    fn run_plan(
+        self,
+        scenario: Scenario,
+        plan: &coca_core::DrivePlan,
+        coca: CocaConfig,
+    ) -> MethodReport {
+        match self {
+            Method::EdgeOnly => run_edge_only_plan(&scenario, plan),
+            Method::LearnedCache => {
+                let cfg = LearnedCacheConfig::for_model(coca.theta, plan.frames_per_round);
+                run_learnedcache_plan(&scenario, &cfg, plan)
+            }
+            Method::FoggyCache => {
+                run_foggycache_plan(&scenario, &FoggyCacheConfig::default(), plan)
+            }
+            Method::Smtm => run_smtm_plan(&scenario, &SmtmConfig::from_coca(&coca), plan),
+            Method::ReplacementLru => run_replacement_plan(
+                &scenario,
+                ReplacementPolicy::Lru,
+                SPEC_REPLACEMENT_ENTRIES,
+                SPEC_REPLACEMENT_LAYERS,
+                plan,
+            ),
+            Method::Coca => {
+                let mut engine = Engine::new(scenario, EngineConfig::new(coca));
+                MethodReport::from_engine("CoCa", engine.run_plan(plan))
             }
         }
     }
@@ -146,6 +198,28 @@ pub fn run_all_methods(sc: &ScenarioConfig, coca: CocaConfig, spec: RunSpec) -> 
     parallel_sweep(methods, |m| m.run(sc, coca, &drive_cfg))
 }
 
+/// Runs **all six methods** (Edge-Only, LearnedCache, FoggyCache, SMTM,
+/// Replacement-LRU, CoCa) over one shared [`ScenarioSpec`] — dynamics
+/// timeline included — in parallel. Every job re-materializes the spec,
+/// so each row consumed byte-identical frame streams under identical
+/// churn, drift and link conditions (the reports' `frame_digest`s agree).
+pub fn run_all_methods_spec(spec: &ScenarioSpec, coca: CocaConfig) -> Vec<MethodReport> {
+    let mut coca = coca;
+    coca.round_frames = spec.frames_per_round;
+    let methods = vec![
+        Method::EdgeOnly,
+        Method::LearnedCache,
+        Method::FoggyCache,
+        Method::Smtm,
+        Method::ReplacementLru,
+        Method::Coca,
+    ];
+    parallel_sweep(methods, move |m| {
+        let (scenario, plan) = spec.materialize();
+        m.run_plan(scenario, &plan, coca)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +257,35 @@ mod tests {
                 r.name,
                 r.mean_latency_ms
             );
+        }
+    }
+
+    #[test]
+    fn six_method_spec_run_shares_one_digest() {
+        use coca_core::spec::ScenarioSpec;
+        let mut sc = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        sc.num_clients = 2;
+        sc.seed = 202;
+        let spec = ScenarioSpec::new(sc, 1, 40).join(3_000.0, 1).leave(0, 1);
+        let coca = CocaConfig::for_model(ModelId::ResNet101);
+        let reports = run_all_methods_spec(&spec, coca);
+        assert_eq!(reports.len(), 6);
+        let names: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Edge-Only",
+                "LearnedCache",
+                "FoggyCache",
+                "SMTM",
+                "LRU",
+                "CoCa"
+            ]
+        );
+        for r in &reports {
+            assert_eq!(r.frames, 3 * 40, "{}", r.name);
+            assert_eq!(r.frame_digest, reports[0].frame_digest, "{}", r.name);
+            assert!(!r.windowed.is_empty(), "{} has no windowed series", r.name);
         }
     }
 

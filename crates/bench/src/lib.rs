@@ -7,8 +7,13 @@
 //!   baseline, all consuming the *same* [`coca_core::engine::Scenario`] so
 //!   results are comparable frame-for-frame.
 //! * [`output`] — result directory conventions and printing helpers.
+//! * [`scenario_exp`] — the dynamic-scenario runner shared by
+//!   `exp_scenario` (generic, JSON-driven), `exp_churn` and `exp_drift`.
 //!
-//! Run e.g. `cargo run --release -p coca-bench --bin exp_table2`.
+//! Run e.g. `cargo run --release -p coca-bench --bin exp_table2`, or a
+//! declarative scenario via
+//! `cargo run --release -p coca-bench --bin exp_scenario -- results/specs/churn.json`.
 
 pub mod harness;
 pub mod output;
+pub mod scenario_exp;

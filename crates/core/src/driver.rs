@@ -30,10 +30,26 @@
 //! event ties break FIFO, and every consumed frame folds into an
 //! order-independent digest so tests can assert two methods saw
 //! byte-identical streams.
+//!
+//! ## Dynamic fleets
+//!
+//! The engine also executes **dynamic scenarios** (see
+//! [`crate::spec::ScenarioSpec`]) through [`drive_plan`]: a [`DrivePlan`]
+//! describes per-member boot instants, per-member round budgets (a `Leave`
+//! truncates them) and per-member time-varying [`LinkSchedule`]s. A
+//! mid-run joiner boots at its virtual join instant, issues a fresh cache
+//! request and folds into the same frame digest; a leaver departs at its
+//! final round boundary — its end-of-round upload and any in-flight
+//! request/reply pairs drain through the FIFO before the queue empties.
+//! Frame-consuming dynamics are keyed in *client-progress* space (rounds
+//! or frame indices) rather than wall-clock virtual time precisely so the
+//! cross-method digest invariant survives: methods progress through the
+//! same streams at different speeds, but they consume identical frames.
 
 use coca_data::{Frame, StreamGenerator};
 use coca_metrics::recorder::{LatencyRecorder, RunSummary};
-use coca_net::{LinkModel, ServerQueue, WireSize};
+use coca_metrics::WindowedSummary;
+use coca_net::{LinkModel, LinkSchedule, ServerQueue, WireSize};
 use coca_sim::{EventQueue, SimDuration, SimTime};
 use rand::Rng;
 
@@ -144,6 +160,17 @@ pub trait MethodDriver {
     fn serve_upload(&mut self, _k: usize, _upload: Self::Upload) -> SimDuration {
         unreachable!("driver returned an upload but does not serve uploads")
     }
+
+    /// Client `k` joins the fleet mid-run (fired at its boot instant,
+    /// before its first cache request). Methods with shared server state
+    /// can register the newcomer here; the default does nothing.
+    fn on_join(&mut self, _k: usize) {}
+
+    /// Client `k` departs the fleet before the run's natural end (fired at
+    /// its final round boundary, after its goodbye upload was handed to
+    /// the link). Methods with shared server state can retire the leaver's
+    /// contributions here; the default does nothing.
+    fn on_leave(&mut self, _k: usize) {}
 }
 
 /// Method-agnostic engine knobs: how long to run and what the network and
@@ -162,15 +189,83 @@ pub struct DriveConfig {
 }
 
 impl DriveConfig {
-    /// Defaults: the paper's router-based WiFi testbed link and a 2 s boot
-    /// window.
+    /// Defaults: the paper's router-based WiFi testbed link and boot
+    /// window — both read from `coca-net`, the single source of truth for
+    /// the shared-testbed constants.
     pub fn new(rounds: usize, frames_per_round: usize) -> Self {
         Self {
             rounds,
             frames_per_round,
-            link: LinkModel::default(),
-            boot_window_ms: 2_000.0,
+            link: LinkModel::testbed(),
+            boot_window_ms: coca_net::TESTBED_BOOT_WINDOW_MS,
         }
+    }
+}
+
+/// Default width of the windowed (per-interval) metrics buckets.
+pub const DEFAULT_METRICS_WINDOW_MS: f64 = 5_000.0;
+
+/// One fleet member's lifecycle in a [`DrivePlan`].
+#[derive(Debug, Clone, Copy)]
+pub struct MemberPlan {
+    /// `None`: part of the base fleet, boots uniformly at random inside
+    /// the boot window. `Some(ms)`: joins mid-run at that virtual instant.
+    pub join_at_ms: Option<f64>,
+    /// Rounds this member executes before departing (a `Leave` event
+    /// truncates the base round count).
+    pub rounds: usize,
+    /// True iff a `Leave` event cut this member short — the engine then
+    /// notifies [`MethodDriver::on_leave`] at the departure boundary.
+    pub leaves_early: bool,
+}
+
+/// The fully resolved execution plan of one run: what [`drive_plan`]
+/// executes. Built either statically from a [`DriveConfig`] (every member
+/// boots in the window, runs the same rounds, shares one link) or from a
+/// [`crate::spec::ScenarioSpec`] timeline (churn, link dynamics).
+#[derive(Debug, Clone)]
+pub struct DrivePlan {
+    /// Frames per round (identical for every member and method).
+    pub frames_per_round: usize,
+    /// Base-fleet boot window (ms).
+    pub boot_window_ms: f64,
+    /// One entry per fleet member, joiners last (their indices extend the
+    /// base fleet's).
+    pub members: Vec<MemberPlan>,
+    /// Per-member link schedule, parallel to `members`.
+    pub links: Vec<LinkSchedule>,
+    /// Width of the windowed-metrics buckets (ms).
+    pub metrics_window_ms: f64,
+}
+
+impl DrivePlan {
+    /// The static plan a [`DriveConfig`] induces over `num_clients`
+    /// members: everyone boots in the window, runs `cfg.rounds` rounds and
+    /// shares `cfg.link`. [`drive`] under this plan is bit-identical to
+    /// the pre-dynamics engine.
+    pub fn from_config(cfg: &DriveConfig, num_clients: usize) -> Self {
+        Self {
+            frames_per_round: cfg.frames_per_round,
+            boot_window_ms: cfg.boot_window_ms,
+            members: vec![
+                MemberPlan {
+                    join_at_ms: None,
+                    rounds: cfg.rounds,
+                    leaves_early: false,
+                };
+                num_clients
+            ],
+            links: vec![LinkSchedule::fixed(cfg.link); num_clients],
+            metrics_window_ms: DEFAULT_METRICS_WINDOW_MS,
+        }
+    }
+
+    /// Total frames the plan consumes across all members.
+    pub fn total_frames(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|m| (m.rounds * self.frames_per_round) as u64)
+            .sum()
     }
 }
 
@@ -196,6 +291,9 @@ fn frame_digest(k: usize, frame: &Frame) -> u64 {
 enum Ev<D: MethodDriver> {
     /// A no-request client boots straight into its frames.
     Begin { k: usize },
+    /// A mid-run joiner boots: [`MethodDriver::on_join`] fires, then its
+    /// first cache request (or first frame) departs.
+    Join { k: usize },
     /// A cache request arrives at the server.
     Request {
         k: usize,
@@ -234,7 +332,7 @@ struct ClientState {
 }
 
 struct Exec<D: MethodDriver> {
-    cfg: DriveConfig,
+    plan: DrivePlan,
     streams: Vec<StreamGenerator>,
     events: EventQueue<Ev<D>>,
     queue: ServerQueue,
@@ -242,12 +340,13 @@ struct Exec<D: MethodDriver> {
     summaries: Vec<RunSummary>,
     latency: LatencyRecorder,
     response_latency: LatencyRecorder,
+    windowed: WindowedSummary,
     digest: u64,
     end_time: SimTime,
 }
 
 impl<D: MethodDriver> Exec<D> {
-    fn record_frame(&mut self, k: usize, total: SimDuration, o: &FrameOutcome) {
+    fn record_frame(&mut self, k: usize, total: SimDuration, o: &FrameOutcome, done_at: SimTime) {
         self.summaries[k].latency.record(total);
         self.summaries[k].accuracy.record(o.correct);
         match o.hit_point {
@@ -255,14 +354,20 @@ impl<D: MethodDriver> Exec<D> {
             None => self.summaries[k].hits.record_miss(o.correct),
         }
         self.latency.record(total);
+        self.windowed.record(
+            done_at.as_millis_f64(),
+            total.as_millis_f64(),
+            o.correct,
+            o.hit_point.is_some(),
+        );
     }
 
     /// Runs client `k`'s frames synchronously in virtual time starting at
     /// `t`, until the round pauses on a server query or the client's
-    /// rounds are exhausted.
+    /// rounds are exhausted. All link costs resolve against `k`'s link
+    /// schedule at the emission instant.
     fn run_frames(&mut self, driver: &mut D, k: usize, mut t: SimTime) {
-        let link = self.cfg.link;
-        let f = self.cfg.frames_per_round;
+        let f = self.plan.frames_per_round;
         loop {
             if self.st[k].frames_done == f {
                 self.st[k].frames_done = 0;
@@ -271,17 +376,23 @@ impl<D: MethodDriver> Exec<D> {
                 // link; the next request (or round) starts after that.
                 let mut free_at = t;
                 if let Some(upload) = driver.end_round(k) {
-                    free_at = t + link.transfer_time(upload.wire_bytes());
+                    free_at = t + self.plan.links[k].transfer_time(t, upload.wire_bytes());
                     self.events.schedule(free_at, Ev::Upload { k, upload });
                 }
                 if self.st[k].rounds_left == 0 {
+                    if self.plan.members[k].leaves_early {
+                        // The leaver departs here; its goodbye upload (if
+                        // any) is already on the link and drains through
+                        // the FIFO behind it.
+                        driver.on_leave(k);
+                    }
                     self.end_time = self.end_time.max(free_at);
                     return;
                 }
                 t = free_at;
                 if let Some(req) = driver.cache_request(k) {
                     self.events.schedule(
-                        t + link.transfer_time(req.wire_bytes()),
+                        t + self.plan.links[k].transfer_time(t, req.wire_bytes()),
                         Ev::Request { k, sent: t, req },
                     );
                     self.end_time = self.end_time.max(t);
@@ -293,7 +404,7 @@ impl<D: MethodDriver> Exec<D> {
             self.digest ^= frame_digest(k, &frame);
             match driver.process_frame(k, &frame) {
                 FrameStep::Done(o) => {
-                    self.record_frame(k, o.compute, &o);
+                    self.record_frame(k, o.compute, &o, t + o.compute);
                     t += o.compute;
                     self.st[k].frames_done += 1;
                 }
@@ -301,7 +412,7 @@ impl<D: MethodDriver> Exec<D> {
                     t += elapsed;
                     self.st[k].pending = Some((frame, elapsed));
                     self.events.schedule(
-                        t + link.transfer_time(query.wire_bytes()),
+                        t + self.plan.links[k].transfer_time(t, query.wire_bytes()),
                         Ev::Query { k, sent: t, query },
                     );
                     self.end_time = self.end_time.max(t);
@@ -310,25 +421,68 @@ impl<D: MethodDriver> Exec<D> {
             }
         }
     }
+
+    /// Boots client `k` at instant `now`: first cache request (or first
+    /// frame) departs immediately.
+    fn boot(&mut self, driver: &mut D, k: usize, now: SimTime) {
+        match driver.cache_request(k) {
+            Some(req) => {
+                self.events.schedule(
+                    now + self.plan.links[k].transfer_time(now, req.wire_bytes()),
+                    Ev::Request { k, sent: now, req },
+                );
+            }
+            None => self.run_frames(driver, k, now),
+        }
+    }
 }
 
 /// Runs `driver` over `scenario` for `cfg.rounds × cfg.frames_per_round`
-/// frames per client and returns the aggregated report.
+/// frames per client and returns the aggregated report. Shorthand for
+/// [`drive_plan`] under the static plan `cfg` induces.
 pub fn drive<D: MethodDriver>(
     scenario: &Scenario,
     driver: &mut D,
     cfg: &DriveConfig,
 ) -> EngineReport {
+    drive_plan(
+        scenario,
+        driver,
+        &DrivePlan::from_config(cfg, scenario.config().num_clients),
+    )
+}
+
+/// Runs `driver` over `scenario` under an explicit [`DrivePlan`] —
+/// possibly with mid-run joins, early leaves and time-varying links.
+///
+/// # Panics
+/// Panics if the plan's member count disagrees with the scenario's client
+/// count (a spec-materialized pair always agrees).
+pub fn drive_plan<D: MethodDriver>(
+    scenario: &Scenario,
+    driver: &mut D,
+    plan: &DrivePlan,
+) -> EngineReport {
     let n = scenario.config().num_clients;
+    assert_eq!(
+        plan.members.len(),
+        n,
+        "plan members must match scenario clients"
+    );
+    assert_eq!(
+        plan.links.len(),
+        n,
+        "plan links must match scenario clients"
+    );
     let l = scenario.rt.num_cache_points();
     let mut exec: Exec<D> = Exec {
-        cfg: *cfg,
+        plan: plan.clone(),
         streams: (0..n).map(|k| scenario.stream(k)).collect(),
         events: EventQueue::new(),
         queue: ServerQueue::new(),
         st: (0..n)
-            .map(|_| ClientState {
-                rounds_left: cfg.rounds,
+            .map(|k| ClientState {
+                rounds_left: plan.members[k].rounds,
                 frames_done: 0,
                 pending: None,
             })
@@ -336,21 +490,36 @@ pub fn drive<D: MethodDriver>(
         summaries: (0..n).map(|_| RunSummary::new(l)).collect(),
         latency: LatencyRecorder::new(),
         response_latency: LatencyRecorder::new(),
+        windowed: WindowedSummary::new(plan.metrics_window_ms),
         digest: 0,
         end_time: SimTime::ZERO,
     };
 
-    // Staggered boots (same seed path as the original CoCa-only engine).
+    // Base-fleet staggered boots (same seed path as the original
+    // CoCa-only engine — a static plan reproduces it bit for bit); mid-run
+    // joiners get a boot event at their join instant instead.
     let boot_seeds = scenario.seeds().child("boot");
     for k in 0..n {
-        let mut rng = boot_seeds.child_idx("client", k as u64).rng();
-        let at = SimTime::from_millis_f64(rng.gen_range(0.0..cfg.boot_window_ms.max(1e-9)));
-        match driver.cache_request(k) {
-            Some(req) => exec.events.schedule(
-                at + cfg.link.transfer_time(req.wire_bytes()),
-                Ev::Request { k, sent: at, req },
-            ),
-            None => exec.events.schedule(at, Ev::Begin { k }),
+        if plan.members[k].rounds == 0 {
+            continue;
+        }
+        match plan.members[k].join_at_ms {
+            None => {
+                let mut rng = boot_seeds.child_idx("client", k as u64).rng();
+                let at =
+                    SimTime::from_millis_f64(rng.gen_range(0.0..plan.boot_window_ms.max(1e-9)));
+                match driver.cache_request(k) {
+                    Some(req) => exec.events.schedule(
+                        at + plan.links[k].transfer_time(at, req.wire_bytes()),
+                        Ev::Request { k, sent: at, req },
+                    ),
+                    None => exec.events.schedule(at, Ev::Begin { k }),
+                }
+            }
+            Some(ms) => {
+                exec.events
+                    .schedule(SimTime::from_millis_f64(ms), Ev::Join { k });
+            }
         }
     }
 
@@ -359,11 +528,15 @@ pub fn drive<D: MethodDriver>(
         exec.end_time = exec.end_time.max(now);
         match ev.payload {
             Ev::Begin { k } => exec.run_frames(driver, k, now),
+            Ev::Join { k } => {
+                driver.on_join(k);
+                exec.boot(driver, k, now);
+            }
             Ev::Request { k, sent, req } => {
                 let (alloc, service) = driver.serve_request(k, req);
                 let done = exec.queue.serve(now, service);
                 exec.events.schedule(
-                    done.finish + cfg.link.transfer_time(alloc.wire_bytes()),
+                    done.finish + exec.plan.links[k].transfer_time(done.finish, alloc.wire_bytes()),
                     Ev::Deliver { k, sent, alloc },
                 );
             }
@@ -376,7 +549,7 @@ pub fn drive<D: MethodDriver>(
                 let (reply, service) = driver.serve_query(k, query);
                 let done = exec.queue.serve(now, service);
                 exec.events.schedule(
-                    done.finish + cfg.link.transfer_time(reply.wire_bytes()),
+                    done.finish + exec.plan.links[k].transfer_time(done.finish, reply.wire_bytes()),
                     Ev::Reply { k, sent, reply },
                 );
             }
@@ -389,7 +562,7 @@ pub fn drive<D: MethodDriver>(
                 elapsed += now.saturating_since(sent);
                 match driver.resume_frame(k, &frame, reply) {
                     FrameStep::Done(o) => {
-                        exec.record_frame(k, elapsed + o.compute, &o);
+                        exec.record_frame(k, elapsed + o.compute, &o, now + o.compute);
                         exec.st[k].frames_done += 1;
                         exec.run_frames(driver, k, now + o.compute);
                     }
@@ -400,7 +573,7 @@ pub fn drive<D: MethodDriver>(
                         let t = now + more;
                         exec.st[k].pending = Some((frame, elapsed + more));
                         exec.events.schedule(
-                            t + cfg.link.transfer_time(query.wire_bytes()),
+                            t + exec.plan.links[k].transfer_time(t, query.wire_bytes()),
                             Ev::Query { k, sent: t, query },
                         );
                     }
@@ -429,6 +602,7 @@ pub fn drive<D: MethodDriver>(
         hit_ratio: hits.hit_ratio(),
         latency: exec.latency,
         response_latency: exec.response_latency,
+        windowed: exec.windowed,
         per_client: exec.summaries,
         absorb: crate::client::AbsorbStats::default(),
         frame_digest: exec.digest,

@@ -15,20 +15,24 @@
 //! event loop — [`EngineReport::frame_digest`] proves it per run.
 
 use coca_data::partition::{client_distributions, NonIidLevel};
-use coca_data::{DatasetSpec, Frame, StreamConfig, StreamGenerator};
+use coca_data::{DatasetSpec, Frame, PopularityPhase, StreamConfig, StreamGenerator};
 use coca_metrics::recorder::{LatencyRecorder, RunSummary};
+use coca_metrics::WindowedSummary;
 use coca_model::{ClientProfile, ModelId, ModelRuntime};
 use coca_net::LinkModel;
 use coca_sim::{SeedTree, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 use crate::client::{AbsorbStats, CocaClient};
 use crate::config::CocaConfig;
-use crate::driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
+use crate::driver::{
+    drive_plan, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MethodDriver, NoMsg,
+};
 use crate::proto::{CacheAllocation, CacheRequest, UpdateUpload};
 use crate::server::{CocaServer, ServiceCostModel};
 
 /// Everything that defines the *workload* (shared across methods).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioConfig {
     /// Model under test.
     pub model: ModelId,
@@ -80,6 +84,10 @@ pub struct Scenario {
     pub distributions: Vec<Vec<f64>>,
     cfg: ScenarioConfig,
     seeds: SeedTree,
+    /// Per-client piecewise popularity schedules (empty = static streams).
+    /// Set by [`crate::spec::ScenarioSpec::materialize`] from the
+    /// timeline's `PopularityShift` events.
+    schedules: Vec<Vec<PopularityPhase>>,
 }
 
 impl Scenario {
@@ -111,13 +119,29 @@ impl Scenario {
             cfg.non_iid,
             &seeds.child("partition"),
         );
+        let schedules = vec![Vec::new(); cfg.num_clients];
         Self {
             rt,
             profiles,
             distributions,
             cfg,
             seeds,
+            schedules,
         }
+    }
+
+    /// Attaches per-client piecewise popularity schedules (one vector per
+    /// client; an empty vector leaves that client's stream static).
+    ///
+    /// # Panics
+    /// Panics if the outer length mismatches the client count.
+    pub fn set_popularity_schedules(&mut self, schedules: Vec<Vec<PopularityPhase>>) {
+        assert_eq!(
+            schedules.len(),
+            self.cfg.num_clients,
+            "one schedule slot per client"
+        );
+        self.schedules = schedules;
     }
 
     /// The scenario's configuration.
@@ -132,16 +156,19 @@ impl Scenario {
 
     /// A fresh, deterministic frame stream for client `k`. Every call
     /// returns an identical generator — methods compared on this scenario
-    /// consume byte-identical streams.
+    /// consume byte-identical streams. Popularity schedules attached via
+    /// [`Scenario::set_popularity_schedules`] are baked in, so dynamic
+    /// scenarios keep the same replayability guarantee.
     pub fn stream(&self, k: usize) -> StreamGenerator {
         let run = self
             .cfg
             .mean_run_length
             .unwrap_or(self.cfg.dataset.mean_run_length);
-        StreamGenerator::new(
-            StreamConfig::new(self.distributions[k].clone(), run),
-            &self.seeds.child_idx("client-stream", k as u64),
-        )
+        let mut cfg = StreamConfig::new(self.distributions[k].clone(), run);
+        if !self.schedules[k].is_empty() {
+            cfg = cfg.with_schedule(self.schedules[k].clone());
+        }
+        StreamGenerator::new(cfg, &self.seeds.child_idx("client-stream", k as u64))
     }
 }
 
@@ -169,7 +196,8 @@ impl EngineConfig {
     /// the *same* link every baseline driver runs under, so cross-method
     /// latency numbers price identical network conditions.
     pub fn new(coca: CocaConfig) -> Self {
-        // Network/boot defaults come from DriveConfig so CoCa and the
+        // Network/boot defaults come from DriveConfig (which in turn reads
+        // the shared-testbed constants from coca-net) so CoCa and the
         // baseline runners share a single source of truth.
         let shared = DriveConfig::new(10, coca.round_frames);
         Self {
@@ -208,6 +236,9 @@ pub struct EngineReport {
     /// Cache-request response latencies (request sent → cache installed),
     /// the paper's Fig. 10(b) metric.
     pub response_latency: LatencyRecorder,
+    /// Per-interval (virtual-time window) hit/latency/accuracy series —
+    /// how drift and churn effects become visible over time.
+    pub windowed: WindowedSummary,
     /// Per-client summaries.
     pub per_client: Vec<RunSummary>,
     /// Collection-rule accounting summed over clients (CoCa only; zeroed
@@ -269,6 +300,15 @@ impl MethodDriver for CocaDriver<'_> {
     fn serve_upload(&mut self, _k: usize, upload: UpdateUpload) -> SimDuration {
         self.server.handle_update(&upload)
     }
+
+    fn on_leave(&mut self, k: usize) {
+        // Drop the leaver's allocation; its collected knowledge stays in
+        // the global table (collaborative caching keeps what the fleet
+        // learned). The remaining clients re-run ACA at their next request,
+        // so the freed budget and the post-churn global frequencies
+        // re-allocate without any extra protocol step.
+        self.clients[k].install_cache(crate::semantic::LocalCache::empty());
+    }
 }
 
 /// The multi-client CoCa engine.
@@ -328,13 +368,20 @@ impl Engine {
     /// Runs every client for the configured number of rounds through the
     /// generic event loop and returns the aggregated report.
     pub fn run(&mut self) -> EngineReport {
-        let drive_cfg = self.cfg.drive_config();
+        let plan =
+            DrivePlan::from_config(&self.cfg.drive_config(), self.scenario.config().num_clients);
+        self.run_plan(&plan)
+    }
+
+    /// Runs CoCa under an explicit [`DrivePlan`] — the dynamic-scenario
+    /// entry point (joins, leaves, link changes).
+    pub fn run_plan(&mut self, plan: &DrivePlan) -> EngineReport {
         let mut driver = CocaDriver {
             rt: &self.scenario.rt,
             server: &mut self.server,
             clients: &mut self.clients,
         };
-        let mut report = drive(&self.scenario, &mut driver, &drive_cfg);
+        let mut report = drive_plan(&self.scenario, &mut driver, plan);
         // CoCa-specific accounting the generic loop cannot see.
         let mut absorb = AbsorbStats::default();
         for c in &self.clients {

@@ -31,6 +31,11 @@
 //! * [`engine`] — the shared workload model ([`engine::Scenario`]) and the
 //!   CoCa instantiation of the generic engine ([`engine::Engine`]); the
 //!   baselines crate plugs its own drivers into the same loop.
+//! * [`spec`] — declarative **dynamic scenarios**: a serde-serializable
+//!   [`spec::ScenarioSpec`] (base fleet + timeline of join/leave,
+//!   popularity-drift and link-change events) that materializes into the
+//!   shared `Scenario` plus a [`driver::DrivePlan`], so any workload is
+//!   data rather than code.
 
 pub mod aca;
 pub mod client;
@@ -43,15 +48,23 @@ pub mod lookup;
 pub mod proto;
 pub mod semantic;
 pub mod server;
+pub mod spec;
 pub mod status;
 
 pub use aca::{allocate, AcaInputs, AcaOutput};
 pub use client::{ClientReport, CocaClient};
 pub use config::CocaConfig;
-pub use driver::{drive, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg};
+pub use driver::{
+    drive, drive_plan, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MemberPlan, MethodDriver,
+    NoMsg,
+};
 pub use engine::{Engine, EngineConfig, EngineReport};
 pub use global::GlobalCacheTable;
 pub use lookup::{infer_with_cache, InferenceResult};
 pub use semantic::{CacheLayer, LocalCache};
 pub use server::CocaServer;
+pub use spec::{
+    JoinEvent, LeaveEvent, LinkChangeEvent, PopularityShift, PopularityShiftEvent, ScenarioEvent,
+    ScenarioSpec,
+};
 pub use status::ClientStatus;

@@ -23,4 +23,4 @@ pub mod stream;
 pub use dataset::{DatasetId, DatasetSpec};
 pub use distribution::{dirichlet, long_tail_weights, uniform_weights};
 pub use partition::{client_distributions, NonIidLevel};
-pub use stream::{Frame, StreamConfig, StreamGenerator};
+pub use stream::{Frame, PopularityPhase, StreamConfig, StreamGenerator};

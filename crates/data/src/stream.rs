@@ -78,6 +78,26 @@ impl Default for DifficultyModel {
     }
 }
 
+/// One step of a piecewise popularity schedule: from the frame with
+/// sequence number `from_seq` onward, the stream samples classes from
+/// `class_weights` instead of the previous phase's weights.
+///
+/// Phases are keyed in **frame-sequence space**, not virtual time, on
+/// purpose: two methods driven over the same scenario consume each
+/// client's stream at different virtual-time rates, and the cross-method
+/// fairness invariant (byte-identical frame streams, proven by the frame
+/// digest) must survive popularity drift. A phase boundary therefore
+/// applies when the client's own stream crosses `from_seq`, wherever that
+/// falls in virtual time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopularityPhase {
+    /// First frame sequence number governed by this phase.
+    pub from_seq: u64,
+    /// The phase's class-popularity distribution (same length as the
+    /// stream's base weights; must have positive mass).
+    pub class_weights: Vec<f64>,
+}
+
 /// Configuration of one client's stream.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StreamConfig {
@@ -98,6 +118,12 @@ pub struct StreamConfig {
     pub recurrence_prob: f64,
     /// Size of the recent-class pool.
     pub recurrence_window: usize,
+    /// Piecewise popularity schedule (sorted by `from_seq`; empty = the
+    /// base `class_weights` hold for the whole stream). A phase takes
+    /// effect at the first run boundary at or after its `from_seq` — runs
+    /// never change class mid-flight, matching how a scene change (not a
+    /// popularity shift) ends a run.
+    pub schedule: Vec<PopularityPhase>,
 }
 
 impl StreamConfig {
@@ -116,8 +142,47 @@ impl StreamConfig {
             forbid_immediate_repeat: true,
             recurrence_prob: 0.80,
             recurrence_window: 10,
+            schedule: Vec::new(),
         }
     }
+
+    /// Builder: attaches a piecewise popularity schedule. Phases may be
+    /// given in any order; they are sorted by `from_seq` (stable, so a
+    /// later-listed phase wins a `from_seq` tie).
+    ///
+    /// # Panics
+    /// Panics if any phase's weight vector length differs from the base
+    /// weights or has non-positive mass.
+    pub fn with_schedule(mut self, mut schedule: Vec<PopularityPhase>) -> Self {
+        for phase in &schedule {
+            assert_eq!(
+                phase.class_weights.len(),
+                self.class_weights.len(),
+                "popularity phase class count mismatch"
+            );
+            assert!(
+                phase.class_weights.iter().sum::<f64>() > 0.0,
+                "popularity phase needs positive mass"
+            );
+        }
+        schedule.sort_by_key(|p| p.from_seq);
+        self.schedule = schedule;
+        self
+    }
+}
+
+/// Normalized cumulative distribution over `weights`.
+fn build_cdf(weights: &[f64]) -> Vec<f64> {
+    let sum: f64 = weights.iter().sum();
+    assert!(sum > 0.0, "class weights must have positive mass");
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|&w| {
+            acc += w / sum;
+            acc
+        })
+        .collect()
 }
 
 /// Infinite generator of temporally local frames.
@@ -127,6 +192,8 @@ pub struct StreamGenerator {
     rng: rand::rngs::SmallRng,
     /// Cumulative distribution over classes for O(log n) sampling.
     cdf: Vec<f64>,
+    /// Next phase of `cfg.schedule` to apply (all earlier phases applied).
+    phase_idx: usize,
     seq: u64,
     // Current-run state.
     run_class: usize,
@@ -143,20 +210,13 @@ impl StreamGenerator {
     pub fn new(cfg: StreamConfig, seeds: &SeedTree) -> Self {
         let sum: f64 = cfg.class_weights.iter().sum();
         assert!(sum > 0.0, "class weights must have positive mass");
-        let mut acc = 0.0;
-        let cdf: Vec<f64> = cfg
-            .class_weights
-            .iter()
-            .map(|&w| {
-                acc += w / sum;
-                acc
-            })
-            .collect();
+        let cdf = build_cdf(&cfg.class_weights);
         let rng = seeds.rng_for("stream");
         let mut gen = Self {
             cfg,
             rng,
             cdf,
+            phase_idx: 0,
             seq: 0,
             run_class: usize::MAX,
             run_remaining: 0,
@@ -169,13 +229,30 @@ impl StreamGenerator {
         gen
     }
 
+    /// Applies every schedule phase whose `from_seq` has been reached.
+    /// Consumes no randomness, so a schedule never perturbs the RNG stream
+    /// of the frames it does not affect.
+    fn advance_phases(&mut self) {
+        while let Some(phase) = self.cfg.schedule.get(self.phase_idx) {
+            if self.seq < phase.from_seq {
+                break;
+            }
+            self.cfg.class_weights = phase.class_weights.clone();
+            self.cdf = build_cdf(&self.cfg.class_weights);
+            self.phase_idx += 1;
+        }
+    }
+
     fn sample_class(&mut self) -> usize {
         let positive = self.cfg.class_weights.iter().filter(|&&w| w > 0.0).count();
-        // Second-level locality: revisit a recently seen class.
+        // Second-level locality: revisit a recently seen class. Classes a
+        // popularity phase zeroed out drop from the pool — the old scene
+        // does not linger once its content is gone.
         let candidates: Vec<usize> = self
             .recent
             .iter()
             .copied()
+            .filter(|&c| self.cfg.class_weights[c] > 0.0)
             .filter(|&c| !(self.cfg.forbid_immediate_repeat && positive > 1 && c == self.run_class))
             .collect();
         if !candidates.is_empty() && self.rng.gen_range(0.0..1.0) < self.cfg.recurrence_prob {
@@ -203,6 +280,7 @@ impl StreamGenerator {
     }
 
     fn start_run(&mut self) {
+        self.advance_phases();
         self.run_class = self.sample_class();
         self.note_recent(self.run_class);
         // Geometric length with mean L: success probability 1/L, min 1.
@@ -372,5 +450,85 @@ mod tests {
         for f in g.take(100) {
             assert_eq!(f.class, 0);
         }
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_no_schedule() {
+        let a = gen(uniform_weights(8), 6.0, 11).take(500);
+        let cfg = StreamConfig::new(uniform_weights(8), 6.0).with_schedule(Vec::new());
+        let b = StreamGenerator::new(cfg, &SeedTree::new(11)).take(500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schedule_shifts_the_sampled_classes() {
+        // Phase 1: only classes 0..4. Phase 2 (from frame 1000): only 4..8.
+        let mut head = vec![0.0; 8];
+        for w in head.iter_mut().take(4) {
+            *w = 0.25;
+        }
+        let mut tail = vec![0.0; 8];
+        for w in tail.iter_mut().skip(4) {
+            *w = 0.25;
+        }
+        let cfg = StreamConfig::new(head, 5.0).with_schedule(vec![PopularityPhase {
+            from_seq: 1000,
+            class_weights: tail,
+        }]);
+        let frames = StreamGenerator::new(cfg, &SeedTree::new(12)).take(2000);
+        for f in &frames[..1000] {
+            assert!(f.class < 4, "frame {} class {}", f.seq, f.class);
+        }
+        // The boundary lands mid-run: the shift applies at the next run
+        // start, so allow one trailing old-phase run.
+        let first_new = frames[1000..]
+            .iter()
+            .position(|f| f.class >= 4)
+            .expect("new phase classes appear");
+        assert!(
+            first_new < 64,
+            "new phase did not take effect near the boundary"
+        );
+        for f in &frames[1000 + first_new..] {
+            if f.run_pos == 0 || f.class >= 4 {
+                assert!(f.class >= 4, "frame {} class {}", f.seq, f.class);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_prefix_is_identical_to_unscheduled_stream() {
+        // Frames strictly before the first phase boundary must be
+        // byte-identical with and without the schedule: phase application
+        // consumes no randomness.
+        let base = uniform_weights(10);
+        let plain = gen(base.clone(), 4.0, 13).take(300);
+        let cfg = StreamConfig::new(base, 4.0).with_schedule(vec![PopularityPhase {
+            from_seq: 300,
+            class_weights: uniform_weights(10),
+        }]);
+        let scheduled = StreamGenerator::new(cfg, &SeedTree::new(13)).take(300);
+        assert_eq!(plain, scheduled);
+    }
+
+    #[test]
+    fn phase_zero_applies_from_the_first_frame() {
+        let mut only7 = vec![0.0; 8];
+        only7[7] = 1.0;
+        let cfg = StreamConfig::new(uniform_weights(8), 4.0).with_schedule(vec![PopularityPhase {
+            from_seq: 0,
+            class_weights: only7,
+        }]);
+        let frames = StreamGenerator::new(cfg, &SeedTree::new(14)).take(100);
+        assert!(frames.iter().all(|f| f.class == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "class count mismatch")]
+    fn schedule_rejects_wrong_class_count() {
+        let _ = StreamConfig::new(uniform_weights(8), 4.0).with_schedule(vec![PopularityPhase {
+            from_seq: 0,
+            class_weights: uniform_weights(5),
+        }]);
     }
 }

@@ -9,11 +9,16 @@
 //!   experiment binaries.
 //! * [`record`] — serializable experiment records (`results/*.json`) that
 //!   EXPERIMENTS.md cites.
+//! * [`windowed`] — per-interval (virtual-time window) summaries for the
+//!   dynamic-scenario experiments, where drift effects only show up as a
+//!   time series.
 
 pub mod record;
 pub mod recorder;
 pub mod table;
+pub mod windowed;
 
 pub use record::ExperimentRecord;
 pub use recorder::{AccuracyRecorder, HitRecorder, LatencyRecorder, RunSummary};
 pub use table::Table;
+pub use windowed::{WindowStats, WindowedSummary};

@@ -1,0 +1,216 @@
+//! Windowed (per-interval) run summaries.
+//!
+//! Aggregate numbers hide dynamics: a popularity shift halfway through a
+//! run depresses the hit rate *for a while*, then the collaborative cache
+//! recovers — exactly the effect the dynamic-scenario experiments need to
+//! make visible. [`WindowedSummary`] buckets per-frame observations into
+//! fixed-width virtual-time windows so hit-rate / latency / accuracy can
+//! be reported as a time series.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregates of one virtual-time window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Frames completed inside the window.
+    pub frames: u64,
+    /// Frames whose prediction matched the ground truth.
+    pub correct: u64,
+    /// Frames answered by a cache hit (any layer).
+    pub hits: u64,
+    /// Sum of end-to-end frame latencies (ms) — divide by `frames`.
+    pub latency_sum_ms: f64,
+}
+
+impl WindowStats {
+    /// Cache hit ratio within the window (0.0 when empty).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.frames as f64
+        }
+    }
+
+    /// Accuracy in percent within the window (0.0 when empty).
+    pub fn accuracy_pct(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.frames as f64 * 100.0
+        }
+    }
+
+    /// Mean frame latency in ms within the window (0.0 when empty).
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.latency_sum_ms / self.frames as f64
+        }
+    }
+}
+
+/// Per-interval summary over virtual time: window `i` covers
+/// `[i·window_ms, (i+1)·window_ms)`. Frames are bucketed by their
+/// completion instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedSummary {
+    window_ms: f64,
+    windows: Vec<WindowStats>,
+}
+
+impl WindowedSummary {
+    /// An empty summary with the given window width (ms).
+    ///
+    /// # Panics
+    /// Panics if `window_ms` is not positive and finite.
+    pub fn new(window_ms: f64) -> Self {
+        assert!(
+            window_ms > 0.0 && window_ms.is_finite(),
+            "window width must be positive, got {window_ms}"
+        );
+        Self {
+            window_ms,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Hard cap on the bucket vector (1 M windows ≈ 32 MB): observations
+    /// beyond it fold into the final bucket instead of growing the vector
+    /// unboundedly. Reached only by degenerate window/eventtime
+    /// combinations — `ScenarioSpec::validate` bounds event instants
+    /// well below this for any sane `metrics_window_ms`.
+    pub const MAX_WINDOWS: usize = 1 << 20;
+
+    /// Records one completed frame at virtual instant `at_ms`.
+    pub fn record(&mut self, at_ms: f64, latency_ms: f64, correct: bool, hit: bool) {
+        let idx = ((at_ms.max(0.0) / self.window_ms) as usize).min(Self::MAX_WINDOWS - 1);
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, WindowStats::default());
+        }
+        let w = &mut self.windows[idx];
+        w.frames += 1;
+        if correct {
+            w.correct += 1;
+        }
+        if hit {
+            w.hits += 1;
+        }
+        w.latency_sum_ms += latency_ms;
+    }
+
+    /// The window width in milliseconds.
+    pub fn window_ms(&self) -> f64 {
+        self.window_ms
+    }
+
+    /// The windows, index 0 first. Trailing windows always contain at
+    /// least one frame; interior windows may be empty (e.g. while every
+    /// client waits out a slow link).
+    pub fn windows(&self) -> &[WindowStats] {
+        &self.windows
+    }
+
+    /// Number of windows spanned so far.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Merges another summary (same window width) into this one.
+    ///
+    /// # Panics
+    /// Panics on window-width mismatch.
+    pub fn merge(&mut self, other: &WindowedSummary) {
+        assert!(
+            (self.window_ms - other.window_ms).abs() < 1e-9,
+            "cannot merge windowed summaries of different widths"
+        );
+        if other.windows.len() > self.windows.len() {
+            self.windows
+                .resize(other.windows.len(), WindowStats::default());
+        }
+        for (dst, src) in self.windows.iter_mut().zip(&other.windows) {
+            dst.frames += src.frames;
+            dst.correct += src.correct;
+            dst.hits += src.hits;
+            dst.latency_sum_ms += src.latency_sum_ms;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_land_in_their_completion_window() {
+        let mut s = WindowedSummary::new(100.0);
+        s.record(10.0, 5.0, true, true);
+        s.record(99.9, 15.0, false, false);
+        s.record(100.0, 20.0, true, true);
+        s.record(350.0, 30.0, true, false);
+        assert_eq!(s.len(), 4);
+        let w = s.windows();
+        assert_eq!(w[0].frames, 2);
+        assert_eq!(w[1].frames, 1);
+        assert_eq!(w[2].frames, 0);
+        assert_eq!(w[3].frames, 1);
+        assert!((w[0].mean_latency_ms() - 10.0).abs() < 1e-9);
+        assert!((w[0].hit_ratio() - 0.5).abs() < 1e-9);
+        assert!((w[0].accuracy_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_windows_report_zero() {
+        let w = WindowStats::default();
+        assert_eq!(w.hit_ratio(), 0.0);
+        assert_eq!(w.accuracy_pct(), 0.0);
+        assert_eq!(w.mean_latency_ms(), 0.0);
+        assert!(WindowedSummary::new(50.0).is_empty());
+    }
+
+    #[test]
+    fn merge_aligns_windows() {
+        let mut a = WindowedSummary::new(100.0);
+        a.record(50.0, 10.0, true, true);
+        let mut b = WindowedSummary::new(100.0);
+        b.record(150.0, 20.0, false, false);
+        b.record(50.0, 30.0, true, false);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.windows()[0].frames, 2);
+        assert_eq!(a.windows()[1].frames, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merge_rejects_width_mismatch() {
+        let mut a = WindowedSummary::new(100.0);
+        a.merge(&WindowedSummary::new(200.0));
+    }
+
+    #[test]
+    fn far_future_observations_fold_into_the_capped_bucket() {
+        let mut s = WindowedSummary::new(1.0);
+        // An absurd completion instant must not allocate beyond the cap.
+        s.record(1.0e18, 5.0, true, true);
+        assert_eq!(s.len(), WindowedSummary::MAX_WINDOWS);
+        assert_eq!(s.windows()[WindowedSummary::MAX_WINDOWS - 1].frames, 1);
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut s = WindowedSummary::new(250.0);
+        s.record(100.0, 12.5, true, false);
+        s.record(600.0, 7.5, false, true);
+        let text = serde_json::to_string(&s).unwrap();
+        let back: WindowedSummary = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

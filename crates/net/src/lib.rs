@@ -22,7 +22,7 @@ pub mod queue;
 pub mod transport;
 pub mod wire;
 
-pub use link::LinkModel;
+pub use link::{LinkChangePoint, LinkModel, LinkSchedule, TESTBED_BOOT_WINDOW_MS};
 pub use queue::ServerQueue;
 pub use transport::{InMemoryTransport, TcpTransport, Transport};
 pub use wire::{decode_frame, encode_frame, FrameError, WireSize};

@@ -163,6 +163,41 @@ fn ablation_arms_order_sanely() {
 }
 
 #[test]
+fn static_spec_reproduces_the_classic_engine_bit_for_bit() {
+    // The acceptance bar for the ScenarioSpec refactor: an empty timeline
+    // with uniform (testbed) links must be indistinguishable from the
+    // pre-dynamics engine — same digest, same latencies to the bit, same
+    // virtual end time.
+    let sc = small_scenario(508);
+    let (rounds, frames) = (3, 150);
+
+    let classic = run_coca(&sc, rounds, frames);
+
+    let spec = ScenarioSpec::new(sc.clone(), rounds, frames);
+    let (scenario, plan) = spec.materialize();
+    let coca = CocaConfig::for_model(ModelId::ResNet101).with_round_frames(frames);
+    let mut engine = Engine::new(scenario, EngineConfig::new(coca));
+    let via_spec = engine.run_plan(&plan);
+
+    assert_eq!(classic.frame_digest, via_spec.frame_digest);
+    assert_eq!(classic.frames, via_spec.frames);
+    assert_eq!(
+        classic.mean_latency_ms.to_bits(),
+        via_spec.mean_latency_ms.to_bits()
+    );
+    assert_eq!(
+        classic.accuracy_pct.to_bits(),
+        via_spec.accuracy_pct.to_bits()
+    );
+    assert_eq!(classic.hit_ratio.to_bits(), via_spec.hit_ratio.to_bits());
+    assert_eq!(classic.end_time, via_spec.end_time);
+    assert_eq!(
+        classic.response_latency.mean_ms().to_bits(),
+        via_spec.response_latency.mean_ms().to_bits()
+    );
+}
+
+#[test]
 fn response_latency_grows_with_client_count() {
     let lat = |n: usize| {
         let mut sc = small_scenario(507);
