@@ -75,13 +75,13 @@ impl Default for FoggyCacheConfig {
     }
 }
 
-/// One stored sample.
+/// One stored sample. Its whitened match key lives as a row of the
+/// store's contiguous [`coca_math::VectorStore`], not here — the H-kNN
+/// scan streams one flat buffer instead of chasing per-sample heap rows.
 #[derive(Debug, Clone)]
 struct Sample {
     /// Raw feature (kept for re-keying when the center freezes).
     feature: Vec<f32>,
-    /// Whitened key used for matching (= feature before freeze).
-    key: Vec<f32>,
     label: usize,
     last_used: u64,
     /// Client that contributed the sample — provenance for retiring a
@@ -196,6 +196,12 @@ const CENTER_FREEZE: usize = 50;
 /// signatures stay stable) and re-normalizing.
 struct Store {
     samples: HashMap<u32, Sample>,
+    /// Whitened match keys, one contiguous row per live sample.
+    keys: coca_math::VectorStore,
+    /// Row → sample id, parallel to `keys`.
+    slot_ids: Vec<u32>,
+    /// Sample id → row.
+    slot_of: HashMap<u32, u32>,
     next_id: u32,
     capacity: usize,
     alsh: Alsh,
@@ -216,6 +222,9 @@ impl Store {
         let k = cfg.k as f64;
         Self {
             samples: HashMap::new(),
+            keys: coca_math::VectorStore::new(dim),
+            slot_ids: Vec::new(),
+            slot_of: HashMap::new(),
             next_id: 0,
             capacity,
             alsh,
@@ -226,6 +235,28 @@ impl Store {
             center_seen: 0,
             center: None,
         }
+    }
+
+    /// Removes one sample from the map, the key store and the A-LSH index.
+    fn remove_sample(&mut self, id: u32) {
+        self.samples.remove(&id).expect("sample exists");
+        let row = self.slot_of.remove(&id).expect("slot exists") as usize;
+        self.alsh.remove(id, self.keys.row(row));
+        self.keys.swap_remove_row(row);
+        let removed = self.slot_ids.swap_remove(row);
+        debug_assert_eq!(removed, id);
+        if row < self.slot_ids.len() {
+            // The last row moved into the vacated slot.
+            self.slot_of.insert(self.slot_ids[row], row as u32);
+        }
+    }
+
+    /// Registers `key` as the match key of the (new) sample `id`.
+    fn index_key(&mut self, id: u32, key: &[f32]) {
+        self.alsh.insert(id, key);
+        let row = self.keys.push_row(key);
+        self.slot_ids.push(id);
+        self.slot_of.insert(id, row as u32);
     }
 
     /// Observes a raw feature for centering; freezes the center (and
@@ -240,21 +271,26 @@ impl Store {
             let mut c = std::mem::take(&mut self.center_sum);
             coca_math::vector::l2_normalize(&mut c);
             self.center = Some(c);
-            // Re-key everything under the whitened space.
+            // Re-key everything under the whitened space. Ids are sorted
+            // so the rebuilt key store's row order is deterministic.
             let dim = self.alsh.dim;
             let bits = self.alsh.bits;
             let tables = self.alsh.tables.len();
             let mut alsh = Alsh::new(dim, tables, bits, &self.seeds.child("post-freeze"));
-            let whitened: Vec<(u32, Vec<f32>)> = self
-                .samples
-                .iter()
-                .map(|(&id, s)| (id, self.whiten_with(&s.feature)))
-                .collect();
-            for (id, w) in whitened {
+            let mut ids: Vec<u32> = self.samples.keys().copied().collect();
+            ids.sort_unstable();
+            let mut keys = coca_math::VectorStore::new(dim);
+            let mut slot_of = HashMap::with_capacity(ids.len());
+            for (row, &id) in ids.iter().enumerate() {
+                let w = self.whiten_with(&self.samples[&id].feature);
                 alsh.insert(id, &w);
-                self.samples.get_mut(&id).expect("sample exists").key = w;
+                keys.push_row(&w);
+                slot_of.insert(id, row as u32);
             }
             self.alsh = alsh;
+            self.keys = keys;
+            self.slot_ids = ids;
+            self.slot_of = slot_of;
         }
     }
 
@@ -281,20 +317,18 @@ impl Store {
             // byte-identical.
             if let Some((&victim, _)) = self.samples.iter().min_by_key(|(&id, s)| (s.last_used, id))
             {
-                let s = self.samples.remove(&victim).expect("victim exists");
-                self.alsh.remove(victim, &s.key);
+                self.remove_sample(victim);
             }
         }
         let id = self.next_id;
         self.next_id += 1;
         self.clock += 1;
         let key = self.whiten_with(&feature);
-        self.alsh.insert(id, &key);
+        self.index_key(id, &key);
         self.samples.insert(
             id,
             Sample {
                 feature,
-                key,
                 label,
                 last_used: self.clock,
                 owner,
@@ -314,9 +348,8 @@ impl Store {
             .map(|(&id, _)| id)
             .collect();
         victims.sort_unstable();
-        for id in &victims {
-            let s = self.samples.remove(id).expect("victim exists");
-            self.alsh.remove(*id, &s.key);
+        for &id in &victims {
+            self.remove_sample(id);
         }
         victims.len()
     }
@@ -335,17 +368,16 @@ impl Store {
         if cand.len() < cfg.k {
             return (None, scanned);
         }
-        // k nearest by cosine among candidates.
-        let mut scored: Vec<(f32, u32)> = cand
+        // k nearest among the candidates: one fused pass over the
+        // contiguous key store (keys are unit-norm by construction, so the
+        // norm-free dot is the cosine). Candidates arrive id-ascending and
+        // `knn_k` breaks similarity ties toward the smaller tag — the same
+        // order the seed's stable sort produced.
+        let rows: Vec<(u32, u32)> = cand
             .into_iter()
-            .filter_map(|id| {
-                self.samples
-                    .get(&id)
-                    .map(|s| (coca_math::cosine(v, &s.key), id))
-            })
+            .filter_map(|id| self.slot_of.get(&id).map(|&row| (row, id)))
             .collect();
-        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
-        scored.truncate(cfg.k);
+        let scored = self.keys.knn_k(v, &rows, cfg.k);
         if scored.len() < cfg.k {
             return (None, scanned);
         }
@@ -400,8 +432,8 @@ impl Store {
             new_bits,
             &self.seeds.child_idx("rebuild", new_bits as u64),
         );
-        for (&id, s) in &self.samples {
-            alsh.insert(id, &s.key);
+        for (row, &id) in self.slot_ids.iter().enumerate() {
+            alsh.insert(id, self.keys.row(row));
         }
         self.alsh = alsh;
     }

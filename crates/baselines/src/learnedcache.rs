@@ -25,6 +25,7 @@ use coca_core::driver::{
 };
 use coca_core::engine::Scenario;
 use coca_data::Frame;
+use coca_math::{ScoreScratch, VectorStore};
 use coca_model::ClientFeatureView;
 use coca_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -65,11 +66,15 @@ impl LearnedCacheConfig {
     }
 }
 
-/// One exit's learned predictor: per-class centroids.
+/// One exit's learned predictor: per-class centroids in a contiguous
+/// [`VectorStore`] (classes with too few buffered samples have no row).
 struct ExitProbe {
     point: usize,
-    /// `centroids[class]` — `None` until enough samples accumulate.
-    centroids: Vec<Option<Vec<f32>>>,
+    num_classes: usize,
+    /// Classes with a trained centroid, ascending, parallel to the rows
+    /// of `centroids`.
+    classes: Vec<usize>,
+    centroids: VectorStore,
     /// Training buffer: (feature, label).
     buffer: VecDeque<(Vec<f32>, usize)>,
 }
@@ -78,7 +83,9 @@ impl ExitProbe {
     fn new(point: usize, classes: usize) -> Self {
         Self {
             point,
-            centroids: vec![None; classes],
+            num_classes: classes,
+            classes: Vec::new(),
+            centroids: VectorStore::empty(),
             buffer: VecDeque::new(),
         }
     }
@@ -93,47 +100,40 @@ impl ExitProbe {
     /// Rebuilds centroids from the buffer; returns the number of samples
     /// processed (the retraining cost driver).
     fn retrain(&mut self, dim: usize, min_samples: usize) -> usize {
-        let classes = self.centroids.len();
-        let mut sums = vec![vec![0.0f32; dim]; classes];
-        let mut counts = vec![0usize; classes];
+        let mut sums = vec![vec![0.0f32; dim]; self.num_classes];
+        let mut counts = vec![0usize; self.num_classes];
         for (f, label) in &self.buffer {
             coca_math::vector::axpy(1.0, f, &mut sums[*label]);
             counts[*label] += 1;
         }
-        for c in 0..classes {
-            self.centroids[c] = if counts[c] >= min_samples {
-                let mut v = std::mem::take(&mut sums[c]);
-                coca_math::vector::l2_normalize(&mut v);
-                Some(v)
-            } else {
-                None
-            };
+        self.classes.clear();
+        self.centroids = VectorStore::new(dim);
+        for (c, (mut sum, count)) in sums.into_iter().zip(counts).enumerate() {
+            if count >= min_samples {
+                coca_math::vector::l2_normalize(&mut sum);
+                self.classes.push(c);
+                self.centroids.push_row(&sum);
+            }
         }
         self.buffer.len()
     }
 
     /// Exit decision: `Some(class)` when the relative margin between the
-    /// two best centroid matches exceeds the threshold.
-    fn predict(&self, v: &[f32], threshold: f32) -> (Option<usize>, usize) {
-        let mut best: Option<(usize, f32)> = None;
-        let mut second: Option<f32> = None;
-        let mut present = 0usize;
-        for (c, centroid) in self.centroids.iter().enumerate() {
-            let Some(e) = centroid else { continue };
-            present += 1;
-            let sim = coca_math::cosine(v, e);
-            match best {
-                Some((_, b)) if sim <= b => match second {
-                    Some(s) if sim <= s => {}
-                    _ => second = Some(sim),
-                },
-                _ => {
-                    second = best.map(|(_, b)| b);
-                    best = Some((c, sim));
-                }
-            }
+    /// two best centroid matches exceeds the threshold. One fused
+    /// `score_top2` pass (α = 0: no cross-exit accumulation).
+    fn predict(
+        &self,
+        v: &[f32],
+        threshold: f32,
+        scratch: &mut ScoreScratch,
+    ) -> (Option<usize>, usize) {
+        let present = self.classes.len();
+        if present == 0 {
+            return (None, 0);
         }
-        if let (Some((class, b)), Some(s)) = (best, second) {
+        scratch.begin(self.num_classes);
+        let top2 = self.centroids.score_top2(v, &self.classes, 0.0, scratch);
+        if let (Some((class, b)), Some((_, s))) = (top2.best, top2.second) {
             if s > 1e-3 && (b - s) / s > threshold {
                 return (Some(class), present);
             }
@@ -146,6 +146,7 @@ impl ExitProbe {
 struct LearnedClient {
     probes: Vec<ExitProbe>,
     view: ClientFeatureView,
+    scratch: ScoreScratch,
     since_retrain: usize,
     pending_retrain_ms: f64,
 }
@@ -172,6 +173,7 @@ impl<'s> LearnedCacheDriver<'s> {
             .map(|_| LearnedClient {
                 probes: exits.iter().map(|&p| ExitProbe::new(p, classes)).collect(),
                 view: ClientFeatureView::new(),
+                scratch: ScoreScratch::new(),
                 since_retrain: 0,
                 pending_retrain_ms: 0.0,
             })
@@ -211,7 +213,7 @@ impl MethodDriver for LearnedCacheDriver<'_> {
         let mut outcome: Option<(usize, usize)> = None; // (class, point)
         for probe in &client.probes {
             let v = rt.semantic_vector(frame, profile, probe.point, &mut client.view);
-            let (pred, present) = probe.predict(&v, cfg.exit_threshold);
+            let (pred, present) = probe.predict(&v, cfg.exit_threshold, &mut client.scratch);
             time += rt.lookup_cost(probe.point, present);
             if let Some(class) = pred {
                 outcome = Some((class, probe.point));
@@ -316,13 +318,14 @@ mod tests {
         }
         let n = probe.retrain(3, 3);
         assert_eq!(n, 40);
-        assert!(probe.centroids[0].is_some());
-        assert!(probe.centroids[1].is_some());
-        assert!(
-            probe.centroids[2].is_none(),
+        assert_eq!(
+            probe.classes,
+            vec![0, 1],
             "unseen class must have no centroid"
         );
-        let (pred, present) = probe.predict(&[1.0, 0.0, 0.0], 0.05);
+        assert_eq!(probe.centroids.rows(), 2);
+        let mut scratch = ScoreScratch::new();
+        let (pred, present) = probe.predict(&[1.0, 0.0, 0.0], 0.05, &mut scratch);
         assert_eq!(pred, Some(0));
         assert_eq!(present, 2);
     }

@@ -153,6 +153,7 @@ struct ReplacementClient {
     rng: SmallRng,
     cache: LocalCache,
     view: ClientFeatureView,
+    scratch: coca_core::LookupScratch,
 }
 
 /// The replacement-policy method driver.
@@ -198,6 +199,7 @@ impl<'s> ReplacementDriver<'s> {
                         .rng(),
                     cache,
                     view: ClientFeatureView::new(),
+                    scratch: coca_core::LookupScratch::new(),
                 }
             })
             .collect();
@@ -232,6 +234,7 @@ impl MethodDriver for ReplacementDriver<'_> {
             &client.cache,
             &self.lookup_cfg,
             &mut client.view,
+            &mut client.scratch,
         );
         match res.hit_point {
             Some(_) => client.managed.touch(res.predicted, self.policy),

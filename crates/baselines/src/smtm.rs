@@ -94,6 +94,7 @@ struct SmtmClient {
     update: UpdateTable,
     cache: LocalCache,
     view: ClientFeatureView,
+    scratch: coca_core::LookupScratch,
 }
 
 impl SmtmClient {
@@ -180,6 +181,7 @@ impl<'s> SmtmDriver<'s> {
                     update: UpdateTable::new(),
                     cache: LocalCache::empty(),
                     view: ClientFeatureView::new(),
+                    scratch: coca_core::LookupScratch::new(),
                 };
                 c.refresh_cache(&cfg);
                 c
@@ -216,6 +218,7 @@ impl MethodDriver for SmtmDriver<'_> {
             &client.cache,
             &self.lookup_cfg,
             &mut client.view,
+            &mut client.scratch,
         );
         client.status.observe(res.predicted);
         client.total_freq[res.predicted] += 1;

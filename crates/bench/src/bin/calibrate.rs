@@ -7,7 +7,7 @@
 //! the calibrated outcomes.
 
 use coca_core::engine::{Engine, EngineConfig, Scenario, ScenarioConfig};
-use coca_core::{infer_with_cache, CocaConfig};
+use coca_core::{infer_with_cache, CocaConfig, LookupScratch};
 use coca_data::DatasetSpec;
 use coca_model::{ClientFeatureView, ClientProfile, ModelId, ModelRuntime};
 use coca_sim::SeedTree;
@@ -60,6 +60,7 @@ fn per_layer_curves() {
     let client = ClientProfile::new(0, 0.0, 0.7, &seeds);
     let cfg = CocaConfig::for_model(ModelId::ResNet101);
     let mut view = ClientFeatureView::new();
+    let mut scratch = LookupScratch::new();
     // All layers active, all classes cached with shared-dataset-seeded
     // entries (the configuration a real deployment starts from).
     let server = coca_core::CocaServer::new(&rt, cfg, &seeds);
@@ -78,7 +79,7 @@ fn per_layer_curves() {
     let n = 3000;
     for _ in 0..n {
         let f = gen.next_frame();
-        let r = infer_with_cache(&rt, &client, &f, &cache, &cfg, &mut view);
+        let r = infer_with_cache(&rt, &client, &f, &cache, &cfg, &mut view, &mut scratch);
         lat += r.latency.as_millis_f64();
         if r.correct {
             cached_correct += 1;

@@ -8,7 +8,7 @@
 use coca_bench::output::save_record;
 use coca_core::engine::{Scenario, ScenarioConfig};
 use coca_core::server::seed_global_table;
-use coca_core::{infer_with_cache, CocaConfig};
+use coca_core::{infer_with_cache, CocaConfig, LookupScratch};
 use coca_data::DatasetSpec;
 use coca_metrics::table::fmt_f;
 use coca_metrics::{ExperimentRecord, Table};
@@ -54,11 +54,12 @@ fn main() {
         let cache = table.extract(&layers, &all_classes);
         let mut stream = scenario.stream(0);
         let mut view = ClientFeatureView::new();
+        let mut scratch = LookupScratch::new();
         let mut lat = 0.0;
         let mut correct = 0u64;
         for _ in 0..frames {
             let f = stream.next_frame();
-            let r = infer_with_cache(rt, &client, &f, &cache, &cfg, &mut view);
+            let r = infer_with_cache(rt, &client, &f, &cache, &cfg, &mut view, &mut scratch);
             lat += r.latency.as_millis_f64();
             correct += r.correct as u64;
         }

@@ -6,7 +6,7 @@
 use coca_bench::output::save_record;
 use coca_core::engine::{Scenario, ScenarioConfig};
 use coca_core::server::seed_global_table;
-use coca_core::{infer_with_cache, CocaConfig};
+use coca_core::{infer_with_cache, CocaConfig, LookupScratch};
 use coca_data::DatasetSpec;
 use coca_metrics::table::fmt_f;
 use coca_metrics::{ExperimentRecord, HitRecorder, Table};
@@ -27,12 +27,13 @@ fn main() {
     let client = scenario.profiles[0].clone();
     let mut stream = scenario.stream(0);
     let mut view = ClientFeatureView::new();
+    let mut scratch = LookupScratch::new();
     let mut hits = HitRecorder::new(rt.num_cache_points());
 
     let frames = 8000usize;
     for _ in 0..frames {
         let f = stream.next_frame();
-        let r = infer_with_cache(rt, &client, &f, &cache, &cfg, &mut view);
+        let r = infer_with_cache(rt, &client, &f, &cache, &cfg, &mut view, &mut scratch);
         match r.hit_point {
             Some(p) => hits.record_hit(p, r.correct),
             None => hits.record_miss(r.correct),

@@ -78,9 +78,18 @@ fn group_windows(windows: &[WindowStats], stride: usize) -> Vec<WindowStats> {
 /// named `name`. Asserts the cross-method digest invariant before
 /// reporting anything.
 pub fn run_spec_experiment(name: &str, title: &str, spec: &ScenarioSpec, coca: CocaConfig) {
-    println!("{title}");
-    println!("{}", timeline_summary(spec));
+    let reports = compute_spec_reports(spec, coca);
+    render_spec_experiment(name, title, spec, &reports);
+}
 
+/// The compute half of [`run_spec_experiment`]: runs all six methods and
+/// asserts the cross-method digest invariant, printing nothing. Directory
+/// sweeps fan these out over `parallel_sweep` and render sequentially so
+/// per-spec tables never interleave.
+pub fn compute_spec_reports(
+    spec: &ScenarioSpec,
+    coca: CocaConfig,
+) -> Vec<coca_baselines::MethodReport> {
     let reports = run_all_methods_spec(spec, coca);
     let digest = reports[0].frame_digest;
     for r in &reports {
@@ -90,6 +99,20 @@ pub fn run_spec_experiment(name: &str, title: &str, spec: &ScenarioSpec, coca: C
             r.name
         );
     }
+    reports
+}
+
+/// The render half of [`run_spec_experiment`]: prints the tables and saves
+/// the [`ExperimentRecord`].
+pub fn render_spec_experiment(
+    name: &str,
+    title: &str,
+    spec: &ScenarioSpec,
+    reports: &[coca_baselines::MethodReport],
+) {
+    println!("{title}");
+    println!("{}", timeline_summary(spec));
+    let digest = reports[0].frame_digest;
 
     let mut record = ExperimentRecord::new(name, title);
     record
@@ -107,7 +130,7 @@ pub fn run_spec_experiment(name: &str, title: &str, spec: &ScenarioSpec, coca: C
             "Hit ratio",
         ],
     );
-    for r in &reports {
+    for r in reports {
         overall.row(&[
             r.name.clone(),
             r.frames.to_string(),
@@ -144,7 +167,7 @@ pub fn run_spec_experiment(name: &str, title: &str, spec: &ScenarioSpec, coca: C
         &headers_ref,
     );
     let mut lat_table = Table::new(format!("{name} — windowed mean latency (ms)"), &headers_ref);
-    for r in &reports {
+    for r in reports {
         let grouped = group_windows(r.windowed.windows(), stride);
         let mut hit_row = vec![r.name.clone()];
         let mut lat_row = vec![r.name.clone()];

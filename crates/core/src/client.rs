@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::collect::{absorb_rule, AbsorbRule, UpdateTable};
 use crate::config::CocaConfig;
-use crate::lookup::{infer_with_cache, InferenceResult};
+use crate::lookup::{infer_with_cache, InferenceResult, LookupScratch};
 use crate::proto::{CacheRequest, UpdateUpload};
 use crate::semantic::LocalCache;
 use crate::status::ClientStatus;
@@ -89,6 +89,7 @@ pub struct CocaClient {
     cfg: CocaConfig,
     profile: ClientProfile,
     view: ClientFeatureView,
+    scratch: LookupScratch,
     status: ClientStatus,
     update: UpdateTable,
     cache: LocalCache,
@@ -121,6 +122,7 @@ impl CocaClient {
             cfg,
             profile,
             view: ClientFeatureView::new(),
+            scratch: LookupScratch::new(),
             status: ClientStatus::new(rt.num_classes()),
             update: UpdateTable::new(),
             cache: LocalCache::empty(),
@@ -183,6 +185,7 @@ impl CocaClient {
             &self.cache,
             &self.cfg,
             &mut self.view,
+            &mut self.scratch,
         );
 
         // Status tracks *predicted* classes — the client has no labels.

@@ -277,8 +277,10 @@ fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Order-independent digest contribution of one consumed frame.
-fn frame_digest(k: usize, frame: &Frame) -> u64 {
+/// Order-independent digest contribution of one consumed frame. Public so
+/// the engine-overhead bench can measure the digest component in
+/// isolation (stream-gen / digest / scheduling split in `BENCH_engine.json`).
+pub fn frame_digest(k: usize, frame: &Frame) -> u64 {
     let mut h = mix64(k as u64 ^ 0xC0CA);
     h = mix64(h ^ frame.seq);
     h = mix64(h ^ frame.class as u64);

@@ -60,7 +60,7 @@ pub use driver::{
 };
 pub use engine::{Engine, EngineConfig, EngineReport};
 pub use global::GlobalCacheTable;
-pub use lookup::{infer_with_cache, InferenceResult};
+pub use lookup::{infer_with_cache, InferenceResult, LookupScratch};
 pub use semantic::{CacheLayer, LocalCache};
 pub use server::CocaServer;
 pub use spec::{

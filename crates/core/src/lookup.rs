@@ -19,13 +19,29 @@
 //! activated layer pays full model compute plus all lookup costs.
 
 use coca_data::Frame;
-use coca_math::cosine;
+use coca_math::ScoreScratch;
 use coca_sim::SimDuration;
 
 use coca_model::{ClientFeatureView, ClientProfile, ModelRuntime, Prediction};
 
 use crate::config::CocaConfig;
 use crate::semantic::LocalCache;
+
+/// Per-client reusable lookup state: the Eq. 1 accumulator scratch that
+/// the seed implementation allocated fresh on every frame (`acc`/
+/// `acc_set`, two O(classes) vectors per frame). One lives next to each
+/// [`ClientFeatureView`]; `infer_with_cache` epochs it per frame.
+#[derive(Debug, Default)]
+pub struct LookupScratch {
+    score: ScoreScratch,
+}
+
+impl LookupScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Floor on the runner-up score when evaluating Eq. 2 — a vanishing or
 /// negative `A_b` means the layer cannot discriminate, not that it is
@@ -74,10 +90,10 @@ pub fn infer_with_cache(
     cache: &LocalCache,
     cfg: &CocaConfig,
     view: &mut ClientFeatureView,
+    scratch: &mut LookupScratch,
 ) -> InferenceResult {
     let mut lookup_time = SimDuration::ZERO;
-    let mut acc: Vec<f32> = vec![0.0; rt.num_classes()];
-    let mut acc_set: Vec<bool> = vec![false; rt.num_classes()];
+    scratch.score.begin(rt.num_classes());
     let mut observed: Vec<(usize, Vec<f32>)> = Vec::with_capacity(cache.num_layers());
 
     for (seq_idx, layer) in cache.layers().iter().enumerate() {
@@ -85,30 +101,16 @@ pub fn infer_with_cache(
         let v = rt.semantic_vector(frame, client, point, view);
         lookup_time += rt.lookup_cost(point, layer.len());
 
-        // Eq. 1: accumulate decayed scores for every cached class.
-        let mut best: Option<(usize, f32)> = None;
-        let mut second: Option<(usize, f32)> = None;
-        for (entry_idx, &class) in layer.classes.iter().enumerate() {
-            let c = cosine(&v, &layer.vectors[entry_idx]);
-            let prev = if acc_set[class] { acc[class] } else { 0.0 };
-            let a = c + cfg.alpha * prev;
-            acc[class] = a;
-            acc_set[class] = true;
-            match best {
-                Some((_, bv)) if a <= bv => match second {
-                    Some((_, sv)) if a <= sv => {}
-                    _ => second = Some((class, a)),
-                },
-                _ => {
-                    second = best;
-                    best = Some((class, a));
-                }
-            }
-        }
+        // Eq. 1 in one fused pass: per entry, a norm-free unit dot (the
+        // unit contract was asserted at insertion), decayed accumulation
+        // into the per-client scratch, and best/second tracking.
+        let top2 = layer
+            .vectors
+            .score_top2(&v, &layer.classes, cfg.alpha, &mut scratch.score);
         observed.push((point, v));
 
         // Eq. 2: discriminative score over the two leading classes.
-        if let (Some((a_class, a_val)), Some((_, b_val))) = (best, second) {
+        if let (Some((a_class, a_val)), Some((_, b_val))) = (top2.best, top2.second) {
             if b_val > MIN_RUNNER_UP {
                 let d = (a_val - b_val) / b_val;
                 if d > cfg.theta {
@@ -188,8 +190,17 @@ mod tests {
     fn empty_cache_behaves_like_edge_only() {
         let (rt, client, cfg) = setup(20);
         let mut view = ClientFeatureView::new();
+        let mut scratch = LookupScratch::new();
         let f = frames(20, 1, 41)[0];
-        let r = infer_with_cache(&rt, &client, &f, &LocalCache::empty(), &cfg, &mut view);
+        let r = infer_with_cache(
+            &rt,
+            &client,
+            &f,
+            &LocalCache::empty(),
+            &cfg,
+            &mut view,
+            &mut scratch,
+        );
         assert!(!r.is_hit());
         assert_eq!(r.latency, rt.full_compute());
         assert!(r.full_prediction.is_some());
@@ -200,13 +211,14 @@ mod tests {
     fn deep_center_cache_hits_most_frames_and_cuts_latency() {
         let (rt, client, cfg) = setup(20);
         let mut view = ClientFeatureView::new();
+        let mut scratch = LookupScratch::new();
         // Activate a handful of spread-out layers.
         let cache = center_cache(&rt, &[5, 12, 19, 26, 33], 20);
         let fs = frames(20, 500, 42);
         let mut hits = 0usize;
         let mut total_ms = 0.0;
         for f in &fs {
-            let r = infer_with_cache(&rt, &client, f, &cache, &cfg, &mut view);
+            let r = infer_with_cache(&rt, &client, f, &cache, &cfg, &mut view, &mut scratch);
             if r.is_hit() {
                 hits += 1;
                 assert!(r.hit_score > cfg.theta);
@@ -236,9 +248,13 @@ mod tests {
         let fs = frames(20, 400, 43);
         let count_hits = |theta: f32| -> usize {
             let mut view = ClientFeatureView::new();
+            let mut scratch = LookupScratch::new();
             let cfg = cfg.with_theta(theta);
             fs.iter()
-                .filter(|f| infer_with_cache(&rt, &client, f, &cache, &cfg, &mut view).is_hit())
+                .filter(|f| {
+                    infer_with_cache(&rt, &client, f, &cache, &cfg, &mut view, &mut scratch)
+                        .is_hit()
+                })
                 .count()
         };
         let low = count_hits(0.004);
@@ -250,9 +266,10 @@ mod tests {
     fn observed_vectors_stop_at_hit_layer() {
         let (rt, client, cfg) = setup(20);
         let mut view = ClientFeatureView::new();
+        let mut scratch = LookupScratch::new();
         let cache = center_cache(&rt, &[5, 15, 25], 20);
         for f in frames(20, 100, 44) {
-            let r = infer_with_cache(&rt, &client, &f, &cache, &cfg, &mut view);
+            let r = infer_with_cache(&rt, &client, &f, &cache, &cfg, &mut view, &mut scratch);
             match r.hit_seq_idx {
                 Some(i) => {
                     assert_eq!(r.observed.len(), i + 1);
@@ -268,9 +285,10 @@ mod tests {
         let (rt, client, mut cfg) = setup(20);
         cfg.theta = 10.0; // impossible threshold: everything misses
         let mut view = ClientFeatureView::new();
+        let mut scratch = LookupScratch::new();
         let cache = center_cache(&rt, &[0, 17, 33], 20);
         let f = frames(20, 1, 45)[0];
-        let r = infer_with_cache(&rt, &client, &f, &cache, &cfg, &mut view);
+        let r = infer_with_cache(&rt, &client, &f, &cache, &cfg, &mut view, &mut scratch);
         assert!(!r.is_hit());
         let expected = rt.full_compute()
             + rt.lookup_cost(0, 20)
@@ -283,11 +301,12 @@ mod tests {
     fn single_class_cache_never_hits() {
         let (rt, client, cfg) = setup(20);
         let mut view = ClientFeatureView::new();
+        let mut scratch = LookupScratch::new();
         let mut layer = CacheLayer::new(20);
         layer.insert(0, rt.universe().global_center(20, 0).to_vec());
         let cache = LocalCache::from_layers(vec![layer]);
         for f in frames(20, 50, 46) {
-            let r = infer_with_cache(&rt, &client, &f, &cache, &cfg, &mut view);
+            let r = infer_with_cache(&rt, &client, &f, &cache, &cfg, &mut view, &mut scratch);
             assert!(!r.is_hit(), "one cached class cannot discriminate");
         }
     }
@@ -299,16 +318,17 @@ mod tests {
         // single-layer lookup would give.
         let (rt, client, cfg) = setup(10);
         let mut view = ClientFeatureView::new();
+        let mut scratch = LookupScratch::new();
         let one = center_cache(&rt, &[30], 10);
         let two = center_cache(&rt, &[25, 30], 10);
         let fs = frames(10, 300, 47);
         let mut hits_one = 0;
         let mut hits_two = 0;
         for f in &fs {
-            if infer_with_cache(&rt, &client, f, &one, &cfg, &mut view).is_hit() {
+            if infer_with_cache(&rt, &client, f, &one, &cfg, &mut view, &mut scratch).is_hit() {
                 hits_one += 1;
             }
-            if infer_with_cache(&rt, &client, f, &two, &cfg, &mut view).is_hit() {
+            if infer_with_cache(&rt, &client, f, &two, &cfg, &mut view, &mut scratch).is_hit() {
                 hits_two += 1;
             }
         }

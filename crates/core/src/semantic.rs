@@ -4,18 +4,65 @@
 //! holds one unit-norm semantic-center entry per hot-spot class. In CoCa
 //! the server extracts these as a sub-table of its global cache (§IV.B);
 //! baselines fill them by other policies.
+//!
+//! Entries live in a contiguous [`VectorStore`] (one flat row-major buffer
+//! per layer) so the per-frame Eq. 1/2 scan streams through cache lines;
+//! the unit-norm contract is `debug_assert`ed once at insertion, which is
+//! what lets the lookup use the norm-free `dot_unit` kernel.
 
+use coca_math::VectorStore;
 use serde::{Deserialize, Serialize};
 
 /// One activated cache layer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct CacheLayer {
     /// Which preset cache point of the model this layer occupies.
     pub point: usize,
-    /// Cached classes, parallel to `vectors`.
+    /// Cached classes, parallel to the rows of `vectors`.
     pub classes: Vec<usize>,
-    /// Unit-norm semantic centers, parallel to `classes`.
-    pub vectors: Vec<Vec<f32>>,
+    /// Unit-norm semantic centers, one store row per entry of `classes`.
+    pub vectors: VectorStore,
+}
+
+// Deserialization is the one entry point that bypasses [`CacheLayer::
+// insert`]'s debug-time unit-norm assertion (allocations arrive over the
+// wire in the TCP deployment), and the norm-free lookup kernel would
+// silently mis-score a non-unit entry where the seed's `cosine` used to
+// renormalize it. So the wire boundary enforces the contract for real:
+// rows must be unit-norm (or zero — degenerate entries score 0) and
+// parallel to `classes`.
+impl serde::Deserialize for CacheLayer {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(m) = v else {
+            return Err(serde::Error::custom(format!(
+                "expected object for CacheLayer, got {}",
+                v.kind()
+            )));
+        };
+        let point: usize = serde::__field(m, "point")?;
+        let classes: Vec<usize> = serde::__field(m, "classes")?;
+        let vectors: VectorStore = serde::__field(m, "vectors")?;
+        if vectors.rows() != classes.len() {
+            return Err(serde::Error::custom(format!(
+                "CacheLayer: {} classes vs {} vector rows",
+                classes.len(),
+                vectors.rows()
+            )));
+        }
+        for (i, row) in vectors.iter_rows().enumerate() {
+            if !coca_math::is_unit(row, 1e-3) {
+                return Err(serde::Error::custom(format!(
+                    "CacheLayer: row {i} (class {}) is not unit-norm",
+                    classes[i]
+                )));
+            }
+        }
+        Ok(Self {
+            point,
+            classes,
+            vectors,
+        })
+    }
 }
 
 impl CacheLayer {
@@ -24,21 +71,21 @@ impl CacheLayer {
         Self {
             point,
             classes: Vec::new(),
-            vectors: Vec::new(),
+            vectors: VectorStore::empty(),
         }
     }
 
     /// Adds (or replaces) the entry for `class`.
     pub fn insert(&mut self, class: usize, vector: Vec<f32>) {
         debug_assert!(
-            (coca_math::l2_norm(&vector) - 1.0).abs() < 1e-3,
+            coca_math::is_unit(&vector, 1e-3),
             "cache entries must be unit-norm"
         );
         if let Some(i) = self.classes.iter().position(|&c| c == class) {
-            self.vectors[i] = vector;
+            self.vectors.set_row(i, &vector);
         } else {
             self.classes.push(class);
-            self.vectors.push(vector);
+            self.vectors.push_row(&vector);
         }
     }
 
@@ -46,11 +93,24 @@ impl CacheLayer {
     pub fn remove(&mut self, class: usize) -> bool {
         if let Some(i) = self.classes.iter().position(|&c| c == class) {
             self.classes.swap_remove(i);
-            self.vectors.swap_remove(i);
+            self.vectors.swap_remove_row(i);
             true
         } else {
             false
         }
+    }
+
+    /// The cached center for `class`, if present.
+    pub fn vector_for(&self, class: usize) -> Option<&[f32]> {
+        self.classes
+            .iter()
+            .position(|&c| c == class)
+            .map(|i| self.vectors.row(i))
+    }
+
+    /// Iterates `(class, center)` entries in row order.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, &[f32])> {
+        self.classes.iter().copied().zip(self.vectors.iter_rows())
     }
 
     /// Number of entries.
@@ -65,7 +125,7 @@ impl CacheLayer {
 
     /// Bytes occupied by this layer's entries (dense f32).
     pub fn bytes(&self) -> usize {
-        self.vectors.iter().map(|v| v.len() * 4).sum()
+        self.vectors.bytes()
     }
 }
 
@@ -159,11 +219,53 @@ mod tests {
         assert_eq!(l.len(), 2);
         l.insert(7, unit(4, 2)); // replace
         assert_eq!(l.len(), 2);
-        assert_eq!(l.vectors[0], unit(4, 2));
+        assert_eq!(l.vector_for(7).unwrap(), unit(4, 2).as_slice());
         assert!(l.remove(9));
         assert!(!l.remove(9));
         assert_eq!(l.len(), 1);
         assert_eq!(l.bytes(), 16);
+    }
+
+    #[test]
+    fn entries_stay_parallel_after_removal() {
+        let mut l = CacheLayer::new(0);
+        l.insert(1, unit(3, 0));
+        l.insert(2, unit(3, 1));
+        l.insert(3, unit(3, 2));
+        assert!(l.remove(1)); // swap-removes: class 3's row moves to slot 0
+        let pairs: Vec<(usize, Vec<f32>)> = l.entries().map(|(c, v)| (c, v.to_vec())).collect();
+        assert_eq!(pairs.len(), 2);
+        for (c, v) in pairs {
+            assert_eq!(l.vector_for(c).unwrap(), v.as_slice());
+        }
+        assert_eq!(l.vector_for(3).unwrap(), unit(3, 2).as_slice());
+    }
+
+    #[test]
+    fn layer_serde_round_trips_flat() {
+        let mut l = CacheLayer::new(5);
+        l.insert(2, unit(4, 1));
+        l.insert(8, unit(4, 3));
+        let json = serde_json::to_string(&l).unwrap();
+        assert!(json.contains("\"dim\":4"), "flat-buffer encode: {json}");
+        let back: CacheLayer = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.point, 5);
+        assert_eq!(back.classes, l.classes);
+        assert_eq!(back.vector_for(8).unwrap(), unit(4, 3).as_slice());
+    }
+
+    #[test]
+    fn layer_deserialize_enforces_the_unit_contract() {
+        // Non-unit row: the seed's cosine would have renormalized it, the
+        // norm-free kernel cannot — the wire boundary must reject it.
+        let bad = r#"{"point":1,"classes":[7],"vectors":{"dim":2,"data":[3.0,4.0]}}"#;
+        assert!(serde_json::from_str::<CacheLayer>(bad).is_err());
+        // Classes/rows mismatch.
+        let ragged = r#"{"point":1,"classes":[7,9],"vectors":{"dim":2,"data":[1.0,0.0]}}"#;
+        assert!(serde_json::from_str::<CacheLayer>(ragged).is_err());
+        // Zero rows are degenerate-but-legal (they score 0, as cosine did).
+        let zero = r#"{"point":1,"classes":[7],"vectors":{"dim":2,"data":[0.0,0.0]}}"#;
+        assert!(serde_json::from_str::<CacheLayer>(zero).is_ok());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use rand::Rng;
 use crate::aca::{allocate, AcaInputs, AcaOutput};
 use crate::config::CocaConfig;
 use crate::global::GlobalCacheTable;
-use crate::lookup::infer_with_cache;
+use crate::lookup::{infer_with_cache, LookupScratch};
 use crate::proto::{CacheAllocation, CacheRequest, UpdateUpload};
 use crate::semantic::{CacheLayer, LocalCache};
 
@@ -125,6 +125,7 @@ pub fn profile_hit_ratios(
     let shared_seeds = seeds.child("server-shared");
     let shared_profile = ClientProfile::new(u64::MAX, 0.0, 1.0, &shared_seeds);
     let mut view = ClientFeatureView::new();
+    let mut scratch = LookupScratch::new();
     let all_layers: Vec<usize> = (0..l).collect();
     let all_classes: Vec<usize> = (0..classes).collect();
     let profile_cache = global.extract(&all_layers, &all_classes);
@@ -135,7 +136,15 @@ pub fn profile_hit_ratios(
     );
     for _ in 0..PROFILE_FRAMES {
         let f = prof_gen.next_frame();
-        let r = infer_with_cache(rt, &shared_profile, &f, &profile_cache, cfg, &mut view);
+        let r = infer_with_cache(
+            rt,
+            &shared_profile,
+            &f,
+            &profile_cache,
+            cfg,
+            &mut view,
+            &mut scratch,
+        );
         if let Some(p) = r.hit_point {
             hits[p] += 1;
         }

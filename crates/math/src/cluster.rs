@@ -6,7 +6,9 @@
 //! with (a) mean intra- vs inter-class cosine similarity and (b) the cosine
 //! silhouette score.
 
-use crate::vector::cosine;
+use crate::matrix::dot_unit;
+use crate::store::VectorStore;
+use crate::vector::{cosine, l2_normalize, l2_normalized};
 
 /// Intra/inter-class cosine similarity summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +36,10 @@ pub fn center_separation(
     if centers.len() < 2 {
         return None;
     }
+    // Normalize once into a contiguous store; cosine against any sample is
+    // then one norm-free dot per center instead of three dots.
+    let store =
+        VectorStore::from_rows(&centers.iter().map(|c| l2_normalized(c)).collect::<Vec<_>>());
     let mut intra_sum = 0.0f64;
     let mut inter_sum = 0.0f64;
     let mut n = 0u64;
@@ -41,12 +47,13 @@ pub fn center_separation(
         if *class >= centers.len() {
             continue;
         }
-        let own = cosine(v, &centers[*class]) as f64;
-        let best_other = centers
-            .iter()
+        let vn = l2_normalized(v);
+        let own = dot_unit(&vn, store.row(*class)) as f64;
+        let best_other = store
+            .iter_rows()
             .enumerate()
             .filter(|(i, _)| i != class)
-            .map(|(_, c)| cosine(v, c) as f64)
+            .map(|(_, c)| dot_unit(&vn, c) as f64)
             .fold(f64::NEG_INFINITY, f64::max);
         intra_sum += own;
         inter_sum += best_other;
@@ -124,6 +131,95 @@ pub fn silhouette_cosine(samples: &[(usize, Vec<f32>)]) -> Option<f64> {
     Some(total / n as f64)
 }
 
+/// Result of [`kmeans_unit`].
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Unit-norm cluster centers, one store row per cluster.
+    pub centers: VectorStore,
+    /// `assignment[i]` — the center row sample `i` belongs to.
+    pub assignment: Vec<usize>,
+    /// Lloyd iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+/// Deterministic spherical k-means over unit-normalized samples.
+///
+/// Initialization is farthest-point (sample 0 seeds the first center, each
+/// next center is the sample least similar to its nearest chosen center,
+/// earliest index on ties), the E-step is the fused
+/// [`VectorStore::assign_nearest`] scan, and the M-step renormalizes each
+/// cluster's mean. A cluster that loses all members keeps its previous
+/// center. Fully deterministic: same samples, same result, run to run.
+///
+/// # Panics
+/// Panics if `samples` is empty, `k` is 0, or lengths are ragged.
+pub fn kmeans_unit(samples: &[Vec<f32>], k: usize, max_iters: usize) -> KmeansResult {
+    assert!(!samples.is_empty(), "kmeans_unit: empty input");
+    assert!(k > 0, "kmeans_unit: k must be positive");
+    let dim = samples[0].len();
+    let normed: Vec<Vec<f32>> = samples
+        .iter()
+        .map(|s| {
+            assert_eq!(s.len(), dim, "kmeans_unit: ragged input");
+            l2_normalized(s)
+        })
+        .collect();
+    let k = k.min(normed.len());
+
+    // Farthest-point init over the sample set.
+    let mut centers = VectorStore::new(dim);
+    centers.push_row(&normed[0]);
+    // nearest_sim[i] — similarity of sample i to its closest chosen center.
+    let mut nearest_sim: Vec<f32> = normed.iter().map(|s| dot_unit(s, centers.row(0))).collect();
+    while centers.rows() < k {
+        let (far, _) = nearest_sim
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+            .expect("non-empty samples");
+        let row = centers.push_row(&normed[far]);
+        for (s, ns) in normed.iter().zip(nearest_sim.iter_mut()) {
+            *ns = ns.max(dot_unit(s, centers.row(row)));
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; normed.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iters.max(1) {
+        iterations += 1;
+        // E-step: fused nearest-center scan per sample.
+        let mut changed = false;
+        for (i, s) in normed.iter().enumerate() {
+            let (best, _) = centers.assign_nearest(s).expect("k > 0 centers");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+        // M-step: renormalized cluster means; empty clusters keep their
+        // previous center.
+        let mut sums = vec![vec![0.0f32; dim]; centers.rows()];
+        let mut counts = vec![0usize; centers.rows()];
+        for (s, &a) in normed.iter().zip(&assignment) {
+            crate::vector::axpy(1.0, s, &mut sums[a]);
+            counts[a] += 1;
+        }
+        for (c, (mut sum, count)) in sums.into_iter().zip(counts).enumerate() {
+            if count > 0 && l2_normalize(&mut sum) > f32::MIN_POSITIVE {
+                centers.set_row(c, &sum);
+            }
+        }
+    }
+    KmeansResult {
+        centers,
+        assignment,
+        iterations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +257,36 @@ mod tests {
         let samples = vec![(0, vec![1.0, 0.0]), (0, vec![0.9, 0.1])];
         assert_eq!(silhouette_cosine(&samples), None);
         assert!(center_separation(&samples, &[vec![1.0, 0.0]]).is_none());
+    }
+
+    #[test]
+    fn kmeans_recovers_two_blobs() {
+        let samples: Vec<Vec<f32>> = two_blobs().into_iter().map(|(_, v)| v).collect();
+        let r = kmeans_unit(&samples, 2, 50);
+        assert_eq!(r.centers.rows(), 2);
+        // Alternating blob membership must land in alternating clusters.
+        let a = r.assignment[0];
+        let b = r.assignment[1];
+        assert_ne!(a, b);
+        for (i, &c) in r.assignment.iter().enumerate() {
+            assert_eq!(c, if i % 2 == 0 { a } else { b }, "sample {i}");
+        }
+        // Centers are unit-norm.
+        for c in r.centers.iter_rows() {
+            assert!((crate::l2_norm(c) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let samples: Vec<Vec<f32>> = two_blobs().into_iter().map(|(_, v)| v).collect();
+        let a = kmeans_unit(&samples, 3, 20);
+        let b = kmeans_unit(&samples, 3, 20);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.centers, b.centers);
+        // k larger than the sample count degrades gracefully.
+        let tiny = kmeans_unit(&samples[..2], 10, 5);
+        assert_eq!(tiny.centers.rows(), 2);
     }
 
     #[test]

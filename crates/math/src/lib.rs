@@ -4,8 +4,13 @@
 //! reproduction:
 //!
 //! * [`vector`] — f32 vector kernels: dot products, L2 normalization, cosine
-//!   similarity (the heart of the semantic-cache lookup), random unit
-//!   vectors, centroids.
+//!   similarity, random unit vectors, centroids.
+//! * [`matrix`] — fused, deterministic scoring kernels over contiguous
+//!   row-major buffers: [`dot_unit`], [`matrix::score_top2`] (Eq. 1/2 in one
+//!   pass), [`matrix::knn_k`] (H-kNN ranking), [`matrix::assign_nearest`]
+//!   (k-means E-step) — the heart of every similarity hot path.
+//! * [`store`] — [`VectorStore`], the dimension-checked contiguous storage
+//!   those kernels scan.
 //! * [`stats`] — Welford online mean/variance, exponential moving averages.
 //! * [`quantile`] — the P² streaming quantile estimator (latency
 //!   percentiles without retaining samples).
@@ -18,14 +23,20 @@
 //!   (Fig. 2's quantitative clustering evidence).
 
 pub mod cluster;
+pub mod matrix;
 pub mod pca;
 pub mod quantile;
 pub mod softmax;
 pub mod stats;
+pub mod store;
 pub mod topk;
 pub mod vector;
 
+pub use matrix::{dot_unit, ScoreScratch, Top2};
 pub use quantile::P2Quantile;
 pub use stats::{Ewma, OnlineStats};
+pub use store::VectorStore;
 pub use topk::{top1, top2, top_k_indices};
-pub use vector::{cosine, dot, l2_norm, l2_normalize, l2_normalized, mean_vector, random_unit};
+pub use vector::{
+    cosine, dot, is_unit, l2_norm, l2_normalize, l2_normalized, mean_vector, random_unit,
+};

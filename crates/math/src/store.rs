@@ -1,0 +1,298 @@
+//! [`VectorStore`] — contiguous row-major f32 storage with a
+//! dimension-checked handle.
+//!
+//! Every similarity hot path of the reproduction used to scan
+//! `Vec<Vec<f32>>` rows — one heap allocation and one pointer chase per
+//! entry. A `VectorStore` keeps all rows in **one flat buffer** so the
+//! fused kernels of [`crate::matrix`] stream through cache lines, and its
+//! handle enforces that every row shares one dimension (the first pushed
+//! row fixes it).
+//!
+//! Serialization is a **flat-buffer encode** — `{"dim": d, "data":
+//! [...]}` — so a serialized cache layer ships one flat array instead of
+//! nested per-row arrays.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::{self, ScoreScratch, Top2};
+
+/// Contiguous row-major storage of equal-dimension f32 vectors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VectorStore {
+    /// Row dimension; 0 while the store has never held a row.
+    dim: usize,
+    /// Row-major flat buffer, `rows · dim` long.
+    data: Vec<f32>,
+}
+
+impl VectorStore {
+    /// An empty store whose dimension is fixed by the first pushed row.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// An empty store with the dimension fixed up front.
+    ///
+    /// # Panics
+    /// Panics if `dim` is 0.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "VectorStore: dim must be positive");
+        Self {
+            dim,
+            data: Vec::new(),
+        }
+    }
+
+    /// Builds a store from explicit rows (they must share one length).
+    pub fn from_rows<R: AsRef<[f32]>>(rows: &[R]) -> Self {
+        let mut s = Self::empty();
+        for r in rows {
+            s.push_row(r.as_ref());
+        }
+        s
+    }
+
+    /// Row dimension (0 iff the store never held a row).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// True iff the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes occupied by the rows (dense f32).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Iterates the rows in order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        // `chunks_exact(0)` panics, so an unset-dimension (empty) store
+        // iterates over a chunk size of 1 — zero chunks either way.
+        self.data.chunks_exact(self.dim.max(1))
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Appends a row, fixing the store dimension on first use; returns the
+    /// new row's index.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch or an empty row.
+    pub fn push_row(&mut self, row: &[f32]) -> usize {
+        if self.dim == 0 {
+            assert!(!row.is_empty(), "VectorStore: cannot push an empty row");
+            self.dim = row.len();
+        } else {
+            assert_eq!(
+                row.len(),
+                self.dim,
+                "VectorStore: row dim {} vs store dim {}",
+                row.len(),
+                self.dim
+            );
+        }
+        self.data.extend_from_slice(row);
+        self.rows() - 1
+    }
+
+    /// Overwrites row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range or the dimension mismatches.
+    pub fn set_row(&mut self, i: usize, row: &[f32]) {
+        assert_eq!(
+            row.len(),
+            self.dim,
+            "VectorStore: row dim {} vs store dim {}",
+            row.len(),
+            self.dim
+        );
+        let start = i * self.dim;
+        self.data[start..start + self.dim].copy_from_slice(row);
+    }
+
+    /// Removes row `i` by moving the last row into its slot (O(dim)).
+    /// Returns the index of the row that moved into `i`, if any.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn swap_remove_row(&mut self, i: usize) -> Option<usize> {
+        let last = self
+            .rows()
+            .checked_sub(1)
+            .expect("swap_remove on empty store");
+        assert!(i <= last, "VectorStore: row {i} out of range ({last} max)");
+        if i != last {
+            let (head, tail) = self.data.split_at_mut(last * self.dim);
+            head[i * self.dim..(i + 1) * self.dim].copy_from_slice(tail);
+        }
+        self.data.truncate(last * self.dim);
+        (i != last).then_some(last)
+    }
+
+    /// Drops every row (the dimension is kept).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    // ------------------------------------------------- fused kernels ----
+
+    /// One fused Eq. 1/2 pass over the store (see [`matrix::score_top2`]).
+    pub fn score_top2(
+        &self,
+        query: &[f32],
+        classes: &[usize],
+        alpha: f32,
+        scratch: &mut ScoreScratch,
+    ) -> Top2 {
+        matrix::score_top2(&self.data, self.dim, query, classes, alpha, scratch)
+    }
+
+    /// Top-`k` candidate rows by similarity (see [`matrix::knn_k`]).
+    pub fn knn_k(&self, query: &[f32], candidates: &[(u32, u32)], k: usize) -> Vec<(f32, u32)> {
+        matrix::knn_k(&self.data, self.dim, query, candidates, k)
+    }
+
+    /// Nearest row by similarity (see [`matrix::assign_nearest`]).
+    pub fn assign_nearest(&self, query: &[f32]) -> Option<(usize, f32)> {
+        matrix::assign_nearest(&self.data, self.dim, query)
+    }
+}
+
+// Flat-buffer wire shape; the derive shims cannot express it, so the
+// traits are implemented by hand.
+impl Serialize for VectorStore {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("dim".into(), Serialize::to_value(&self.dim));
+        m.insert("data".into(), Serialize::to_value(&self.data));
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for VectorStore {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Object(m) => {
+                let dim: usize = serde::__field(m, "dim")?;
+                let data: Vec<f32> = serde::__field(m, "data")?;
+                if dim == 0 && !data.is_empty() {
+                    return Err(serde::Error::custom("VectorStore: data without a dim"));
+                }
+                if dim > 0 && !data.len().is_multiple_of(dim) {
+                    return Err(serde::Error::custom(format!(
+                        "VectorStore: {} floats is not a multiple of dim {dim}",
+                        data.len()
+                    )));
+                }
+                Ok(Self { dim, data })
+            }
+            other => Err(serde::Error::custom(format!(
+                "expected object for VectorStore, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store3() -> VectorStore {
+        VectorStore::from_rows(&[[1.0f32, 0.0], [0.0, 1.0], [0.6, 0.8]])
+    }
+
+    #[test]
+    fn push_fixes_dimension() {
+        let mut s = VectorStore::empty();
+        assert_eq!(s.dim(), 0);
+        assert_eq!(s.push_row(&[1.0, 2.0, 3.0]), 0);
+        assert_eq!(s.dim(), 3);
+        assert_eq!(s.rows(), 1);
+        assert_eq!(s.bytes(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "row dim")]
+    fn ragged_push_panics() {
+        let mut s = VectorStore::new(2);
+        s.push_row(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn set_and_swap_remove() {
+        let mut s = store3();
+        s.set_row(1, &[0.5, 0.5]);
+        assert_eq!(s.row(1), &[0.5, 0.5]);
+        // Removing the middle row moves the last row into its slot.
+        assert_eq!(s.swap_remove_row(1), Some(2));
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(1), &[0.6, 0.8]);
+        // Removing the last row moves nothing.
+        assert_eq!(s.swap_remove_row(1), None);
+        assert_eq!(s.rows(), 1);
+    }
+
+    #[test]
+    fn rows_iterate_in_order() {
+        let s = store3();
+        let rows: Vec<&[f32]> = s.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[0.6, 0.8]);
+        assert!(VectorStore::empty().iter_rows().next().is_none());
+    }
+
+    #[test]
+    fn serde_flat_round_trip() {
+        let s = store3();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"dim\":2"), "flat encode: {json}");
+        let back: VectorStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let empty: VectorStore =
+            serde_json::from_str(&serde_json::to_string(&VectorStore::empty()).unwrap()).unwrap();
+        assert_eq!(empty.rows(), 0);
+    }
+
+    #[test]
+    fn serde_rejects_ragged_buffers() {
+        assert!(serde_json::from_str::<VectorStore>("{\"dim\":3,\"data\":[1.0,2.0]}").is_err());
+        assert!(serde_json::from_str::<VectorStore>("{\"dim\":0,\"data\":[1.0]}").is_err());
+    }
+
+    #[test]
+    fn fused_methods_delegate() {
+        let s = store3();
+        let mut scratch = ScoreScratch::new();
+        scratch.begin(3);
+        let t = s.score_top2(&[1.0, 0.0], &[0, 1, 2], 0.9, &mut scratch);
+        assert_eq!(t.best.unwrap().0, 0);
+        assert_eq!(t.second.unwrap().0, 2);
+        assert_eq!(s.assign_nearest(&[0.0, 1.0]), Some((1, 1.0)));
+        let top = s.knn_k(&[1.0, 0.0], &[(0, 0), (1, 1), (2, 2)], 2);
+        assert_eq!(top[0].1, 0);
+        assert_eq!(top[1].1, 2);
+    }
+}

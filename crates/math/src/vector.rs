@@ -66,8 +66,13 @@ pub fn l2_normalized(v: &[f32]) -> Vec<f32> {
     out
 }
 
-/// Cosine similarity. Zero vectors yield 0.0 (maximally non-committal)
-/// rather than NaN so downstream ranking logic stays total.
+/// Cosine similarity for **general** (possibly non-unit) vectors. Zero
+/// vectors yield 0.0 (maximally non-committal) rather than NaN so
+/// downstream ranking logic stays total.
+///
+/// This recomputes both L2 norms on every call; the similarity hot paths
+/// uphold a unit-norm contract at insertion time (see [`is_unit`]) and
+/// call the norm-free [`dot_unit`] instead.
 #[inline]
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     let na = l2_norm(a);
@@ -76,6 +81,17 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
         return 0.0;
     }
     (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// True iff `v` is unit-norm within `tol` — the insertion-time contract
+/// (`debug_assert!(is_unit(..))`) that lets every lookup use [`dot_unit`]
+/// without renormalizing. A zero vector also passes: degenerate entries
+/// (e.g. a whitened feature parallel to the centering direction) score 0
+/// under `dot_unit`, exactly what [`cosine`] returned for them.
+#[inline]
+pub fn is_unit(v: &[f32], tol: f32) -> bool {
+    let n = l2_norm(v);
+    n <= f32::MIN_POSITIVE || (n - 1.0).abs() < tol
 }
 
 /// `y += alpha * x`.
@@ -158,6 +174,16 @@ mod tests {
         let mut v = vec![0.0; 8];
         assert_eq!(l2_normalize(&mut v), 0.0);
         assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn is_unit_accepts_units_and_zero() {
+        assert!(is_unit(&[0.6, 0.8], 1e-3));
+        assert!(is_unit(&[0.0, 0.0], 1e-3), "zero vector is degenerate-ok");
+        assert!(!is_unit(&[0.6, 0.9], 1e-3));
+        let mut v = vec![0.3f32; 37];
+        l2_normalize(&mut v);
+        assert!(is_unit(&v, 1e-3));
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Property tests pinning the fused scoring kernels to their scalar
+//! references, plus an end-to-end guarantee that the contiguous
+//! `VectorStore` lookup path reproduces the pre-refactor representation
+//! (`Vec<Vec<f32>>` rows scored with `cosine`) decision-for-decision on a
+//! fixed seed.
+//!
+//! Tolerance policy: the fused kernels use a fixed 8-lane unroll with a
+//! deterministic reduction order, the scalar references sum left to
+//! right; over unit vectors the two agree within `1e-5` (asserted here on
+//! random inputs, including dimensions not divisible by the unroll
+//! width), and each is individually bit-deterministic run-to-run.
+
+use coca::core::lookup::LookupScratch;
+use coca::core::semantic::{CacheLayer, LocalCache};
+use coca::core::{infer_with_cache, CocaConfig};
+use coca::math::matrix::{self, reference};
+use coca::math::{cosine, l2_normalize, ScoreScratch, VectorStore};
+use coca::model::{ClientFeatureView, ClientProfile, ModelId, ModelRuntime};
+use coca::prelude::{DatasetSpec, SeedTree};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `count` random unit vectors of dimension `dim` from one seed.
+fn unit_rows(seed: u64, count: usize, dim: usize) -> Vec<Vec<f32>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            if l2_normalize(&mut v) <= f32::MIN_POSITIVE {
+                v[0] = 1.0; // astronomically unlikely; keep the unit contract
+            }
+            v
+        })
+        .collect()
+}
+
+fn flat(rows: &[Vec<f32>]) -> VectorStore {
+    VectorStore::from_rows(rows)
+}
+
+proptest! {
+    /// The 8-lane unrolled dot agrees with plain left-to-right summation
+    /// on every dimension, including ones not divisible by the unroll
+    /// width, and is bit-deterministic.
+    #[test]
+    fn dot_unit_matches_scalar_reference(seed in 0u64..5_000, dim in 1usize..130) {
+        let rows = unit_rows(seed, 2, dim);
+        let fused = matrix::dot_unit(&rows[0], &rows[1]);
+        let naive = reference::dot_ref(&rows[0], &rows[1]);
+        prop_assert!((fused - naive).abs() < 1e-5, "dim {dim}: {fused} vs {naive}");
+        prop_assert_eq!(fused.to_bits(), matrix::dot_unit(&rows[0], &rows[1]).to_bits());
+    }
+
+    /// One fused Eq. 1/2 pass matches the scalar reference: identical
+    /// best/second identities whenever the decision is not knife-edge,
+    /// values always within 1e-5, and identical accumulator state.
+    #[test]
+    fn score_top2_matches_scalar_reference(
+        seed in 0u64..5_000,
+        dim in 1usize..80,
+        entries in 1usize..30,
+        alpha in 0.0f32..1.0,
+    ) {
+        let rows = unit_rows(seed, entries + 1, dim);
+        let (query, rows) = rows.split_last().expect("entries + 1 rows");
+        let rows = rows.to_vec();
+        let store = flat(&rows);
+        let classes: Vec<usize> = (0..entries).collect();
+
+        let mut fused_scratch = ScoreScratch::new();
+        let mut ref_scratch = ScoreScratch::new();
+        fused_scratch.begin(entries);
+        ref_scratch.begin(entries);
+        // Two passes: the second exercises the α-decayed accumulation.
+        for pass in 0..2 {
+            let fused = store.score_top2(query, &classes, alpha, &mut fused_scratch);
+            let reference =
+                reference::score_top2_ref(&rows, query, &classes, alpha, &mut ref_scratch);
+            let (fb, fs) = (fused.best, fused.second);
+            let (rb, rs) = (reference.best, reference.second);
+            prop_assert_eq!(fb.is_some(), rb.is_some());
+            if let (Some((_, fv)), Some((_, rv))) = (fb, rb) {
+                prop_assert!((fv - rv).abs() < 1e-5, "pass {pass}: best {fv} vs {rv}");
+            }
+            if let (Some((_, fv)), Some((_, rv))) = (fs, rs) {
+                prop_assert!((fv - rv).abs() < 1e-5, "pass {pass}: second {fv} vs {rv}");
+            }
+            // Identities must agree whenever the gap is clear.
+            if let (Some((fc, fv)), Some((rc, _)), Some((_, sv))) = (fb, rb, rs) {
+                if (fv - sv).abs() > 1e-3 {
+                    prop_assert!(fc == rc, "pass {pass}: clear-gap winner {fc} vs {rc}");
+                }
+            }
+            for &c in &classes {
+                let (f, r) = (fused_scratch.accumulated(c), ref_scratch.accumulated(c));
+                prop_assert!((f - r).abs() < 1e-4, "acc[{c}]: {f} vs {r}");
+            }
+        }
+    }
+
+    /// Fused top-k candidate ranking matches the scalar reference:
+    /// similarities within 1e-5, identical tags on clear gaps, identical
+    /// output shape.
+    #[test]
+    fn knn_k_matches_scalar_reference(
+        seed in 5_000u64..10_000,
+        dim in 1usize..80,
+        entries in 1usize..40,
+        k in 1usize..10,
+    ) {
+        let rows = unit_rows(seed, entries + 1, dim);
+        let (query, rows) = rows.split_last().expect("entries + 1 rows");
+        let rows = rows.to_vec();
+        let store = flat(&rows);
+        // Candidate subset: every other row, tagged with a shifted id.
+        let cands: Vec<(u32, u32)> = (0..entries)
+            .step_by(2)
+            .map(|r| (r as u32, 100 + r as u32))
+            .collect();
+        let fused = store.knn_k(query, &cands, k);
+        let scalar = reference::knn_k_ref(&rows, query, &cands, k);
+        prop_assert_eq!(fused.len(), scalar.len());
+        for (i, ((fv, ft), (rv, rt))) in fused.iter().zip(&scalar).enumerate() {
+            prop_assert!((fv - rv).abs() < 1e-5, "rank {i}: {fv} vs {rv}");
+            let clear_gap = i + 1 >= scalar.len()
+                || (rv - scalar[i + 1].0).abs() > 1e-3;
+            if clear_gap {
+                prop_assert!(ft == rt, "rank {i} tag {ft} vs {rt} on a clear gap");
+            }
+        }
+        // Determinism: a second call is bit-identical.
+        prop_assert_eq!(&fused, &store.knn_k(query, &cands, k));
+    }
+
+    /// The fused k-means E-step matches the scalar reference.
+    #[test]
+    fn assign_nearest_matches_scalar_reference(
+        seed in 10_000u64..15_000,
+        dim in 1usize..80,
+        centers in 1usize..25,
+    ) {
+        let rows = unit_rows(seed, centers + 1, dim);
+        let (query, rows) = rows.split_last().expect("centers + 1 rows");
+        let rows = rows.to_vec();
+        let store = flat(&rows);
+        let fused = store.assign_nearest(query).expect("non-empty");
+        let scalar = reference::assign_nearest_ref(&rows, query).expect("non-empty");
+        prop_assert!((fused.1 - scalar.1).abs() < 1e-5);
+        // A clear winner must be the same row.
+        let runner_up = rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != scalar.0)
+            .map(|(_, r)| reference::dot_ref(query, r))
+            .fold(f32::NEG_INFINITY, f32::max);
+        if (scalar.1 - runner_up).abs() > 1e-3 {
+            prop_assert_eq!(fused.0, scalar.0);
+        }
+        prop_assert_eq!(store.assign_nearest(query), Some(fused));
+    }
+}
+
+/// The pre-refactor lookup path, reconstructed verbatim: `Vec<Vec<f32>>`
+/// rows, per-entry `cosine` (norms recomputed every call), fresh
+/// `acc`/`acc_set` vectors per frame. Returns the (hit layer sequence
+/// index, predicted class) decision per activated layer walk.
+#[allow(clippy::type_complexity)]
+fn seed_path_decision(
+    rt: &ModelRuntime,
+    client: &ClientProfile,
+    frame: &coca::data::Frame,
+    layers: &[(usize, Vec<usize>, Vec<Vec<f32>>)],
+    cfg: &CocaConfig,
+    view: &mut ClientFeatureView,
+) -> (Option<usize>, Option<usize>) {
+    let mut acc: Vec<f32> = vec![0.0; rt.num_classes()];
+    let mut acc_set: Vec<bool> = vec![false; rt.num_classes()];
+    for (seq_idx, (point, classes, rows)) in layers.iter().enumerate() {
+        let v = rt.semantic_vector(frame, client, *point, view);
+        let mut best: Option<(usize, f32)> = None;
+        let mut second: Option<(usize, f32)> = None;
+        for (entry_idx, &class) in classes.iter().enumerate() {
+            let c = cosine(&v, &rows[entry_idx]);
+            let prev = if acc_set[class] { acc[class] } else { 0.0 };
+            let a = c + cfg.alpha * prev;
+            acc[class] = a;
+            acc_set[class] = true;
+            match best {
+                Some((_, bv)) if a <= bv => match second {
+                    Some((_, sv)) if a <= sv => {}
+                    _ => second = Some((class, a)),
+                },
+                _ => {
+                    second = best;
+                    best = Some((class, a));
+                }
+            }
+        }
+        if let (Some((a_class, a_val)), Some((_, b_val))) = (best, second) {
+            if b_val > 1e-3 && (a_val - b_val) / b_val > cfg.theta {
+                return (Some(seq_idx), Some(a_class));
+            }
+        }
+    }
+    (None, None)
+}
+
+/// End-to-end: on a fixed seed, the fused `VectorStore` lookup makes the
+/// same hit/miss decision with the same predicted class on every frame as
+/// the pre-refactor scalar path.
+#[test]
+fn fused_lookup_reproduces_seed_path_end_to_end() {
+    let classes = 20usize;
+    let dataset = DatasetSpec::ucf101().subset(classes);
+    let seeds = SeedTree::new(777);
+    let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+    let client = ClientProfile::new(0, 0.15, 0.7, &seeds);
+    let cfg = CocaConfig::for_model(ModelId::ResNet101);
+
+    // A center cache at spread-out points, in both representations.
+    let points = [5usize, 12, 19, 26, 33];
+    let mut cache_layers = Vec::new();
+    let mut ref_layers: Vec<(usize, Vec<usize>, Vec<Vec<f32>>)> = Vec::new();
+    for &p in &points {
+        let mut l = CacheLayer::new(p);
+        let mut rows = Vec::new();
+        for c in 0..classes {
+            let v = rt.universe().global_center(p, c).to_vec();
+            l.insert(c, v.clone());
+            rows.push(v);
+        }
+        cache_layers.push(l);
+        ref_layers.push((p, (0..classes).collect(), rows));
+    }
+    let cache = LocalCache::from_layers(cache_layers);
+
+    let mut view = ClientFeatureView::new();
+    let mut ref_view = ClientFeatureView::new();
+    let mut scratch = LookupScratch::new();
+    let mut stream = coca::data::StreamGenerator::new(
+        coca::data::StreamConfig::new(coca::data::distribution::uniform_weights(classes), 18.0),
+        &SeedTree::new(778),
+    );
+    let mut hits = 0usize;
+    for i in 0..400 {
+        let f = stream.next_frame();
+        let r = infer_with_cache(&rt, &client, &f, &cache, &cfg, &mut view, &mut scratch);
+        let (ref_hit, ref_class) =
+            seed_path_decision(&rt, &client, &f, &ref_layers, &cfg, &mut ref_view);
+        assert_eq!(r.hit_seq_idx, ref_hit, "frame {i}: hit decision diverged");
+        if let Some(c) = ref_class {
+            assert_eq!(r.predicted, c, "frame {i}: predicted class diverged");
+            hits += 1;
+        }
+    }
+    assert!(
+        hits > 100,
+        "the comparison must exercise real hits ({hits})"
+    );
+}
