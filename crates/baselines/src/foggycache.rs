@@ -200,8 +200,11 @@ struct Store {
     keys: coca_math::VectorStore,
     /// Row → sample id, parallel to `keys`.
     slot_ids: Vec<u32>,
-    /// Sample id → row.
-    slot_of: HashMap<u32, u32>,
+    /// Sample id → row: the same bitmap-occupancy slot map the columnar
+    /// `GlobalCacheTable` layers use — ids are allocated by a monotone
+    /// counter, so liveness is one bit test and lookups one indexed load
+    /// instead of a hash probe.
+    slot_of: coca_math::SlotMap,
     next_id: u32,
     capacity: usize,
     alsh: Alsh,
@@ -224,7 +227,7 @@ impl Store {
             samples: HashMap::new(),
             keys: coca_math::VectorStore::new(dim),
             slot_ids: Vec::new(),
-            slot_of: HashMap::new(),
+            slot_of: coca_math::SlotMap::new(),
             next_id: 0,
             capacity,
             alsh,
@@ -240,7 +243,7 @@ impl Store {
     /// Removes one sample from the map, the key store and the A-LSH index.
     fn remove_sample(&mut self, id: u32) {
         self.samples.remove(&id).expect("sample exists");
-        let row = self.slot_of.remove(&id).expect("slot exists") as usize;
+        let row = self.slot_of.remove(id).expect("slot exists") as usize;
         self.alsh.remove(id, self.keys.row(row));
         self.keys.swap_remove_row(row);
         let removed = self.slot_ids.swap_remove(row);
@@ -280,7 +283,7 @@ impl Store {
             let mut ids: Vec<u32> = self.samples.keys().copied().collect();
             ids.sort_unstable();
             let mut keys = coca_math::VectorStore::new(dim);
-            let mut slot_of = HashMap::with_capacity(ids.len());
+            let mut slot_of = coca_math::SlotMap::new();
             for (row, &id) in ids.iter().enumerate() {
                 let w = self.whiten_with(&self.samples[&id].feature);
                 alsh.insert(id, &w);
@@ -375,7 +378,7 @@ impl Store {
         // order the seed's stable sort produced.
         let rows: Vec<(u32, u32)> = cand
             .into_iter()
-            .filter_map(|id| self.slot_of.get(&id).map(|&row| (row, id)))
+            .filter_map(|id| self.slot_of.get(id).map(|row| (row, id)))
             .collect();
         let scored = self.keys.knn_k(v, &rows, cfg.k);
         if scored.len() < cfg.k {

@@ -1,0 +1,173 @@
+//! Fleet-scale server-core experiment: per-round server time of the
+//! columnar data plane at 8 / 32 / 128 clients.
+//!
+//! Every round the edge server (a) merges one upload per client into the
+//! global cache table (Eq. 4/5) and (b) answers one cache request per
+//! client (ACA + personalized sub-table extraction). This binary builds a
+//! real model runtime (ResNet101 on UCF101-50), seeds the server exactly
+//! as the engine does, synthesizes one round of per-client uploads with
+//! real per-layer feature dimensions, and wall-clocks the two server
+//! phases as the fleet grows — sequentially (`handle_update` per upload)
+//! and through the batched per-layer pass (`handle_updates_batch`), which
+//! is proptest-pinned bit-identical to the sequential order.
+//!
+//! Writes `results/fleet.json`.
+
+use std::time::Instant;
+
+use coca_bench::output::save_record;
+use coca_core::collect::UpdateTable;
+use coca_core::engine::{Scenario, ScenarioConfig};
+use coca_core::proto::{CacheRequest, UpdateUpload};
+use coca_core::{CocaConfig, CocaServer};
+use coca_data::DatasetSpec;
+use coca_math::random_unit;
+use coca_metrics::table::fmt_f;
+use coca_metrics::{ExperimentRecord, Table};
+use coca_model::ModelId;
+use coca_sim::SeedTree;
+use rand::Rng;
+
+const FLEETS: [usize; 3] = [8, 32, 128];
+/// Fraction of classes a client's round touches (matches the long-tail
+/// hot sets the engine produces).
+const TOUCH_EVERY: usize = 3;
+/// Wall-clock repetitions per measurement (min taken).
+const REPS: usize = 5;
+
+/// One round of synthetic uploads with real per-layer dimensions.
+fn build_uploads(
+    rt: &coca_model::ModelRuntime,
+    fleet: usize,
+    seeds: &SeedTree,
+) -> Vec<UpdateUpload> {
+    let classes = rt.num_classes();
+    let layers = rt.num_cache_points();
+    (0..fleet)
+        .map(|k| {
+            let mut rng = seeds.child_idx("upload", k as u64).rng();
+            let mut table = UpdateTable::new();
+            for c in 0..classes {
+                if (c + k) % TOUCH_EVERY == 0 {
+                    // A client's collected cells concentrate on a spread
+                    // of layers (rule-2 expansions touch all of them).
+                    for l in (0..layers).step_by(3) {
+                        let v = random_unit(&mut rng, rt.feature_dim(l));
+                        table.absorb(c, l, &v, 0.95);
+                    }
+                }
+            }
+            let frequency: Vec<u64> = (0..classes).map(|_| rng.gen_range(1u64..30)).collect();
+            UpdateUpload {
+                client_id: k as u64,
+                round: 0,
+                table,
+                frequency,
+            }
+        })
+        .collect()
+}
+
+fn min_wallclock_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let model = ModelId::ResNet101;
+    let mut sc = ScenarioConfig::new(model, DatasetSpec::ucf101().subset(50));
+    sc.seed = 13_001;
+    sc.num_clients = 1; // the scenario only provides the runtime here
+    let scenario = Scenario::build(sc);
+    let rt = &scenario.rt;
+    let coca = CocaConfig::for_model(model);
+
+    let mut out = Table::new(
+        "exp_fleet — per-round server time of the columnar data plane",
+        &[
+            "Clients",
+            "Cells/round",
+            "Merge seq (ms)",
+            "Merge batched (ms)",
+            "Requests (ms)",
+            "Round total (ms)",
+            "us/client",
+        ],
+    );
+    let mut record = ExperimentRecord::new(
+        "fleet",
+        "per-round server merge + allocation wall-clock vs fleet size (columnar core)",
+    );
+    record
+        .param("model", format!("{model:?}"))
+        .param("classes", rt.num_classes())
+        .param("layers", rt.num_cache_points())
+        .param("reps", REPS);
+
+    for fleet in FLEETS {
+        let seeds = SeedTree::new(13_100 + fleet as u64);
+        let mut server_seq = CocaServer::new(rt, coca, scenario.seeds());
+        let mut server_bat = CocaServer::new(rt, coca, scenario.seeds());
+        let uploads = build_uploads(rt, fleet, &seeds);
+        let cells: usize = uploads.iter().map(|u| u.table.len()).sum();
+
+        // (a) merge phase — sequential vs batched per-layer pass.
+        let seq_ms = min_wallclock_ms(REPS, || {
+            for up in &uploads {
+                let _ = server_seq.handle_update(up);
+            }
+        });
+        let mut batch = uploads.clone();
+        let bat_ms = min_wallclock_ms(REPS, || {
+            let _ = server_bat.handle_updates_batch(&mut batch);
+        });
+
+        // (b) allocation phase — one ACA + extraction per client.
+        let requests: Vec<CacheRequest> = (0..fleet)
+            .map(|k| CacheRequest {
+                client_id: k as u64,
+                round: 1,
+                timestamps: vec![(k % 7) as u32 * 40; rt.num_classes()],
+                hit_ratio: server_seq.base_hit_profile().to_vec(),
+                budget_bytes: (rt.arch().full_cache_bytes(rt.num_classes()) / 8) as u64,
+            })
+            .collect();
+        let req_ms = min_wallclock_ms(REPS, || {
+            for req in &requests {
+                let _ = std::hint::black_box(server_seq.handle_request(req));
+            }
+        });
+
+        let round_ms = bat_ms + req_ms;
+        let per_client_us = round_ms * 1e3 / fleet as f64;
+        out.row(&[
+            fleet.to_string(),
+            cells.to_string(),
+            fmt_f(seq_ms, 2),
+            fmt_f(bat_ms, 2),
+            fmt_f(req_ms, 2),
+            fmt_f(round_ms, 2),
+            fmt_f(per_client_us, 1),
+        ]);
+        record.push_row(&[
+            ("clients", serde_json::json!(fleet)),
+            ("cells_per_round", serde_json::json!(cells)),
+            ("merge_sequential_ms", serde_json::json!(seq_ms)),
+            ("merge_batched_ms", serde_json::json!(bat_ms)),
+            ("requests_ms", serde_json::json!(req_ms)),
+            ("round_total_ms", serde_json::json!(round_ms)),
+            ("us_per_client", serde_json::json!(per_client_us)),
+        ]);
+    }
+    print!("{}", out.render());
+    println!(
+        "(batched merge is bit-identical to sequential client-id order — \
+         proptested in tests/proptest_global.rs)"
+    );
+    save_record(&record);
+}

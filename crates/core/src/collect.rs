@@ -19,10 +19,20 @@
 //! Both rules label the vectors with the *predicted* class — clients have
 //! no ground truth. Ambiguous-but-confident misclassifications therefore
 //! pollute U occasionally; Fig. 6's Γ/Δ trade-off measures exactly this.
+//!
+//! ## Layout
+//!
+//! The table is stored **columnar, grouped by layer**: each populated
+//! layer keeps its cell classes next to one contiguous
+//! [`VectorStore`] of update vectors. That is the shape the server's
+//! per-layer batched Eq. 4 merge consumes directly — the upload arrives
+//! already grouped, so the merge streams one flat buffer per layer
+//! instead of chasing per-cell heap rows. The in-place Eq. 3 decay-add
+//! runs through the fused [`coca_math::merge_weighted_row`] kernel
+//! (bit-identical to the seed `scale`/`axpy`/`l2_normalize` sequence).
 
-use std::collections::HashMap;
-
-use coca_math::vector::{axpy, l2_normalize, scale};
+use coca_math::vector::l2_normalize;
+use coca_math::{merge_weighted_row, VectorStore};
 use serde::{Deserialize, Serialize};
 
 /// Why a sample was absorbed (diagnostics + Fig. 6 accounting).
@@ -34,22 +44,43 @@ pub enum AbsorbRule {
     Expand,
 }
 
-/// The client's sparse cache-update table.
+/// One layer's populated cells: classes parallel to store rows, in
+/// absorption order (deterministic — frame processing is).
+#[derive(Debug, Clone)]
+pub struct LayerUpdate {
+    /// The preset cache layer these cells belong to.
+    pub layer: u32,
+    /// Cell classes, parallel to the rows of `vectors`.
+    pub classes: Vec<u32>,
+    /// Running unit-norm semantic centers, one row per cell.
+    pub vectors: VectorStore,
+}
+
+/// The client's sparse cache-update table, grouped by layer.
 ///
 /// Serializes as a sorted list of `(class, layer, vector)` triples — JSON
 /// (the TCP transport's payload format) cannot encode tuple-keyed maps —
-/// via the manual impls below.
+/// via the manual impls below. The wire format is unchanged from the
+/// boxed-row representation.
 #[derive(Debug, Clone, Default)]
 pub struct UpdateTable {
-    /// `(class, layer) → running unit-norm semantic center`.
-    entries: HashMap<(u32, u32), Vec<f32>>,
+    /// Populated layers, sorted by layer id.
+    layers: Vec<LayerUpdate>,
 }
 
 impl Serialize for UpdateTable {
     fn to_value(&self) -> serde::Value {
-        let mut triples: Vec<(u32, u32, &Vec<f32>)> =
-            self.entries.iter().map(|(&(c, l), v)| (c, l, v)).collect();
-        // Sorted so the wire format is deterministic across HashMap states.
+        let mut triples: Vec<(u32, u32, &[f32])> = self
+            .layers
+            .iter()
+            .flat_map(|g| {
+                g.classes
+                    .iter()
+                    .zip(g.vectors.iter_rows())
+                    .map(move |(&c, v)| (c, g.layer, v))
+            })
+            .collect();
+        // Sorted so the wire format is deterministic across layouts.
         triples.sort_by_key(|&(c, l, _)| (c, l));
         triples.to_value()
     }
@@ -58,9 +89,57 @@ impl Serialize for UpdateTable {
 impl Deserialize for UpdateTable {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         let triples: Vec<(u32, u32, Vec<f32>)> = Deserialize::from_value(v)?;
-        Ok(Self {
-            entries: triples.into_iter().map(|(c, l, v)| ((c, l), v)).collect(),
-        })
+        let mut table = Self::default();
+        for (c, l, v) in triples {
+            if v.is_empty() {
+                return Err(serde::Error::custom("UpdateTable: empty cell vector"));
+            }
+            if table.get(c as usize, l as usize).is_some() {
+                return Err(serde::Error::custom(format!(
+                    "UpdateTable: duplicate cell ({c}, {l})"
+                )));
+            }
+            // Wire vectors are stored as-is (the sender normalized them).
+            let g = table.layer_entry(l, v.len());
+            if g.vectors.dim() != v.len() {
+                // The wire boundary must error, not panic, on a table
+                // whose layer mixes vector dimensions.
+                return Err(serde::Error::custom(format!(
+                    "UpdateTable: layer {l} mixes dims {} and {}",
+                    g.vectors.dim(),
+                    v.len()
+                )));
+            }
+            g.push(c, &v);
+        }
+        Ok(table)
+    }
+}
+
+impl LayerUpdate {
+    fn push(&mut self, class: u32, vector: &[f32]) {
+        self.classes.push(class);
+        self.vectors.push_row(vector);
+    }
+
+    /// Row index of `class`, if the cell exists. A linear scan: the scan
+    /// length is the cells absorbed into this layer this round (≤ the
+    /// class count), and each absorb amortizes it against the Eq. 3
+    /// vector math over the full entry dimension — keeping the rows in
+    /// absorption order beats a sorted layout that would memmove the
+    /// contiguous store on every new cell.
+    fn position(&self, class: u32) -> Option<usize> {
+        self.classes.iter().position(|&c| c == class)
+    }
+
+    /// Number of populated cells in this layer.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True iff the layer group holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
     }
 }
 
@@ -70,60 +149,99 @@ impl UpdateTable {
         Self::default()
     }
 
+    /// The layer group for `layer`, created (with `dim` fixed) if absent.
+    fn layer_entry(&mut self, layer: u32, dim: usize) -> &mut LayerUpdate {
+        let at = match self.layers.binary_search_by_key(&layer, |g| g.layer) {
+            Ok(i) => i,
+            Err(i) => {
+                self.layers.insert(
+                    i,
+                    LayerUpdate {
+                        layer,
+                        classes: Vec::new(),
+                        vectors: VectorStore::new(dim),
+                    },
+                );
+                i
+            }
+        };
+        &mut self.layers[at]
+    }
+
+    /// The layer group for `layer`, if any cell was absorbed there.
+    pub fn layer_group(&self, layer: u32) -> Option<&LayerUpdate> {
+        self.layers
+            .binary_search_by_key(&layer, |g| g.layer)
+            .ok()
+            .map(|i| &self.layers[i])
+    }
+
+    /// Populated layer groups, ascending by layer id — the shape the
+    /// server's per-layer batched merge consumes.
+    pub fn layer_groups(&self) -> &[LayerUpdate] {
+        &self.layers
+    }
+
     /// Absorbs one semantic vector for `(class, layer)` with decay `beta`
     /// (Eq. 3), then re-normalizes.
     pub fn absorb(&mut self, class: usize, layer: usize, vector: &[f32], beta: f32) {
-        let key = (class as u32, layer as u32);
-        match self.entries.get_mut(&key) {
-            Some(u) => {
+        let g = self.layer_entry(layer as u32, vector.len());
+        match g.position(class as u32) {
+            Some(row) => {
+                let u = g.vectors.row_mut(row);
                 debug_assert_eq!(u.len(), vector.len(), "dim mismatch in update table");
-                // U ← V + β·U, normalized.
-                scale(beta, u);
-                axpy(1.0, vector, u);
-                l2_normalize(u);
+                // U ← V + β·U, normalized — one fused pass, bit-identical
+                // to the seed scale → axpy → l2_normalize sequence.
+                merge_weighted_row(u, vector, beta, 1.0);
             }
             None => {
                 let mut v = vector.to_vec();
                 l2_normalize(&mut v);
-                self.entries.insert(key, v);
+                g.push(class as u32, &v);
             }
         }
     }
 
     /// The entry for `(class, layer)`, if any sample was absorbed.
     pub fn get(&self, class: usize, layer: usize) -> Option<&[f32]> {
-        self.entries
-            .get(&(class as u32, layer as u32))
-            .map(|v| v.as_slice())
+        let g = self.layer_group(layer as u32)?;
+        g.position(class as u32).map(|row| g.vectors.row(row))
     }
 
     /// Number of populated cells.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.layers.iter().map(|g| g.classes.len()).sum()
     }
 
     /// True iff nothing was absorbed this round.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.layers.is_empty()
     }
 
-    /// Iterates populated cells as `(class, layer, vector)`.
+    /// Iterates populated cells as `(class, layer, vector)`, layer-major
+    /// (cells within a layer in absorption order).
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &[f32])> {
-        self.entries
-            .iter()
-            .map(|(&(c, l), v)| (c as usize, l as usize, v.as_slice()))
+        self.layers.iter().flat_map(|g| {
+            g.classes
+                .iter()
+                .zip(g.vectors.iter_rows())
+                .map(move |(&c, v)| (c as usize, g.layer as usize, v))
+        })
     }
 
     /// Drains the table for upload, leaving it empty for the next round.
     pub fn take(&mut self) -> UpdateTable {
         UpdateTable {
-            entries: std::mem::take(&mut self.entries),
+            layers: std::mem::take(&mut self.layers),
         }
     }
 
     /// Logical wire size: 8-byte key + dense f32 vector per cell.
     pub fn wire_bytes(&self) -> usize {
-        self.entries.values().map(|v| 8 + 4 * v.len()).sum()
+        self.layers
+            .iter()
+            .map(|g| g.len() * 8 + g.vectors.bytes())
+            .sum()
     }
 }
 
@@ -195,6 +313,22 @@ mod tests {
     }
 
     #[test]
+    fn cells_group_by_layer_in_ascending_order() {
+        let mut u = UpdateTable::new();
+        u.absorb(5, 9, &[1.0, 0.0], 0.95);
+        u.absorb(2, 1, &[0.0, 1.0], 0.95);
+        u.absorb(7, 9, &[1.0, 0.0], 0.95);
+        let groups = u.layer_groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].layer, 1);
+        assert_eq!(groups[1].layer, 9);
+        assert_eq!(groups[1].classes, vec![5, 7], "absorption order kept");
+        assert_eq!(groups[1].vectors.rows(), 2);
+        assert!(!groups[0].is_empty());
+        assert_eq!(groups[0].len(), 1);
+    }
+
+    #[test]
     fn serde_round_trips_populated_tables() {
         let mut u = UpdateTable::new();
         u.absorb(3, 7, &[1.0, 0.0], 0.95);
@@ -203,6 +337,12 @@ mod tests {
         let back: UpdateTable = serde_json::from_str(&json).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back.get(3, 7).unwrap(), u.get(3, 7).unwrap());
+        // Malformed wire tables are rejected (errors, never panics).
+        assert!(serde_json::from_str::<UpdateTable>("[[1,2,[]]]").is_err());
+        assert!(serde_json::from_str::<UpdateTable>("[[1,2,[1.0]],[1,2,[0.5]]]").is_err());
+        // A layer mixing vector dimensions must error through the Result
+        // path, not trip the VectorStore dim assert.
+        assert!(serde_json::from_str::<UpdateTable>("[[0,2,[1.0]],[1,2,[0.5,0.5]]]").is_err());
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub struct CocaConfig {
     pub beta: f32,
     /// γ — global-cache decay (Eq. 4). Paper default 0.99.
     pub gamma_global: f32,
+    /// β — exponential Φ decay applied when a client leaves the fleet:
+    /// `Φ_i ← ⌈β·Φ_i⌉`. The paper models a static fleet, so the default
+    /// `1.0` disables it; under churn a sub-unit β ages a leaver's
+    /// frequency mass out of ACA's hot-spot scores (ROADMAP's
+    /// decay/retirement open item — CoCa centroids have no provenance,
+    /// so retirement acts on Φ, not on centers).
+    pub leave_phi_decay: f64,
     /// F — frames per round / cache update cycle (§IV.C). Paper: 300.
     pub round_frames: usize,
     /// Hot-spot class selection mass (Algorithm 1 line 9). Paper: 0.95.
@@ -70,6 +77,7 @@ impl CocaConfig {
             alpha: 0.5,
             beta: 0.95,
             gamma_global: 0.99,
+            leave_phi_decay: 1.0, // churn decay off: the paper's static fleet
             round_frames: 300,
             hotspot_mass: 0.95,
             recency_base: 0.20,
@@ -123,6 +131,9 @@ impl CocaConfig {
         }
         if !(0.0..=1.0).contains(&self.gamma_global) {
             return Err("gamma must be in [0,1]".into());
+        }
+        if !(self.leave_phi_decay > 0.0 && self.leave_phi_decay <= 1.0) {
+            return Err("leave_phi_decay must be in (0,1]".into());
         }
         if self.round_frames == 0 {
             return Err("round_frames must be positive".into());

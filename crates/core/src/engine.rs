@@ -306,7 +306,10 @@ impl MethodDriver for CocaDriver<'_> {
         // the global table (collaborative caching keeps what the fleet
         // learned). The remaining clients re-run ACA at their next request,
         // so the freed budget and the post-churn global frequencies
-        // re-allocate without any extra protocol step.
+        // re-allocate without any extra protocol step. With
+        // `leave_phi_decay < 1` the server additionally ages the global
+        // frequency mass: `Φ ← ⌈β·Φ⌉` (off by default).
+        self.server.on_client_leave();
         self.clients[k].install_cache(crate::semantic::LocalCache::empty());
     }
 }

@@ -10,20 +10,89 @@
 //!
 //! followed by re-normalization, and the global class frequency advances by
 //! Eq. 5: `Φ_i ← Φ_i + φ_i`.
+//!
+//! ## Columnar layout
+//!
+//! Each layer keeps one **dense contiguous** [`VectorStore`] with exactly
+//! `classes` rows (zero-filled until populated) plus a layer-major
+//! [`OccupancyBitmap`] marking which cells actually hold a center —
+//! replacing the seed's `Vec<Option<Vec<f32>>>` grid of boxed rows.
+//! Addressing a cell is one multiply, the Eq. 4 merge streams each
+//! upload's per-layer group through the fused batch kernel
+//! [`coca_math::merge_weighted_rows`], and extraction is a gather
+//! ([`VectorStore::extract_rows`]) straight into the allocation's layer.
+//!
+//! ## Determinism / no-drift contract
+//!
+//! The fused merge kernel reproduces the seed `scale` → `axpy` →
+//! `l2_normalize` arithmetic **bit for bit** (asserted in `coca-math`),
+//! and [`GlobalCacheTable::merge_batch`] — the whole-round batched pass,
+//! one layer at a time across all queued uploads in deterministic
+//! client order — is bit-identical to merging the same uploads
+//! sequentially (property-tested in `tests/proptest_global.rs`). That
+//! equivalence is what lets a sharded server drain its round queue in
+//! per-layer batches without changing a single result.
 
-use coca_math::vector::{axpy, l2_normalize, scale};
+use coca_math::vector::l2_normalize;
+use coca_math::{merge_weighted_rows, OccupancyBitmap, VectorStore};
 use serde::{Deserialize, Serialize};
 
-use crate::collect::UpdateTable;
+use crate::collect::{LayerUpdate, UpdateTable};
 use crate::semantic::{CacheLayer, LocalCache};
 
+/// Reusable buffers for the server-side merge phase: weights and row
+/// indices of one per-layer batch. Lives in the server so the per-round
+/// merge is allocation-free once warm.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    /// Destination rows (= classes) of the weighted-merge jobs.
+    dst_rows: Vec<usize>,
+    /// Source rows within the upload's layer group, parallel to `dst_rows`.
+    src_rows: Vec<usize>,
+    /// Eq. 4 old-center weights, parallel to `dst_rows`.
+    w_old: Vec<f32>,
+    /// Eq. 4 upload weights, parallel to `dst_rows`.
+    w_new: Vec<f32>,
+    /// Per-client prefix Φ snapshots of a batched merge (row-major,
+    /// `clients × classes`).
+    phi_prefix: Vec<u64>,
+}
+
+impl MergeScratch {
+    /// Fresh (lazily sized) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn clear_jobs(&mut self) {
+        self.dst_rows.clear();
+        self.src_rows.clear();
+        self.w_old.clear();
+        self.w_new.clear();
+    }
+}
+
+/// The Φ context one layer-group merge reads (see
+/// [`GlobalCacheTable::merge_update`] / [`GlobalCacheTable::merge_batch`]).
+struct MergeWeights<'a> {
+    /// Φ snapshot the Eq. 4 weights read.
+    cap_phi: &'a [u64],
+    /// The uploading client's per-round φ.
+    phi: &'a [u64],
+    /// γ — the global decay.
+    gamma: f32,
+}
+
 /// The global cache table plus the global class-frequency vector Φ.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GlobalCacheTable {
     classes: usize,
     layers: usize,
-    /// Row-major `[class][layer]`; `None` = never populated.
-    entries: Vec<Option<Vec<f32>>>,
+    /// One dense store per layer, `classes` rows each; a store with an
+    /// unset dimension (`dim() == 0`) marks a layer never touched.
+    stores: Vec<VectorStore>,
+    /// Populated cells, layer-major: bit `layer · classes + class`.
+    occupancy: OccupancyBitmap,
     /// Φ — global class frequencies (Eq. 5).
     frequency: Vec<u64>,
 }
@@ -35,7 +104,8 @@ impl GlobalCacheTable {
         Self {
             classes,
             layers,
-            entries: vec![None; classes * layers],
+            stores: vec![VectorStore::empty(); layers],
+            occupancy: OccupancyBitmap::new(classes * layers),
             frequency: vec![0; classes],
         }
     }
@@ -51,22 +121,29 @@ impl GlobalCacheTable {
     }
 
     #[inline]
-    fn idx(&self, class: usize, layer: usize) -> usize {
+    fn bit(&self, class: usize, layer: usize) -> usize {
         debug_assert!(class < self.classes && layer < self.layers);
-        class * self.layers + layer
+        layer * self.classes + class
     }
 
     /// The entry at `(class, layer)`, if populated.
     pub fn get(&self, class: usize, layer: usize) -> Option<&[f32]> {
-        self.entries[self.idx(class, layer)].as_deref()
+        self.occupancy
+            .get(self.bit(class, layer))
+            .then(|| self.stores[layer].row(class))
     }
 
     /// Directly sets an entry (initial seeding from the shared dataset).
     /// The vector is normalized on insertion.
     pub fn set(&mut self, class: usize, layer: usize, mut vector: Vec<f32>) {
         l2_normalize(&mut vector);
-        let i = self.idx(class, layer);
-        self.entries[i] = Some(vector);
+        let bit = self.bit(class, layer);
+        let store = &mut self.stores[layer];
+        if store.dim() == 0 {
+            *store = VectorStore::zeros(vector.len(), self.classes);
+        }
+        store.set_row(class, &vector);
+        self.occupancy.set(bit);
     }
 
     /// Φ — the global class-frequency vector.
@@ -81,17 +158,57 @@ impl GlobalCacheTable {
         self.frequency.copy_from_slice(counts);
     }
 
-    /// Merges one client's upload: Eq. 4 for every populated cell of `u`,
-    /// then Eq. 5 for Φ. `phi` is the client's per-round class frequency
-    /// vector φ; `gamma` is the global decay (paper: 0.99).
-    ///
-    /// Cells never seen before adopt the client's vector directly (the
-    /// Eq. 4 weights with Φ_i = 0 reduce to exactly that only when the
-    /// entry exists; a missing entry has nothing to decay).
-    pub fn merge_update(&mut self, u: &UpdateTable, phi: &[u32], gamma: f32) {
+    /// Eq. 5 alone: `Φ_i ← Φ_i + φ_i` (the GCU-disabled ablation arm
+    /// advances frequencies without touching any center).
+    pub fn advance_frequency(&mut self, phi: &[u64]) {
         assert_eq!(phi.len(), self.classes, "phi length mismatch");
-        for (class, layer, vector) in u.iter() {
-            if class >= self.classes || layer >= self.layers {
+        for (f, &p) in self.frequency.iter_mut().zip(phi) {
+            *f += p;
+        }
+    }
+
+    /// Exponential Φ decay after churn: `Φ_i ← ⌈β·Φ_i⌉`. A departed
+    /// client's frequency mass ages out instead of anchoring ACA's
+    /// hot-spot scores forever (see `CocaConfig::leave_phi_decay`).
+    pub fn decay_frequency(&mut self, beta: f64) {
+        assert!(
+            (0.0..=1.0).contains(&beta),
+            "decay factor must be in [0,1], got {beta}"
+        );
+        for f in &mut self.frequency {
+            *f = (beta * *f as f64).ceil() as u64;
+        }
+    }
+
+    /// Merges one layer group of one upload. `w.cap_phi` is the Φ
+    /// snapshot the Eq. 4 weights read (the live vector for a sequential
+    /// merge, a per-client prefix for a batched one); `w.phi` is the
+    /// client's φ.
+    fn merge_layer_group(
+        stores: &mut [VectorStore],
+        occupancy: &mut OccupancyBitmap,
+        classes: usize,
+        g: &LayerUpdate,
+        w: MergeWeights<'_>,
+        scratch: &mut MergeScratch,
+    ) {
+        let MergeWeights {
+            cap_phi,
+            phi,
+            gamma,
+        } = w;
+        let layer = g.layer as usize;
+        let store = &mut stores[layer];
+        if store.dim() != 0 && store.dim() != g.vectors.dim() {
+            // Malformed upload layer; ignore rather than poison state.
+            debug_assert!(false, "dim mismatch in global merge");
+            return;
+        }
+        let base = layer * classes;
+        scratch.clear_jobs();
+        for (row, &class) in g.classes.iter().enumerate() {
+            let class = class as usize;
+            if class >= classes {
                 // Malformed upload cell; ignore rather than poison state.
                 continue;
             }
@@ -101,53 +218,233 @@ impl GlobalCacheTable {
                 // claims it never saw contributes nothing.
                 continue;
             }
-            let cap_phi = self.frequency[class] as f32;
-            let i = self.idx(class, layer);
-            match &mut self.entries[i] {
-                Some(e) => {
-                    debug_assert_eq!(e.len(), vector.len(), "dim mismatch in global merge");
-                    let w_old = gamma * cap_phi / (cap_phi + phi_i);
-                    let w_new = phi_i / (cap_phi + phi_i);
-                    scale(w_old, e);
-                    axpy(w_new, vector, e);
-                    l2_normalize(e);
-                }
-                None => {
-                    let mut v = vector.to_vec();
-                    l2_normalize(&mut v);
-                    self.entries[i] = Some(v);
-                }
+            // A never-touched layer commits its dimension only once a
+            // *valid* cell actually lands — an upload rejected above
+            // cannot pin a wrong dim on the layer forever.
+            if store.dim() == 0 {
+                *store = VectorStore::zeros(g.vectors.dim(), classes);
+            }
+            if occupancy.get(base + class) {
+                let cap = cap_phi[class] as f32;
+                scratch.dst_rows.push(class);
+                scratch.src_rows.push(row);
+                scratch.w_old.push(gamma * cap / (cap + phi_i));
+                scratch.w_new.push(phi_i / (cap + phi_i));
+            } else {
+                // Cells never seen before adopt the client's vector
+                // directly (the Eq. 4 weights with Φ_i = 0 reduce to
+                // exactly that only when the entry exists; a missing
+                // entry has nothing to decay).
+                let dst = store.row_mut(class);
+                dst.copy_from_slice(g.vectors.row(row));
+                l2_normalize(dst);
+                occupancy.set(base + class);
             }
         }
+        merge_weighted_rows(
+            store.as_flat_mut(),
+            g.vectors.dim(),
+            &scratch.dst_rows,
+            g.vectors.as_flat(),
+            &scratch.src_rows,
+            &scratch.w_old,
+            &scratch.w_new,
+        );
+    }
+
+    /// Merges one client's upload: Eq. 4 for every populated cell of `u`
+    /// (one fused batch per layer group), then Eq. 5 for Φ. `phi` is the
+    /// client's per-round class frequency vector φ; `gamma` is the global
+    /// decay (paper: 0.99). `scratch` makes the pass allocation-free.
+    pub fn merge_update(
+        &mut self,
+        u: &UpdateTable,
+        phi: &[u64],
+        gamma: f32,
+        scratch: &mut MergeScratch,
+    ) {
+        assert_eq!(phi.len(), self.classes, "phi length mismatch");
+        for g in u.layer_groups() {
+            if (g.layer as usize) >= self.layers {
+                // Malformed upload layer; ignore rather than poison state.
+                continue;
+            }
+            Self::merge_layer_group(
+                &mut self.stores,
+                &mut self.occupancy,
+                self.classes,
+                g,
+                MergeWeights {
+                    cap_phi: &self.frequency,
+                    phi,
+                    gamma,
+                },
+                scratch,
+            );
+        }
         // Eq. 5.
-        for (f, &p) in self.frequency.iter_mut().zip(phi) {
-            *f += p as u64;
+        self.advance_frequency(phi);
+    }
+
+    /// Batched round processing: merges every queued upload of a round as
+    /// **one pass per layer** — layer-outer, clients inner in the given
+    /// (deterministic, client-id) order — so each layer's store streams
+    /// through cache once for the whole fleet. Bit-identical to calling
+    /// [`GlobalCacheTable::merge_update`] per upload in the same order:
+    /// each client's Eq. 4 weights read its prefix Φ (the Φ a sequential
+    /// merge would have seen), and Eq. 5 lands once at the end. This is
+    /// the structural prerequisite for sharding the server across cores
+    /// (layers are independent under this schedule).
+    pub fn merge_batch(
+        &mut self,
+        uploads: &[(&UpdateTable, &[u64])],
+        gamma: f32,
+        scratch: &mut MergeScratch,
+    ) {
+        let n = self.classes;
+        // Prefix Φ per client: what the live Φ would read just before
+        // that client's sequential merge.
+        scratch.phi_prefix.clear();
+        scratch.phi_prefix.reserve(uploads.len() * n);
+        let mut running = 0usize;
+        for (c, &(_, phi)) in uploads.iter().enumerate() {
+            assert_eq!(phi.len(), n, "phi length mismatch");
+            if c == 0 {
+                scratch.phi_prefix.extend_from_slice(&self.frequency);
+            } else {
+                let prev = running - n;
+                for i in 0..n {
+                    let v = scratch.phi_prefix[prev + i] + uploads[c - 1].1[i];
+                    scratch.phi_prefix.push(v);
+                }
+            }
+            running += n;
+        }
+        let phi_prefix = std::mem::take(&mut scratch.phi_prefix);
+        for layer in 0..self.layers {
+            for (c, &(u, phi)) in uploads.iter().enumerate() {
+                let Some(g) = u.layer_group(layer as u32) else {
+                    continue;
+                };
+                Self::merge_layer_group(
+                    &mut self.stores,
+                    &mut self.occupancy,
+                    n,
+                    g,
+                    MergeWeights {
+                        cap_phi: &phi_prefix[c * n..(c + 1) * n],
+                        phi,
+                        gamma,
+                    },
+                    scratch,
+                );
+            }
+        }
+        scratch.phi_prefix = phi_prefix;
+        for &(_, phi) in uploads {
+            self.advance_frequency(phi);
         }
     }
 
     /// Extracts a local cache: the given `layers`, each filled with the
     /// entries of `classes` (cells never populated are skipped — a client
-    /// cannot match against a center that does not exist yet).
+    /// cannot match against a center that does not exist yet). The rows
+    /// gather straight from each layer's contiguous store; `classes` must
+    /// not repeat (ACA hot sets never do).
     pub fn extract(&self, layers: &[usize], classes: &[usize]) -> LocalCache {
         let mut out = Vec::with_capacity(layers.len());
         for &layer in layers {
-            let mut cl = CacheLayer::new(layer);
-            for &class in classes {
-                if let Some(v) = self.get(class, layer) {
-                    cl.insert(class, v.to_vec());
-                }
+            if layer >= self.layers || self.stores[layer].dim() == 0 {
+                continue;
             }
-            if !cl.is_empty() {
-                out.push(cl);
+            let base = layer * self.classes;
+            let sel: Vec<usize> = classes
+                .iter()
+                .copied()
+                .filter(|&c| c < self.classes && self.occupancy.get(base + c))
+                .collect();
+            if sel.is_empty() {
+                continue;
             }
+            let vectors = self.stores[layer].extract_rows(&sel);
+            debug_assert!(vectors.iter_rows().all(|r| coca_math::is_unit(r, 1e-3)));
+            out.push(CacheLayer {
+                point: layer,
+                classes: sel,
+                vectors,
+            });
         }
         LocalCache::from_layers(out)
     }
 
-    /// Fraction of cells populated (diagnostics).
+    /// Fraction of cells populated (diagnostics): one popcount over the
+    /// occupancy bitmap.
     pub fn fill_ratio(&self) -> f64 {
-        let filled = self.entries.iter().filter(|e| e.is_some()).count();
-        filled as f64 / self.entries.len() as f64
+        self.occupancy.count_ones() as f64 / (self.classes * self.layers) as f64
+    }
+}
+
+// Flat-buffer wire shape, the same way `CacheLayer` ships: per-layer
+// `{dim, data}` stores plus the packed occupancy words. The derive shims
+// cannot express it, so the traits are implemented by hand.
+impl Serialize for GlobalCacheTable {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("classes".into(), Serialize::to_value(&self.classes));
+        m.insert("layers".into(), Serialize::to_value(&self.layers));
+        m.insert("stores".into(), Serialize::to_value(&self.stores));
+        m.insert("occupancy".into(), Serialize::to_value(&self.occupancy));
+        m.insert("frequency".into(), Serialize::to_value(&self.frequency));
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for GlobalCacheTable {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(m) = v else {
+            return Err(serde::Error::custom(format!(
+                "expected object for GlobalCacheTable, got {}",
+                v.kind()
+            )));
+        };
+        let classes: usize = serde::__field(m, "classes")?;
+        let layers: usize = serde::__field(m, "layers")?;
+        let stores: Vec<VectorStore> = serde::__field(m, "stores")?;
+        let occupancy: OccupancyBitmap = serde::__field(m, "occupancy")?;
+        let frequency: Vec<u64> = serde::__field(m, "frequency")?;
+        if classes == 0 || layers == 0 {
+            return Err(serde::Error::custom("GlobalCacheTable: degenerate shape"));
+        }
+        if stores.len() != layers
+            || occupancy.len() != classes * layers
+            || frequency.len() != classes
+        {
+            return Err(serde::Error::custom(
+                "GlobalCacheTable: shape mismatch".to_string(),
+            ));
+        }
+        for (j, s) in stores.iter().enumerate() {
+            if s.dim() != 0 && s.rows() != classes {
+                return Err(serde::Error::custom(format!(
+                    "GlobalCacheTable: layer {j} has {} rows for {classes} classes",
+                    s.rows()
+                )));
+            }
+        }
+        for bit in occupancy.iter_ones() {
+            if stores[bit / classes].dim() == 0 {
+                return Err(serde::Error::custom(
+                    "GlobalCacheTable: occupied cell in an uninitialized layer".to_string(),
+                ));
+            }
+        }
+        Ok(Self {
+            classes,
+            layers,
+            stores,
+            occupancy,
+            frequency,
+        })
     }
 }
 
@@ -168,11 +465,15 @@ mod tests {
         u
     }
 
+    fn merge(t: &mut GlobalCacheTable, u: &UpdateTable, phi: &[u64], gamma: f32) {
+        t.merge_update(u, phi, gamma, &mut MergeScratch::new());
+    }
+
     #[test]
     fn merge_into_empty_adopts_client_vector() {
         let mut t = table();
         let u = upload(&[(1, 2, vec![0.0, 3.0])]);
-        t.merge_update(&u, &[0, 5, 0, 0], 0.99);
+        merge(&mut t, &u, &[0, 5, 0, 0], 0.99);
         let e = t.get(1, 2).unwrap();
         assert!(cosine(e, &[0.0, 1.0]) > 0.999);
         assert_eq!(t.frequency(), &[0, 5, 0, 0]);
@@ -186,13 +487,13 @@ mod tests {
         t.seed_frequency(&[90, 0, 0, 0]);
         // A client with small φ barely moves the entry...
         let u = upload(&[(0, 0, vec![0.0, 1.0])]);
-        t.merge_update(&u, &[10, 0, 0, 0], 0.99);
+        merge(&mut t, &u, &[10, 0, 0, 0], 0.99);
         let e = t.get(0, 0).unwrap().to_vec();
         assert!(cosine(&e, &[1.0, 0.0]) > 0.9, "entry {e:?}");
         assert_eq!(t.frequency()[0], 100);
         // ...but a dominant client swings it.
         let u = upload(&[(0, 0, vec![0.0, 1.0])]);
-        t.merge_update(&u, &[900, 0, 0, 0], 0.99);
+        merge(&mut t, &u, &[900, 0, 0, 0], 0.99);
         let e = t.get(0, 0).unwrap().to_vec();
         assert!(cosine(&e, &[0.0, 1.0]) > 0.9, "entry {e:?}");
     }
@@ -203,7 +504,7 @@ mod tests {
         t.set(2, 1, vec![1.0, 1.0]);
         t.seed_frequency(&[0, 0, 7, 0]);
         let u = upload(&[(2, 1, vec![-1.0, 1.0])]);
-        t.merge_update(&u, &[0, 0, 3, 0], 0.99);
+        merge(&mut t, &u, &[0, 0, 3, 0], 0.99);
         assert!((l2_norm(t.get(2, 1).unwrap()) - 1.0).abs() < 1e-5);
     }
 
@@ -212,7 +513,7 @@ mod tests {
         let mut t = table();
         t.set(3, 0, vec![1.0, 0.0]);
         let u = upload(&[(3, 0, vec![0.0, 1.0])]);
-        t.merge_update(&u, &[0, 0, 0, 0], 0.99);
+        merge(&mut t, &u, &[0, 0, 0, 0], 0.99);
         assert!(cosine(t.get(3, 0).unwrap(), &[1.0, 0.0]) > 0.999);
     }
 
@@ -221,8 +522,15 @@ mod tests {
         let mut t = table();
         let mut u = UpdateTable::new();
         u.absorb(99, 99, &[1.0, 0.0], 0.0);
-        t.merge_update(&u, &[1, 0, 0, 0], 0.99); // must not panic
+        u.absorb(99, 0, &[1.0, 0.0], 0.0);
+        merge(&mut t, &u, &[1, 0, 0, 0], 0.99); // must not panic
         assert_eq!(t.frequency()[0], 1);
+        assert_eq!(t.fill_ratio(), 0.0);
+        // A rejected group must not have pinned layer 0's dimension: a
+        // later honest upload with a different dim still merges.
+        let honest = upload(&[(0, 0, vec![0.0, 1.0, 0.0])]);
+        merge(&mut t, &honest, &[3, 0, 0, 0], 0.99);
+        assert!(t.get(0, 0).is_some(), "layer poisoned by malformed upload");
     }
 
     #[test]
@@ -246,5 +554,78 @@ mod tests {
         assert_eq!(t.fill_ratio(), 0.0);
         t.set(0, 0, vec![1.0, 0.0]);
         assert!((t.fill_ratio() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_merge_is_bit_identical_to_sequential() {
+        let build = || {
+            let mut t = table();
+            t.set(0, 0, vec![1.0, 0.0]);
+            t.set(1, 1, vec![0.0, 1.0]);
+            t.seed_frequency(&[5, 3, 0, 0]);
+            t
+        };
+        let u1 = upload(&[(0, 0, vec![0.2, 0.9]), (2, 1, vec![0.5, 0.5])]);
+        let phi1: Vec<u64> = vec![4, 0, 7, 0];
+        let u2 = upload(&[(0, 0, vec![-0.7, 0.1]), (1, 1, vec![0.9, -0.1])]);
+        let phi2: Vec<u64> = vec![2, 6, 0, 0];
+
+        let mut scratch = MergeScratch::new();
+        let mut seq = build();
+        seq.merge_update(&u1, &phi1, 0.99, &mut scratch);
+        seq.merge_update(&u2, &phi2, 0.99, &mut scratch);
+
+        let mut bat = build();
+        bat.merge_batch(&[(&u1, &phi1), (&u2, &phi2)], 0.99, &mut scratch);
+
+        assert_eq!(seq.frequency(), bat.frequency());
+        for c in 0..4 {
+            for l in 0..3 {
+                match (seq.get(c, l), bat.get(c, l)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        for (x, y) in a.iter().zip(b) {
+                            assert_eq!(x.to_bits(), y.to_bits(), "cell ({c},{l})");
+                        }
+                    }
+                    (a, b) => panic!("occupancy differs at ({c},{l}): {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decay_frequency_ages_mass_out() {
+        let mut t = table();
+        t.seed_frequency(&[100, 7, 0, 1]);
+        t.decay_frequency(0.5);
+        assert_eq!(t.frequency(), &[50, 4, 0, 1]);
+        t.decay_frequency(1.0);
+        assert_eq!(t.frequency(), &[50, 4, 0, 1], "β = 1 is a no-op");
+    }
+
+    #[test]
+    fn serde_round_trips_and_validates() {
+        let mut t = table();
+        t.set(1, 0, vec![0.0, 1.0]);
+        t.set(3, 2, vec![1.0, 0.0]);
+        t.seed_frequency(&[9, 8, 7, 6]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: GlobalCacheTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_classes(), 4);
+        assert_eq!(back.num_layers(), 3);
+        assert_eq!(back.frequency(), t.frequency());
+        assert_eq!(back.get(1, 0).unwrap(), t.get(1, 0).unwrap());
+        assert_eq!(back.get(3, 2).unwrap(), t.get(3, 2).unwrap());
+        assert!(back.get(0, 0).is_none());
+        assert_eq!(back.fill_ratio(), t.fill_ratio());
+        // An occupied bit pointing into an uninitialized layer is invalid.
+        let bad = r#"{"classes":2,"layers":1,"stores":[{"dim":0,"data":[]}],
+                      "occupancy":{"len":2,"words":[1]},"frequency":[0,0]}"#;
+        assert!(serde_json::from_str::<GlobalCacheTable>(bad).is_err());
+        // A layer store whose row count disagrees with the class count.
+        let ragged = r#"{"classes":2,"layers":1,"stores":[{"dim":2,"data":[1.0,0.0]}],
+                         "occupancy":{"len":2,"words":[0]},"frequency":[0,0]}"#;
+        assert!(serde_json::from_str::<GlobalCacheTable>(ragged).is_err());
     }
 }

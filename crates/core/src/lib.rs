@@ -59,7 +59,7 @@ pub use driver::{
     NoMsg,
 };
 pub use engine::{Engine, EngineConfig, EngineReport};
-pub use global::GlobalCacheTable;
+pub use global::{GlobalCacheTable, MergeScratch};
 pub use lookup::{infer_with_cache, InferenceResult, LookupScratch};
 pub use semantic::{CacheLayer, LocalCache};
 pub use server::CocaServer;

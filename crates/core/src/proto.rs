@@ -64,12 +64,15 @@ pub struct UpdateUpload {
     pub round: u64,
     /// U — the collected cache-update table (Eq. 3).
     pub table: UpdateTable,
-    /// φ — per-round class frequencies (Eq. 5 input).
-    pub frequency: Vec<u32>,
+    /// φ — per-round class frequencies (Eq. 5 input). In-memory `u64`
+    /// like the rest of the Φ pipeline; a round's counts are bounded by
+    /// `frames_per_round`, so the wire codec packs each as 4 bytes.
+    pub frequency: Vec<u64>,
 }
 
 impl WireSize for UpdateUpload {
     fn wire_bytes(&self) -> usize {
+        // φ entries ship as u32 on the wire (counts ≤ frames per round).
         8 + 8 + self.table.wire_bytes() + 4 * self.frequency.len()
     }
 }

@@ -12,7 +12,7 @@ use rand::Rng;
 
 use crate::aca::{allocate, AcaInputs, AcaOutput};
 use crate::config::CocaConfig;
-use crate::global::GlobalCacheTable;
+use crate::global::{GlobalCacheTable, MergeScratch};
 use crate::lookup::{infer_with_cache, LookupScratch};
 use crate::proto::{CacheAllocation, CacheRequest, UpdateUpload};
 use crate::semantic::{CacheLayer, LocalCache};
@@ -64,6 +64,9 @@ pub struct CocaServer {
     /// (the Normal/GCU ablation arms).
     static_alloc: Option<AcaOutput>,
     costs: ServiceCostModel,
+    /// Reusable merge buffers: the per-round merge phase allocates
+    /// nothing once these are warm.
+    scratch: MergeScratch,
 }
 
 /// Seeds a global cache table from the shared dataset: averages a few
@@ -181,6 +184,7 @@ impl CocaServer {
             base_hit_profile,
             static_alloc: None,
             costs: ServiceCostModel::default(),
+            scratch: MergeScratch::new(),
         }
     }
 
@@ -265,16 +269,57 @@ impl CocaServer {
     pub fn handle_update(&mut self, up: &UpdateUpload) -> SimDuration {
         let kb = up.table.wire_bytes() as f64 / 1024.0;
         if self.cfg.enable_gcu {
-            self.global
-                .merge_update(&up.table, &up.frequency, self.cfg.gamma_global);
-        } else {
             self.global.merge_update(
-                &crate::collect::UpdateTable::new(),
+                &up.table,
                 &up.frequency,
                 self.cfg.gamma_global,
+                &mut self.scratch,
             );
+        } else {
+            self.global.advance_frequency(&up.frequency);
         }
         SimDuration::from_millis_f64(self.costs.update_base_ms + self.costs.update_per_kb_ms * kb)
+    }
+
+    /// Batched round processing: drains a round's queued uploads in one
+    /// per-layer batched pass over the global table (each layer's store
+    /// streams through cache once for the whole fleet). Uploads are
+    /// ordered by `(client_id, round)` first — the deterministic batching
+    /// contract — and the result is **bit-identical** to calling
+    /// [`CocaServer::handle_update`] per upload in that order
+    /// (property-tested), which is what makes per-layer server sharding
+    /// safe. Returns the summed service time, priced by the same cost
+    /// model as the sequential path.
+    pub fn handle_updates_batch(&mut self, ups: &mut [UpdateUpload]) -> SimDuration {
+        ups.sort_by_key(|u| (u.client_id, u.round));
+        let mut total_kb = 0.0f64;
+        for up in ups.iter() {
+            total_kb += up.table.wire_bytes() as f64 / 1024.0;
+        }
+        if self.cfg.enable_gcu {
+            let batch: Vec<(&crate::collect::UpdateTable, &[u64])> = ups
+                .iter()
+                .map(|u| (&u.table, u.frequency.as_slice()))
+                .collect();
+            self.global
+                .merge_batch(&batch, self.cfg.gamma_global, &mut self.scratch);
+        } else {
+            for up in ups.iter() {
+                self.global.advance_frequency(&up.frequency);
+            }
+        }
+        SimDuration::from_millis_f64(
+            self.costs.update_base_ms * ups.len() as f64 + self.costs.update_per_kb_ms * total_kb,
+        )
+    }
+
+    /// Fires when a client departs the fleet: applies the configured
+    /// exponential Φ decay `Φ ← ⌈β·Φ⌉` so the leaver's frequency mass
+    /// ages out of ACA's hot-spot scores (a no-op at the default β = 1).
+    pub fn on_client_leave(&mut self) {
+        if self.cfg.leave_phi_decay < 1.0 {
+            self.global.decay_frequency(self.cfg.leave_phi_decay);
+        }
     }
 
     /// Builds a cache holding *every* class at *every* layer (motivation
@@ -368,7 +413,7 @@ mod tests {
         let mut v = vec![0.0f32; rt.feature_dim(layer)];
         v[0] = 1.0;
         table.absorb(3, layer, &v, 0.0);
-        let mut phi = vec![0u32; rt.num_classes()];
+        let mut phi = vec![0u64; rt.num_classes()];
         phi[3] = 100_000;
         let up = UpdateUpload {
             client_id: 0,

@@ -20,8 +20,11 @@ const TAU_CAP: u32 = 1_000_000;
 pub struct ClientStatus {
     /// τ — steps since each class last appeared.
     timestamps: Vec<u32>,
-    /// φ — per-round class occurrence counts.
-    frequency: Vec<u32>,
+    /// φ — per-round class occurrence counts. Carried as `u64` so the
+    /// whole Φ pipeline (collect → wire → global Eq. 5) shares one
+    /// integer type end to end; a round's counts stay far below `u32`
+    /// range, which is what the wire codec packs them as.
+    frequency: Vec<u64>,
 }
 
 impl ClientStatus {
@@ -52,7 +55,7 @@ impl ClientStatus {
     }
 
     /// φ snapshot (uploaded for global updates).
-    pub fn frequency(&self) -> &[u32] {
+    pub fn frequency(&self) -> &[u64] {
         &self.frequency
     }
 
@@ -68,7 +71,7 @@ impl ClientStatus {
 
     /// Total observations this round.
     pub fn round_total(&self) -> u64 {
-        self.frequency.iter().map(|&f| f as u64).sum()
+        self.frequency.iter().sum()
     }
 }
 

@@ -11,6 +11,9 @@
 //!   (k-means E-step) — the heart of every similarity hot path.
 //! * [`store`] — [`VectorStore`], the dimension-checked contiguous storage
 //!   those kernels scan.
+//! * [`mask`] — [`OccupancyBitmap`] (packed per-slot presence bits over a
+//!   dense store) and the bitmap-backed [`SlotMap`]: the occupancy layer
+//!   of the columnar server-side tables.
 //! * [`stats`] — Welford online mean/variance, exponential moving averages.
 //! * [`quantile`] — the P² streaming quantile estimator (latency
 //!   percentiles without retaining samples).
@@ -23,6 +26,7 @@
 //!   (Fig. 2's quantitative clustering evidence).
 
 pub mod cluster;
+pub mod mask;
 pub mod matrix;
 pub mod pca;
 pub mod quantile;
@@ -32,7 +36,8 @@ pub mod store;
 pub mod topk;
 pub mod vector;
 
-pub use matrix::{dot_unit, ScoreScratch, Top2};
+pub use mask::{OccupancyBitmap, SlotMap};
+pub use matrix::{dot_unit, merge_weighted_row, merge_weighted_rows, ScoreScratch, Top2};
 pub use quantile::P2Quantile;
 pub use stats::{Ewma, OnlineStats};
 pub use store::VectorStore;

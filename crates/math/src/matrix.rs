@@ -216,6 +216,96 @@ pub fn assign_nearest(data: &[f32], dim: usize, query: &[f32]) -> Option<(usize,
     best
 }
 
+/// One fused Eq. 4 merge + renormalize over a single row:
+/// `e ← normalize(w_old·e + w_new·u)`, returning the pre-normalization
+/// norm. The merged values and the norm's sum-of-squares are produced in
+/// **one pass** with the same fixed 4-accumulator reduction order as
+/// [`crate::vector::dot`], and the rounding sequence mirrors the seed
+/// `scale(w_old, e)` → `axpy(w_new, u, e)` → `l2_normalize(e)` path
+/// **bit for bit** — that equivalence is the no-behavioral-drift
+/// contract of the columnar server tables (see `coca-core::global`).
+/// A zero (or denormal-tiny) merged row is left unnormalized, exactly as
+/// [`crate::vector::l2_normalize`] leaves it.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn merge_weighted_row(e: &mut [f32], u: &[f32], w_old: f32, w_new: f32) -> f32 {
+    assert_eq!(
+        e.len(),
+        u.len(),
+        "merge_weighted_row: length mismatch {} vs {}",
+        e.len(),
+        u.len()
+    );
+    let split = e.len() - e.len() % 4;
+    let (e_main, e_tail) = e.split_at_mut(split);
+    let (u_main, u_tail) = u.split_at(split);
+    let mut acc = [0.0f32; 4];
+    for (ec, uc) in e_main.chunks_exact_mut(4).zip(u_main.chunks_exact(4)) {
+        let m0 = w_old * ec[0] + w_new * uc[0];
+        let m1 = w_old * ec[1] + w_new * uc[1];
+        let m2 = w_old * ec[2] + w_new * uc[2];
+        let m3 = w_old * ec[3] + w_new * uc[3];
+        ec[0] = m0;
+        ec[1] = m1;
+        ec[2] = m2;
+        ec[3] = m3;
+        acc[0] += m0 * m0;
+        acc[1] += m1 * m1;
+        acc[2] += m2 * m2;
+        acc[3] += m3 * m3;
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for (ei, &ui) in e_tail.iter_mut().zip(u_tail) {
+        let m = w_old * *ei + w_new * ui;
+        *ei = m;
+        sum += m * m;
+    }
+    let norm = sum.sqrt();
+    if norm > f32::MIN_POSITIVE {
+        let inv = 1.0 / norm;
+        for x in e.iter_mut() {
+            *x *= inv;
+        }
+    }
+    norm
+}
+
+/// Batched [`merge_weighted_row`] over a contiguous destination buffer:
+/// for each `i`, merges source row `src_rows[i]` of `src` into
+/// destination row `dst_rows[i]` of `dst` with weights `w_old[i]` /
+/// `w_new[i]`. This is the per-layer Eq. 4 pass of the columnar global
+/// cache table — one call merges a whole upload layer.
+///
+/// # Panics
+/// Panics on ragged buffers, length-mismatched job slices or
+/// out-of-range rows.
+pub fn merge_weighted_rows(
+    dst: &mut [f32],
+    dim: usize,
+    dst_rows: &[usize],
+    src: &[f32],
+    src_rows: &[usize],
+    w_old: &[f32],
+    w_new: &[f32],
+) {
+    assert!(
+        dst.len().is_multiple_of(dim.max(1)) && src.len().is_multiple_of(dim.max(1)),
+        "merge_weighted_rows: ragged buffers"
+    );
+    assert!(
+        dst_rows.len() == src_rows.len()
+            && dst_rows.len() == w_old.len()
+            && dst_rows.len() == w_new.len(),
+        "merge_weighted_rows: job slices must be parallel"
+    );
+    for i in 0..dst_rows.len() {
+        let d = dst_rows[i] * dim;
+        let s = src_rows[i] * dim;
+        merge_weighted_row(&mut dst[d..d + dim], &src[s..s + dim], w_old[i], w_new[i]);
+    }
+}
+
 /// Scalar reference implementations of every fused kernel: plain
 /// left-to-right summation, no unrolling, no shared accumulator state.
 /// The property tests pin the fused kernels to these within `1e-5`.
@@ -375,6 +465,65 @@ mod tests {
         // Rows 0 and 2 tie at sim 1.0; smaller tag (9) first.
         assert_eq!(top[0].1, 9);
         assert_eq!(top[1].1, 10);
+    }
+
+    #[test]
+    fn merge_weighted_row_is_bit_identical_to_scale_axpy_normalize() {
+        use crate::vector::{axpy, l2_normalize, scale};
+        for dim in [1usize, 3, 4, 7, 8, 13, 64, 129] {
+            let e0: Vec<f32> = (0..dim)
+                .map(|i| ((i * 31 + 7) % 17) as f32 * 0.11 - 0.9)
+                .collect();
+            let u: Vec<f32> = (0..dim)
+                .map(|i| ((i * 13 + 5) % 19) as f32 * 0.07 - 0.6)
+                .collect();
+            let (w_old, w_new) = (0.99f32 * 0.3, 0.7f32);
+            // Seed path: three separate passes.
+            let mut seed = e0.clone();
+            scale(w_old, &mut seed);
+            axpy(w_new, &u, &mut seed);
+            let seed_norm = l2_normalize(&mut seed);
+            // Fused path.
+            let mut fused = e0.clone();
+            let norm = merge_weighted_row(&mut fused, &u, w_old, w_new);
+            assert_eq!(norm.to_bits(), seed_norm.to_bits(), "dim {dim}");
+            for (a, b) in fused.iter().zip(&seed) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dim {dim}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_weighted_row_leaves_tiny_rows_unnormalized() {
+        let mut e = vec![0.0f32; 5];
+        let u = vec![0.0f32; 5];
+        assert_eq!(merge_weighted_row(&mut e, &u, 0.5, 0.5), 0.0);
+        assert!(e.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn merge_weighted_rows_batches_disjoint_jobs() {
+        let dim = 3;
+        let mut dst = vec![
+            1.0f32, 0.0, 0.0, // row 0
+            0.0, 1.0, 0.0, // row 1
+        ];
+        let src = vec![0.0f32, 0.0, 1.0];
+        let mut expect0 = dst[0..3].to_vec();
+        let mut expect1 = dst[3..6].to_vec();
+        merge_weighted_row(&mut expect0, &src, 0.4, 0.6);
+        merge_weighted_row(&mut expect1, &src, 0.9, 0.1);
+        merge_weighted_rows(
+            &mut dst,
+            dim,
+            &[0, 1],
+            &src,
+            &[0, 0],
+            &[0.4, 0.9],
+            &[0.6, 0.1],
+        );
+        assert_eq!(&dst[0..3], expect0.as_slice());
+        assert_eq!(&dst[3..6], expect1.as_slice());
     }
 
     #[test]

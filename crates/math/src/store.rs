@@ -43,6 +43,32 @@ impl VectorStore {
         }
     }
 
+    /// An empty store with the dimension fixed and capacity reserved for
+    /// `rows` rows (gather-style extraction pre-sizes its output).
+    ///
+    /// # Panics
+    /// Panics if `dim` is 0.
+    pub fn with_capacity(dim: usize, rows: usize) -> Self {
+        assert!(dim > 0, "VectorStore: dim must be positive");
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * rows),
+        }
+    }
+
+    /// A store of `rows` zero-filled rows — the dense backing of an
+    /// occupancy-bitmap table (unpopulated slots stay zero).
+    ///
+    /// # Panics
+    /// Panics if `dim` is 0.
+    pub fn zeros(dim: usize, rows: usize) -> Self {
+        assert!(dim > 0, "VectorStore: dim must be positive");
+        Self {
+            dim,
+            data: vec![0.0; dim * rows],
+        }
+    }
+
     /// Builds a store from explicit rows (they must share one length).
     pub fn from_rows<R: AsRef<[f32]>>(rows: &[R]) -> Self {
         let mut s = Self::empty();
@@ -82,6 +108,33 @@ impl VectorStore {
         &self.data[start..start + self.dim]
     }
 
+    /// Row `i` as a mutable slice (in-place decay-add updates).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        let start = i * self.dim;
+        &mut self.data[start..start + self.dim]
+    }
+
+    /// Gather-style extraction: copies the given rows, in order, into a
+    /// fresh pre-sized store — one `memcpy` per row, no per-row
+    /// allocations (the columnar `extract` hot path).
+    ///
+    /// # Panics
+    /// Panics if any row is out of range or the store holds no rows.
+    pub fn extract_rows(&self, rows: &[usize]) -> VectorStore {
+        assert!(self.dim > 0, "extract_rows: store dimension unset");
+        let mut out = VectorStore::with_capacity(self.dim, rows.len());
+        for &r in rows {
+            let start = r * self.dim;
+            out.data
+                .extend_from_slice(&self.data[start..start + self.dim]);
+        }
+        out
+    }
+
     /// Iterates the rows in order.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
         // `chunks_exact(0)` panics, so an unset-dimension (empty) store
@@ -92,6 +145,11 @@ impl VectorStore {
     /// The flat row-major buffer.
     pub fn as_flat(&self) -> &[f32] {
         &self.data
+    }
+
+    /// The flat row-major buffer, mutably (batched in-place kernels).
+    pub fn as_flat_mut(&mut self) -> &mut [f32] {
+        &mut self.data
     }
 
     /// Appends a row, fixing the store dimension on first use; returns the
@@ -253,6 +311,23 @@ mod tests {
         // Removing the last row moves nothing.
         assert_eq!(s.swap_remove_row(1), None);
         assert_eq!(s.rows(), 1);
+    }
+
+    #[test]
+    fn zeros_row_mut_and_extract_rows() {
+        let mut s = VectorStore::zeros(2, 3);
+        assert_eq!(s.rows(), 3);
+        assert!(s.as_flat().iter().all(|&x| x == 0.0));
+        s.row_mut(1).copy_from_slice(&[0.5, 0.5]);
+        assert_eq!(s.row(1), &[0.5, 0.5]);
+        let picked = s.extract_rows(&[1, 0, 1]);
+        assert_eq!(picked.rows(), 3);
+        assert_eq!(picked.row(0), &[0.5, 0.5]);
+        assert_eq!(picked.row(1), &[0.0, 0.0]);
+        assert_eq!(picked.row(2), &[0.5, 0.5]);
+        let with_cap = VectorStore::with_capacity(2, 8);
+        assert_eq!(with_cap.rows(), 0);
+        assert_eq!(with_cap.dim(), 2);
     }
 
     #[test]

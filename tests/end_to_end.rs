@@ -198,6 +198,47 @@ fn static_spec_reproduces_the_classic_engine_bit_for_bit() {
 }
 
 #[test]
+fn leave_phi_decay_ages_frequency_mass_under_churn() {
+    // Regression for the churn Φ-decay satellite: under a churn spec
+    // (two leavers), a sub-unit `leave_phi_decay` must strictly shrink
+    // the global frequency mass relative to the default β = 1 (off), and
+    // must not change the workload itself (same frame digest). Off by
+    // default: the default-config run is the byte-identical baseline the
+    // committed churn/drift records regenerate from.
+    let mut sc = small_scenario(509);
+    sc.num_clients = 4;
+    let spec = ScenarioSpec::new(sc, 4, 120).leave(1, 2).leave(3, 3);
+
+    let run = |decay: f64| {
+        let (scenario, plan) = spec.materialize();
+        let mut coca = CocaConfig::for_model(ModelId::ResNet101).with_round_frames(120);
+        coca.leave_phi_decay = decay;
+        let mut engine = Engine::new(scenario, EngineConfig::new(coca));
+        let report = engine.run_plan(&plan);
+        let phi_mass: u64 = engine.server().global().frequency().iter().sum();
+        (report, phi_mass)
+    };
+
+    let (base, base_mass) = run(1.0);
+    let (decayed, decayed_mass) = run(0.5);
+    assert_eq!(
+        base.frame_digest, decayed.frame_digest,
+        "Φ decay must not alter the consumed workload"
+    );
+    assert!(
+        decayed_mass < base_mass,
+        "decayed Φ mass {decayed_mass} must be below baseline {base_mass}"
+    );
+    // Deterministic: the decayed run replays bit-for-bit.
+    let (again, again_mass) = run(0.5);
+    assert_eq!(
+        decayed.mean_latency_ms.to_bits(),
+        again.mean_latency_ms.to_bits()
+    );
+    assert_eq!(decayed_mass, again_mass);
+}
+
+#[test]
 fn response_latency_grows_with_client_count() {
     let lat = |n: usize| {
         let mut sc = small_scenario(507);

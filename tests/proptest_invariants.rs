@@ -73,7 +73,7 @@ proptest! {
     /// Global merges keep entries unit-norm and frequencies additive.
     #[test]
     fn global_merge_invariants(
-        phi in prop::collection::vec(0u32..1000, 3),
+        phi in prop::collection::vec(0u64..1000, 3),
         seed in 0u64..500,
     ) {
         let mut rng = SeedTree::new(seed).rng_for("merge");
@@ -95,9 +95,9 @@ proptest! {
                 upload.absorb(c, 0, &v, 0.5);
             }
         }
-        table.merge_update(&upload, &phi, 0.99);
+        table.merge_update(&upload, &phi, 0.99, &mut coca::core::global::MergeScratch::new());
         for (i, &p) in phi.iter().enumerate() {
-            prop_assert_eq!(table.frequency()[i], before[i] + p as u64);
+            prop_assert_eq!(table.frequency()[i], before[i] + p);
         }
         for c in 0..3 {
             for l in 0..2 {
