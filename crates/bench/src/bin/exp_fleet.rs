@@ -1,25 +1,36 @@
-//! Fleet-scale server-core experiment: per-round server time of the
-//! columnar data plane at 8 / 32 / 128 clients.
+//! Fleet-scale server-core experiment: per-round server time at 8 / 32 /
+//! 128 clients, across upload-pipeline merge modes and merge-shard widths.
 //!
 //! Every round the edge server (a) merges one upload per client into the
 //! global cache table (Eq. 4/5) and (b) answers one cache request per
 //! client (ACA + personalized sub-table extraction). This binary builds a
 //! real model runtime (ResNet101 on UCF101-50), seeds the server exactly
 //! as the engine does, synthesizes one round of per-client uploads with
-//! real per-layer feature dimensions, and wall-clocks the two server
-//! phases as the fleet grows — sequentially (`handle_update` per upload)
-//! and through the batched per-layer pass (`handle_updates_batch`), which
-//! is proptest-pinned bit-identical to the sequential order.
+//! real per-layer feature dimensions, and wall-clocks the merge phase
+//! through every server pipeline the engine can run:
 //!
-//! Writes `results/fleet.json`.
+//! * `seed` — the pre-columnar reference (boxed rows, hash-order scatter,
+//!   per-upload), from [`coca_bench::seed_ref`];
+//! * `per_upload` — the columnar default: one `merge_update` per arrival;
+//! * `queue_and_flush` — enqueue the round, drain through the per-layer
+//!   batched pass at the flush boundary (`handle_upload` +
+//!   `flush_pending`, the actual engine pipeline), serial and
+//!   rayon-sharded at 1/2/4 workers.
+//!
+//! All columnar pipelines are bit-identical to one another (proptest-
+//! pinned); only wall-clock differs. The headline `improvement` column is
+//! each pipeline's speedup over the seed reference — the number the
+//! engine actually gains now that `merge_mode = QueueAndFlush` runs the
+//! batched pass end-to-end. Writes `results/fleet.json`.
 
 use std::time::Instant;
 
 use coca_bench::output::save_record;
+use coca_bench::seed_ref::{SeedTable, SeedUpload};
 use coca_core::collect::UpdateTable;
 use coca_core::engine::{Scenario, ScenarioConfig};
 use coca_core::proto::{CacheRequest, UpdateUpload};
-use coca_core::{CocaConfig, CocaServer};
+use coca_core::{CocaConfig, CocaServer, MergeMode};
 use coca_data::DatasetSpec;
 use coca_math::random_unit;
 use coca_metrics::table::fmt_f;
@@ -34,19 +45,25 @@ const FLEETS: [usize; 3] = [8, 32, 128];
 const TOUCH_EVERY: usize = 3;
 /// Wall-clock repetitions per measurement (min taken).
 const REPS: usize = 5;
+/// Shard widths for the `parallel_merge` sweep. On a single-core host
+/// widths beyond 1 only measure spawn overhead; on a multi-core edge
+/// box they are where the layer sharding pays.
+const THREADS: [usize; 3] = [1, 2, 4];
 
-/// One round of synthetic uploads with real per-layer dimensions.
+/// One round of synthetic uploads with real per-layer dimensions, in
+/// both the columnar and the seed (boxed map) shapes.
 fn build_uploads(
     rt: &coca_model::ModelRuntime,
     fleet: usize,
     seeds: &SeedTree,
-) -> Vec<UpdateUpload> {
+) -> Vec<(UpdateUpload, SeedUpload)> {
     let classes = rt.num_classes();
     let layers = rt.num_cache_points();
     (0..fleet)
         .map(|k| {
             let mut rng = seeds.child_idx("upload", k as u64).rng();
             let mut table = UpdateTable::new();
+            let mut boxed = SeedUpload::new();
             for c in 0..classes {
                 if (c + k) % TOUCH_EVERY == 0 {
                     // A client's collected cells concentrate on a spread
@@ -54,16 +71,20 @@ fn build_uploads(
                     for l in (0..layers).step_by(3) {
                         let v = random_unit(&mut rng, rt.feature_dim(l));
                         table.absorb(c, l, &v, 0.95);
+                        boxed.insert((c as u32, l as u32), table.get(c, l).unwrap().to_vec());
                     }
                 }
             }
             let frequency: Vec<u64> = (0..classes).map(|_| rng.gen_range(1u64..30)).collect();
-            UpdateUpload {
-                client_id: k as u64,
-                round: 0,
-                table,
-                frequency,
-            }
+            (
+                UpdateUpload {
+                    client_id: k as u64,
+                    round: 0,
+                    table,
+                    frequency,
+                },
+                boxed,
+            )
         })
         .collect()
 }
@@ -88,12 +109,13 @@ fn main() {
     let coca = CocaConfig::for_model(model);
 
     let mut out = Table::new(
-        "exp_fleet — per-round server time of the columnar data plane",
+        "exp_fleet — per-round server merge wall-clock by upload pipeline",
         &[
             "Clients",
-            "Cells/round",
-            "Merge seq (ms)",
-            "Merge batched (ms)",
+            "Pipeline",
+            "Threads",
+            "Merge (ms)",
+            "vs seed",
             "Requests (ms)",
             "Round total (ms)",
             "us/client",
@@ -101,73 +123,160 @@ fn main() {
     );
     let mut record = ExperimentRecord::new(
         "fleet",
-        "per-round server merge + allocation wall-clock vs fleet size (columnar core)",
+        "per-round server merge + allocation wall-clock vs fleet size, \
+         across merge modes and shard widths (columnar core vs the seed \
+         boxed-row reference)",
     );
     record
         .param("model", format!("{model:?}"))
         .param("classes", rt.num_classes())
         .param("layers", rt.num_cache_points())
-        .param("reps", REPS);
+        .param("reps", REPS)
+        .param("threads_swept", serde_json::json!(THREADS.to_vec()));
 
+    let mut headline_improvement = 0.0f64;
     for fleet in FLEETS {
         let seeds = SeedTree::new(13_100 + fleet as u64);
-        let mut server_seq = CocaServer::new(rt, coca, scenario.seeds());
-        let mut server_bat = CocaServer::new(rt, coca, scenario.seeds());
         let uploads = build_uploads(rt, fleet, &seeds);
-        let cells: usize = uploads.iter().map(|u| u.table.len()).sum();
+        let cells: usize = uploads.iter().map(|(u, _)| u.table.len()).sum();
 
-        // (a) merge phase — sequential vs batched per-layer pass.
-        let seq_ms = min_wallclock_ms(REPS, || {
-            for up in &uploads {
-                let _ = server_seq.handle_update(up);
-            }
-        });
-        let mut batch = uploads.clone();
-        let bat_ms = min_wallclock_ms(REPS, || {
-            let _ = server_bat.handle_updates_batch(&mut batch);
-        });
-
-        // (b) allocation phase — one ACA + extraction per client.
+        // (b) allocation phase — one ACA + extraction per client —
+        // measured once (identical across merge pipelines; requests are
+        // the flush boundary, not part of the merge).
+        let mut server_req = CocaServer::new(rt, coca, scenario.seeds());
         let requests: Vec<CacheRequest> = (0..fleet)
             .map(|k| CacheRequest {
                 client_id: k as u64,
                 round: 1,
                 timestamps: vec![(k % 7) as u32 * 40; rt.num_classes()],
-                hit_ratio: server_seq.base_hit_profile().to_vec(),
+                hit_ratio: server_req.base_hit_profile().to_vec(),
                 budget_bytes: (rt.arch().full_cache_bytes(rt.num_classes()) / 8) as u64,
             })
             .collect();
         let req_ms = min_wallclock_ms(REPS, || {
             for req in &requests {
-                let _ = std::hint::black_box(server_seq.handle_request(req));
+                let _ = std::hint::black_box(server_req.handle_request(req));
             }
         });
 
-        let round_ms = bat_ms + req_ms;
-        let per_client_us = round_ms * 1e3 / fleet as f64;
-        out.row(&[
-            fleet.to_string(),
-            cells.to_string(),
-            fmt_f(seq_ms, 2),
-            fmt_f(bat_ms, 2),
-            fmt_f(req_ms, 2),
-            fmt_f(round_ms, 2),
-            fmt_f(per_client_us, 1),
-        ]);
-        record.push_row(&[
-            ("clients", serde_json::json!(fleet)),
-            ("cells_per_round", serde_json::json!(cells)),
-            ("merge_sequential_ms", serde_json::json!(seq_ms)),
-            ("merge_batched_ms", serde_json::json!(bat_ms)),
-            ("requests_ms", serde_json::json!(req_ms)),
-            ("round_total_ms", serde_json::json!(round_ms)),
-            ("us_per_client", serde_json::json!(per_client_us)),
-        ]);
+        // (a) merge phase, one row per pipeline.
+        let mut rows: Vec<(&str, usize, f64)> = Vec::new();
+
+        // Seed reference: boxed rows, hash-order per-upload merge.
+        let mut seed_table = SeedTable::new(rt.num_classes(), rt.num_cache_points());
+        {
+            // Seed the reference to the same steady state the live
+            // server starts from (fill + frequency prior).
+            let live = CocaServer::new(rt, coca, scenario.seeds());
+            for c in 0..rt.num_classes() {
+                for l in 0..rt.num_cache_points() {
+                    if let Some(v) = live.global().get(c, l) {
+                        seed_table.set(c, l, v.to_vec());
+                    }
+                }
+            }
+            seed_table
+                .frequency
+                .copy_from_slice(live.global().frequency());
+        }
+        let seed_ms = min_wallclock_ms(REPS, || {
+            for (up, boxed) in &uploads {
+                seed_table.merge_update(boxed, &up.frequency, coca.gamma_global);
+            }
+        });
+        rows.push(("seed", 0, seed_ms));
+
+        // Columnar per-upload (the engine's default pipeline).
+        let mut server_seq = CocaServer::new(rt, coca, scenario.seeds());
+        let per_upload_ms = min_wallclock_ms(REPS, || {
+            for (up, _) in &uploads {
+                let _ = server_seq.handle_update(up);
+            }
+        });
+        rows.push(("per_upload", 0, per_upload_ms));
+
+        // Queue-and-flush through the real engine pipeline: enqueue the
+        // round, drain at the flush boundary — serial, then sharded.
+        for (i, &threads) in [0usize].iter().chain(THREADS.iter()).enumerate() {
+            let sharded = i > 0;
+            let cfg = coca
+                .with_merge_mode(MergeMode::QueueAndFlush)
+                .with_parallel_merge(sharded);
+            let mut server = CocaServer::new(rt, cfg, scenario.seeds());
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads.max(1))
+                .build()
+                .expect("shim pool build is infallible");
+            // Clone the round's uploads outside the timed section (the
+            // engine moves uploads in, it never clones them).
+            let mut best = f64::INFINITY;
+            for _ in 0..REPS {
+                let round: Vec<UpdateUpload> = uploads.iter().map(|(u, _)| u.clone()).collect();
+                let t = Instant::now();
+                pool.install(|| {
+                    for up in round {
+                        let _ = server.handle_upload(up);
+                    }
+                    server.flush_pending();
+                });
+                best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+            let ms = best;
+            rows.push((
+                if sharded {
+                    "queue_and_flush+parallel"
+                } else {
+                    "queue_and_flush"
+                },
+                threads,
+                ms,
+            ));
+        }
+
+        for (pipeline, threads, merge_ms) in rows {
+            let improvement = seed_ms / merge_ms.max(1e-9);
+            let round_ms = merge_ms + req_ms;
+            let per_client_us = round_ms * 1e3 / fleet as f64;
+            if fleet == 128 && pipeline == "queue_and_flush+parallel" {
+                headline_improvement = headline_improvement.max(improvement);
+            }
+            out.row(&[
+                fleet.to_string(),
+                pipeline.to_string(),
+                if threads == 0 {
+                    "-".into()
+                } else {
+                    threads.to_string()
+                },
+                fmt_f(merge_ms, 2),
+                format!("{improvement:.2}x"),
+                fmt_f(req_ms, 2),
+                fmt_f(round_ms, 2),
+                fmt_f(per_client_us, 1),
+            ]);
+            record.push_row(&[
+                ("clients", serde_json::json!(fleet)),
+                ("cells_per_round", serde_json::json!(cells)),
+                ("pipeline", serde_json::json!(pipeline)),
+                ("threads", serde_json::json!(threads)),
+                ("merge_ms", serde_json::json!(merge_ms)),
+                ("improvement_vs_seed", serde_json::json!(improvement)),
+                ("requests_ms", serde_json::json!(req_ms)),
+                ("round_total_ms", serde_json::json!(round_ms)),
+                ("us_per_client", serde_json::json!(per_client_us)),
+            ]);
+        }
     }
     print!("{}", out.render());
     println!(
-        "(batched merge is bit-identical to sequential client-id order — \
-         proptested in tests/proptest_global.rs)"
+        "(all columnar pipelines are bit-identical — proptested in \
+         tests/proptest_global.rs and tests/proptest_merge_modes.rs; \
+         improvement is wall-clock over the seed boxed-row reference)"
+    );
+    println!(
+        "headline: queue-and-flush + parallel merge at 128 clients improves \
+         per-round server merge wall-clock {headline_improvement:.2}x over the \
+         seed per-upload server"
     );
     save_record(&record);
 }

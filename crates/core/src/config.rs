@@ -3,6 +3,26 @@
 use coca_model::ModelId;
 use serde::{Deserialize, Serialize};
 
+/// When the server merges client uploads into the global cache table —
+/// the engine's upload pipeline (§IV.A step 3 / "cache collection").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeMode {
+    /// Merge each upload at its arrival event — the original engine
+    /// behavior, one `merge_update` per `Ev::Upload`.
+    PerUpload,
+    /// Queue arriving uploads and drain the pending batch through the
+    /// per-layer batched pass (`handle_updates_batch`'s machinery) at the
+    /// next request/allocation boundary — the paper's round-granular
+    /// aggregator. The pending queue preserves FIFO arrival order and the
+    /// batched pass is bit-identical to sequential merging in that order,
+    /// and every virtual cost is still charged at the upload's arrival
+    /// instant, so runs are **byte-identical** to [`MergeMode::PerUpload`]
+    /// (property-tested in `tests/proptest_merge_modes.rs`) — this mode
+    /// changes where the real (wall-clock) merge work happens, not a
+    /// single record.
+    QueueAndFlush,
+}
+
 /// All tunables of the CoCa framework. Field docs cite the paper values.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CocaConfig {
@@ -59,6 +79,38 @@ pub struct CocaConfig {
     /// yields the spread allocations of the paper's Fig. 4 example.
     /// Exposed for the DESIGN.md §7 ablation.
     pub aca_per_byte: bool,
+    /// Upload pipeline: merge per arrival event or queue-and-flush at
+    /// round boundaries (byte-identical results either way; see
+    /// [`MergeMode`]).
+    pub merge_mode: MergeMode,
+    /// Shard the batched merge across layers with rayon
+    /// (`merge_batch_sharded`) when draining a queued batch. Bit-identical
+    /// at any worker count; only the wall-clock changes. Only consulted
+    /// under [`MergeMode::QueueAndFlush`] (the per-upload path has no
+    /// batch to shard).
+    pub parallel_merge: bool,
+}
+
+/// Reads the `COCA_MERGE_MODE` override (`per_upload` /
+/// `queue_and_flush`). CI runs the whole tier-1 suite once under
+/// `queue_and_flush` to catch determinism drift; anything else (unset or
+/// unrecognized) means "no override".
+fn merge_mode_from_env() -> Option<MergeMode> {
+    match std::env::var("COCA_MERGE_MODE").ok()?.as_str() {
+        "per_upload" => Some(MergeMode::PerUpload),
+        "queue_and_flush" => Some(MergeMode::QueueAndFlush),
+        _ => None,
+    }
+}
+
+/// Reads the `COCA_PARALLEL_MERGE` override (`1`/`true` on, `0`/`false`
+/// off); the paired CI knob for the sharded-merge drift run.
+fn parallel_merge_from_env() -> Option<bool> {
+    match std::env::var("COCA_PARALLEL_MERGE").ok()?.as_str() {
+        "1" | "true" => Some(true),
+        "0" | "false" => Some(false),
+        _ => None,
+    }
 }
 
 impl CocaConfig {
@@ -87,6 +139,10 @@ impl CocaConfig {
             enable_gcu: true,
             aca_deflation: true,
             aca_per_byte: true,
+            // Per-upload remains the default; the env overrides exist so
+            // CI can sweep the whole suite through the other pipeline.
+            merge_mode: merge_mode_from_env().unwrap_or(MergeMode::PerUpload),
+            parallel_merge: parallel_merge_from_env().unwrap_or(false),
         }
     }
 
@@ -115,6 +171,18 @@ impl CocaConfig {
     /// Returns a copy with the given round length F.
     pub fn with_round_frames(mut self, f: usize) -> Self {
         self.round_frames = f;
+        self
+    }
+
+    /// Returns a copy with the given upload-pipeline merge mode.
+    pub fn with_merge_mode(mut self, mode: MergeMode) -> Self {
+        self.merge_mode = mode;
+        self
+    }
+
+    /// Returns a copy with layer-sharded batch merging toggled.
+    pub fn with_parallel_merge(mut self, on: bool) -> Self {
+        self.parallel_merge = on;
         self
     }
 
@@ -195,9 +263,46 @@ mod tests {
         let cfg = CocaConfig::for_model(ModelId::ResNet101)
             .with_theta(0.02)
             .with_budget(12345)
-            .with_round_frames(150);
+            .with_round_frames(150)
+            .with_merge_mode(MergeMode::QueueAndFlush)
+            .with_parallel_merge(true);
         assert!((cfg.theta - 0.02).abs() < 1e-9);
         assert_eq!(cfg.cache_budget_bytes, 12345);
         assert_eq!(cfg.round_frames, 150);
+        assert_eq!(cfg.merge_mode, MergeMode::QueueAndFlush);
+        assert!(cfg.parallel_merge);
+    }
+
+    #[test]
+    fn merge_mode_defaults_honor_env_overrides() {
+        let cfg = CocaConfig::for_model(ModelId::ResNet101);
+        // The suite runs both bare and under the CI drift sweep
+        // (COCA_MERGE_MODE / COCA_PARALLEL_MERGE set); assert whichever
+        // contract applies so the test is meaningful in both.
+        match std::env::var("COCA_MERGE_MODE").as_deref() {
+            Ok("queue_and_flush") => assert_eq!(cfg.merge_mode, MergeMode::QueueAndFlush),
+            Ok("per_upload") => assert_eq!(cfg.merge_mode, MergeMode::PerUpload),
+            _ => assert_eq!(
+                cfg.merge_mode,
+                MergeMode::PerUpload,
+                "default is per-upload"
+            ),
+        }
+        match std::env::var("COCA_PARALLEL_MERGE").as_deref() {
+            Ok("1") | Ok("true") => assert!(cfg.parallel_merge),
+            Ok("0") | Ok("false") => assert!(!cfg.parallel_merge),
+            _ => assert!(!cfg.parallel_merge, "default is serial"),
+        }
+    }
+
+    #[test]
+    fn merge_mode_serde_round_trips() {
+        let cfg = CocaConfig::for_model(ModelId::ResNet101)
+            .with_merge_mode(MergeMode::QueueAndFlush)
+            .with_parallel_merge(true);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: CocaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.merge_mode, MergeMode::QueueAndFlush);
+        assert!(back.parallel_merge);
     }
 }

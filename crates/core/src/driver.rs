@@ -171,6 +171,12 @@ pub trait MethodDriver {
     /// the link). Methods with shared server state can retire the leaver's
     /// contributions here; the default does nothing.
     fn on_leave(&mut self, _k: usize) {}
+
+    /// Fired once when the event queue drains — the run's quiesce point.
+    /// Methods with deferred server-side work (CoCa's queue-and-flush
+    /// upload pipeline) apply it here so post-run inspection of server
+    /// state sees every upload merged; the default does nothing.
+    fn on_run_end(&mut self) {}
 }
 
 /// Method-agnostic engine knobs: how long to run and what the network and
@@ -590,6 +596,8 @@ pub fn drive_plan<D: MethodDriver>(
             }
         }
     }
+
+    driver.on_run_end();
 
     let mut hits = coca_metrics::HitRecorder::new(l);
     let mut acc = coca_metrics::AccuracyRecorder::new();

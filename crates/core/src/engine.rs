@@ -298,7 +298,9 @@ impl MethodDriver for CocaDriver<'_> {
     }
 
     fn serve_upload(&mut self, _k: usize, upload: UpdateUpload) -> SimDuration {
-        self.server.handle_update(&upload)
+        // Dispatches on `CocaConfig::merge_mode`: merge now (per-upload)
+        // or enqueue for the next request/leave/run-end flush boundary.
+        self.server.handle_upload(upload)
     }
 
     fn on_leave(&mut self, k: usize) {
@@ -311,6 +313,13 @@ impl MethodDriver for CocaDriver<'_> {
         // frequency mass: `Φ ← ⌈β·Φ⌉` (off by default).
         self.server.on_client_leave();
         self.clients[k].install_cache(crate::semantic::LocalCache::empty());
+    }
+
+    fn on_run_end(&mut self) {
+        // Queue-and-flush leaves the tail of the run's uploads (those
+        // after the final request boundary) pending; drain them so
+        // post-run server inspection matches the per-upload pipeline.
+        self.server.flush_pending();
     }
 }
 

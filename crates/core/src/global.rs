@@ -35,16 +35,17 @@
 
 use coca_math::vector::l2_normalize;
 use coca_math::{merge_weighted_rows, OccupancyBitmap, VectorStore};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::collect::{LayerUpdate, UpdateTable};
 use crate::semantic::{CacheLayer, LocalCache};
 
-/// Reusable buffers for the server-side merge phase: weights and row
-/// indices of one per-layer batch. Lives in the server so the per-round
-/// merge is allocation-free once warm.
+/// Weights and row indices of one per-layer merge batch — the job list
+/// one [`merge_weighted_rows`] call consumes. The sharded batched merge
+/// hands each layer its own buffer, so buffers never cross shards.
 #[derive(Debug, Default)]
-pub struct MergeScratch {
+struct JobBuf {
     /// Destination rows (= classes) of the weighted-merge jobs.
     dst_rows: Vec<usize>,
     /// Source rows within the upload's layer group, parallel to `dst_rows`.
@@ -53,22 +54,34 @@ pub struct MergeScratch {
     w_old: Vec<f32>,
     /// Eq. 4 upload weights, parallel to `dst_rows`.
     w_new: Vec<f32>,
+}
+
+impl JobBuf {
+    fn clear(&mut self) {
+        self.dst_rows.clear();
+        self.src_rows.clear();
+        self.w_old.clear();
+        self.w_new.clear();
+    }
+}
+
+/// Reusable buffers for the server-side merge phase. Lives in the server
+/// so the per-round merge is allocation-free once warm.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    /// Job list of the serial merge paths.
+    jobs: JobBuf,
     /// Per-client prefix Φ snapshots of a batched merge (row-major,
     /// `clients × classes`).
     phi_prefix: Vec<u64>,
+    /// Per-layer job lists of the sharded batched merge (one per shard).
+    shards: Vec<JobBuf>,
 }
 
 impl MergeScratch {
     /// Fresh (lazily sized) scratch.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    fn clear_jobs(&mut self) {
-        self.dst_rows.clear();
-        self.src_rows.clear();
-        self.w_old.clear();
-        self.w_new.clear();
     }
 }
 
@@ -91,8 +104,12 @@ pub struct GlobalCacheTable {
     /// One dense store per layer, `classes` rows each; a store with an
     /// unset dimension (`dim() == 0`) marks a layer never touched.
     stores: Vec<VectorStore>,
-    /// Populated cells, layer-major: bit `layer · classes + class`.
-    occupancy: OccupancyBitmap,
+    /// Populated cells: one `classes`-bit bitmap per layer, parallel to
+    /// `stores`. Kept per layer (rather than one layer-major bitmap) so a
+    /// layer shard owns its `(store, occupancy)` pair outright — the
+    /// `&mut` disjointness the rayon-sharded batched merge partitions on.
+    /// The serde wire shape is still the single layer-major bitmap.
+    occupancy: Vec<OccupancyBitmap>,
     /// Φ — global class frequencies (Eq. 5).
     frequency: Vec<u64>,
 }
@@ -105,7 +122,7 @@ impl GlobalCacheTable {
             classes,
             layers,
             stores: vec![VectorStore::empty(); layers],
-            occupancy: OccupancyBitmap::new(classes * layers),
+            occupancy: vec![OccupancyBitmap::new(classes); layers],
             frequency: vec![0; classes],
         }
     }
@@ -120,16 +137,10 @@ impl GlobalCacheTable {
         self.layers
     }
 
-    #[inline]
-    fn bit(&self, class: usize, layer: usize) -> usize {
-        debug_assert!(class < self.classes && layer < self.layers);
-        layer * self.classes + class
-    }
-
     /// The entry at `(class, layer)`, if populated.
     pub fn get(&self, class: usize, layer: usize) -> Option<&[f32]> {
-        self.occupancy
-            .get(self.bit(class, layer))
+        self.occupancy[layer]
+            .get(class)
             .then(|| self.stores[layer].row(class))
     }
 
@@ -137,13 +148,12 @@ impl GlobalCacheTable {
     /// The vector is normalized on insertion.
     pub fn set(&mut self, class: usize, layer: usize, mut vector: Vec<f32>) {
         l2_normalize(&mut vector);
-        let bit = self.bit(class, layer);
         let store = &mut self.stores[layer];
         if store.dim() == 0 {
             *store = VectorStore::zeros(vector.len(), self.classes);
         }
         store.set_row(class, &vector);
-        self.occupancy.set(bit);
+        self.occupancy[layer].set(class);
     }
 
     /// Φ — the global class-frequency vector.
@@ -180,32 +190,29 @@ impl GlobalCacheTable {
         }
     }
 
-    /// Merges one layer group of one upload. `w.cap_phi` is the Φ
-    /// snapshot the Eq. 4 weights read (the live vector for a sequential
-    /// merge, a per-client prefix for a batched one); `w.phi` is the
-    /// client's φ.
+    /// Merges one layer group of one upload into its layer's `(store,
+    /// occupancy)` pair. `w.cap_phi` is the Φ snapshot the Eq. 4 weights
+    /// read (the live vector for a sequential merge, a per-client prefix
+    /// for a batched one); `w.phi` is the client's φ.
     fn merge_layer_group(
-        stores: &mut [VectorStore],
+        store: &mut VectorStore,
         occupancy: &mut OccupancyBitmap,
         classes: usize,
         g: &LayerUpdate,
         w: MergeWeights<'_>,
-        scratch: &mut MergeScratch,
+        jobs: &mut JobBuf,
     ) {
         let MergeWeights {
             cap_phi,
             phi,
             gamma,
         } = w;
-        let layer = g.layer as usize;
-        let store = &mut stores[layer];
         if store.dim() != 0 && store.dim() != g.vectors.dim() {
             // Malformed upload layer; ignore rather than poison state.
             debug_assert!(false, "dim mismatch in global merge");
             return;
         }
-        let base = layer * classes;
-        scratch.clear_jobs();
+        jobs.clear();
         for (row, &class) in g.classes.iter().enumerate() {
             let class = class as usize;
             if class >= classes {
@@ -224,12 +231,12 @@ impl GlobalCacheTable {
             if store.dim() == 0 {
                 *store = VectorStore::zeros(g.vectors.dim(), classes);
             }
-            if occupancy.get(base + class) {
+            if occupancy.get(class) {
                 let cap = cap_phi[class] as f32;
-                scratch.dst_rows.push(class);
-                scratch.src_rows.push(row);
-                scratch.w_old.push(gamma * cap / (cap + phi_i));
-                scratch.w_new.push(phi_i / (cap + phi_i));
+                jobs.dst_rows.push(class);
+                jobs.src_rows.push(row);
+                jobs.w_old.push(gamma * cap / (cap + phi_i));
+                jobs.w_new.push(phi_i / (cap + phi_i));
             } else {
                 // Cells never seen before adopt the client's vector
                 // directly (the Eq. 4 weights with Φ_i = 0 reduce to
@@ -238,17 +245,17 @@ impl GlobalCacheTable {
                 let dst = store.row_mut(class);
                 dst.copy_from_slice(g.vectors.row(row));
                 l2_normalize(dst);
-                occupancy.set(base + class);
+                occupancy.set(class);
             }
         }
         merge_weighted_rows(
             store.as_flat_mut(),
             g.vectors.dim(),
-            &scratch.dst_rows,
+            &jobs.dst_rows,
             g.vectors.as_flat(),
-            &scratch.src_rows,
-            &scratch.w_old,
-            &scratch.w_new,
+            &jobs.src_rows,
+            &jobs.w_old,
+            &jobs.w_new,
         );
     }
 
@@ -265,13 +272,14 @@ impl GlobalCacheTable {
     ) {
         assert_eq!(phi.len(), self.classes, "phi length mismatch");
         for g in u.layer_groups() {
-            if (g.layer as usize) >= self.layers {
+            let layer = g.layer as usize;
+            if layer >= self.layers {
                 // Malformed upload layer; ignore rather than poison state.
                 continue;
             }
             Self::merge_layer_group(
-                &mut self.stores,
-                &mut self.occupancy,
+                &mut self.stores[layer],
+                &mut self.occupancy[layer],
                 self.classes,
                 g,
                 MergeWeights {
@@ -279,7 +287,7 @@ impl GlobalCacheTable {
                     phi,
                     gamma,
                 },
-                scratch,
+                &mut scratch.jobs,
             );
         }
         // Eq. 5.
@@ -288,13 +296,16 @@ impl GlobalCacheTable {
 
     /// Batched round processing: merges every queued upload of a round as
     /// **one pass per layer** — layer-outer, clients inner in the given
-    /// (deterministic, client-id) order — so each layer's store streams
-    /// through cache once for the whole fleet. Bit-identical to calling
-    /// [`GlobalCacheTable::merge_update`] per upload in the same order:
-    /// each client's Eq. 4 weights read its prefix Φ (the Φ a sequential
-    /// merge would have seen), and Eq. 5 lands once at the end. This is
-    /// the structural prerequisite for sharding the server across cores
-    /// (layers are independent under this schedule).
+    /// order (the caller fixes it deterministically: the server's
+    /// queue-and-flush pipeline passes FIFO arrival order, its offline
+    /// batch API canonicalizes to client-id order) — so each layer's
+    /// store streams through cache once for the whole fleet.
+    /// Bit-identical to calling [`GlobalCacheTable::merge_update`] per
+    /// upload in the same order: each client's Eq. 4 weights read its
+    /// prefix Φ (the Φ a sequential merge would have seen), and Eq. 5
+    /// lands once at the end. This is the structural prerequisite for
+    /// sharding the server across cores (layers are independent under
+    /// this schedule — see [`GlobalCacheTable::merge_batch_sharded`]).
     pub fn merge_batch(
         &mut self,
         uploads: &[(&UpdateTable, &[u64])],
@@ -302,8 +313,100 @@ impl GlobalCacheTable {
         scratch: &mut MergeScratch,
     ) {
         let n = self.classes;
-        // Prefix Φ per client: what the live Φ would read just before
-        // that client's sequential merge.
+        self.fill_phi_prefix(uploads, scratch);
+        let phi_prefix = std::mem::take(&mut scratch.phi_prefix);
+        for layer in 0..self.layers {
+            for (c, &(u, phi)) in uploads.iter().enumerate() {
+                let Some(g) = u.layer_group(layer as u32) else {
+                    continue;
+                };
+                Self::merge_layer_group(
+                    &mut self.stores[layer],
+                    &mut self.occupancy[layer],
+                    n,
+                    g,
+                    MergeWeights {
+                        cap_phi: &phi_prefix[c * n..(c + 1) * n],
+                        phi,
+                        gamma,
+                    },
+                    &mut scratch.jobs,
+                );
+            }
+        }
+        scratch.phi_prefix = phi_prefix;
+        for &(_, phi) in uploads {
+            self.advance_frequency(phi);
+        }
+    }
+
+    /// [`GlobalCacheTable::merge_batch`], sharded across layers with
+    /// rayon. **Bit-identical at any worker count** (1, 2, N — asserted
+    /// in `tests/proptest_merge_modes.rs`) and to the serial batched and
+    /// sequential per-upload merges, because the batched schedule already
+    /// made layers independent: each shard owns one layer's `(store,
+    /// occupancy)` pair outright, reads only the shared prefix-Φ
+    /// snapshots, and runs its clients in the same fixed order a serial
+    /// pass would — parallelism changes *where* a layer is merged, never
+    /// a single reduction order. Worth its spawn overhead on whole-round
+    /// batches (a fleet of uploads × deep layer stacks); per-request
+    /// trickles should stay on [`GlobalCacheTable::merge_batch`].
+    pub fn merge_batch_sharded(
+        &mut self,
+        uploads: &[(&UpdateTable, &[u64])],
+        gamma: f32,
+        scratch: &mut MergeScratch,
+    ) {
+        let n = self.classes;
+        self.fill_phi_prefix(uploads, scratch);
+        let phi_prefix = std::mem::take(&mut scratch.phi_prefix);
+        let mut shard_bufs = std::mem::take(&mut scratch.shards);
+        shard_bufs.resize_with(self.layers, JobBuf::default);
+        // One work item per layer: the layer's own store + occupancy
+        // (disjoint `&mut`s — fields are parallel vectors) plus a
+        // reusable job buffer that travels through the map and back.
+        let items: Vec<(usize, &mut VectorStore, &mut OccupancyBitmap, JobBuf)> = self
+            .stores
+            .iter_mut()
+            .zip(self.occupancy.iter_mut())
+            .zip(shard_bufs.drain(..))
+            .enumerate()
+            .map(|(layer, ((store, occ), buf))| (layer, store, occ, buf))
+            .collect();
+        scratch.shards = items
+            .into_par_iter()
+            .map(|(layer, store, occ, mut jobs)| {
+                for (c, &(u, phi)) in uploads.iter().enumerate() {
+                    let Some(g) = u.layer_group(layer as u32) else {
+                        continue;
+                    };
+                    Self::merge_layer_group(
+                        store,
+                        occ,
+                        n,
+                        g,
+                        MergeWeights {
+                            cap_phi: &phi_prefix[c * n..(c + 1) * n],
+                            phi,
+                            gamma,
+                        },
+                        &mut jobs,
+                    );
+                }
+                jobs
+            })
+            .collect();
+        scratch.phi_prefix = phi_prefix;
+        for &(_, phi) in uploads {
+            self.advance_frequency(phi);
+        }
+    }
+
+    /// Fills `scratch.phi_prefix` with each client's prefix-Φ snapshot:
+    /// the Φ a sequential merge in the given order would read just before
+    /// that client's turn (row-major, `clients × classes`).
+    fn fill_phi_prefix(&self, uploads: &[(&UpdateTable, &[u64])], scratch: &mut MergeScratch) {
+        let n = self.classes;
         scratch.phi_prefix.clear();
         scratch.phi_prefix.reserve(uploads.len() * n);
         let mut running = 0usize;
@@ -320,30 +423,6 @@ impl GlobalCacheTable {
             }
             running += n;
         }
-        let phi_prefix = std::mem::take(&mut scratch.phi_prefix);
-        for layer in 0..self.layers {
-            for (c, &(u, phi)) in uploads.iter().enumerate() {
-                let Some(g) = u.layer_group(layer as u32) else {
-                    continue;
-                };
-                Self::merge_layer_group(
-                    &mut self.stores,
-                    &mut self.occupancy,
-                    n,
-                    g,
-                    MergeWeights {
-                        cap_phi: &phi_prefix[c * n..(c + 1) * n],
-                        phi,
-                        gamma,
-                    },
-                    scratch,
-                );
-            }
-        }
-        scratch.phi_prefix = phi_prefix;
-        for &(_, phi) in uploads {
-            self.advance_frequency(phi);
-        }
     }
 
     /// Extracts a local cache: the given `layers`, each filled with the
@@ -357,11 +436,11 @@ impl GlobalCacheTable {
             if layer >= self.layers || self.stores[layer].dim() == 0 {
                 continue;
             }
-            let base = layer * self.classes;
+            let occ = &self.occupancy[layer];
             let sel: Vec<usize> = classes
                 .iter()
                 .copied()
-                .filter(|&c| c < self.classes && self.occupancy.get(base + c))
+                .filter(|&c| c < self.classes && occ.get(c))
                 .collect();
             if sel.is_empty() {
                 continue;
@@ -377,23 +456,33 @@ impl GlobalCacheTable {
         LocalCache::from_layers(out)
     }
 
-    /// Fraction of cells populated (diagnostics): one popcount over the
-    /// occupancy bitmap.
+    /// Fraction of cells populated (diagnostics): one popcount per layer
+    /// bitmap.
     pub fn fill_ratio(&self) -> f64 {
-        self.occupancy.count_ones() as f64 / (self.classes * self.layers) as f64
+        let ones: usize = self.occupancy.iter().map(OccupancyBitmap::count_ones).sum();
+        ones as f64 / (self.classes * self.layers) as f64
     }
 }
 
 // Flat-buffer wire shape, the same way `CacheLayer` ships: per-layer
 // `{dim, data}` stores plus the packed occupancy words. The derive shims
-// cannot express it, so the traits are implemented by hand.
+// cannot express it, so the traits are implemented by hand. The wire
+// keeps the original single **layer-major** bitmap (bit `layer · classes
+// + class`) even though the table stores one bitmap per layer — the
+// in-memory split is a sharding detail, not a protocol change.
 impl Serialize for GlobalCacheTable {
     fn to_value(&self) -> serde::Value {
+        let mut flat = OccupancyBitmap::new(self.classes * self.layers);
+        for (layer, occ) in self.occupancy.iter().enumerate() {
+            for class in occ.iter_ones() {
+                flat.set(layer * self.classes + class);
+            }
+        }
         let mut m = serde::Map::new();
         m.insert("classes".into(), Serialize::to_value(&self.classes));
         m.insert("layers".into(), Serialize::to_value(&self.layers));
         m.insert("stores".into(), Serialize::to_value(&self.stores));
-        m.insert("occupancy".into(), Serialize::to_value(&self.occupancy));
+        m.insert("occupancy".into(), Serialize::to_value(&flat));
         m.insert("frequency".into(), Serialize::to_value(&self.frequency));
         serde::Value::Object(m)
     }
@@ -431,18 +520,23 @@ impl Deserialize for GlobalCacheTable {
                 )));
             }
         }
+        // Split the layer-major wire bitmap into the per-layer bitmaps
+        // the table stores, validating as we go.
+        let mut per_layer = vec![OccupancyBitmap::new(classes); layers];
         for bit in occupancy.iter_ones() {
-            if stores[bit / classes].dim() == 0 {
+            let layer = bit / classes;
+            if stores[layer].dim() == 0 {
                 return Err(serde::Error::custom(
                     "GlobalCacheTable: occupied cell in an uninitialized layer".to_string(),
                 ));
             }
+            per_layer[layer].set(bit % classes);
         }
         Ok(Self {
             classes,
             layers,
             stores,
-            occupancy,
+            occupancy: per_layer,
             frequency,
         })
     }
@@ -589,6 +683,51 @@ mod tests {
                         }
                     }
                     (a, b) => panic!("occupancy differs at ({c},{l}): {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_merge_is_bit_identical_to_serial_batched() {
+        let build = || {
+            let mut t = table();
+            t.set(0, 0, vec![1.0, 0.0]);
+            t.set(1, 1, vec![0.0, 1.0]);
+            t.set(3, 2, vec![0.6, 0.8]);
+            t.seed_frequency(&[5, 3, 0, 2]);
+            t
+        };
+        let u1 = upload(&[(0, 0, vec![0.2, 0.9]), (2, 1, vec![0.5, 0.5])]);
+        let phi1: Vec<u64> = vec![4, 0, 7, 0];
+        let u2 = upload(&[(0, 0, vec![-0.7, 0.1]), (3, 2, vec![0.9, -0.1])]);
+        let phi2: Vec<u64> = vec![2, 6, 0, 5];
+        let batch: Vec<(&UpdateTable, &[u64])> =
+            vec![(&u1, phi1.as_slice()), (&u2, phi2.as_slice())];
+
+        let mut scratch = MergeScratch::new();
+        let mut serial = build();
+        serial.merge_batch(&batch, 0.99, &mut scratch);
+
+        for width in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .unwrap();
+            let mut sharded = build();
+            pool.install(|| sharded.merge_batch_sharded(&batch, 0.99, &mut scratch));
+            assert_eq!(serial.frequency(), sharded.frequency(), "width {width}");
+            for c in 0..4 {
+                for l in 0..3 {
+                    match (serial.get(c, l), sharded.get(c, l)) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            for (x, y) in a.iter().zip(b) {
+                                assert_eq!(x.to_bits(), y.to_bits(), "cell ({c},{l}) w={width}");
+                            }
+                        }
+                        (a, b) => panic!("occupancy differs at ({c},{l}): {a:?} vs {b:?}"),
+                    }
                 }
             }
         }

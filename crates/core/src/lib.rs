@@ -53,7 +53,7 @@ pub mod status;
 
 pub use aca::{allocate, AcaInputs, AcaOutput};
 pub use client::{ClientReport, CocaClient};
-pub use config::CocaConfig;
+pub use config::{CocaConfig, MergeMode};
 pub use driver::{
     drive, drive_plan, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MemberPlan, MethodDriver,
     NoMsg,
@@ -62,7 +62,7 @@ pub use engine::{Engine, EngineConfig, EngineReport};
 pub use global::{GlobalCacheTable, MergeScratch};
 pub use lookup::{infer_with_cache, InferenceResult, LookupScratch};
 pub use semantic::{CacheLayer, LocalCache};
-pub use server::CocaServer;
+pub use server::{CocaServer, DuplicateClientUpload};
 pub use spec::{
     JoinEvent, LeaveEvent, LinkChangeEvent, PopularityShift, PopularityShiftEvent, ScenarioEvent,
     ScenarioSpec,

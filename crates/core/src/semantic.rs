@@ -11,7 +11,7 @@
 //! what lets the lookup use the norm-free `dot_unit` kernel.
 
 use coca_math::VectorStore;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One activated cache layer.
 #[derive(Debug, Clone, Serialize)]
@@ -130,9 +130,37 @@ impl CacheLayer {
 }
 
 /// A client's local cache: activated layers in depth order.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct LocalCache {
     layers: Vec<CacheLayer>,
+}
+
+// The derived impl would accept any `Vec<CacheLayer>` verbatim, letting a
+// wire allocation frame smuggle duplicate or unsorted layer points past
+// the [`LocalCache::from_layers`] invariant (which `panic`s — the right
+// response to a programming error, the wrong one to hostile bytes). The
+// wire boundary instead canonicalizes the order and turns duplicates
+// into a decode error.
+impl serde::Deserialize for LocalCache {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(m) = v else {
+            return Err(serde::Error::custom(format!(
+                "expected object for LocalCache, got {}",
+                v.kind()
+            )));
+        };
+        let mut layers: Vec<CacheLayer> = serde::__field(m, "layers")?;
+        layers.sort_by_key(|l| l.point);
+        for w in layers.windows(2) {
+            if w[0].point == w[1].point {
+                return Err(serde::Error::custom(format!(
+                    "LocalCache: duplicate cache layer at point {}",
+                    w[0].point
+                )));
+            }
+        }
+        Ok(Self { layers })
+    }
 }
 
 impl LocalCache {
@@ -274,6 +302,24 @@ mod tests {
         assert_eq!(cache.activated_points(), vec![1, 5]);
         assert!(cache.is_empty());
         assert_eq!(cache.num_layers(), 2);
+    }
+
+    #[test]
+    fn cache_deserialize_sorts_and_rejects_duplicate_points() {
+        // Unsorted wire layers are canonicalized, not trusted.
+        let unsorted = r#"{"layers":[
+            {"point":5,"classes":[],"vectors":{"dim":0,"data":[]}},
+            {"point":1,"classes":[],"vectors":{"dim":0,"data":[]}}]}"#;
+        let cache: LocalCache = serde_json::from_str(unsorted).unwrap();
+        assert_eq!(cache.activated_points(), vec![1, 5]);
+        // A duplicate point is a decode error — `from_layers` panics on
+        // this invariant violation, and hostile bytes must never panic.
+        let dup = r#"{"layers":[
+            {"point":2,"classes":[],"vectors":{"dim":0,"data":[]}},
+            {"point":2,"classes":[],"vectors":{"dim":0,"data":[]}}]}"#;
+        assert!(serde_json::from_str::<LocalCache>(dup).is_err());
+        let not_obj = "[1,2,3]";
+        assert!(serde_json::from_str::<LocalCache>(not_obj).is_err());
     }
 
     #[test]

@@ -11,11 +11,37 @@ use coca_sim::{SeedTree, SimDuration};
 use rand::Rng;
 
 use crate::aca::{allocate, AcaInputs, AcaOutput};
-use crate::config::CocaConfig;
+use crate::collect::UpdateTable;
+use crate::config::{CocaConfig, MergeMode};
 use crate::global::{GlobalCacheTable, MergeScratch};
 use crate::lookup::{infer_with_cache, LookupScratch};
 use crate::proto::{CacheAllocation, CacheRequest, UpdateUpload};
 use crate::semantic::{CacheLayer, LocalCache};
+
+/// Error from [`CocaServer::handle_updates_batch`]: one batch held two
+/// uploads from the same client. A batch is one round's contributions —
+/// a client uploads once per round — and the batched pass weights each
+/// client's Eq. 4 contribution by its prefix Φ, so silently accepting a
+/// duplicate would double-weight that client's φ. Deterministic (the
+/// smallest offending client id is reported) and raised before any state
+/// changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateClientUpload {
+    /// The client id that appears more than once in the batch.
+    pub client_id: u64,
+}
+
+impl std::fmt::Display for DuplicateClientUpload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "duplicate upload for client {} in one batch (one upload per client per round)",
+            self.client_id
+        )
+    }
+}
+
+impl std::error::Error for DuplicateClientUpload {}
 
 /// Samples per class used to seed the global cache from the shared dataset.
 const SEED_SAMPLES_PER_CLASS: usize = 6;
@@ -67,6 +93,11 @@ pub struct CocaServer {
     /// Reusable merge buffers: the per-round merge phase allocates
     /// nothing once these are warm.
     scratch: MergeScratch,
+    /// Uploads queued under [`MergeMode::QueueAndFlush`], in FIFO arrival
+    /// order — exactly the order the per-upload pipeline would have
+    /// merged them, which is what keeps the two modes byte-identical.
+    /// Always empty under [`MergeMode::PerUpload`].
+    pending: Vec<UpdateUpload>,
 }
 
 /// Seeds a global cache table from the shared dataset: averages a few
@@ -185,6 +216,7 @@ impl CocaServer {
             static_alloc: None,
             costs: ServiceCostModel::default(),
             scratch: MergeScratch::new(),
+            pending: Vec::new(),
         }
     }
 
@@ -204,10 +236,13 @@ impl CocaServer {
         &self.global
     }
 
-    /// Handles a cache request: runs ACA (or the static fallback when DCA
-    /// is disabled) and extracts the personalized sub-table. Returns the
-    /// allocation and the server compute charged to the queue.
+    /// Handles a cache request: flushes any pending upload batch (the
+    /// queue-and-flush boundary — allocations must read a fully merged
+    /// table), runs ACA (or the static fallback when DCA is disabled) and
+    /// extracts the personalized sub-table. Returns the allocation and
+    /// the server compute charged to the queue.
     pub fn handle_request(&mut self, req: &CacheRequest) -> (CacheAllocation, SimDuration) {
+        self.flush_pending();
         let decision = if self.cfg.enable_dca {
             allocate(
                 &self.cfg,
@@ -264,8 +299,12 @@ impl CocaServer {
         )
     }
 
-    /// Merges one client upload (global cache updates, Eq. 4/5). When GCU
-    /// is disabled only the frequency vector advances (ACA still needs Φ).
+    /// Merges one client upload **immediately** (global cache updates,
+    /// Eq. 4/5), regardless of the configured merge mode — the per-upload
+    /// primitive. When GCU is disabled only the frequency vector advances
+    /// (ACA still needs Φ). The engine routes uploads through
+    /// [`CocaServer::handle_upload`], which dispatches on
+    /// [`CocaConfig::merge_mode`].
     pub fn handle_update(&mut self, up: &UpdateUpload) -> SimDuration {
         let kb = up.table.wire_bytes() as f64 / 1024.0;
         if self.cfg.enable_gcu {
@@ -281,42 +320,150 @@ impl CocaServer {
         SimDuration::from_millis_f64(self.costs.update_base_ms + self.costs.update_per_kb_ms * kb)
     }
 
-    /// Batched round processing: drains a round's queued uploads in one
-    /// per-layer batched pass over the global table (each layer's store
-    /// streams through cache once for the whole fleet). Uploads are
-    /// ordered by `(client_id, round)` first — the deterministic batching
-    /// contract — and the result is **bit-identical** to calling
-    /// [`CocaServer::handle_update`] per upload in that order
-    /// (property-tested), which is what makes per-layer server sharding
-    /// safe. Returns the summed service time, priced by the same cost
-    /// model as the sequential path.
-    pub fn handle_updates_batch(&mut self, ups: &mut [UpdateUpload]) -> SimDuration {
-        ups.sort_by_key(|u| (u.client_id, u.round));
+    /// The engine's upload entry point: dispatches on the configured
+    /// [`MergeMode`]. Per-upload merges now; queue-and-flush enqueues and
+    /// defers the merge to the next boundary ([`CocaServer::handle_request`],
+    /// [`CocaServer::on_client_leave`], or the run's end). Either way the
+    /// returned service time is the same per-upload cost-model charge,
+    /// billed at the arrival instant — deferral moves the real merge
+    /// work, never a virtual millisecond, which is why the two modes
+    /// produce byte-identical runs.
+    pub fn handle_upload(&mut self, up: UpdateUpload) -> SimDuration {
+        match self.cfg.merge_mode {
+            MergeMode::PerUpload => self.handle_update(&up),
+            MergeMode::QueueAndFlush => {
+                let kb = up.table.wire_bytes() as f64 / 1024.0;
+                self.pending.push(up);
+                SimDuration::from_millis_f64(
+                    self.costs.update_base_ms + self.costs.update_per_kb_ms * kb,
+                )
+            }
+        }
+    }
+
+    /// Number of uploads queued and not yet merged (always 0 under
+    /// [`MergeMode::PerUpload`]).
+    pub fn pending_uploads(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drains the pending upload queue through the batched per-layer
+    /// merge pass, in FIFO arrival order — the order the per-upload
+    /// pipeline would have merged, so the table lands on bit-identical
+    /// state. Costs were already charged at enqueue time; flushing adds
+    /// no virtual service time. No-op when nothing is pending.
+    pub fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // One upload per client per flush window by construction: a CoCa
+        // client's next request (a flush boundary) always lands between
+        // its consecutive uploads. Arrival order would stay correct even
+        // if that ever changed (the batched pass is sequential-equivalent
+        // in the given order), so this is a diagnostic, not a gate.
+        debug_assert!(
+            {
+                let mut ids: Vec<u64> = self.pending.iter().map(|u| u.client_id).collect();
+                ids.sort_unstable();
+                ids.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate client in one flush window"
+        );
+        let pending = std::mem::take(&mut self.pending);
+        self.merge_upload_batch(&pending);
+        // Hand the drained buffer back so steady-state flushing reuses
+        // its allocation.
+        self.pending = pending;
+        self.pending.clear();
+    }
+
+    /// Cell count below which a flush stays on the serial batched pass
+    /// even with `parallel_merge` on: the shim's sharded pass spawns
+    /// scoped workers per invocation, so a per-request trickle (one or
+    /// two small uploads between consecutive allocation boundaries)
+    /// would pay tens of microseconds of spawn/join around a merge that
+    /// takes microseconds serially. Whole-round fleet batches clear this
+    /// easily. Output is bit-identical on either side of the threshold.
+    const SHARD_MIN_CELLS: usize = 256;
+
+    /// The shared batched-merge core: merges `ups` in the given order via
+    /// one per-layer pass — sharded across layers with rayon when
+    /// `parallel_merge` is on and the batch is big enough to amortize
+    /// the shard spawn ([`Self::SHARD_MIN_CELLS`]), serial otherwise.
+    /// Both are bit-identical to sequential per-upload merging in the
+    /// same order.
+    fn merge_upload_batch(&mut self, ups: &[UpdateUpload]) {
+        if self.cfg.enable_gcu {
+            let batch: Vec<(&UpdateTable, &[u64])> = ups
+                .iter()
+                .map(|u| (&u.table, u.frequency.as_slice()))
+                .collect();
+            let cells: usize = ups.iter().map(|u| u.table.len()).sum();
+            if self.cfg.parallel_merge && ups.len() >= 2 && cells >= Self::SHARD_MIN_CELLS {
+                self.global
+                    .merge_batch_sharded(&batch, self.cfg.gamma_global, &mut self.scratch);
+            } else {
+                self.global
+                    .merge_batch(&batch, self.cfg.gamma_global, &mut self.scratch);
+            }
+        } else {
+            for up in ups {
+                self.global.advance_frequency(&up.frequency);
+            }
+        }
+    }
+
+    /// Batched round processing, the offline/bench API: flushes any
+    /// queued uploads first (they arrived earlier — merging the batch
+    /// ahead of them would invert the arrival order the Eq. 4 prefix-Φ
+    /// weights reproduce), canonicalizes the batch to client-id order,
+    /// rejects duplicate client ids, then drains it through the same
+    /// per-layer batched pass the queue-and-flush pipeline uses.
+    ///
+    /// The duplicate check exists because a batch is *defined* as one
+    /// round's contributions — one upload per client — so a repeated id
+    /// can only be an accidental duplication (a retry, a double-queue),
+    /// and merging it silently would apply that client's φ twice with
+    /// order-dependent results. The error fires **before** any state
+    /// changes. Callers replaying a multi-round trace should feed rounds
+    /// through [`CocaServer::handle_upload`] /
+    /// [`CocaServer::handle_update`] instead, one round at a time.
+    ///
+    /// Bit-identical to calling [`CocaServer::handle_update`] per upload
+    /// in the canonical order (property-tested), which is what makes
+    /// per-layer server sharding safe. Returns the summed service time,
+    /// priced by the same cost model as the sequential path.
+    ///
+    /// The batch is sorted in place even when an error is returned.
+    pub fn handle_updates_batch(
+        &mut self,
+        ups: &mut [UpdateUpload],
+    ) -> Result<SimDuration, DuplicateClientUpload> {
+        self.flush_pending();
+        ups.sort_by_key(|u| u.client_id);
+        if let Some(w) = ups.windows(2).find(|w| w[0].client_id == w[1].client_id) {
+            return Err(DuplicateClientUpload {
+                client_id: w[0].client_id,
+            });
+        }
         let mut total_kb = 0.0f64;
         for up in ups.iter() {
             total_kb += up.table.wire_bytes() as f64 / 1024.0;
         }
-        if self.cfg.enable_gcu {
-            let batch: Vec<(&crate::collect::UpdateTable, &[u64])> = ups
-                .iter()
-                .map(|u| (&u.table, u.frequency.as_slice()))
-                .collect();
-            self.global
-                .merge_batch(&batch, self.cfg.gamma_global, &mut self.scratch);
-        } else {
-            for up in ups.iter() {
-                self.global.advance_frequency(&up.frequency);
-            }
-        }
-        SimDuration::from_millis_f64(
+        self.merge_upload_batch(ups);
+        Ok(SimDuration::from_millis_f64(
             self.costs.update_base_ms * ups.len() as f64 + self.costs.update_per_kb_ms * total_kb,
-        )
+        ))
     }
 
-    /// Fires when a client departs the fleet: applies the configured
+    /// Fires when a client departs the fleet: flushes any pending upload
+    /// batch (the leave is a merge boundary — the decay below must see
+    /// every upload that already reached the server, exactly as the
+    /// per-upload pipeline would), then applies the configured
     /// exponential Φ decay `Φ ← ⌈β·Φ⌉` so the leaver's frequency mass
     /// ages out of ACA's hot-spot scores (a no-op at the default β = 1).
     pub fn on_client_leave(&mut self) {
+        self.flush_pending();
         if self.cfg.leave_phi_decay < 1.0 {
             self.global.decay_frequency(self.cfg.leave_phi_decay);
         }
@@ -428,6 +575,116 @@ mod tests {
             "entry did not move"
         );
         assert!(server.global().frequency()[3] > 100_000);
+    }
+
+    fn upload_for(rt: &ModelRuntime, client_id: u64, class: usize, layer: usize) -> UpdateUpload {
+        let mut table = crate::collect::UpdateTable::new();
+        let dim = rt.feature_dim(layer);
+        let mut v = vec![0.0f32; dim];
+        v[(client_id as usize + 1) % dim] = 1.0;
+        table.absorb(class, layer, &v, 0.0);
+        let mut phi = vec![0u64; rt.num_classes()];
+        phi[class] = 50 + client_id;
+        UpdateUpload {
+            client_id,
+            round: 0,
+            table,
+            frequency: phi,
+        }
+    }
+
+    #[test]
+    fn batch_with_duplicate_client_is_rejected_before_merging() {
+        let (rt, mut server) = server();
+        let before = server.global().get(3, 10).unwrap().to_vec();
+        let freq_before = server.global().frequency().to_vec();
+        let mut ups = vec![
+            upload_for(&rt, 7, 3, 10),
+            upload_for(&rt, 2, 4, 11),
+            upload_for(&rt, 7, 5, 12),
+        ];
+        let err = server.handle_updates_batch(&mut ups).unwrap_err();
+        assert_eq!(err, DuplicateClientUpload { client_id: 7 });
+        assert!(!err.to_string().is_empty());
+        // The error fired before any merge: table and Φ untouched —
+        // including client 2's perfectly valid upload.
+        assert_eq!(server.global().get(3, 10).unwrap(), before.as_slice());
+        assert_eq!(server.global().frequency(), freq_before.as_slice());
+        // Deduplicated, the same batch merges fine.
+        let mut ok = vec![upload_for(&rt, 7, 3, 10), upload_for(&rt, 2, 4, 11)];
+        let service = server.handle_updates_batch(&mut ok).unwrap();
+        assert!(service.as_millis_f64() > 0.0);
+        assert_ne!(server.global().frequency(), freq_before.as_slice());
+    }
+
+    #[test]
+    fn queue_and_flush_defers_merges_to_the_request_boundary() {
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(62);
+        let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let cfg =
+            CocaConfig::for_model(ModelId::ResNet101).with_merge_mode(MergeMode::QueueAndFlush);
+        let mut server = CocaServer::new(&rt, cfg, &seeds);
+        let freq_before = server.global().frequency().to_vec();
+
+        let up = upload_for(&rt, 0, 3, 10);
+        let deferred_cost = server.handle_upload(up.clone());
+        assert_eq!(server.pending_uploads(), 1);
+        // The table has not moved yet...
+        assert_eq!(server.global().frequency(), freq_before.as_slice());
+        // ...and the charge equals the per-upload price.
+        let mut per_upload =
+            CocaServer::new(&rt, CocaConfig::for_model(ModelId::ResNet101), &seeds);
+        assert_eq!(per_upload.handle_update(&up), deferred_cost);
+
+        // A request flushes before allocating.
+        let req = CacheRequest {
+            client_id: 1,
+            round: 0,
+            timestamps: vec![0; rt.num_classes()],
+            hit_ratio: server.base_hit_profile().to_vec(),
+            budget_bytes: 48 * 1024,
+        };
+        let _ = server.handle_request(&req);
+        assert_eq!(server.pending_uploads(), 0);
+        assert_eq!(
+            server.global().frequency(),
+            per_upload.global().frequency(),
+            "flush lands the same Eq. 5 state as the per-upload pipeline"
+        );
+        for (a, b) in server
+            .global()
+            .get(3, 10)
+            .unwrap()
+            .iter()
+            .zip(per_upload.global().get(3, 10).unwrap())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn leave_boundary_flushes_before_phi_decay() {
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(63);
+        let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let mut cfg =
+            CocaConfig::for_model(ModelId::ResNet101).with_merge_mode(MergeMode::QueueAndFlush);
+        cfg.leave_phi_decay = 0.5;
+        let mut qaf = CocaServer::new(&rt, cfg, &seeds);
+        let mut per_upload = {
+            let mut c = cfg;
+            c.merge_mode = MergeMode::PerUpload;
+            CocaServer::new(&rt, c, &seeds)
+        };
+        let up = upload_for(&rt, 0, 3, 10);
+        qaf.handle_upload(up.clone());
+        per_upload.handle_update(&up);
+        // Decay must apply to the post-merge Φ in both pipelines.
+        qaf.on_client_leave();
+        per_upload.on_client_leave();
+        assert_eq!(qaf.pending_uploads(), 0);
+        assert_eq!(qaf.global().frequency(), per_upload.global().frequency());
     }
 
     #[test]

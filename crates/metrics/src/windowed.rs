@@ -51,9 +51,16 @@ impl WindowStats {
     }
 }
 
-/// Per-interval summary over virtual time: window `i` covers
-/// `[i·window_ms, (i+1)·window_ms)`. Frames are bucketed by their
-/// completion instant.
+/// Per-interval summary over virtual time: the run's elapsed time tiles
+/// into half-open windows, window `i` covering `[i·window_ms,
+/// (i+1)·window_ms)`. Frames are bucketed by their completion instant;
+/// a frame completing **exactly on a window boundary** (`at_ms == n ·
+/// window_ms`) counts toward the window it executed in — the one the
+/// boundary instant *terminates* (`n − 1`), not the one it opens. That
+/// pins the convention so a run whose duration is an exact multiple of
+/// the width spans exactly `duration / window_ms` windows instead of
+/// growing a spurious trailing window covering time after the run ended.
+/// (Instant 0 has no preceding window and lands in window 0.)
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WindowedSummary {
     window_ms: f64,
@@ -85,7 +92,14 @@ impl WindowedSummary {
 
     /// Records one completed frame at virtual instant `at_ms`.
     pub fn record(&mut self, at_ms: f64, latency_ms: f64, correct: bool, hit: bool) {
-        let idx = ((at_ms.max(0.0) / self.window_ms) as usize).min(Self::MAX_WINDOWS - 1);
+        // `⌈t/w⌉ − 1` attributes a boundary-exact completion to the
+        // window it terminates (see the type docs); for interior instants
+        // it equals the plain `⌊t/w⌋` bucket. The old `⌊t/w⌋` assignment
+        // pushed `t == n·w` into window `n`, so a run of duration exactly
+        // `n·w` spanned `n + 1` windows.
+        let idx = ((at_ms.max(0.0) / self.window_ms).ceil() as usize)
+            .saturating_sub(1)
+            .min(Self::MAX_WINDOWS - 1);
         if idx >= self.windows.len() {
             self.windows.resize(idx + 1, WindowStats::default());
         }
@@ -153,7 +167,7 @@ mod tests {
         let mut s = WindowedSummary::new(100.0);
         s.record(10.0, 5.0, true, true);
         s.record(99.9, 15.0, false, false);
-        s.record(100.0, 20.0, true, true);
+        s.record(150.0, 20.0, true, true);
         s.record(350.0, 30.0, true, false);
         assert_eq!(s.len(), 4);
         let w = s.windows();
@@ -164,6 +178,31 @@ mod tests {
         assert!((w[0].mean_latency_ms() - 10.0).abs() < 1e-9);
         assert!((w[0].hit_ratio() - 0.5).abs() < 1e-9);
         assert!((w[0].accuracy_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_exact_completions_terminate_their_window() {
+        // A run whose every frame completes exactly on a boundary — the
+        // degenerate case the ⌈t/w⌉−1 assignment exists for. Duration
+        // 300 ms at 100 ms windows must span exactly 3 windows, not 4.
+        let mut s = WindowedSummary::new(100.0);
+        s.record(100.0, 1.0, true, true);
+        s.record(200.0, 1.0, true, false);
+        s.record(300.0, 1.0, false, true);
+        assert_eq!(s.len(), 3, "no spurious trailing window");
+        for w in s.windows() {
+            assert_eq!(w.frames, 1);
+        }
+        // Instant 0 has no preceding window: it lands in window 0.
+        let mut z = WindowedSummary::new(100.0);
+        z.record(0.0, 1.0, true, true);
+        assert_eq!(z.len(), 1);
+        assert_eq!(z.windows()[0].frames, 1);
+        // Interior instants keep the plain ⌊t/w⌋ bucket.
+        let mut i = WindowedSummary::new(100.0);
+        i.record(100.0 + 1e-9, 1.0, true, true);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.windows()[1].frames, 1);
     }
 
     #[test]

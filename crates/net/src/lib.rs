@@ -25,4 +25,4 @@ pub mod wire;
 pub use link::{LinkChangePoint, LinkModel, LinkSchedule, TESTBED_BOOT_WINDOW_MS};
 pub use queue::ServerQueue;
 pub use transport::{InMemoryTransport, TcpTransport, Transport};
-pub use wire::{decode_frame, encode_frame, FrameError, WireSize};
+pub use wire::{decode_frame, decode_message, encode_frame, FrameError, WireSize};

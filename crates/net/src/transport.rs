@@ -13,7 +13,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
-use crate::wire::{decode_frame, encode_frame, FrameError};
+use crate::wire::{decode_frame, decode_message, encode_frame, FrameError};
 
 /// A bidirectional, message-oriented channel.
 pub trait Transport {
@@ -62,9 +62,10 @@ impl Transport for InMemoryTransport {
     fn recv<T: DeserializeOwned>(&mut self, timeout: Duration) -> io::Result<Option<T>> {
         match self.rx.recv_timeout(timeout) {
             Ok(bytes) => {
-                let (msg, _) = decode_frame(&bytes)
-                    .map_err(frame_err)?
-                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "short frame"))?;
+                // Message-oriented channel: each receive is exactly one
+                // frame, so short or length-inconsistent buffers are
+                // corruption, not "wait for more".
+                let msg = decode_message(&bytes).map_err(frame_err)?;
                 Ok(Some(msg))
             }
             Err(RecvTimeoutError::Timeout) => Ok(None),

@@ -45,8 +45,16 @@ impl<T: WireSize> WireSize for Option<T> {
 pub enum FrameError {
     /// Frame exceeds the hard cap (corrupt stream or protocol mismatch).
     TooLarge(usize),
-    /// Truncated frame.
+    /// Buffer ends mid-frame where a complete message was required.
     Truncated,
+    /// The length prefix disagrees with the buffer: a message-oriented
+    /// frame was followed by trailing bytes.
+    LengthMismatch {
+        /// Bytes the frame claims (prefix + payload).
+        frame_bytes: usize,
+        /// Bytes actually present.
+        buffer_bytes: usize,
+    },
     /// Payload failed to deserialize.
     Codec(String),
 }
@@ -56,6 +64,14 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
             FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::LengthMismatch {
+                frame_bytes,
+                buffer_bytes,
+            } => write!(
+                f,
+                "length-inconsistent frame: prefix claims {frame_bytes} bytes, \
+                 buffer holds {buffer_bytes}"
+            ),
             FrameError::Codec(e) => write!(f, "codec error: {e}"),
         }
     }
@@ -95,6 +111,25 @@ pub fn decode_frame<T: DeserializeOwned>(mut buf: &[u8]) -> Result<Option<(T, us
     }
     let msg = serde_json::from_slice(&buf[..len]).map_err(|e| FrameError::Codec(e.to_string()))?;
     Ok(Some((msg, 4 + len)))
+}
+
+/// Decodes exactly one complete frame occupying the whole buffer — the
+/// message-oriented boundary (datagram-style transports that deliver one
+/// frame per receive). Unlike the stream-oriented [`decode_frame`], for
+/// which an incomplete buffer is a normal `Ok(None)` ("wait for more
+/// bytes"), a short or length-inconsistent buffer here can never be
+/// completed and is an error: [`FrameError::Truncated`] when the buffer
+/// ends mid-frame, [`FrameError::LengthMismatch`] when bytes trail the
+/// frame the length prefix delimits. Never panics, whatever the input.
+pub fn decode_message<T: DeserializeOwned>(buf: &[u8]) -> Result<T, FrameError> {
+    match decode_frame::<T>(buf)? {
+        None => Err(FrameError::Truncated),
+        Some((msg, used)) if used == buf.len() => Ok(msg),
+        Some((_, used)) => Err(FrameError::LengthMismatch {
+            frame_bytes: used,
+            buffer_bytes: buf.len(),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +182,37 @@ mod tests {
         let (m2, used2): (Demo, usize) = decode_frame(&stream[used..]).unwrap().unwrap();
         assert_eq!(m2, b);
         assert_eq!(used + used2, stream.len());
+    }
+
+    #[test]
+    fn message_decode_rejects_truncation_and_trailing_bytes() {
+        let msg = Demo {
+            id: 3,
+            xs: vec![1.0, 2.0],
+        };
+        let bytes = encode_frame(&msg).unwrap();
+        let back: Demo = decode_message(&bytes).unwrap();
+        assert_eq!(back, msg);
+        // Every proper prefix is Truncated — including the empty buffer
+        // and a cut inside the length prefix.
+        for cut in 0..bytes.len() {
+            let r: Result<Demo, _> = decode_message(&bytes[..cut]);
+            assert!(
+                matches!(r, Err(FrameError::Truncated)),
+                "cut at {cut} must be truncated"
+            );
+        }
+        // Trailing bytes are a length inconsistency, not silently dropped.
+        let mut long = bytes.to_vec();
+        long.push(0x7f);
+        let r: Result<Demo, _> = decode_message(&long);
+        assert!(matches!(
+            r,
+            Err(FrameError::LengthMismatch {
+                frame_bytes,
+                buffer_bytes,
+            }) if frame_bytes == bytes.len() && buffer_bytes == bytes.len() + 1
+        ));
     }
 
     #[test]

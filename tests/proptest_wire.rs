@@ -1,0 +1,152 @@
+//! Wire-hardening property tests: **random byte mutations of valid
+//! protocol frames never panic the decoder** — they decode, or they
+//! error through `Result`, nothing else. Covers every frame the protocol
+//! ships (request, allocation, upload) through both the stream-oriented
+//! `decode_frame` and the message-oriented `decode_message` boundary,
+//! plus truncations (every prefix of a valid frame) and length-prefix
+//! corruption — the classic panic food: negative-looking lengths,
+//! lengths past the buffer, payloads whose deserialized values violate
+//! type invariants (non-unit rows, ragged stores, duplicate cells,
+//! duplicate layer points).
+//!
+//! The vendored proptest shim has no byte-vector strategies, so
+//! mutations derive from seeded RNGs — every case replays from its
+//! scalar parameters.
+
+use coca::core::collect::UpdateTable;
+use coca::core::proto::{CacheAllocation, CacheRequest, UpdateUpload};
+use coca::core::CocaServer;
+use coca::net::{decode_frame, decode_message, encode_frame};
+use coca::prelude::*;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A realistic allocation frame: an actual extracted sub-table from a
+/// seeded server (unit-norm rows, sorted layers — everything the
+/// decoder's validators check).
+fn sample_allocation() -> CacheAllocation {
+    let sc = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(10));
+    let scenario = Scenario::build(sc);
+    let server = CocaServer::new(
+        &scenario.rt,
+        CocaConfig::for_model(ModelId::ResNet101),
+        scenario.seeds(),
+    );
+    CacheAllocation {
+        round: 3,
+        cache: server.cache_for(&[1, 5, 9], &[0, 2, 4, 7]),
+    }
+}
+
+fn sample_request() -> CacheRequest {
+    CacheRequest {
+        client_id: 11,
+        round: 2,
+        timestamps: vec![4; 10],
+        hit_ratio: vec![0.25; 34],
+        budget_bytes: 96 * 1024,
+    }
+}
+
+fn sample_upload() -> UpdateUpload {
+    let mut table = UpdateTable::new();
+    table.absorb(2, 5, &[0.6, 0.8], 0.95);
+    table.absorb(7, 5, &[1.0, 0.0], 0.95);
+    table.absorb(1, 9, &[0.0, -1.0], 0.95);
+    UpdateUpload {
+        client_id: 4,
+        round: 1,
+        table,
+        frequency: vec![3; 10],
+    }
+}
+
+/// Decodes `bytes` as every protocol frame type through both decode
+/// boundaries. Success and error are both fine; a panic fails the test.
+fn decode_all_ways(bytes: &[u8]) {
+    let _ = decode_frame::<CacheRequest>(bytes);
+    let _ = decode_frame::<CacheAllocation>(bytes);
+    let _ = decode_frame::<UpdateUpload>(bytes);
+    let _ = decode_message::<CacheRequest>(bytes);
+    let _ = decode_message::<CacheAllocation>(bytes);
+    let _ = decode_message::<UpdateUpload>(bytes);
+}
+
+/// Encoded once — building the allocation's server is expensive and the
+/// frames are immutable inputs; every case copies before corrupting.
+fn valid_frames() -> &'static [Vec<u8>] {
+    use std::sync::OnceLock;
+    static FRAMES: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    FRAMES.get_or_init(|| {
+        vec![
+            encode_frame(&sample_request()).unwrap().to_vec(),
+            encode_frame(&sample_allocation()).unwrap().to_vec(),
+            encode_frame(&sample_upload()).unwrap().to_vec(),
+        ]
+    })
+}
+
+proptest! {
+    /// Random in-place byte corruption of valid frames never panics any
+    /// decode path — including corruption of the 4-byte length prefix.
+    #[test]
+    fn mutated_frames_never_panic(seed in 0u64..3000, mutations in 1usize..24) {
+        let mut rng = SeedTree::new(seed).rng_for("mutate");
+        for frame in valid_frames() {
+            let mut bytes = frame.clone();
+            for _ in 0..mutations {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] = rng.gen();
+            }
+            decode_all_ways(&bytes);
+        }
+    }
+
+    /// Every truncation of a valid frame decodes without panicking: the
+    /// stream boundary reports "incomplete", the message boundary errors.
+    #[test]
+    fn truncated_frames_never_panic(seed in 0u64..500) {
+        let mut rng = SeedTree::new(seed).rng_for("cut");
+        for frame in valid_frames() {
+            let cut = rng.gen_range(0..frame.len());
+            let head = &frame[..cut];
+            decode_all_ways(head);
+            prop_assert!(decode_message::<CacheRequest>(head).is_err());
+        }
+    }
+
+    /// Splicing random trailing bytes after a valid frame: the stream
+    /// boundary still decodes the frame, the message boundary reports the
+    /// length inconsistency — and neither panics.
+    #[test]
+    fn length_inconsistent_buffers_never_panic(seed in 0u64..500, extra in 1usize..64) {
+        let mut rng = SeedTree::new(seed).rng_for("pad");
+        for frame in valid_frames() {
+            let mut bytes = frame.clone();
+            for _ in 0..extra {
+                bytes.push(rng.gen());
+            }
+            decode_all_ways(&bytes);
+            prop_assert!(decode_message::<UpdateUpload>(&bytes).is_err());
+        }
+    }
+}
+
+/// The unmutated frames round-trip — the mutation tests above would be
+/// vacuous against frames that never decoded in the first place.
+#[test]
+fn valid_frames_round_trip() {
+    let req_bytes = encode_frame(&sample_request()).unwrap();
+    let req: CacheRequest = decode_message(&req_bytes).unwrap();
+    assert_eq!(req.client_id, 11);
+    assert_eq!(req.hit_ratio.len(), 34);
+
+    let alloc_bytes = encode_frame(&sample_allocation()).unwrap();
+    let alloc: CacheAllocation = decode_message(&alloc_bytes).unwrap();
+    assert_eq!(alloc.round, 3);
+    assert!(!alloc.cache.is_empty());
+
+    let up_bytes = encode_frame(&sample_upload()).unwrap();
+    let up: UpdateUpload = decode_message(&up_bytes).unwrap();
+    assert_eq!(up.table.len(), 3);
+}

@@ -1,29 +1,136 @@
 //! Offline shim for the [`rayon`](https://docs.rs/rayon) API surface this
-//! workspace uses: `vec.into_par_iter().map(f).collect::<Vec<_>>()`.
+//! workspace uses: `vec.into_par_iter().map(f).collect::<Vec<_>>()` plus
+//! the [`ThreadPoolBuilder`] → [`ThreadPool::install`] width control.
 //!
 //! Work is distributed over `std::thread::scope` workers pulling indices
 //! from an atomic counter; results land at their input index, so `collect`
 //! is **order-preserving** and therefore bit-identical to a serial map —
-//! the property the bench harness' sweep runner relies on.
+//! the property the bench harness' sweep runner and the server's
+//! layer-sharded merge rely on.
+//!
+//! Worker-count resolution mirrors upstream rayon: an explicit
+//! [`ThreadPool::install`] scope wins, then the `RAYON_NUM_THREADS`
+//! environment variable, then the machine's available parallelism. A
+//! width of 1 runs inline on the calling thread (no spawn).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads used for a batch of `n` items.
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] for the
+    /// dynamic extent of the installed closure (calling thread only —
+    /// the shim's pools are scoped, not global).
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads used for a batch of `n` items: the installed
+/// pool width if inside [`ThreadPool::install`], else `RAYON_NUM_THREADS`
+/// (upstream rayon's knob), else the available parallelism.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n;
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Error building a [`ThreadPool`] (the shim's build cannot actually
+/// fail; the type exists to mirror the upstream signature).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`: only the `num_threads`
+/// knob is honored.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine-derived) width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the pool width; 0 means "use the default" (upstream
+    /// semantics).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool (infallible in the shim).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A width-limited scope for parallel iterators. The shim spawns scoped
+/// workers per batch rather than keeping threads alive, so a "pool" is
+/// just the width that [`ThreadPool::install`] applies to batches started
+/// inside it.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's width.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with this pool's width governing every parallel batch
+    /// started (from the calling thread) inside it. Nested installs
+    /// shadow like dynamic scoping; the prior width is restored on exit,
+    /// panic included.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.threads)));
+        let _restore = Restore(prev);
+        f()
+    }
 }
 
 /// Applies `f` to every item on a pool of scoped threads, preserving input
 /// order in the output.
 fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
     let n = items.len();
-    if n <= 1 {
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        // Single-width pools (and trivial batches) run inline: no spawn
+        // overhead, and trivially identical to the multi-thread result
+        // because collect is order-preserving either way.
         return items.into_iter().map(f).collect();
     }
-    let workers = current_num_threads().min(n);
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -120,6 +227,53 @@ mod tests {
         assert!(empty.is_empty());
         let one: Vec<u32> = vec![9].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn installed_pool_width_governs_and_restores() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let outside = super::current_num_threads();
+        let (inside, nested) = pool.install(|| {
+            let inside = super::current_num_threads();
+            let one = super::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap();
+            let nested = one.install(super::current_num_threads);
+            assert_eq!(super::current_num_threads(), 2, "nested install restores");
+            (inside, nested)
+        });
+        assert_eq!(inside, 2);
+        assert_eq!(nested, 1);
+        assert_eq!(super::current_num_threads(), outside, "install restores");
+    }
+
+    #[test]
+    fn pool_widths_are_result_identical() {
+        let xs: Vec<u64> = (0..500).collect();
+        let serial: Vec<u64> = xs.iter().map(|x| x * 3 + 7).collect();
+        for width in [1usize, 2, 8] {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .unwrap();
+            let par: Vec<u64> =
+                pool.install(|| xs.clone().into_par_iter().map(|x| x * 3 + 7).collect());
+            assert_eq!(par, serial, "width {width}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build()
+            .unwrap();
+        assert!(pool.current_num_threads() >= 1);
     }
 
     #[test]
