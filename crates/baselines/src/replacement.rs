@@ -153,7 +153,6 @@ struct ReplacementClient {
     rng: SmallRng,
     cache: LocalCache,
     view: ClientFeatureView,
-    scratch: coca_core::LookupScratch,
 }
 
 /// The replacement-policy method driver.
@@ -164,6 +163,8 @@ pub struct ReplacementDriver<'s> {
     table: GlobalCacheTable,
     layers: Vec<usize>,
     clients: Vec<ReplacementClient>,
+    /// Pooled lookup buffer shared by all clients (frames are sequential).
+    scratch: coca_core::LookupScratch,
 }
 
 impl<'s> ReplacementDriver<'s> {
@@ -199,7 +200,6 @@ impl<'s> ReplacementDriver<'s> {
                         .rng(),
                     cache,
                     view: ClientFeatureView::new(),
-                    scratch: coca_core::LookupScratch::new(),
                 }
             })
             .collect();
@@ -210,6 +210,7 @@ impl<'s> ReplacementDriver<'s> {
             table,
             layers,
             clients,
+            scratch: coca_core::LookupScratch::new(),
         }
     }
 }
@@ -234,7 +235,7 @@ impl MethodDriver for ReplacementDriver<'_> {
             &client.cache,
             &self.lookup_cfg,
             &mut client.view,
-            &mut client.scratch,
+            &mut self.scratch,
         );
         match res.hit_point {
             Some(_) => client.managed.touch(res.predicted, self.policy),

@@ -94,7 +94,6 @@ struct SmtmClient {
     update: UpdateTable,
     cache: LocalCache,
     view: ClientFeatureView,
-    scratch: coca_core::LookupScratch,
 }
 
 impl SmtmClient {
@@ -161,6 +160,8 @@ pub struct SmtmDriver<'s> {
     /// CocaConfig carrying SMTM's thresholds.
     lookup_cfg: CocaConfig,
     clients: Vec<SmtmClient>,
+    /// Pooled lookup buffer shared by all clients (frames are sequential).
+    scratch: coca_core::LookupScratch,
 }
 
 impl<'s> SmtmDriver<'s> {
@@ -181,7 +182,6 @@ impl<'s> SmtmDriver<'s> {
                     update: UpdateTable::new(),
                     cache: LocalCache::empty(),
                     view: ClientFeatureView::new(),
-                    scratch: coca_core::LookupScratch::new(),
                 };
                 c.refresh_cache(&cfg);
                 c
@@ -192,6 +192,7 @@ impl<'s> SmtmDriver<'s> {
             cfg,
             lookup_cfg,
             clients,
+            scratch: coca_core::LookupScratch::new(),
         }
     }
 }
@@ -218,7 +219,7 @@ impl MethodDriver for SmtmDriver<'_> {
             &client.cache,
             &self.lookup_cfg,
             &mut client.view,
-            &mut client.scratch,
+            &mut self.scratch,
         );
         client.status.observe(res.predicted);
         client.total_freq[res.predicted] += 1;

@@ -24,7 +24,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use coca_core::collect::UpdateTable;
 use coca_core::driver::{
-    drive, frame_digest, DriveConfig, FrameOutcome, FrameStep, MethodDriver, NoMsg,
+    drive, drive_plan, frame_digest, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MethodDriver,
+    MetricsConfig, NoMsg,
 };
 use coca_core::engine::{Scenario, ScenarioConfig};
 use coca_core::server::seed_global_table;
@@ -32,7 +33,7 @@ use coca_core::{aca, infer_with_cache, CocaConfig, LookupScratch};
 use coca_data::{DatasetSpec, Frame};
 use coca_math::{cosine, random_unit, ScoreScratch, VectorStore};
 use coca_model::{ClientFeatureView, ModelId};
-use coca_net::{decode_frame, encode_frame};
+use coca_net::{decode_frame, encode_frame, WireSize};
 use coca_sim::{SeedTree, SimDuration};
 use rand::Rng;
 
@@ -622,10 +623,11 @@ fn bench_frame_throughput(c: &mut Criterion) {
     let classes: Vec<usize> = (0..50).collect();
     client.install_cache(server.cache_for(&layers, &classes));
     let mut stream = scenario.stream(0);
+    let mut scratch = LookupScratch::new();
     c.bench_function("client_frame_end_to_end", |b| {
         b.iter(|| {
             let f = stream.next_frame();
-            client.process_frame(rt, &f)
+            client.process_frame(rt, &f, &mut scratch)
         })
     });
 }
@@ -718,21 +720,125 @@ fn bench_engine_overhead(c: &mut Criterion) {
         .and_then(|v| v.as_object()?.get("per_frame_ns")?.as_f64());
     enforce_no_regression("engine_overhead_per_frame", per_frame_ns, committed_total);
 
+    // Fleet-scale: the full protocol cadence (request → deliver → frames
+    // → upload) at 2000 members through `drive_plan` with the fleet
+    // metrics mode (one aggregate summary + the mergeable histogram).
+    // This is the timer wheel's load profile — thousands of pending boot
+    // and delivery events — where a heap scheduler's log(n) pops show up.
+    let fleet_clients = 2000usize;
+    let fleet_rounds = 2usize;
+    let fleet_frames = 10usize;
+    let mut fsc = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(10));
+    fsc.seed = 9005;
+    fsc.num_clients = fleet_clients;
+    let fleet_scenario = Scenario::build(fsc);
+    let mut fleet_plan =
+        DrivePlan::from_config(&DriveConfig::new(fleet_rounds, fleet_frames), fleet_clients);
+    fleet_plan.metrics = MetricsConfig {
+        per_client: false,
+        per_client_windowed: false,
+        latency_histogram: true,
+    };
+    let fleet_events = (fleet_clients * fleet_rounds * (fleet_frames + 3)) as u64;
+    let warm = drive_plan(&fleet_scenario, &mut FleetNullDriver, &fleet_plan);
+    assert_eq!(
+        warm.frames,
+        (fleet_clients * fleet_rounds * fleet_frames) as u64
+    );
+    let fleet_per_event_ns =
+        measure_ns_min3(|| drive_plan(&fleet_scenario, &mut FleetNullDriver, &fleet_plan).frames)
+            / fleet_events as f64;
+    println!(
+        "bench {:<40} {fleet_per_event_ns:>10.1} ns/event ({fleet_clients} members, \
+         {fleet_events} events per run)",
+        "engine_fleet_per_event"
+    );
+    let committed_fleet = read_baseline("BENCH_engine.json").as_ref().and_then(|v| {
+        v.as_object()?
+            .get("fleet")?
+            .as_object()?
+            .get("per_event_ns")?
+            .as_f64()
+    });
+    enforce_no_regression(
+        "engine_fleet_per_event",
+        fleet_per_event_ns,
+        committed_fleet,
+    );
+
     // Refresh the committed baseline at the repo root.
     let json = format!(
         "{{\n  \"bench\": \"engine_drive_null\",\n  \"description\": \"drive() event-loop \
          overhead per frame with a degenerate driver, split into stream generation, digest \
-         folding and scheduling (events + recorders, by subtraction)\",\n  \
+         folding and scheduling (events + recorders, by subtraction); the fleet section is \
+         the same degenerate protocol at 2000 members through drive_plan with fleet \
+         metrics (aggregate summary + histogram), in ns per event (frames + scheduled \
+         request/deliver/upload events)\",\n  \
          \"clients\": 4,\n  \"rounds\": 2,\n  \"frames_per_round\": 250,\n  \
          \"per_frame_ns\": {per_frame_ns:.1},\n  \"components\": {{\n    \
          \"stream_gen_ns\": {stream_gen_ns:.1},\n    \"digest_ns\": {digest_ns:.1},\n    \
-         \"scheduling_ns\": {scheduling_ns:.1}\n  }},\n  \
+         \"scheduling_ns\": {scheduling_ns:.1}\n  }},\n  \"fleet\": {{\n    \
+         \"clients\": {fleet_clients},\n    \"rounds\": {fleet_rounds},\n    \
+         \"frames_per_round\": {fleet_frames},\n    \
+         \"per_event_ns\": {fleet_per_event_ns:.1}\n  }},\n  \
          \"regenerate\": \"cargo bench -p coca-bench\"\n}}\n"
     );
     let path = baseline_path("BENCH_engine.json");
     match std::fs::write(&path, json) {
         Ok(()) => println!("[baseline written to {}]", path.display()),
         Err(e) => eprintln!("warning: could not write baseline: {e}"),
+    }
+}
+
+/// Tiny fixed-size message for the fleet-scale engine bench.
+#[derive(Debug, Clone, Copy)]
+struct Blip;
+
+impl WireSize for Blip {
+    fn wire_bytes(&self) -> usize {
+        96
+    }
+}
+
+/// The degenerate driver with the full request/upload protocol cadence —
+/// what `exp_fleet`'s engine sweep runs, sized down for a bench burst.
+struct FleetNullDriver;
+
+impl MethodDriver for FleetNullDriver {
+    type Request = Blip;
+    type Alloc = Blip;
+    type Query = NoMsg;
+    type Reply = NoMsg;
+    type Upload = Blip;
+
+    fn name(&self) -> &str {
+        "FleetNull"
+    }
+
+    fn cache_request(&mut self, _k: usize) -> Option<Blip> {
+        Some(Blip)
+    }
+
+    fn serve_request(&mut self, _k: usize, _req: Blip) -> (Blip, SimDuration) {
+        (Blip, SimDuration::from_micros(2))
+    }
+
+    fn install(&mut self, _k: usize, _alloc: Blip) {}
+
+    fn process_frame(&mut self, _k: usize, _frame: &Frame) -> FrameStep<NoMsg> {
+        FrameStep::Done(FrameOutcome {
+            compute: SimDuration::from_micros(10),
+            correct: true,
+            hit_point: None,
+        })
+    }
+
+    fn end_round(&mut self, _k: usize) -> Option<Blip> {
+        Some(Blip)
+    }
+
+    fn serve_upload(&mut self, _k: usize, _upload: Blip) -> SimDuration {
+        SimDuration::from_micros(2)
     }
 }
 

@@ -22,21 +22,38 @@
 //! each pipeline's speedup over the seed reference — the number the
 //! engine actually gains now that `merge_mode = QueueAndFlush` runs the
 //! batched pass end-to-end. Writes `results/fleet.json`.
+//!
+//! A second sweep scales the **virtual-time engine itself**: a degenerate
+//! constant-compute method (no real inference, tiny protocol messages)
+//! drives `drive_plan` at 128 → 1 000 000 members, measuring wall-clock
+//! per processed event (frames + scheduled request/deliver/upload events)
+//! and the process peak RSS. This isolates exactly the machinery the
+//! timer-wheel scheduler, the compact 16-byte `ClientState` and the
+//! streaming metrics mode exist for. Env knobs (CI smoke):
+//!
+//! * `COCA_FLEET_QUICK=1` — cap the engine sweep at 100 000 members;
+//! * `COCA_FLEET_ENFORCE=1` — fail if per-event cost at 100 000 members
+//!   exceeds 2x the 128-member cost, or peak RSS exceeds the ceiling;
+//! * `COCA_FLEET_RSS_CEILING_MB` — peak-RSS ceiling (default 4096).
 
 use std::time::Instant;
 
 use coca_bench::output::save_record;
 use coca_bench::seed_ref::{SeedTable, SeedUpload};
 use coca_core::collect::UpdateTable;
+use coca_core::driver::{
+    drive_plan, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MethodDriver, NoMsg,
+};
 use coca_core::engine::{Scenario, ScenarioConfig};
 use coca_core::proto::{CacheRequest, UpdateUpload};
 use coca_core::{CocaConfig, CocaServer, MergeMode};
-use coca_data::DatasetSpec;
+use coca_data::{DatasetSpec, Frame};
 use coca_math::random_unit;
 use coca_metrics::table::fmt_f;
 use coca_metrics::{ExperimentRecord, Table};
 use coca_model::ModelId;
-use coca_sim::SeedTree;
+use coca_net::WireSize;
+use coca_sim::{SeedTree, SimDuration};
 use rand::Rng;
 
 const FLEETS: [usize; 3] = [8, 32, 128];
@@ -97,6 +114,150 @@ fn min_wallclock_ms(reps: usize, mut f: impl FnMut()) -> f64 {
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
     best
+}
+
+/// Process peak RSS (VmHWM) in MB, from `/proc/self/status`. A high-water
+/// mark: monotone over the process lifetime, so rows report the peak *up
+/// to and including* their run. Returns 0 where procfs is unavailable.
+fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// Fixed-size protocol message for the engine-scale sweep: big enough to
+/// exercise the link-pricing path, small enough that transfer time never
+/// dominates scheduling.
+#[derive(Debug, Clone, Copy)]
+struct Blip;
+
+impl WireSize for Blip {
+    fn wire_bytes(&self) -> usize {
+        96
+    }
+}
+
+/// A degenerate method: constant per-frame compute, tiny request/upload
+/// round-trips, no cache and no real inference. Everything `drive_plan`
+/// spends on it is engine machinery — stream generation, digest folding,
+/// timer-wheel scheduling, FIFO pricing, recorders — which is precisely
+/// what the fleet sweep measures.
+struct FleetNullDriver {
+    requests: u64,
+    installs: u64,
+    uploads: u64,
+}
+
+impl MethodDriver for FleetNullDriver {
+    type Request = Blip;
+    type Alloc = Blip;
+    type Query = NoMsg;
+    type Reply = NoMsg;
+    type Upload = Blip;
+
+    fn name(&self) -> &str {
+        "fleet-null"
+    }
+
+    fn cache_request(&mut self, _k: usize) -> Option<Blip> {
+        self.requests += 1;
+        Some(Blip)
+    }
+
+    fn serve_request(&mut self, _k: usize, _req: Blip) -> (Blip, SimDuration) {
+        (Blip, SimDuration::from_micros(2))
+    }
+
+    fn install(&mut self, _k: usize, _alloc: Blip) {
+        self.installs += 1;
+    }
+
+    fn process_frame(&mut self, _k: usize, _frame: &Frame) -> FrameStep<NoMsg> {
+        FrameStep::Done(FrameOutcome {
+            compute: SimDuration::from_micros(10),
+            correct: true,
+            hit_point: None,
+        })
+    }
+
+    fn end_round(&mut self, _k: usize) -> Option<Blip> {
+        Some(Blip)
+    }
+
+    fn serve_upload(&mut self, _k: usize, _upload: Blip) -> SimDuration {
+        SimDuration::from_micros(2)
+    }
+}
+
+/// Rounds and frames per member for the engine-scale sweep: enough work
+/// per member to amortize boot, small enough that a million-member fleet
+/// finishes in seconds.
+const ENGINE_ROUNDS: usize = 2;
+const ENGINE_FRAMES: usize = 8;
+
+/// One engine-scale measurement: runs the degenerate method over a
+/// `members`-sized fleet and returns (events, wall_ms, per_event_ns).
+/// Small fleets repeat until enough events accumulate for a stable
+/// per-event figure; the minimum over repetitions is reported.
+fn measure_engine_fleet(members: usize) -> (u64, f64, f64) {
+    let mut sc = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(10));
+    sc.seed = 13_200;
+    sc.num_clients = members;
+    let scenario = Scenario::build(sc);
+    let mut plan = DrivePlan::from_config(
+        &DriveConfig::new(ENGINE_ROUNDS, ENGINE_FRAMES),
+        scenario.config().num_clients,
+    );
+    // Fleet-scale metrics: one aggregate summary + the mergeable
+    // histogram instead of O(members) recorders.
+    plan.metrics = coca_core::driver::MetricsConfig {
+        per_client: false,
+        per_client_windowed: false,
+        latency_histogram: true,
+    };
+
+    // Repeat small fleets until the run is long enough to time reliably;
+    // a 128-member run is microseconds, a million-member run is seconds.
+    let target_events = 400_000u64;
+    let approx_events = (members * ENGINE_ROUNDS * (ENGINE_FRAMES + 3)) as u64;
+    let reps = (target_events / approx_events.max(1)).clamp(1, 64);
+
+    let mut best_ns = f64::INFINITY;
+    let mut events = 0u64;
+    let mut wall_ms = 0.0f64;
+    for _ in 0..reps {
+        let mut driver = FleetNullDriver {
+            requests: 0,
+            installs: 0,
+            uploads: 0,
+        };
+        let t = Instant::now();
+        let report = drive_plan(&scenario, &mut driver, &plan);
+        let elapsed = t.elapsed();
+        let ev = report.frames + driver.requests + driver.installs + driver.uploads;
+        let ns = elapsed.as_nanos() as f64 / ev.max(1) as f64;
+        if ns < best_ns {
+            best_ns = ns;
+            events = ev;
+            wall_ms = elapsed.as_secs_f64() * 1e3;
+        }
+        assert_eq!(
+            report.frames,
+            (members * ENGINE_ROUNDS * ENGINE_FRAMES) as u64,
+            "every member must process its full frame budget"
+        );
+    }
+    (events, wall_ms, best_ns)
 }
 
 fn main() {
@@ -278,5 +439,87 @@ fn main() {
          per-round server merge wall-clock {headline_improvement:.2}x over the \
          seed per-upload server"
     );
+
+    // ---- Engine-scale sweep: drive_plan itself at fleet sizes the paper
+    // only gestures at. Wall-clock per event and peak RSS are the two
+    // numbers that decide whether a million-member fleet is simulable.
+    let quick = std::env::var("COCA_FLEET_QUICK").as_deref() == Ok("1");
+    let enforce = std::env::var("COCA_FLEET_ENFORCE").as_deref() == Ok("1");
+    let rss_ceiling_mb: f64 = std::env::var("COCA_FLEET_RSS_CEILING_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096.0);
+    let engine_fleets: &[usize] = if quick {
+        &[128, 1_024, 10_000, 100_000]
+    } else {
+        &[128, 1_024, 10_000, 100_000, 1_000_000]
+    };
+    record
+        .param("engine_rounds", ENGINE_ROUNDS)
+        .param("engine_frames_per_round", ENGINE_FRAMES)
+        .param("engine_quick", quick);
+
+    let mut engine_table = Table::new(
+        "exp_fleet — virtual-time engine scaling (degenerate method, pure engine overhead)",
+        &[
+            "Members",
+            "Events",
+            "Wall (ms)",
+            "ns/event",
+            "Peak RSS (MB)",
+        ],
+    );
+    let mut per_event_at: Vec<(usize, f64)> = Vec::new();
+    for &members in engine_fleets {
+        let (events, wall_ms, per_event_ns) = measure_engine_fleet(members);
+        let rss_mb = peak_rss_mb();
+        engine_table.row(&[
+            members.to_string(),
+            events.to_string(),
+            fmt_f(wall_ms, 1),
+            fmt_f(per_event_ns, 0),
+            fmt_f(rss_mb, 0),
+        ]);
+        record.push_row(&[
+            ("clients", serde_json::json!(members)),
+            ("pipeline", serde_json::json!("engine")),
+            ("events", serde_json::json!(events)),
+            ("wall_ms", serde_json::json!(wall_ms)),
+            ("per_event_ns", serde_json::json!(per_event_ns)),
+            ("peak_rss_mb", serde_json::json!(rss_mb)),
+        ]);
+        per_event_at.push((members, per_event_ns));
+    }
+    print!("{}", engine_table.render());
+    println!(
+        "(per-event = frames + scheduled request/deliver/upload events; \
+         peak RSS is the process VmHWM high-water mark, monotone across rows)"
+    );
+
+    let base = per_event_at
+        .iter()
+        .find(|(m, _)| *m == 128)
+        .map(|&(_, ns)| ns)
+        .unwrap_or(f64::INFINITY);
+    if let Some(&(_, at_100k)) = per_event_at.iter().find(|(m, _)| *m == 100_000) {
+        let ratio = at_100k / base.max(1e-9);
+        println!(
+            "engine headline: per-event cost at 100k members is {ratio:.2}x the \
+             128-member cost (gate: <= 2x)"
+        );
+        if enforce {
+            assert!(
+                ratio <= 2.0,
+                "per-event cost at 100k members regressed: {at_100k:.0} ns vs \
+                 {base:.0} ns at 128 ({ratio:.2}x > 2x)"
+            );
+            let rss = peak_rss_mb();
+            assert!(
+                rss <= rss_ceiling_mb,
+                "peak RSS {rss:.0} MB exceeds the {rss_ceiling_mb:.0} MB ceiling"
+            );
+        }
+    }
+
     save_record(&record);
 }

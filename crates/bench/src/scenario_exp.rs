@@ -38,18 +38,24 @@ pub fn save_spec(name: &str, spec: &ScenarioSpec) {
 
 /// One-line description of the timeline's composition.
 pub fn timeline_summary(spec: &ScenarioSpec) -> String {
-    let (mut joins, mut leaves, mut shifts, mut links) = (0, 0, 0, 0);
+    let (mut joins, mut leaves, mut shifts, mut links, mut speeds) = (0, 0, 0, 0, 0);
     for ev in &spec.timeline {
         match ev {
             ScenarioEvent::Join(_) => joins += 1,
             ScenarioEvent::Leave(_) => leaves += 1,
             ScenarioEvent::PopularityShift(_) => shifts += 1,
             ScenarioEvent::LinkChange(_) => links += 1,
+            ScenarioEvent::DeviceSpeed(_) => speeds += 1,
         }
     }
+    let speeds = if speeds > 0 {
+        format!(", {speeds} device speeds")
+    } else {
+        String::new()
+    };
     format!(
         "{} base clients + {joins} joins, {leaves} leaves, {shifts} popularity shifts, \
-         {links} link changes ({} rounds x {} frames)",
+         {links} link changes{speeds} ({} rounds x {} frames)",
         spec.scenario.num_clients, spec.rounds, spec.frames_per_round
     )
 }

@@ -89,7 +89,6 @@ pub struct CocaClient {
     cfg: CocaConfig,
     profile: ClientProfile,
     view: ClientFeatureView,
-    scratch: LookupScratch,
     status: ClientStatus,
     update: UpdateTable,
     cache: LocalCache,
@@ -122,7 +121,6 @@ impl CocaClient {
             cfg,
             profile,
             view: ClientFeatureView::new(),
-            scratch: LookupScratch::new(),
             status: ClientStatus::new(rt.num_classes()),
             update: UpdateTable::new(),
             cache: LocalCache::empty(),
@@ -177,7 +175,16 @@ impl CocaClient {
     }
 
     /// Processes one frame: cached inference, status update, collection.
-    pub fn process_frame(&mut self, rt: &ModelRuntime, frame: &Frame) -> InferenceResult {
+    ///
+    /// `scratch` is caller-owned so a driver with many clients keeps ONE
+    /// pooled [`LookupScratch`] instead of one per member — frames run
+    /// sequentially in virtual time, so a single buffer serves the fleet.
+    pub fn process_frame(
+        &mut self,
+        rt: &ModelRuntime,
+        frame: &Frame,
+        scratch: &mut LookupScratch,
+    ) -> InferenceResult {
         let res = infer_with_cache(
             rt,
             &self.profile,
@@ -185,7 +192,7 @@ impl CocaClient {
             &self.cache,
             &self.cfg,
             &mut self.view,
-            &mut self.scratch,
+            scratch,
         );
 
         // Status tracks *predicted* classes — the client has no labels.
@@ -315,8 +322,9 @@ mod tests {
     fn frames_update_status_and_metrics() {
         let (rt, mut client, mut stream) = setup();
         client.install_cache(center_cache(&rt, &[10, 25, 33]));
+        let mut scratch = LookupScratch::new();
         for f in stream.take(200) {
-            client.process_frame(&rt, &f);
+            client.process_frame(&rt, &f, &mut scratch);
         }
         assert_eq!(client.summary().accuracy.total(), 200);
         assert_eq!(client.status().round_total(), 200);
@@ -328,8 +336,9 @@ mod tests {
     fn end_round_snapshots_and_resets() {
         let (rt, mut client, mut stream) = setup();
         client.install_cache(center_cache(&rt, &[15, 30]));
+        let mut scratch = LookupScratch::new();
         for f in stream.take(150) {
-            client.process_frame(&rt, &f);
+            client.process_frame(&rt, &f, &mut scratch);
         }
         let phi_before = client.status().frequency().to_vec();
         let upload = client.end_round();
@@ -344,8 +353,9 @@ mod tests {
     fn collection_populates_update_table() {
         let (rt, mut client, mut stream) = setup();
         client.install_cache(center_cache(&rt, &[10, 20, 30]));
+        let mut scratch = LookupScratch::new();
         for f in stream.take(300) {
-            client.process_frame(&rt, &f);
+            client.process_frame(&rt, &f, &mut scratch);
         }
         let upload = client.end_round();
         assert!(
@@ -361,8 +371,9 @@ mod tests {
         let (rt, mut client, mut stream) = setup();
         client.install_cache(center_cache(&rt, &[10, 25]));
         let before = client.cache_request().hit_ratio.clone();
+        let mut scratch = LookupScratch::new();
         for f in stream.take(300) {
-            client.process_frame(&rt, &f);
+            client.process_frame(&rt, &f, &mut scratch);
         }
         let _ = client.end_round();
         let after = client.cache_request().hit_ratio.clone();
@@ -377,8 +388,9 @@ mod tests {
     fn empty_cache_still_collects_expansions() {
         let (rt, mut client, mut stream) = setup();
         // No cache installed: every frame misses; confident ones absorb.
+        let mut scratch = LookupScratch::new();
         for f in stream.take(200) {
-            let r = client.process_frame(&rt, &f);
+            let r = client.process_frame(&rt, &f, &mut scratch);
             assert!(!r.is_hit());
         }
         assert!(client.absorb_stats().expanded > 0);

@@ -23,6 +23,31 @@ pub enum MergeMode {
     QueueAndFlush,
 }
 
+/// *When* a [`MergeMode::QueueAndFlush`] pending queue is drained — the
+/// fleet-scale knob of the upload pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlushPolicy {
+    /// Drain the pending batch at the next request/allocation boundary —
+    /// the original queue-and-flush behavior, byte-identical to
+    /// [`MergeMode::PerUpload`]. Batches stay small (whatever arrived
+    /// since the last boundary), so the sharded batched merge rarely has
+    /// enough work to amortize its fan-out at large fleets.
+    EveryBoundary,
+    /// Round-aligned flush: hold the queue until every *live* member's
+    /// upload for the round has arrived (a high-watermark on the pending
+    /// count), then drain once — handing `merge_batch_sharded` a
+    /// fleet-sized batch. Allocation requests served while uploads are
+    /// pending read the **effective frequency** (global Φ plus queued,
+    /// not-yet-merged φ, Eq. 5's sum rearranged — exact u64 arithmetic),
+    /// so ACA's hot-spot scores see every completed round. Centroid
+    /// *positions*, however, lag by up to one round relative to
+    /// per-upload merging, so records produced under this policy are a
+    /// **relaxed observation contract**: deterministic and
+    /// worker-count-independent (property-tested), but not byte-identical
+    /// to [`FlushPolicy::EveryBoundary`] runs.
+    RoundAligned,
+}
+
 /// All tunables of the CoCa framework. Field docs cite the paper values.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CocaConfig {
@@ -89,6 +114,11 @@ pub struct CocaConfig {
     /// under [`MergeMode::QueueAndFlush`] (the per-upload path has no
     /// batch to shard).
     pub parallel_merge: bool,
+    /// When the queued batch is drained: every boundary (default,
+    /// byte-identical to per-upload) or round-aligned (fleet-sized
+    /// batches, relaxed observation contract; see [`FlushPolicy`]). Only
+    /// consulted under [`MergeMode::QueueAndFlush`].
+    pub flush_policy: FlushPolicy,
 }
 
 /// Reads the `COCA_MERGE_MODE` override (`per_upload` /
@@ -99,6 +129,18 @@ fn merge_mode_from_env() -> Option<MergeMode> {
     match std::env::var("COCA_MERGE_MODE").ok()?.as_str() {
         "per_upload" => Some(MergeMode::PerUpload),
         "queue_and_flush" => Some(MergeMode::QueueAndFlush),
+        _ => None,
+    }
+}
+
+/// Reads the `COCA_FLUSH_POLICY` override (`every_boundary` /
+/// `round_aligned`); the fleet-scale sweep sets this without rebuilding
+/// configs by hand. Anything else (unset or unrecognized) means "no
+/// override".
+fn flush_policy_from_env() -> Option<FlushPolicy> {
+    match std::env::var("COCA_FLUSH_POLICY").ok()?.as_str() {
+        "every_boundary" => Some(FlushPolicy::EveryBoundary),
+        "round_aligned" => Some(FlushPolicy::RoundAligned),
         _ => None,
     }
 }
@@ -143,6 +185,7 @@ impl CocaConfig {
             // CI can sweep the whole suite through the other pipeline.
             merge_mode: merge_mode_from_env().unwrap_or(MergeMode::PerUpload),
             parallel_merge: parallel_merge_from_env().unwrap_or(false),
+            flush_policy: flush_policy_from_env().unwrap_or(FlushPolicy::EveryBoundary),
         }
     }
 
@@ -183,6 +226,12 @@ impl CocaConfig {
     /// Returns a copy with layer-sharded batch merging toggled.
     pub fn with_parallel_merge(mut self, on: bool) -> Self {
         self.parallel_merge = on;
+        self
+    }
+
+    /// Returns a copy with the given queue-flush policy.
+    pub fn with_flush_policy(mut self, policy: FlushPolicy) -> Self {
+        self.flush_policy = policy;
         self
     }
 
@@ -293,6 +342,25 @@ mod tests {
             Ok("0") | Ok("false") => assert!(!cfg.parallel_merge),
             _ => assert!(!cfg.parallel_merge, "default is serial"),
         }
+    }
+
+    #[test]
+    fn flush_policy_defaults_and_builder() {
+        let cfg = CocaConfig::for_model(ModelId::ResNet101);
+        match std::env::var("COCA_FLUSH_POLICY").as_deref() {
+            Ok("round_aligned") => assert_eq!(cfg.flush_policy, FlushPolicy::RoundAligned),
+            Ok("every_boundary") => assert_eq!(cfg.flush_policy, FlushPolicy::EveryBoundary),
+            _ => assert_eq!(
+                cfg.flush_policy,
+                FlushPolicy::EveryBoundary,
+                "default flushes at every boundary"
+            ),
+        }
+        let cfg = cfg.with_flush_policy(FlushPolicy::RoundAligned);
+        assert_eq!(cfg.flush_policy, FlushPolicy::RoundAligned);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: CocaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.flush_policy, FlushPolicy::RoundAligned);
     }
 
     #[test]

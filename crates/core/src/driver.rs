@@ -220,9 +220,49 @@ pub struct MemberPlan {
     /// Rounds this member executes before departing (a `Leave` event
     /// truncates the base round count).
     pub rounds: usize,
+    /// Frames this member processes per round — `None` inherits the
+    /// plan-wide [`DrivePlan::frames_per_round`]. A heterogeneous fleet
+    /// (slow dashcams next to fast road-side units) gives its members
+    /// different values; each still uploads at *its own* round boundary,
+    /// so fast members round-trip the server more often per virtual
+    /// second. Frame streams stay keyed by per-client sequence numbers,
+    /// so the cross-method digest invariant is unaffected.
+    pub frames_per_round: Option<usize>,
     /// True iff a `Leave` event cut this member short — the engine then
     /// notifies [`MethodDriver::on_leave`] at the departure boundary.
     pub leaves_early: bool,
+}
+
+/// What the engine records, and at what granularity. The defaults
+/// reproduce the committed records bit for bit; fleet-scale sweeps turn
+/// per-client state off (and the mergeable histogram on) so metrics
+/// memory is O(1) in the fleet size instead of O(clients).
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsConfig {
+    /// Keep one [`RunSummary`] per client (the default). When `false`,
+    /// `EngineReport::per_client` holds a *single* fleet-aggregate
+    /// summary — upload sojourns and frame outcomes from every client
+    /// fold into index 0.
+    pub per_client: bool,
+    /// Also keep one [`WindowedSummary`] per client (opt-in: O(clients ×
+    /// windows) memory), surfaced as `EngineReport::per_client_windowed`
+    /// — e.g. a mid-run joiner's warm-up curve in isolation.
+    pub per_client_windowed: bool,
+    /// Additionally record every frame latency into an exactly-mergeable
+    /// [`LatencyHistogram`] (`EngineReport::latency_hist`). The exact
+    /// recorder still runs either way — the histogram is the streaming
+    /// quantile source at fleet scale, never the reference.
+    pub latency_histogram: bool,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        Self {
+            per_client: true,
+            per_client_windowed: false,
+            latency_histogram: false,
+        }
+    }
 }
 
 /// The fully resolved execution plan of one run: what [`drive_plan`]
@@ -242,6 +282,8 @@ pub struct DrivePlan {
     pub links: Vec<LinkSchedule>,
     /// Width of the windowed-metrics buckets (ms).
     pub metrics_window_ms: f64,
+    /// Recording granularity (defaults regenerate the committed records).
+    pub metrics: MetricsConfig,
 }
 
 impl DrivePlan {
@@ -257,20 +299,30 @@ impl DrivePlan {
                 MemberPlan {
                     join_at_ms: None,
                     rounds: cfg.rounds,
+                    frames_per_round: None,
                     leaves_early: false,
                 };
                 num_clients
             ],
             links: vec![LinkSchedule::fixed(cfg.link); num_clients],
             metrics_window_ms: DEFAULT_METRICS_WINDOW_MS,
+            metrics: MetricsConfig::default(),
         }
+    }
+
+    /// Frames member `k` processes per round (its override, else the
+    /// plan-wide value).
+    pub fn member_frames(&self, k: usize) -> usize {
+        self.members[k]
+            .frames_per_round
+            .unwrap_or(self.frames_per_round)
     }
 
     /// Total frames the plan consumes across all members.
     pub fn total_frames(&self) -> u64 {
         self.members
             .iter()
-            .map(|m| (m.rounds * self.frames_per_round) as u64)
+            .map(|m| (m.rounds * m.frames_per_round.unwrap_or(self.frames_per_round)) as u64)
             .sum()
     }
 }
@@ -330,13 +382,18 @@ enum Ev<D: MethodDriver> {
     Upload { k: usize, upload: D::Upload },
 }
 
-/// Per-client engine-side bookkeeping.
+/// Per-client engine-side bookkeeping, kept to 16 bytes so a million-member
+/// fleet costs 16 MB of state instead of gigabytes: round/frame counters
+/// are `u32` (a plan cannot exceed 2³² of either per member) and the rare
+/// paused-frame case is boxed out of line.
 struct ClientState {
-    rounds_left: usize,
-    frames_done: usize,
+    rounds_left: u32,
+    frames_done: u32,
     /// A frame paused on a server query: the frame plus the local compute
-    /// and network wait accumulated so far.
-    pending: Option<(Frame, SimDuration)>,
+    /// and network wait accumulated so far. Boxed — only clients with a
+    /// query in flight pay for it, and an idle member stays pointer-sized
+    /// here instead of carrying an inline `Frame`.
+    pending: Option<Box<(Frame, SimDuration)>>,
 }
 
 struct Exec<D: MethodDriver> {
@@ -345,29 +402,66 @@ struct Exec<D: MethodDriver> {
     events: EventQueue<Ev<D>>,
     queue: ServerQueue,
     st: Vec<ClientState>,
+    /// One per client, or a single fleet aggregate when
+    /// `metrics.per_client` is off (see [`MetricsConfig`]).
     summaries: Vec<RunSummary>,
+    /// Fleet-wide hit/accuracy totals, recorded on the per-frame path —
+    /// integer counts, so identical to merging the per-client recorders.
+    fleet_hits: coca_metrics::HitRecorder,
+    fleet_acc: coca_metrics::AccuracyRecorder,
     latency: LatencyRecorder,
+    latency_hist: Option<coca_metrics::LatencyHistogram>,
     response_latency: LatencyRecorder,
     windowed: WindowedSummary,
+    /// Parallel to `summaries`' clients when `metrics.per_client_windowed`
+    /// is on; empty otherwise.
+    per_client_windowed: Vec<WindowedSummary>,
     digest: u64,
     end_time: SimTime,
 }
 
 impl<D: MethodDriver> Exec<D> {
+    /// Index of client `k`'s summary slot (0 when aggregating fleet-wide).
+    #[inline]
+    fn sum_idx(&self, k: usize) -> usize {
+        if self.plan.metrics.per_client {
+            k
+        } else {
+            0
+        }
+    }
+
     fn record_frame(&mut self, k: usize, total: SimDuration, o: &FrameOutcome, done_at: SimTime) {
-        self.summaries[k].latency.record(total);
-        self.summaries[k].accuracy.record(o.correct);
+        let s = &mut self.summaries[if self.plan.metrics.per_client { k } else { 0 }];
+        s.latency.record(total);
+        s.accuracy.record(o.correct);
         match o.hit_point {
-            Some(p) => self.summaries[k].hits.record_hit(p, o.correct),
-            None => self.summaries[k].hits.record_miss(o.correct),
+            Some(p) => s.hits.record_hit(p, o.correct),
+            None => s.hits.record_miss(o.correct),
+        }
+        self.fleet_acc.record(o.correct);
+        match o.hit_point {
+            Some(p) => self.fleet_hits.record_hit(p, o.correct),
+            None => self.fleet_hits.record_miss(o.correct),
         }
         self.latency.record(total);
+        if let Some(h) = self.latency_hist.as_mut() {
+            h.record(total);
+        }
         self.windowed.record(
             done_at.as_millis_f64(),
             total.as_millis_f64(),
             o.correct,
             o.hit_point.is_some(),
         );
+        if let Some(w) = self.per_client_windowed.get_mut(k) {
+            w.record(
+                done_at.as_millis_f64(),
+                total.as_millis_f64(),
+                o.correct,
+                o.hit_point.is_some(),
+            );
+        }
     }
 
     /// Runs client `k`'s frames synchronously in virtual time starting at
@@ -375,7 +469,7 @@ impl<D: MethodDriver> Exec<D> {
     /// rounds are exhausted. All link costs resolve against `k`'s link
     /// schedule at the emission instant.
     fn run_frames(&mut self, driver: &mut D, k: usize, mut t: SimTime) {
-        let f = self.plan.frames_per_round;
+        let f = self.plan.member_frames(k) as u32;
         loop {
             if self.st[k].frames_done == f {
                 self.st[k].frames_done = 0;
@@ -418,7 +512,7 @@ impl<D: MethodDriver> Exec<D> {
                 }
                 FrameStep::NeedServer { elapsed, query } => {
                     t += elapsed;
-                    self.st[k].pending = Some((frame, elapsed));
+                    self.st[k].pending = Some(Box::new((frame, elapsed)));
                     self.events.schedule(
                         t + self.plan.links[k].transfer_time(t, query.wire_bytes()),
                         Ev::Query { k, sent: t, query },
@@ -483,6 +577,7 @@ pub fn drive_plan<D: MethodDriver>(
         "plan links must match scenario clients"
     );
     let l = scenario.rt.num_cache_points();
+    let summary_slots = if plan.metrics.per_client { n } else { 1 };
     let mut exec: Exec<D> = Exec {
         plan: plan.clone(),
         streams: (0..n).map(|k| scenario.stream(k)).collect(),
@@ -490,15 +585,29 @@ pub fn drive_plan<D: MethodDriver>(
         queue: ServerQueue::new(),
         st: (0..n)
             .map(|k| ClientState {
-                rounds_left: plan.members[k].rounds,
+                rounds_left: u32::try_from(plan.members[k].rounds)
+                    .expect("member round budget exceeds u32"),
                 frames_done: 0,
                 pending: None,
             })
             .collect(),
-        summaries: (0..n).map(|_| RunSummary::new(l)).collect(),
+        summaries: (0..summary_slots).map(|_| RunSummary::new(l)).collect(),
+        fleet_hits: coca_metrics::HitRecorder::new(l),
+        fleet_acc: coca_metrics::AccuracyRecorder::new(),
         latency: LatencyRecorder::new(),
+        latency_hist: plan
+            .metrics
+            .latency_histogram
+            .then(coca_metrics::LatencyHistogram::new),
         response_latency: LatencyRecorder::new(),
         windowed: WindowedSummary::new(plan.metrics_window_ms),
+        per_client_windowed: if plan.metrics.per_client_windowed {
+            (0..n)
+                .map(|_| WindowedSummary::new(plan.metrics_window_ms))
+                .collect()
+        } else {
+            Vec::new()
+        },
         digest: 0,
         end_time: SimTime::ZERO,
     };
@@ -563,7 +672,7 @@ pub fn drive_plan<D: MethodDriver>(
             }
             Ev::Reply { k, sent, reply } => {
                 exec.response_latency.record(now.saturating_since(sent));
-                let (frame, mut elapsed) = exec.st[k]
+                let (frame, mut elapsed) = *exec.st[k]
                     .pending
                     .take()
                     .expect("reply without a paused frame");
@@ -579,7 +688,7 @@ pub fn drive_plan<D: MethodDriver>(
                         query,
                     } => {
                         let t = now + more;
-                        exec.st[k].pending = Some((frame, elapsed + more));
+                        exec.st[k].pending = Some(Box::new((frame, elapsed + more)));
                         exec.events.schedule(
                             t + exec.plan.links[k].transfer_time(t, query.wire_bytes()),
                             Ev::Query { k, sent: t, query },
@@ -592,28 +701,29 @@ pub fn drive_plan<D: MethodDriver>(
                 let svc = exec.queue.serve(now, service);
                 // Attribute the upload's queue sojourn (wait + merge
                 // compute) to the uploading client's summary.
-                exec.summaries[k].upload.record(svc.sojourn_since(now));
+                let s = exec.sum_idx(k);
+                exec.summaries[s].upload.record(svc.sojourn_since(now));
             }
         }
     }
 
     driver.on_run_end();
 
-    let mut hits = coca_metrics::HitRecorder::new(l);
-    let mut acc = coca_metrics::AccuracyRecorder::new();
-    for s in &exec.summaries {
-        hits.merge(&s.hits);
-        acc.merge(&s.accuracy);
-    }
+    // Fleet hit/accuracy totals come off the always-on per-frame
+    // recorders — integer counts, bit-identical to the former end-of-run
+    // merge over per-client summaries (and available even when the plan
+    // keeps no per-client state).
     EngineReport {
         frames: exec.latency.count(),
         mean_latency_ms: exec.latency.mean_ms(),
-        accuracy_pct: acc.accuracy_pct(),
-        hit_ratio: hits.hit_ratio(),
+        accuracy_pct: exec.fleet_acc.accuracy_pct(),
+        hit_ratio: exec.fleet_hits.hit_ratio(),
         latency: exec.latency,
+        latency_hist: exec.latency_hist,
         response_latency: exec.response_latency,
         windowed: exec.windowed,
         per_client: exec.summaries,
+        per_client_windowed: exec.per_client_windowed,
         absorb: crate::client::AbsorbStats::default(),
         frame_digest: exec.digest,
         end_time: exec.end_time,

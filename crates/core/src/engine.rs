@@ -233,14 +233,23 @@ pub struct EngineReport {
     pub hit_ratio: f64,
     /// Global per-frame latency distribution.
     pub latency: LatencyRecorder,
+    /// Exactly-mergeable latency histogram — populated only when the
+    /// plan's [`MetricsConfig`](crate::driver::MetricsConfig) opts into
+    /// the streaming-quantile mode (fleet-scale sweeps); `None` under the
+    /// defaults the committed records regenerate with.
+    pub latency_hist: Option<coca_metrics::LatencyHistogram>,
     /// Cache-request response latencies (request sent → cache installed),
     /// the paper's Fig. 10(b) metric.
     pub response_latency: LatencyRecorder,
     /// Per-interval (virtual-time window) hit/latency/accuracy series —
     /// how drift and churn effects become visible over time.
     pub windowed: WindowedSummary,
-    /// Per-client summaries.
+    /// Per-client summaries — or a single fleet aggregate when the plan's
+    /// metrics config turned per-client state off.
     pub per_client: Vec<RunSummary>,
+    /// Per-client windowed series, parallel to the fleet's client indices;
+    /// empty unless the plan opted in (O(clients × windows) memory).
+    pub per_client_windowed: Vec<WindowedSummary>,
     /// Collection-rule accounting summed over clients (CoCa only; zeroed
     /// for methods without collection rules).
     pub absorb: AbsorbStats,
@@ -259,6 +268,13 @@ struct CocaDriver<'a> {
     rt: &'a ModelRuntime,
     server: &'a mut CocaServer,
     clients: &'a mut [CocaClient],
+    /// One pooled lookup buffer for the whole fleet: frames execute
+    /// sequentially in virtual time, so per-client scratch would be
+    /// O(fleet) memory for no benefit.
+    scratch: crate::lookup::LookupScratch,
+    /// Currently live member count, mirrored into the server's
+    /// round-aligned flush watermark at every join/leave.
+    live: usize,
 }
 
 impl MethodDriver for CocaDriver<'_> {
@@ -285,7 +301,7 @@ impl MethodDriver for CocaDriver<'_> {
     }
 
     fn process_frame(&mut self, k: usize, frame: &Frame) -> FrameStep<NoMsg> {
-        let res = self.clients[k].process_frame(self.rt, frame);
+        let res = self.clients[k].process_frame(self.rt, frame, &mut self.scratch);
         FrameStep::Done(FrameOutcome {
             compute: res.latency,
             correct: res.correct,
@@ -303,6 +319,11 @@ impl MethodDriver for CocaDriver<'_> {
         self.server.handle_upload(upload)
     }
 
+    fn on_join(&mut self, _k: usize) {
+        self.live += 1;
+        self.server.set_flush_watermark(self.live);
+    }
+
     fn on_leave(&mut self, k: usize) {
         // Drop the leaver's allocation; its collected knowledge stays in
         // the global table (collaborative caching keeps what the fleet
@@ -313,6 +334,8 @@ impl MethodDriver for CocaDriver<'_> {
         // frequency mass: `Φ ← ⌈β·Φ⌉` (off by default).
         self.server.on_client_leave();
         self.clients[k].install_cache(crate::semantic::LocalCache::empty());
+        self.live = self.live.saturating_sub(1);
+        self.server.set_flush_watermark(self.live);
     }
 
     fn on_run_end(&mut self) {
@@ -388,10 +411,20 @@ impl Engine {
     /// Runs CoCa under an explicit [`DrivePlan`] — the dynamic-scenario
     /// entry point (joins, leaves, link changes).
     pub fn run_plan(&mut self, plan: &DrivePlan) -> EngineReport {
+        // The base fleet (everyone without a mid-run join) is live from
+        // boot; the round-aligned flush watermark tracks it from there.
+        let live = plan
+            .members
+            .iter()
+            .filter(|m| m.join_at_ms.is_none())
+            .count();
+        self.server.set_flush_watermark(live);
         let mut driver = CocaDriver {
             rt: &self.scenario.rt,
             server: &mut self.server,
             clients: &mut self.clients,
+            scratch: crate::lookup::LookupScratch::new(),
+            live,
         };
         let mut report = drive_plan(&self.scenario, &mut driver, plan);
         // CoCa-specific accounting the generic loop cannot see.

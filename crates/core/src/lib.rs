@@ -53,7 +53,7 @@ pub mod status;
 
 pub use aca::{allocate, AcaInputs, AcaOutput};
 pub use client::{ClientReport, CocaClient};
-pub use config::{CocaConfig, MergeMode};
+pub use config::{CocaConfig, FlushPolicy, MergeMode};
 pub use driver::{
     drive, drive_plan, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MemberPlan, MethodDriver,
     NoMsg,

@@ -12,7 +12,7 @@ use rand::Rng;
 
 use crate::aca::{allocate, AcaInputs, AcaOutput};
 use crate::collect::UpdateTable;
-use crate::config::{CocaConfig, MergeMode};
+use crate::config::{CocaConfig, FlushPolicy, MergeMode};
 use crate::global::{GlobalCacheTable, MergeScratch};
 use crate::lookup::{infer_with_cache, LookupScratch};
 use crate::proto::{CacheAllocation, CacheRequest, UpdateUpload};
@@ -98,6 +98,12 @@ pub struct CocaServer {
     /// merged them, which is what keeps the two modes byte-identical.
     /// Always empty under [`MergeMode::PerUpload`].
     pending: Vec<UpdateUpload>,
+    /// Live-fleet size under [`FlushPolicy::RoundAligned`]: once
+    /// `pending.len()` reaches this watermark the queue drains in one
+    /// fleet-sized batch. `0` (the default, and any run that never calls
+    /// [`CocaServer::set_flush_watermark`]) disables watermark draining,
+    /// leaving the boundary flushes in charge.
+    flush_watermark: usize,
 }
 
 /// Seeds a global cache table from the shared dataset: averages a few
@@ -217,6 +223,30 @@ impl CocaServer {
             costs: ServiceCostModel::default(),
             scratch: MergeScratch::new(),
             pending: Vec::new(),
+            flush_watermark: 0,
+        }
+    }
+
+    /// Sets the round-aligned flush watermark to the current live-fleet
+    /// size. The engine calls this at boot and at every join/leave so a
+    /// full round's uploads — exactly one per live member in the steady
+    /// state — trigger one fleet-sized batched drain. Ignored unless
+    /// [`CocaConfig::flush_policy`] is [`FlushPolicy::RoundAligned`].
+    pub fn set_flush_watermark(&mut self, live_members: usize) {
+        self.flush_watermark = live_members;
+        // A shrinking fleet can leave the queue already at (or past) the
+        // new watermark; drain immediately so the policy's "one round's
+        // uploads per drain" cadence is restored.
+        self.drain_if_at_watermark();
+    }
+
+    fn drain_if_at_watermark(&mut self) {
+        if self.cfg.merge_mode == MergeMode::QueueAndFlush
+            && self.cfg.flush_policy == FlushPolicy::RoundAligned
+            && self.flush_watermark > 0
+            && self.pending.len() >= self.flush_watermark
+        {
+            self.flush_pending();
         }
     }
 
@@ -236,18 +266,49 @@ impl CocaServer {
         &self.global
     }
 
+    /// Effective global frequency: merged Φ plus every queued, not-yet-
+    /// merged upload's φ. Eq. 5 is a commutative u64 sum, so this equals
+    /// — exactly, not approximately — the Φ a flushed table would hold.
+    /// Round-aligned allocations read it so ACA's hot-spot scores see
+    /// every completed round even while centroid merges wait for the
+    /// fleet-sized batch.
+    fn effective_frequency(&self) -> Vec<u64> {
+        let mut freq = self.global.frequency().to_vec();
+        for up in &self.pending {
+            for (f, &phi) in freq.iter_mut().zip(&up.frequency) {
+                *f += phi;
+            }
+        }
+        freq
+    }
+
     /// Handles a cache request: flushes any pending upload batch (the
     /// queue-and-flush boundary — allocations must read a fully merged
     /// table), runs ACA (or the static fallback when DCA is disabled) and
     /// extracts the personalized sub-table. Returns the allocation and
     /// the server compute charged to the queue.
+    ///
+    /// Under [`FlushPolicy::RoundAligned`] the request is **not** a flush
+    /// boundary: the queue holds until the fleet watermark, and ACA reads
+    /// the [effective frequency](Self::effective_frequency) instead (Φ is
+    /// exact either way; centroid positions may lag up to one round —
+    /// the policy's documented relaxed observation contract).
     pub fn handle_request(&mut self, req: &CacheRequest) -> (CacheAllocation, SimDuration) {
-        self.flush_pending();
+        let round_aligned = self.cfg.merge_mode == MergeMode::QueueAndFlush
+            && self.cfg.flush_policy == FlushPolicy::RoundAligned;
+        if !round_aligned {
+            self.flush_pending();
+        }
+        let eff_freq = if round_aligned && !self.pending.is_empty() {
+            Some(self.effective_frequency())
+        } else {
+            None
+        };
         let decision = if self.cfg.enable_dca {
             allocate(
                 &self.cfg,
                 &AcaInputs {
-                    global_freq: self.global.frequency(),
+                    global_freq: eff_freq.as_deref().unwrap_or(self.global.frequency()),
                     timestamps: &req.timestamps,
                     hit_ratio: &req.hit_ratio,
                     saved_ms: &self.saved_ms,
@@ -334,6 +395,10 @@ impl CocaServer {
             MergeMode::QueueAndFlush => {
                 let kb = up.table.wire_bytes() as f64 / 1024.0;
                 self.pending.push(up);
+                // Round-aligned: a full round's worth of uploads is the
+                // drain trigger (no-op under the default policy or when
+                // no watermark was installed).
+                self.drain_if_at_watermark();
                 SimDuration::from_millis_f64(
                     self.costs.update_base_ms + self.costs.update_per_kb_ms * kb,
                 )
@@ -356,13 +421,17 @@ impl CocaServer {
         if self.pending.is_empty() {
             return;
         }
-        // One upload per client per flush window by construction: a CoCa
-        // client's next request (a flush boundary) always lands between
-        // its consecutive uploads. Arrival order would stay correct even
-        // if that ever changed (the batched pass is sequential-equivalent
-        // in the given order), so this is a diagnostic, not a gate.
+        // One upload per client per flush window by construction *under
+        // the default boundary policy*: a CoCa client's next request (a
+        // flush boundary) always lands between its consecutive uploads.
+        // Round-aligned windows with heterogeneous `frames_per_round` CAN
+        // legitimately hold two uploads from a fast client (its second
+        // round ends before a slow member's first), so the diagnostic is
+        // scoped to the policy whose invariant it states. Arrival order
+        // stays correct either way — the batched pass is
+        // sequential-equivalent in the given order.
         debug_assert!(
-            {
+            self.cfg.flush_policy != FlushPolicy::EveryBoundary || {
                 let mut ids: Vec<u64> = self.pending.iter().map(|u| u.client_id).collect();
                 ids.sort_unstable();
                 ids.windows(2).all(|w| w[0] != w[1])
@@ -661,6 +730,74 @@ mod tests {
         {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn round_aligned_holds_the_queue_until_the_fleet_watermark() {
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(64);
+        let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let cfg = CocaConfig::for_model(ModelId::ResNet101)
+            .with_merge_mode(MergeMode::QueueAndFlush)
+            .with_flush_policy(FlushPolicy::RoundAligned);
+        let mut server = CocaServer::new(&rt, cfg, &seeds);
+        server.set_flush_watermark(3);
+        let mut reference = CocaServer::new(&rt, CocaConfig::for_model(ModelId::ResNet101), &seeds);
+
+        let ups = [
+            upload_for(&rt, 0, 3, 10),
+            upload_for(&rt, 1, 4, 11),
+            upload_for(&rt, 2, 5, 12),
+        ];
+        server.handle_upload(ups[0].clone());
+        server.handle_upload(ups[1].clone());
+        assert_eq!(server.pending_uploads(), 2);
+
+        // A request is NOT a flush boundary under this policy...
+        let req = CacheRequest {
+            client_id: 9,
+            round: 0,
+            timestamps: vec![0; rt.num_classes()],
+            hit_ratio: server.base_hit_profile().to_vec(),
+            budget_bytes: 48 * 1024,
+        };
+        let (alloc, _) = server.handle_request(&req);
+        assert!(!alloc.cache.is_empty());
+        assert_eq!(
+            server.pending_uploads(),
+            2,
+            "round-aligned requests must not drain the queue"
+        );
+
+        // ...but the watermark upload is: the fleet-sized batch drains.
+        server.handle_upload(ups[2].clone());
+        assert_eq!(server.pending_uploads(), 0);
+        for up in &ups {
+            reference.handle_update(up);
+        }
+        assert_eq!(
+            server.global().frequency(),
+            reference.global().frequency(),
+            "the drained batch lands the same Eq. 5 state"
+        );
+        for (c, j) in [(3usize, 10usize), (4, 11), (5, 12)] {
+            for (a, b) in server
+                .global()
+                .get(c, j)
+                .unwrap()
+                .iter()
+                .zip(reference.global().get(c, j).unwrap())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // A shrinking watermark drains an already-full queue immediately.
+        server.handle_upload(upload_for(&rt, 0, 3, 10));
+        server.handle_upload(upload_for(&rt, 1, 4, 11));
+        assert_eq!(server.pending_uploads(), 2);
+        server.set_flush_watermark(2);
+        assert_eq!(server.pending_uploads(), 0);
     }
 
     #[test]

@@ -99,6 +99,22 @@ pub struct LinkChangeEvent {
     pub link: LinkModel,
 }
 
+/// A per-client device speed: how many frames the client processes per
+/// round. Heterogeneous speeds model mixed fleets (paper §V runs uniform
+/// Jetson TX2 clients; a deployment mixes dashcams and road-side units).
+/// This is *plan structure*, not a timed event: it applies for the whole
+/// run, and a member's round boundary — hence its upload/request cadence —
+/// comes at its own frame count. Later entries targeting the same client
+/// overwrite earlier ones.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DeviceSpeedEvent {
+    /// Target client (`None` = every client, joiners included).
+    pub client: Option<usize>,
+    /// Frames per round for the target (replaces the spec-wide
+    /// `frames_per_round`).
+    pub frames_per_round: usize,
+}
+
 /// One timeline entry.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ScenarioEvent {
@@ -110,6 +126,8 @@ pub enum ScenarioEvent {
     PopularityShift(PopularityShiftEvent),
     /// Connectivity dynamics.
     LinkChange(LinkChangeEvent),
+    /// Heterogeneous device speed (per-client `frames_per_round`).
+    DeviceSpeed(DeviceSpeedEvent),
 }
 
 /// Upper bound on any timeline instant (ms): ~11.5 virtual days. Keeps a
@@ -185,6 +203,16 @@ impl ScenarioSpec {
                 client,
                 at_frame,
                 shift,
+            }));
+        self
+    }
+
+    /// Builder: appends a [`DeviceSpeedEvent`].
+    pub fn device_speed(mut self, client: Option<usize>, frames_per_round: usize) -> Self {
+        self.timeline
+            .push(ScenarioEvent::DeviceSpeed(DeviceSpeedEvent {
+                client,
+                frames_per_round,
             }));
         self
     }
@@ -295,6 +323,20 @@ impl ScenarioSpec {
                         ));
                     }
                 }
+                ScenarioEvent::DeviceSpeed(d) => {
+                    if let Some(k) = d.client {
+                        if k >= total {
+                            return Err(format!(
+                                "event {i}: device speed targets client {k} of {total}"
+                            ));
+                        }
+                    }
+                    if d.frames_per_round == 0 {
+                        return Err(format!(
+                            "event {i}: a device must process at least one frame per round"
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -337,12 +379,14 @@ impl ScenarioSpec {
                 MemberPlan {
                     join_at_ms: None,
                     rounds: self.rounds,
+                    frames_per_round: None,
                     leaves_early: false,
                 };
                 total
             ],
             links: vec![LinkSchedule::fixed(self.base_link); total],
             metrics_window_ms: self.metrics_window_ms,
+            metrics: Default::default(),
         };
 
         // Pass 1a — joins first (arrival order assigns indices), so that
@@ -354,14 +398,16 @@ impl ScenarioSpec {
                 plan.members[next_joiner] = MemberPlan {
                     join_at_ms: Some(j.at_ms),
                     rounds: j.rounds,
+                    frames_per_round: None,
                     leaves_early: false,
                 };
                 next_joiner += 1;
             }
         }
-        // Pass 1b — leaves and link changes (order-independent among
-        // themselves: leaves take the min round budget, link changes are
-        // keyed by their own instants).
+        // Pass 1b — leaves, device speeds and link changes
+        // (order-independent among themselves: leaves take the min round
+        // budget, speeds overwrite, link changes are keyed by their own
+        // instants).
         for ev in &self.timeline {
             match ev {
                 ScenarioEvent::Leave(l) => {
@@ -371,6 +417,14 @@ impl ScenarioSpec {
                         m.leaves_early = true;
                     }
                 }
+                ScenarioEvent::DeviceSpeed(d) => match d.client {
+                    Some(k) => plan.members[k].frames_per_round = Some(d.frames_per_round),
+                    None => {
+                        for m in &mut plan.members {
+                            m.frames_per_round = Some(d.frames_per_round);
+                        }
+                    }
+                },
                 ScenarioEvent::LinkChange(c) => {
                     let at = SimTime::from_millis_f64(c.at_ms);
                     match c.client {
@@ -634,6 +688,49 @@ mod tests {
         let (_, plan) = spec.materialize();
         assert_eq!(plan.members[3].rounds, 1);
         assert!(plan.members[3].leaves_early);
+    }
+
+    #[test]
+    fn device_speed_sets_per_member_frame_budgets() {
+        let spec = ScenarioSpec::new(base_cfg(613), 2, 50)
+            .join(5_000.0, 2)
+            .device_speed(Some(1), 10);
+        assert!(spec.validate().is_ok());
+        let (_, plan) = spec.materialize();
+        assert_eq!(plan.members[0].frames_per_round, None);
+        assert_eq!(plan.members[1].frames_per_round, Some(10));
+        assert_eq!(plan.member_frames(0), 50);
+        assert_eq!(plan.member_frames(1), 10);
+        // m0: 2×50, m1: 2×10, m2: 2×50, joiner m3: 2×50.
+        assert_eq!(plan.total_frames(), 100 + 20 + 100 + 100);
+
+        // A fleet-wide event (client: None) covers joiners too.
+        let all = ScenarioSpec::new(base_cfg(614), 2, 50)
+            .join(5_000.0, 2)
+            .device_speed(None, 25);
+        let (_, plan) = all.materialize();
+        assert!(plan.members.iter().all(|m| m.frames_per_round == Some(25)));
+        assert_eq!(plan.total_frames(), (3 * 2 + 2) * 25);
+    }
+
+    #[test]
+    fn device_speed_validation_and_json_round_trip() {
+        let bad_target = ScenarioSpec::new(base_cfg(615), 2, 50).device_speed(Some(9), 10);
+        assert!(bad_target.validate().is_err());
+        let zero = ScenarioSpec::new(base_cfg(616), 2, 50).device_speed(Some(0), 0);
+        assert!(zero.validate().is_err(), "zero frames per round must fail");
+
+        let spec = ScenarioSpec::new(base_cfg(617), 2, 50)
+            .device_speed(Some(2), 12)
+            .device_speed(None, 30);
+        let text = spec.to_json();
+        let back = ScenarioSpec::from_json(&text).expect("round trip");
+        assert_eq!(back.to_json(), text, "serialization must be stable");
+        let (_, pa) = spec.materialize();
+        let (_, pb) = back.materialize();
+        assert_eq!(pa.total_frames(), pb.total_frames());
+        // Later events win: the fleet-wide 30 overwrites client 2's 12.
+        assert!(pb.members.iter().all(|m| m.frames_per_round == Some(30)));
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! A fixed-bin, exactly-mergeable latency histogram for fleet-scale runs.
+//!
+//! The default [`LatencyRecorder`](crate::LatencyRecorder) keeps exact
+//! moments plus P² quantile sketches — O(1) per observation, but the
+//! sketches do not compose across recorders (see the contract on
+//! [`RunSummary::merge`](crate::recorder::RunSummary::merge)). At 10⁵–10⁶
+//! clients the fleet experiments instead want a *mergeable* distribution:
+//! [`LatencyHistogram`] buckets nanosecond durations HDR-style (log₂ major
+//! buckets × 64 linear sub-buckets, ≤ 1/64 ≈ 1.6 % relative error), so
+//!
+//! * recording is a shift/mask plus one counter increment — deterministic,
+//!   no floating point;
+//! * merging is element-wise `u64` addition — **exact** at any fan-in and
+//!   any merge order;
+//! * quantiles are deterministic bucket lower bounds — the same answer on
+//!   every host, every run, every sharding of the same observations.
+//!
+//! The exact recorder stays the default and the record-regeneration
+//! reference; the histogram is the opt-in streaming mode behind
+//! `MetricsConfig::latency_histogram`.
+
+use coca_sim::SimDuration;
+
+/// Sub-bucket resolution bits: 64 linear sub-buckets per power of two.
+const SUB_BITS: u32 = 6;
+/// Sub-buckets per major (power-of-two) bucket.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Total buckets: values `< 64` ns get exact unit buckets (one major
+/// group), then one 64-wide group per remaining leading-bit position.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUBS as usize;
+
+/// Deterministic log-linear histogram over `u64` nanosecond durations.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    /// Exact nanosecond sum — `u128` so 2⁶⁴ observations of u64 values
+    /// cannot overflow; the mean stays exact.
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a nanosecond value: identity below 64, then
+/// `(msb-group, next 6 bits)`.
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUBS {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros();
+    let group = (msb - SUB_BITS + 1) as u64;
+    ((group << SUB_BITS) | ((ns >> (msb - SUB_BITS)) & (SUBS - 1))) as usize
+}
+
+/// Inclusive lower bound (ns) of bucket `idx` — the inverse of
+/// [`bucket_of`] up to sub-bucket truncation.
+#[inline]
+fn lower_bound_ns(idx: usize) -> u64 {
+    let group = (idx as u64) >> SUB_BITS;
+    let sub = (idx as u64) & (SUBS - 1);
+    if group == 0 {
+        sub
+    } else {
+        (SUBS + sub) << (group - 1)
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (~30 KiB, fixed).
+    pub fn new() -> Self {
+        Self {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        self.counts[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean in milliseconds (0.0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum_ns / self.count as u128) as f64 / 1.0e6
+        }
+    }
+
+    /// Exact maximum in milliseconds.
+    pub fn max_ms(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.max_ns as f64 / 1.0e6)
+    }
+
+    /// Deterministic `q`-quantile in milliseconds: the lower bound of the
+    /// bucket holding the `⌈q·count⌉`-th smallest observation (so the true
+    /// value lies within one sub-bucket, ≤ 1/64 relative, above it).
+    /// `None` when empty or `q` is not in `(0, 1]`.
+    pub fn quantile_ms(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(lower_bound_ns(idx) as f64 / 1.0e6);
+            }
+        }
+        unreachable!("rank ≤ count must be reached by the cumulative scan")
+    }
+
+    /// Merges `other` into `self` — element-wise integer addition, exact
+    /// at any fan-in and independent of merge order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for ns in (0..2_000u64).chain((0..64).map(|i| 1u64 << (i.min(63)))) {
+            let b = bucket_of(ns);
+            assert!(b < BUCKETS, "bucket {b} out of range for {ns}");
+            let lb = lower_bound_ns(b);
+            assert!(lb <= ns, "lower bound {lb} above value {ns}");
+            // Relative error: value < lb + lb/64 + 1 (sub-bucket width).
+            assert!(
+                ns - lb <= (lb >> SUB_BITS) + (lb == ns) as u64
+                    || ns < 64
+                    || ns - lb <= lb / 64 + 1
+            );
+            if ns > 0 {
+                assert!(bucket_of(ns) >= last.min(bucket_of(ns)), "monotone");
+            }
+            last = b;
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_values_below_64ns() {
+        for ns in 0..64u64 {
+            assert_eq!(lower_bound_ns(bucket_of(ns)), ns);
+        }
+    }
+
+    #[test]
+    fn mean_and_quantiles_are_deterministic() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        assert_eq!(h.count(), 1000);
+        // Exact integer mean: sum = 500500 µs over 1000 obs.
+        assert!((h.mean_ms() - 0.5005).abs() < 1e-9);
+        let p50 = h.quantile_ms(0.5).unwrap();
+        assert!((p50 - 0.5).abs() / 0.5 < 1.0 / 64.0 + 1e-9, "p50 {p50}");
+        let p99 = h.quantile_ms(0.99).unwrap();
+        assert!((p99 - 0.99).abs() / 0.99 < 1.0 / 64.0 + 1e-9, "p99 {p99}");
+        assert_eq!(h.max_ms(), Some(1.0));
+        assert!(h.quantile_ms(0.0).is_none());
+        assert!(h.quantile_ms(1.5).is_none());
+    }
+
+    #[test]
+    fn merge_equals_single_pass_for_any_split() {
+        let obs: Vec<u64> = (0..500u64).map(|i| i * i * 37 + 13).collect();
+        let mut whole = LatencyHistogram::new();
+        for &ns in &obs {
+            whole.record(SimDuration::from_nanos(ns));
+        }
+        for split in [1usize, 7, 250, 499] {
+            let (a, b) = obs.split_at(split);
+            let mut ha = LatencyHistogram::new();
+            let mut hb = LatencyHistogram::new();
+            for &ns in a {
+                ha.record(SimDuration::from_nanos(ns));
+            }
+            for &ns in b {
+                hb.record(SimDuration::from_nanos(ns));
+            }
+            ha.merge(&hb);
+            assert_eq!(ha.count(), whole.count());
+            assert_eq!(ha.sum_ns, whole.sum_ns);
+            assert_eq!(ha.counts, whole.counts);
+            for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+                assert_eq!(ha.quantile_ms(q), whole.quantile_ms(q), "q={q}");
+            }
+        }
+    }
+}

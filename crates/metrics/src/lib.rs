@@ -5,6 +5,9 @@
 //!
 //! * [`recorder`] — latency / accuracy / per-layer hit recorders built on
 //!   `coca-math` online statistics.
+//! * [`histogram`] — a fixed-bin log-linear latency histogram whose merges
+//!   are exact integer adds: the streaming-metrics mode fleet-scale runs
+//!   use where P² sketches cannot be combined across shards.
 //! * [`table`] — aligned ASCII (and Markdown) table rendering for the
 //!   experiment binaries.
 //! * [`record`] — serializable experiment records (`results/*.json`) that
@@ -13,11 +16,13 @@
 //!   dynamic-scenario experiments, where drift effects only show up as a
 //!   time series.
 
+pub mod histogram;
 pub mod record;
 pub mod recorder;
 pub mod table;
 pub mod windowed;
 
+pub use histogram::LatencyHistogram;
 pub use record::ExperimentRecord;
 pub use recorder::{AccuracyRecorder, HitRecorder, LatencyRecorder, RunSummary};
 pub use table::Table;

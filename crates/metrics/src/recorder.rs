@@ -275,25 +275,47 @@ impl RunSummary {
     }
 
     /// Merges a per-client summary into a global one.
+    ///
+    /// ## Latency-quantile contract
+    ///
+    /// Counting state (accuracy, hits, the latency *moments* — count /
+    /// mean / min / max) merges **exactly**. The P² quantile sketches do
+    /// not compose: two sketches cannot be combined into the sketch a
+    /// single pass over the union would have produced. The contract is
+    /// therefore:
+    ///
+    /// * if one side is empty, the merged summary carries the non-empty
+    ///   side's sketches verbatim (exact — the union *is* that side);
+    /// * otherwise the merged `p50/p95/p99` remain **`self`'s** estimates
+    ///   and must be treated as per-shard approximations, not fleet
+    ///   quantiles.
+    ///
+    /// Callers that need true cross-client quantiles must record through
+    /// a single recorder on the per-frame path (what the engine's global
+    /// `EngineReport::latency` does) or use the exactly-mergeable
+    /// [`LatencyHistogram`](crate::LatencyHistogram), which trades ≤1/64
+    /// relative bucketing error for exact merges at any fan-in.
     pub fn merge(&mut self, other: &RunSummary) {
-        // Latency quantile sketches cannot be merged exactly; the engine
-        // therefore records per-frame latencies into the global summary
-        // directly. Here we merge only the mergeable parts and the mean.
-        let mut merged = *self.latency.stats();
-        merged.merge(other.latency.stats());
         self.accuracy.merge(&other.accuracy);
         self.hits.merge(&other.hits);
-        // Rebuild the latency recorder around the merged moments; quantiles
-        // are left to whichever recorder saw data (documented limitation —
-        // the engine avoids needing merged quantiles).
-        let mut lat = LatencyRecorder::new();
-        std::mem::swap(&mut lat, &mut self.latency);
-        self.latency = lat;
-        *self.latency.stats_mut() = merged;
-        let mut upload = *self.upload.stats();
-        upload.merge(other.upload.stats());
-        *self.upload.stats_mut() = upload;
+        merge_latency(&mut self.latency, &other.latency);
+        merge_latency(&mut self.upload, &other.upload);
     }
+}
+
+/// Merges `other` into `dst` under the quantile contract documented on
+/// [`RunSummary::merge`]: moments exactly, sketches adopted wholesale only
+/// when `dst` has seen no data (previously an empty `dst` silently
+/// *dropped* `other`'s sketches, reporting `None` quantiles for a
+/// non-empty merge).
+fn merge_latency(dst: &mut LatencyRecorder, other: &LatencyRecorder) {
+    if dst.count() == 0 {
+        *dst = other.clone();
+        return;
+    }
+    let mut moments = *dst.stats();
+    moments.merge(other.stats());
+    *dst.stats_mut() = moments;
 }
 
 impl LatencyRecorder {
@@ -375,6 +397,27 @@ mod tests {
         assert_eq!(a.num_layers(), 4);
         assert_eq!(a.total(), 3);
         assert_eq!(a.hits_per_layer(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn merging_into_an_empty_summary_keeps_quantiles() {
+        // Regression: an empty `self` used to drop `other`'s quantile
+        // sketches entirely, reporting `None` after a non-empty merge.
+        let mut other = RunSummary::new(1);
+        for i in 1..=100u64 {
+            other.latency.record(SimDuration::from_millis(i));
+            other.upload.record(SimDuration::from_millis(i * 2));
+        }
+        let mut total = RunSummary::new(1);
+        total.merge(&other);
+        assert_eq!(total.latency.count(), 100);
+        let p50 = total.latency.p50_ms().expect("adopted sketch");
+        assert!((p50 - other.latency.p50_ms().unwrap()).abs() < 1e-12);
+        assert_eq!(total.upload.p99_ms(), other.upload.p99_ms());
+        // A second, non-empty merge keeps exact moments.
+        total.merge(&other);
+        assert_eq!(total.latency.count(), 200);
+        assert_eq!(total.latency.max_ms(), Some(100.0));
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //!   advancing cursor over virtual time.
 //! * [`rng`] — [`SeedTree`](rng::SeedTree), hierarchical deterministic seed
 //!   derivation so every component gets an independent, reproducible RNG.
-//! * [`event`] — [`EventQueue`](event::EventQueue), a minimal discrete-event
+//! * [`event`] — [`EventQueue`](event::EventQueue), the discrete-event
 //!   scheduler used by the multi-client engine (server queueing, staggered
-//!   client rounds).
+//!   client rounds): a hierarchical timer wheel with O(1) amortized
+//!   operations at fleet scale, property-pinned to the reference
+//!   [`HeapEventQueue`](event::HeapEventQueue)'s pop order.
 
 pub mod clock;
 pub mod event;
@@ -24,6 +26,6 @@ pub mod rng;
 pub mod time;
 
 pub use clock::VirtualClock;
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{EventQueue, HeapEventQueue, ScheduledEvent};
 pub use rng::SeedTree;
 pub use time::{SimDuration, SimTime};

@@ -110,6 +110,7 @@ fn main() {
                     profile_src.base_hit_profile().to_vec(),
                 );
                 let mut stream = scenario.stream(k);
+                let mut scratch = coca::core::LookupScratch::new();
                 let mut t = TcpTransport::connect(addr).expect("connect");
                 let mut total_ms = 0.0;
                 let mut frames = 0u64;
@@ -121,7 +122,7 @@ fn main() {
                     client.install_cache(alloc.cache);
                     for _ in 0..FRAMES {
                         let frame = stream.next_frame();
-                        let r = client.process_frame(rt, &frame);
+                        let r = client.process_frame(rt, &frame, &mut scratch);
                         total_ms += r.latency.as_millis_f64();
                         frames += 1;
                     }
