@@ -266,7 +266,7 @@ fn aca_probe() {
         let mut sum = 0.0;
         for c in 0..50 {
             sum += coca_math::cosine(
-                server.global().get(c, layer).unwrap(),
+                &server.global().get(c, layer).unwrap(),
                 rt.universe().global_center(layer, c),
             ) as f64;
         }

@@ -99,6 +99,7 @@ fn build_uploads(
                     round: 0,
                     table,
                     frequency,
+                    precision: coca_math::Precision::F32,
                 },
                 boxed,
             )

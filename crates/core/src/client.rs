@@ -267,11 +267,18 @@ impl CocaClient {
                 self.hit_ratio_est[p] = a * cumulative + (1.0 - a) * self.hit_ratio_est[p];
             }
         }
+        let mut table = self.update.take();
+        // Under a quantized wire config, snap every collected vector onto
+        // the precision's grid before upload: the f32 values shipped are
+        // exactly the dequantized codes, and `wire_bytes` prices the
+        // quantized payload. F32 (the default) is untouched.
+        table.quantize_in_place(self.cfg.precision);
         let upload = UpdateUpload {
             client_id: self.id,
             round: self.round,
-            table: self.update.take(),
+            table,
             frequency: self.status.frequency().to_vec(),
+            precision: self.cfg.precision,
         };
         self.status.reset_round();
         self.round_hits.iter_mut().for_each(|h| *h = 0);

@@ -32,7 +32,7 @@
 //! (bit-identical to the seed `scale`/`axpy`/`l2_normalize` sequence).
 
 use coca_math::vector::l2_normalize;
-use coca_math::{merge_weighted_row, VectorStore};
+use coca_math::{merge_weighted_row, snap_row, Precision, VectorStore};
 use serde::{Deserialize, Serialize};
 
 /// Why a sample was absorbed (diagnostics + Fig. 6 accounting).
@@ -238,10 +238,37 @@ impl UpdateTable {
 
     /// Logical wire size: 8-byte key + dense f32 vector per cell.
     pub fn wire_bytes(&self) -> usize {
+        self.wire_bytes_at(Precision::F32)
+    }
+
+    /// Logical wire size with the vectors shipped at `precision`:
+    /// 8-byte key per cell plus the quantized payload (i8 carries one
+    /// f32 scale per row). [`Precision::F32`] reproduces
+    /// [`UpdateTable::wire_bytes`].
+    pub fn wire_bytes_at(&self, precision: Precision) -> usize {
         self.layers
             .iter()
-            .map(|g| g.len() * 8 + g.vectors.bytes())
+            .map(|g| g.len() * 8 + precision.payload_bytes(g.len(), g.vectors.dim()))
             .sum()
+    }
+
+    /// Snaps every cell vector onto `precision`'s representable grid
+    /// (quantize → dequantize in place; a no-op for [`Precision::F32`]).
+    /// The sender calls this before upload so the f32 values it ships
+    /// *are* the dequantized codes — the link prices the quantized
+    /// payload via [`UpdateTable::wire_bytes_at`] while the JSON debug
+    /// transport stays f32 triples. Vectors are intentionally **not**
+    /// re-normalized: the slight non-unit norm is the honest
+    /// quantization error, and the server's Eq. 4 merge renormalizes.
+    pub fn quantize_in_place(&mut self, precision: Precision) {
+        if precision == Precision::F32 {
+            return;
+        }
+        for g in &mut self.layers {
+            for i in 0..g.vectors.rows() {
+                snap_row(g.vectors.row_mut(i), precision);
+            }
+        }
     }
 }
 

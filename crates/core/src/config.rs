@@ -1,5 +1,6 @@
 //! CoCa configuration: the paper's thresholds, decays and toggles.
 
+use coca_math::Precision;
 use coca_model::ModelId;
 use serde::{Deserialize, Serialize};
 
@@ -119,6 +120,14 @@ pub struct CocaConfig {
     /// batches, relaxed observation contract; see [`FlushPolicy`]). Only
     /// consulted under [`MergeMode::QueueAndFlush`].
     pub flush_policy: FlushPolicy,
+    /// Storage precision of the data that *moves*: upload tables,
+    /// allocation frames and the server's global-table layers. The
+    /// default [`Precision::F32`] is the committed-record reference;
+    /// [`Precision::F16`] / [`Precision::I8`] shrink `wire_bytes` and the
+    /// table footprint 2–4× at a measured hit-ratio/accuracy cost (see
+    /// `results/quant.json`). Kernels always compute in f32 —
+    /// quantized rows dequantize on read.
+    pub precision: Precision,
 }
 
 /// Reads the `COCA_MERGE_MODE` override (`per_upload` /
@@ -143,6 +152,13 @@ fn flush_policy_from_env() -> Option<FlushPolicy> {
         "round_aligned" => Some(FlushPolicy::RoundAligned),
         _ => None,
     }
+}
+
+/// Reads the `COCA_PRECISION` override (`f32` / `f16` / `i8`); the
+/// quantization sweep sets this without rebuilding configs by hand.
+/// Anything else (unset or unrecognized) means "no override".
+fn precision_from_env() -> Option<Precision> {
+    Precision::parse(std::env::var("COCA_PRECISION").ok()?.as_str())
 }
 
 /// Reads the `COCA_PARALLEL_MERGE` override (`1`/`true` on, `0`/`false`
@@ -186,6 +202,7 @@ impl CocaConfig {
             merge_mode: merge_mode_from_env().unwrap_or(MergeMode::PerUpload),
             parallel_merge: parallel_merge_from_env().unwrap_or(false),
             flush_policy: flush_policy_from_env().unwrap_or(FlushPolicy::EveryBoundary),
+            precision: precision_from_env().unwrap_or(Precision::F32),
         }
     }
 
@@ -232,6 +249,12 @@ impl CocaConfig {
     /// Returns a copy with the given queue-flush policy.
     pub fn with_flush_policy(mut self, policy: FlushPolicy) -> Self {
         self.flush_policy = policy;
+        self
+    }
+
+    /// Returns a copy with the given wire/table precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -361,6 +384,22 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: CocaConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.flush_policy, FlushPolicy::RoundAligned);
+    }
+
+    #[test]
+    fn precision_defaults_and_builder() {
+        let cfg = CocaConfig::for_model(ModelId::ResNet101);
+        match std::env::var("COCA_PRECISION").as_deref() {
+            Ok("f16") => assert_eq!(cfg.precision, Precision::F16),
+            Ok("i8") => assert_eq!(cfg.precision, Precision::I8),
+            _ => assert_eq!(cfg.precision, Precision::F32, "default is f32"),
+        }
+        let cfg = cfg.with_precision(Precision::I8);
+        assert_eq!(cfg.precision, Precision::I8);
+        assert!(cfg.validate().is_ok());
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: CocaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.precision, Precision::I8);
     }
 
     #[test]

@@ -33,8 +33,13 @@
 //! equivalence is what lets a sharded server drain its round queue in
 //! per-layer batches without changing a single result.
 
+use std::borrow::Cow;
+
 use coca_math::vector::l2_normalize;
-use coca_math::{merge_weighted_rows, OccupancyBitmap, VectorStore};
+use coca_math::{
+    merge_weighted_row, merge_weighted_rows, OccupancyBitmap, Precision, QuantizedStore,
+    VectorStore,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +59,9 @@ struct JobBuf {
     w_old: Vec<f32>,
     /// Eq. 4 upload weights, parallel to `dst_rows`.
     w_new: Vec<f32>,
+    /// One-row f32 staging buffer of the quantized merge path (a
+    /// quantized cell dequantizes here, merges in f32, re-quantizes).
+    row: Vec<f32>,
 }
 
 impl JobBuf {
@@ -63,6 +71,17 @@ impl JobBuf {
         self.w_old.clear();
         self.w_new.clear();
     }
+}
+
+/// Mutable view of one layer's entry storage — dense f32 or quantized.
+/// The merge paths work on slots so the Eq. 4 arithmetic is written
+/// once; only where a row's bytes live differs.
+enum LayerSlotMut<'a> {
+    /// A dense f32 layer store (the default mode).
+    Dense(&'a mut VectorStore),
+    /// A quantized layer (`None` until the first valid cell commits the
+    /// layer's dimension, mirroring the dense `dim() == 0` convention).
+    Quant(&'a mut Option<QuantizedStore>, Precision),
 }
 
 /// Reusable buffers for the server-side merge phase. Lives in the server
@@ -112,11 +131,26 @@ pub struct GlobalCacheTable {
     occupancy: Vec<OccupancyBitmap>,
     /// Φ — global class frequencies (Eq. 5).
     frequency: Vec<u64>,
+    /// Storage precision of the layer entries. [`Precision::F32`] keeps
+    /// everything in `stores`; a quantized mode keeps entries in
+    /// `qstores` instead (2–4× smaller) and dequantizes +
+    /// **renormalizes** on every read, so the unit-norm contract of
+    /// extracted caches holds regardless of codec error.
+    precision: Precision,
+    /// Quantized layer stores, parallel to `stores`; every slot is
+    /// `None` in f32 mode, and a quantized layer is `None` until first
+    /// touched (the `dim() == 0` convention of dense layers).
+    qstores: Vec<Option<QuantizedStore>>,
 }
 
 impl GlobalCacheTable {
-    /// An empty `classes × layers` table.
+    /// An empty `classes × layers` table (dense f32 entries).
     pub fn new(classes: usize, layers: usize) -> Self {
+        Self::with_precision(classes, layers, Precision::F32)
+    }
+
+    /// An empty `classes × layers` table storing entries at `precision`.
+    pub fn with_precision(classes: usize, layers: usize, precision: Precision) -> Self {
         assert!(classes > 0 && layers > 0, "degenerate global cache shape");
         Self {
             classes,
@@ -124,6 +158,8 @@ impl GlobalCacheTable {
             stores: vec![VectorStore::empty(); layers],
             occupancy: vec![OccupancyBitmap::new(classes); layers],
             frequency: vec![0; classes],
+            precision,
+            qstores: vec![None; layers],
         }
     }
 
@@ -137,23 +173,93 @@ impl GlobalCacheTable {
         self.layers
     }
 
-    /// The entry at `(class, layer)`, if populated.
-    pub fn get(&self, class: usize, layer: usize) -> Option<&[f32]> {
-        self.occupancy[layer]
-            .get(class)
-            .then(|| self.stores[layer].row(class))
+    /// Storage precision of the layer entries.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Bytes the layer entries occupy in memory (diagnostics — this is
+    /// what quantized storage shrinks; Φ and the bitmaps are shared).
+    pub fn store_bytes(&self) -> usize {
+        let dense: usize = self.stores.iter().map(VectorStore::bytes).sum();
+        let quant: usize = self
+            .qstores
+            .iter()
+            .flatten()
+            .map(QuantizedStore::bytes)
+            .sum();
+        dense + quant
+    }
+
+    /// The entry at `(class, layer)`, if populated. A dense table
+    /// borrows the row; a quantized table dequantizes and renormalizes
+    /// into an owned vector (codec error shrinks the stored norm, and
+    /// every consumer expects unit centers).
+    pub fn get(&self, class: usize, layer: usize) -> Option<Cow<'_, [f32]>> {
+        if !self.occupancy[layer].get(class) {
+            return None;
+        }
+        Some(match &self.qstores[layer] {
+            None => Cow::Borrowed(self.stores[layer].row(class)),
+            Some(q) => {
+                let mut row = q.dequantize_row(class);
+                l2_normalize(&mut row);
+                Cow::Owned(row)
+            }
+        })
     }
 
     /// Directly sets an entry (initial seeding from the shared dataset).
-    /// The vector is normalized on insertion.
+    /// The vector is normalized on insertion (then snapped onto the
+    /// codec grid when the table is quantized).
     pub fn set(&mut self, class: usize, layer: usize, mut vector: Vec<f32>) {
         l2_normalize(&mut vector);
-        let store = &mut self.stores[layer];
-        if store.dim() == 0 {
-            *store = VectorStore::zeros(vector.len(), self.classes);
+        if self.precision == Precision::F32 {
+            let store = &mut self.stores[layer];
+            if store.dim() == 0 {
+                *store = VectorStore::zeros(vector.len(), self.classes);
+            }
+            store.set_row(class, &vector);
+        } else {
+            let q = self.qstores[layer].get_or_insert_with(|| {
+                QuantizedStore::zeros(vector.len(), self.classes, self.precision)
+            });
+            q.set_row(class, &vector);
         }
-        store.set_row(class, &vector);
         self.occupancy[layer].set(class);
+    }
+
+    /// Re-encodes every populated entry at `precision` (used once at
+    /// server construction: the shared-dataset seed builds f32 centers,
+    /// then the table drops to the configured storage codec). Quantizing
+    /// is lossy; converting back to f32 keeps the dequantized —
+    /// renormalized — values, not the originals.
+    pub fn convert_precision(&mut self, precision: Precision) {
+        if precision == self.precision {
+            return;
+        }
+        for layer in 0..self.layers {
+            // Materialize the layer's current entries as unit f32 rows.
+            let dense = match self.qstores[layer].take() {
+                Some(q) => {
+                    let mut d = q.dequantize();
+                    for class in self.occupancy[layer].iter_ones() {
+                        l2_normalize(d.row_mut(class));
+                    }
+                    d
+                }
+                None => std::mem::replace(&mut self.stores[layer], VectorStore::empty()),
+            };
+            if dense.dim() == 0 {
+                continue; // layer never touched
+            }
+            if precision == Precision::F32 {
+                self.stores[layer] = dense;
+            } else {
+                self.qstores[layer] = Some(QuantizedStore::quantize(&dense, precision));
+            }
+        }
+        self.precision = precision;
     }
 
     /// Φ — the global class-frequency vector.
@@ -190,12 +296,19 @@ impl GlobalCacheTable {
         }
     }
 
-    /// Merges one layer group of one upload into its layer's `(store,
+    /// Merges one layer group of one upload into its layer's `(slot,
     /// occupancy)` pair. `w.cap_phi` is the Φ snapshot the Eq. 4 weights
     /// read (the live vector for a sequential merge, a per-client prefix
     /// for a batched one); `w.phi` is the client's φ.
+    ///
+    /// A dense layer batches its jobs into one fused
+    /// [`merge_weighted_rows`] call; a quantized layer merges cell by
+    /// cell — dequantize into the f32 staging row, Eq. 4 in f32,
+    /// re-quantize — since its codes cannot stream through the kernel.
+    /// Each class appears at most once per upload group, so the
+    /// immediate writes never alias a pending read.
     fn merge_layer_group(
-        store: &mut VectorStore,
+        mut slot: LayerSlotMut<'_>,
         occupancy: &mut OccupancyBitmap,
         classes: usize,
         g: &LayerUpdate,
@@ -207,12 +320,18 @@ impl GlobalCacheTable {
             phi,
             gamma,
         } = w;
-        if store.dim() != 0 && store.dim() != g.vectors.dim() {
+        let dim = g.vectors.dim();
+        let committed_dim = match &slot {
+            LayerSlotMut::Dense(store) => store.dim(),
+            LayerSlotMut::Quant(q, _) => q.as_ref().map_or(0, QuantizedStore::dim),
+        };
+        if committed_dim != 0 && committed_dim != dim {
             // Malformed upload layer; ignore rather than poison state.
             debug_assert!(false, "dim mismatch in global merge");
             return;
         }
         jobs.clear();
+        jobs.row.resize(dim, 0.0);
         for (row, &class) in g.classes.iter().enumerate() {
             let class = class as usize;
             if class >= classes {
@@ -228,35 +347,68 @@ impl GlobalCacheTable {
             // A never-touched layer commits its dimension only once a
             // *valid* cell actually lands — an upload rejected above
             // cannot pin a wrong dim on the layer forever.
-            if store.dim() == 0 {
-                *store = VectorStore::zeros(g.vectors.dim(), classes);
+            match &mut slot {
+                LayerSlotMut::Dense(store) => {
+                    if store.dim() == 0 {
+                        **store = VectorStore::zeros(dim, classes);
+                    }
+                }
+                LayerSlotMut::Quant(q, precision) => {
+                    if q.is_none() {
+                        **q = Some(QuantizedStore::zeros(dim, classes, *precision));
+                    }
+                }
             }
             if occupancy.get(class) {
                 let cap = cap_phi[class] as f32;
-                jobs.dst_rows.push(class);
-                jobs.src_rows.push(row);
-                jobs.w_old.push(gamma * cap / (cap + phi_i));
-                jobs.w_new.push(phi_i / (cap + phi_i));
+                let w_old = gamma * cap / (cap + phi_i);
+                let w_new = phi_i / (cap + phi_i);
+                match &mut slot {
+                    LayerSlotMut::Dense(_) => {
+                        jobs.dst_rows.push(class);
+                        jobs.src_rows.push(row);
+                        jobs.w_old.push(w_old);
+                        jobs.w_new.push(w_new);
+                    }
+                    LayerSlotMut::Quant(q, _) => {
+                        let q = q.as_mut().expect("quant layer initialized above");
+                        q.dequantize_row_into(class, &mut jobs.row);
+                        merge_weighted_row(&mut jobs.row, g.vectors.row(row), w_old, w_new);
+                        q.set_row(class, &jobs.row);
+                    }
+                }
             } else {
                 // Cells never seen before adopt the client's vector
                 // directly (the Eq. 4 weights with Φ_i = 0 reduce to
                 // exactly that only when the entry exists; a missing
                 // entry has nothing to decay).
-                let dst = store.row_mut(class);
-                dst.copy_from_slice(g.vectors.row(row));
-                l2_normalize(dst);
+                match &mut slot {
+                    LayerSlotMut::Dense(store) => {
+                        let dst = store.row_mut(class);
+                        dst.copy_from_slice(g.vectors.row(row));
+                        l2_normalize(dst);
+                    }
+                    LayerSlotMut::Quant(q, _) => {
+                        let q = q.as_mut().expect("quant layer initialized above");
+                        jobs.row.copy_from_slice(g.vectors.row(row));
+                        l2_normalize(&mut jobs.row);
+                        q.set_row(class, &jobs.row);
+                    }
+                }
                 occupancy.set(class);
             }
         }
-        merge_weighted_rows(
-            store.as_flat_mut(),
-            g.vectors.dim(),
-            &jobs.dst_rows,
-            g.vectors.as_flat(),
-            &jobs.src_rows,
-            &jobs.w_old,
-            &jobs.w_new,
-        );
+        if let LayerSlotMut::Dense(store) = slot {
+            merge_weighted_rows(
+                store.as_flat_mut(),
+                dim,
+                &jobs.dst_rows,
+                g.vectors.as_flat(),
+                &jobs.src_rows,
+                &jobs.w_old,
+                &jobs.w_new,
+            );
+        }
     }
 
     /// Merges one client's upload: Eq. 4 for every populated cell of `u`
@@ -277,8 +429,13 @@ impl GlobalCacheTable {
                 // Malformed upload layer; ignore rather than poison state.
                 continue;
             }
+            let slot = if self.precision == Precision::F32 {
+                LayerSlotMut::Dense(&mut self.stores[layer])
+            } else {
+                LayerSlotMut::Quant(&mut self.qstores[layer], self.precision)
+            };
             Self::merge_layer_group(
-                &mut self.stores[layer],
+                slot,
                 &mut self.occupancy[layer],
                 self.classes,
                 g,
@@ -320,8 +477,13 @@ impl GlobalCacheTable {
                 let Some(g) = u.layer_group(layer as u32) else {
                     continue;
                 };
+                let slot = if self.precision == Precision::F32 {
+                    LayerSlotMut::Dense(&mut self.stores[layer])
+                } else {
+                    LayerSlotMut::Quant(&mut self.qstores[layer], self.precision)
+                };
                 Self::merge_layer_group(
-                    &mut self.stores[layer],
+                    slot,
                     &mut self.occupancy[layer],
                     n,
                     g,
@@ -358,30 +520,43 @@ impl GlobalCacheTable {
         scratch: &mut MergeScratch,
     ) {
         let n = self.classes;
+        let precision = self.precision;
         self.fill_phi_prefix(uploads, scratch);
         let phi_prefix = std::mem::take(&mut scratch.phi_prefix);
         let mut shard_bufs = std::mem::take(&mut scratch.shards);
         shard_bufs.resize_with(self.layers, JobBuf::default);
-        // One work item per layer: the layer's own store + occupancy
+        // One work item per layer: the layer's own slot + occupancy
         // (disjoint `&mut`s — fields are parallel vectors) plus a
         // reusable job buffer that travels through the map and back.
-        let items: Vec<(usize, &mut VectorStore, &mut OccupancyBitmap, JobBuf)> = self
+        let items: Vec<(usize, LayerSlotMut<'_>, &mut OccupancyBitmap, JobBuf)> = self
             .stores
             .iter_mut()
+            .zip(self.qstores.iter_mut())
             .zip(self.occupancy.iter_mut())
             .zip(shard_bufs.drain(..))
             .enumerate()
-            .map(|(layer, ((store, occ), buf))| (layer, store, occ, buf))
+            .map(|(layer, (((store, qstore), occ), buf))| {
+                let slot = if precision == Precision::F32 {
+                    LayerSlotMut::Dense(store)
+                } else {
+                    LayerSlotMut::Quant(qstore, precision)
+                };
+                (layer, slot, occ, buf)
+            })
             .collect();
         scratch.shards = items
             .into_par_iter()
-            .map(|(layer, store, occ, mut jobs)| {
+            .map(|(layer, mut slot, occ, mut jobs)| {
                 for (c, &(u, phi)) in uploads.iter().enumerate() {
                     let Some(g) = u.layer_group(layer as u32) else {
                         continue;
                     };
+                    let reborrow = match &mut slot {
+                        LayerSlotMut::Dense(store) => LayerSlotMut::Dense(store),
+                        LayerSlotMut::Quant(q, p) => LayerSlotMut::Quant(q, *p),
+                    };
                     Self::merge_layer_group(
-                        store,
+                        reborrow,
                         occ,
                         n,
                         g,
@@ -433,7 +608,11 @@ impl GlobalCacheTable {
     pub fn extract(&self, layers: &[usize], classes: &[usize]) -> LocalCache {
         let mut out = Vec::with_capacity(layers.len());
         for &layer in layers {
-            if layer >= self.layers || self.stores[layer].dim() == 0 {
+            if layer >= self.layers {
+                continue;
+            }
+            let active = self.qstores[layer].is_some() || self.stores[layer].dim() != 0;
+            if !active {
                 continue;
             }
             let occ = &self.occupancy[layer];
@@ -445,7 +624,18 @@ impl GlobalCacheTable {
             if sel.is_empty() {
                 continue;
             }
-            let vectors = self.stores[layer].extract_rows(&sel);
+            let vectors = match &self.qstores[layer] {
+                None => self.stores[layer].extract_rows(&sel),
+                Some(q) => {
+                    // Dequantized rows lose a little norm to the codec;
+                    // renormalize so the cache's unit contract holds.
+                    let mut v = q.dequantize_rows(&sel);
+                    for i in 0..v.rows() {
+                        l2_normalize(v.row_mut(i));
+                    }
+                    v
+                }
+            };
             debug_assert!(vectors.iter_rows().all(|r| coca_math::is_unit(r, 1e-3)));
             out.push(CacheLayer {
                 point: layer,
@@ -470,6 +660,10 @@ impl GlobalCacheTable {
 // keeps the original single **layer-major** bitmap (bit `layer · classes
 // + class`) even though the table stores one bitmap per layer — the
 // in-memory split is a sharding detail, not a protocol change.
+//
+// A dense f32 table serializes exactly as it always has; a quantized
+// table adds optional `precision` + `qstores` keys (absent keys read
+// back as f32, so every committed f32 snapshot stays valid).
 impl Serialize for GlobalCacheTable {
     fn to_value(&self) -> serde::Value {
         let mut flat = OccupancyBitmap::new(self.classes * self.layers);
@@ -484,6 +678,10 @@ impl Serialize for GlobalCacheTable {
         m.insert("stores".into(), Serialize::to_value(&self.stores));
         m.insert("occupancy".into(), Serialize::to_value(&flat));
         m.insert("frequency".into(), Serialize::to_value(&self.frequency));
+        if self.precision != Precision::F32 {
+            m.insert("precision".into(), Serialize::to_value(&self.precision));
+            m.insert("qstores".into(), Serialize::to_value(&self.qstores));
+        }
         serde::Value::Object(m)
     }
 }
@@ -501,10 +699,18 @@ impl Deserialize for GlobalCacheTable {
         let stores: Vec<VectorStore> = serde::__field(m, "stores")?;
         let occupancy: OccupancyBitmap = serde::__field(m, "occupancy")?;
         let frequency: Vec<u64> = serde::__field(m, "frequency")?;
+        let precision: Option<Precision> = serde::__field(m, "precision")?;
+        let precision = precision.unwrap_or(Precision::F32);
+        let qstores: Vec<Option<QuantizedStore>> = if precision == Precision::F32 {
+            vec![None; layers]
+        } else {
+            serde::__field(m, "qstores")?
+        };
         if classes == 0 || layers == 0 {
             return Err(serde::Error::custom("GlobalCacheTable: degenerate shape"));
         }
         if stores.len() != layers
+            || qstores.len() != layers
             || occupancy.len() != classes * layers
             || frequency.len() != classes
         {
@@ -520,12 +726,38 @@ impl Deserialize for GlobalCacheTable {
                 )));
             }
         }
+        for (j, q) in qstores.iter().enumerate() {
+            let Some(q) = q else { continue };
+            if precision == Precision::F32 {
+                return Err(serde::Error::custom(
+                    "GlobalCacheTable: quantized layer in an f32 table".to_string(),
+                ));
+            }
+            if q.precision() != precision {
+                return Err(serde::Error::custom(format!(
+                    "GlobalCacheTable: layer {j} codec {} in a {} table",
+                    q.precision().label(),
+                    precision.label()
+                )));
+            }
+            if q.rows() != classes {
+                return Err(serde::Error::custom(format!(
+                    "GlobalCacheTable: layer {j} has {} rows for {classes} classes",
+                    q.rows()
+                )));
+            }
+            if stores[j].dim() != 0 {
+                return Err(serde::Error::custom(format!(
+                    "GlobalCacheTable: layer {j} is both dense and quantized"
+                )));
+            }
+        }
         // Split the layer-major wire bitmap into the per-layer bitmaps
         // the table stores, validating as we go.
         let mut per_layer = vec![OccupancyBitmap::new(classes); layers];
         for bit in occupancy.iter_ones() {
             let layer = bit / classes;
-            if stores[layer].dim() == 0 {
+            if stores[layer].dim() == 0 && qstores[layer].is_none() {
                 return Err(serde::Error::custom(
                     "GlobalCacheTable: occupied cell in an uninitialized layer".to_string(),
                 ));
@@ -538,6 +770,8 @@ impl Deserialize for GlobalCacheTable {
             stores,
             occupancy: per_layer,
             frequency,
+            precision,
+            qstores,
         })
     }
 }
@@ -569,7 +803,7 @@ mod tests {
         let u = upload(&[(1, 2, vec![0.0, 3.0])]);
         merge(&mut t, &u, &[0, 5, 0, 0], 0.99);
         let e = t.get(1, 2).unwrap();
-        assert!(cosine(e, &[0.0, 1.0]) > 0.999);
+        assert!(cosine(&e, &[0.0, 1.0]) > 0.999);
         assert_eq!(t.frequency(), &[0, 5, 0, 0]);
         assert!(t.get(0, 0).is_none());
     }
@@ -599,7 +833,7 @@ mod tests {
         t.seed_frequency(&[0, 0, 7, 0]);
         let u = upload(&[(2, 1, vec![-1.0, 1.0])]);
         merge(&mut t, &u, &[0, 0, 3, 0], 0.99);
-        assert!((l2_norm(t.get(2, 1).unwrap()) - 1.0).abs() < 1e-5);
+        assert!((l2_norm(&t.get(2, 1).unwrap()) - 1.0).abs() < 1e-5);
     }
 
     #[test]
@@ -608,7 +842,7 @@ mod tests {
         t.set(3, 0, vec![1.0, 0.0]);
         let u = upload(&[(3, 0, vec![0.0, 1.0])]);
         merge(&mut t, &u, &[0, 0, 0, 0], 0.99);
-        assert!(cosine(t.get(3, 0).unwrap(), &[1.0, 0.0]) > 0.999);
+        assert!(cosine(&t.get(3, 0).unwrap(), &[1.0, 0.0]) > 0.999);
     }
 
     #[test]
@@ -678,7 +912,7 @@ mod tests {
                 match (seq.get(c, l), bat.get(c, l)) {
                     (None, None) => {}
                     (Some(a), Some(b)) => {
-                        for (x, y) in a.iter().zip(b) {
+                        for (x, y) in a.iter().zip(b.iter()) {
                             assert_eq!(x.to_bits(), y.to_bits(), "cell ({c},{l})");
                         }
                     }
@@ -722,7 +956,7 @@ mod tests {
                     match (serial.get(c, l), sharded.get(c, l)) {
                         (None, None) => {}
                         (Some(a), Some(b)) => {
-                            for (x, y) in a.iter().zip(b) {
+                            for (x, y) in a.iter().zip(b.iter()) {
                                 assert_eq!(x.to_bits(), y.to_bits(), "cell ({c},{l}) w={width}");
                             }
                         }
@@ -731,6 +965,131 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn quantized_table_merges_and_extracts_unit_centers() {
+        for precision in [Precision::F16, Precision::I8] {
+            let mut t = GlobalCacheTable::with_precision(4, 3, precision);
+            assert_eq!(t.precision(), precision);
+            t.set(0, 1, vec![0.6, 0.8]);
+            t.seed_frequency(&[8, 0, 0, 0]);
+            // Reads renormalize: codec error must not leak a non-unit
+            // center out of the table.
+            let e = t.get(0, 1).unwrap();
+            assert!((l2_norm(&e) - 1.0).abs() < 1e-6, "norm {}", l2_norm(&e));
+            assert!(cosine(&e, &[0.6, 0.8]) > 0.99);
+            // Merge an occupied cell (Eq. 4 through the staging row) and
+            // adopt a fresh one.
+            let u = upload(&[(0, 1, vec![-0.8, 0.6]), (2, 1, vec![1.0, 0.0])]);
+            merge(&mut t, &u, &[8, 0, 4, 0], 0.99);
+            let moved = t.get(0, 1).unwrap();
+            assert!(cosine(&moved, &[0.6, 0.8]) < 0.999, "entry did not move");
+            assert!((l2_norm(&moved) - 1.0).abs() < 1e-6);
+            assert!(cosine(&t.get(2, 1).unwrap(), &[1.0, 0.0]) > 0.99);
+            assert_eq!(t.frequency(), &[16, 0, 4, 0]);
+            // Extraction yields unit rows (the CacheLayer contract).
+            let cache = t.extract(&[1], &[0, 2]);
+            assert_eq!(cache.num_layers(), 1);
+            assert_eq!(cache.layers()[0].len(), 2);
+            // Footprint: i8 ≈ 4× smaller than f32, f16 = 2×.
+            let f32_bytes = 4 * 2 * 4; // classes × dim × 4 per touched layer
+            assert!(t.store_bytes() < f32_bytes, "{:?}", t.store_bytes());
+        }
+    }
+
+    #[test]
+    fn quantized_batched_merge_matches_sequential() {
+        let build = || {
+            let mut t = GlobalCacheTable::with_precision(4, 3, Precision::I8);
+            t.set(0, 0, vec![1.0, 0.0]);
+            t.set(1, 1, vec![0.0, 1.0]);
+            t.seed_frequency(&[5, 3, 0, 0]);
+            t
+        };
+        let u1 = upload(&[(0, 0, vec![0.2, 0.9]), (2, 1, vec![0.5, 0.5])]);
+        let phi1: Vec<u64> = vec![4, 0, 7, 0];
+        let u2 = upload(&[(0, 0, vec![-0.7, 0.1]), (1, 1, vec![0.9, -0.1])]);
+        let phi2: Vec<u64> = vec![2, 6, 0, 0];
+
+        let mut scratch = MergeScratch::new();
+        let mut seq = build();
+        seq.merge_update(&u1, &phi1, 0.99, &mut scratch);
+        seq.merge_update(&u2, &phi2, 0.99, &mut scratch);
+
+        let mut bat = build();
+        bat.merge_batch(&[(&u1, &phi1), (&u2, &phi2)], 0.99, &mut scratch);
+
+        let mut sharded = build();
+        sharded.merge_batch_sharded(&[(&u1, &phi1), (&u2, &phi2)], 0.99, &mut scratch);
+
+        for other in [&bat, &sharded] {
+            assert_eq!(seq.frequency(), other.frequency());
+            for c in 0..4 {
+                for l in 0..3 {
+                    match (seq.get(c, l), other.get(c, l)) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            for (x, y) in a.iter().zip(b.iter()) {
+                                assert_eq!(x.to_bits(), y.to_bits(), "cell ({c},{l})");
+                            }
+                        }
+                        (a, b) => panic!("occupancy differs at ({c},{l}): {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn convert_precision_round_trips_occupancy_and_shrinks_storage() {
+        let mut t = table();
+        t.set(0, 0, vec![0.6, 0.8]);
+        t.set(2, 1, vec![1.0, 0.0]);
+        t.seed_frequency(&[9, 0, 4, 0]);
+        let dense_bytes = t.store_bytes();
+        let reference = t.clone();
+        t.convert_precision(Precision::I8);
+        assert_eq!(t.precision(), Precision::I8);
+        assert!(t.store_bytes() < dense_bytes, "{} bytes", t.store_bytes());
+        for (c, l) in [(0usize, 0usize), (2, 1)] {
+            let q = t.get(c, l).unwrap();
+            let r = reference.get(c, l).unwrap();
+            assert!(cosine(&q, &r) > 0.999, "({c},{l})");
+        }
+        assert!(t.get(1, 0).is_none());
+        // Back to f32: entries stay at their snapped (renormalized)
+        // positions — conversion is lossy, not magic — but occupancy,
+        // Φ, and unit norms survive.
+        t.convert_precision(Precision::F32);
+        assert_eq!(t.precision(), Precision::F32);
+        assert_eq!(t.frequency(), reference.frequency());
+        let e = t.get(0, 0).unwrap();
+        assert!((l2_norm(&e) - 1.0).abs() < 1e-6);
+        assert!(cosine(&e, &[0.6, 0.8]) > 0.999);
+    }
+
+    #[test]
+    fn quantized_serde_round_trips_and_f32_wire_shape_is_unchanged() {
+        // f32 tables must not grow new keys (committed snapshots).
+        let mut dense = table();
+        dense.set(1, 0, vec![0.0, 1.0]);
+        let json = serde_json::to_string(&dense).unwrap();
+        assert!(!json.contains("qstores") && !json.contains("precision"));
+
+        let mut t = GlobalCacheTable::with_precision(4, 3, Precision::F16);
+        t.set(1, 0, vec![0.0, 1.0]);
+        t.set(3, 2, vec![0.6, 0.8]);
+        t.seed_frequency(&[9, 8, 7, 6]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: GlobalCacheTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.precision(), Precision::F16);
+        assert_eq!(back.frequency(), t.frequency());
+        for (c, l) in [(1usize, 0usize), (3, 2)] {
+            assert_eq!(back.get(c, l).unwrap(), t.get(c, l).unwrap());
+        }
+        assert!(back.get(0, 0).is_none());
+        assert_eq!(back.store_bytes(), t.store_bytes());
     }
 
     #[test]

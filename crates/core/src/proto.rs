@@ -4,6 +4,7 @@
 //! reports its *logical* wire size — dense binary bytes — which is what the
 //! virtual-time link model charges.
 
+use coca_math::Precision;
 use serde::{Deserialize, Serialize};
 
 use coca_net::WireSize;
@@ -39,6 +40,11 @@ pub struct CacheAllocation {
     pub round: u64,
     /// The extracted sub-table of the global cache.
     pub cache: LocalCache,
+    /// Precision the entry payload ships at. The `cache` values are
+    /// always f32 in memory (dequantized/renormalized on extraction when
+    /// the global table is quantized); this field is what the link model
+    /// prices.
+    pub precision: Precision,
 }
 
 impl WireSize for CacheAllocation {
@@ -51,7 +57,7 @@ impl WireSize for CacheAllocation {
             .iter()
             .map(|l| 8 + 4 * l.classes.len())
             .sum();
-        8 + headers + self.cache.total_bytes()
+        8 + headers + self.cache.total_bytes_at(self.precision)
     }
 }
 
@@ -68,12 +74,17 @@ pub struct UpdateUpload {
     /// like the rest of the Φ pipeline; a round's counts are bounded by
     /// `frames_per_round`, so the wire codec packs each as 4 bytes.
     pub frequency: Vec<u64>,
+    /// Precision the table payload ships at. Under a quantized config
+    /// the sender *snapped* every vector onto this precision's grid
+    /// before upload (`UpdateTable::quantize_in_place`), so the f32
+    /// values carried in `table` are exactly the dequantized codes.
+    pub precision: Precision,
 }
 
 impl WireSize for UpdateUpload {
     fn wire_bytes(&self) -> usize {
         // φ entries ship as u32 on the wire (counts ≤ frames per round).
-        8 + 8 + self.table.wire_bytes() + 4 * self.frequency.len()
+        8 + 8 + self.table.wire_bytes_at(self.precision) + 4 * self.frequency.len()
     }
 }
 
@@ -110,9 +121,21 @@ mod tests {
         let alloc = CacheAllocation {
             round: 2,
             cache: LocalCache::from_layers(vec![layer]),
+            precision: Precision::F32,
         };
         // 8 (round) + 8 (layer header) + 2 class ids + 2 entries × 16 B.
         assert_eq!(alloc.wire_bytes(), 8 + 8 + 8 + 32);
+        // Quantized pricing shrinks the payload, not the headers.
+        let half = CacheAllocation {
+            precision: Precision::F16,
+            ..alloc.clone()
+        };
+        assert_eq!(half.wire_bytes(), 8 + 8 + 8 + 16);
+        let tiny = CacheAllocation {
+            precision: Precision::I8,
+            ..alloc
+        };
+        assert_eq!(tiny.wire_bytes(), 8 + 8 + 8 + 2 * (4 + 4));
     }
 
     #[test]
@@ -122,11 +145,40 @@ mod tests {
             round: 1,
             table: UpdateTable::new(),
             frequency: vec![1, 2, 3],
+            precision: Precision::F32,
         };
         let json = serde_json::to_string(&up).unwrap();
         let back: UpdateUpload = serde_json::from_str(&json).unwrap();
         assert_eq!(back.client_id, 3);
         assert_eq!(back.frequency, vec![1, 2, 3]);
+        assert_eq!(back.precision, Precision::F32);
         assert_eq!(up.wire_bytes(), (8 + 8) + 12);
+    }
+
+    #[test]
+    fn quantized_upload_prices_the_smaller_payload() {
+        let mut table = UpdateTable::new();
+        for c in 0..4 {
+            table.absorb(c, 2, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], 0.95);
+        }
+        let f32_bytes = UpdateUpload {
+            client_id: 1,
+            round: 0,
+            table: table.clone(),
+            frequency: vec![0; 8],
+            precision: Precision::F32,
+        }
+        .wire_bytes();
+        let i8_bytes = UpdateUpload {
+            client_id: 1,
+            round: 0,
+            table,
+            frequency: vec![0; 8],
+            precision: Precision::I8,
+        }
+        .wire_bytes();
+        // Payload: 4 cells × (8 key + 32 f32) vs 4 × (8 key + 8 + 4).
+        assert_eq!(f32_bytes, 16 + 4 * 40 + 32);
+        assert_eq!(i8_bytes, 16 + 4 * 20 + 32);
     }
 }

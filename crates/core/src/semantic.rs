@@ -10,7 +10,7 @@
 //! the unit-norm contract is `debug_assert`ed once at insertion, which is
 //! what lets the lookup use the norm-free `dot_unit` kernel.
 
-use coca_math::VectorStore;
+use coca_math::{Precision, VectorStore};
 use serde::Serialize;
 
 /// One activated cache layer.
@@ -127,6 +127,12 @@ impl CacheLayer {
     pub fn bytes(&self) -> usize {
         self.vectors.bytes()
     }
+
+    /// Bytes this layer's entries occupy when shipped at `precision`
+    /// (what a quantized allocation frame prices on the wire).
+    pub fn bytes_at(&self, precision: Precision) -> usize {
+        precision.payload_bytes(self.classes.len(), self.vectors.dim())
+    }
 }
 
 /// A client's local cache: activated layers in depth order.
@@ -209,6 +215,12 @@ impl LocalCache {
     /// Total bytes of all entries.
     pub fn total_bytes(&self) -> usize {
         self.layers.iter().map(|l| l.bytes()).sum()
+    }
+
+    /// Total bytes of all entries when shipped at `precision`
+    /// ([`Precision::F32`] reproduces [`LocalCache::total_bytes`]).
+    pub fn total_bytes_at(&self, precision: Precision) -> usize {
+        self.layers.iter().map(|l| l.bytes_at(precision)).sum()
     }
 
     /// The union of cached classes across layers (sorted, deduplicated).

@@ -206,7 +206,11 @@ impl CocaServer {
     pub fn new(rt: &ModelRuntime, cfg: CocaConfig, seeds: &SeedTree) -> Self {
         cfg.validate().expect("invalid CoCa configuration");
         let l = rt.num_cache_points();
-        let global = seed_global_table(rt, seeds);
+        let mut global = seed_global_table(rt, seeds);
+        // Seeding always builds f32 centers (the record-regeneration
+        // reference); a quantized config re-encodes them once here, so
+        // the hit-ratio profile below already reflects codec error.
+        global.convert_precision(cfg.precision);
         let saved_ms: Vec<f64> = (0..l)
             .map(|j| rt.saved_if_hit_at(j).as_millis_f64())
             .collect();
@@ -347,7 +351,9 @@ impl CocaServer {
         let mut layers = decision.layers.clone();
         layers.sort_unstable();
         let cache = self.global.extract(&layers, &decision.hot_classes);
-        let kb = cache.total_bytes() as f64 / 1024.0;
+        // The server's compute touches the cells it extracts, priced at
+        // the precision they ship at (quantized tables move fewer bytes).
+        let kb = cache.total_bytes_at(self.cfg.precision) as f64 / 1024.0;
         let service = SimDuration::from_millis_f64(
             self.costs.alloc_base_ms + self.costs.alloc_per_kb_ms * kb,
         );
@@ -355,6 +361,7 @@ impl CocaServer {
             CacheAllocation {
                 round: req.round,
                 cache,
+                precision: self.cfg.precision,
             },
             service,
         )
@@ -367,7 +374,7 @@ impl CocaServer {
     /// [`CocaServer::handle_upload`], which dispatches on
     /// [`CocaConfig::merge_mode`].
     pub fn handle_update(&mut self, up: &UpdateUpload) -> SimDuration {
-        let kb = up.table.wire_bytes() as f64 / 1024.0;
+        let kb = up.table.wire_bytes_at(up.precision) as f64 / 1024.0;
         if self.cfg.enable_gcu {
             self.global.merge_update(
                 &up.table,
@@ -393,7 +400,7 @@ impl CocaServer {
         match self.cfg.merge_mode {
             MergeMode::PerUpload => self.handle_update(&up),
             MergeMode::QueueAndFlush => {
-                let kb = up.table.wire_bytes() as f64 / 1024.0;
+                let kb = up.table.wire_bytes_at(up.precision) as f64 / 1024.0;
                 self.pending.push(up);
                 // Round-aligned: a full round's worth of uploads is the
                 // drain trigger (no-op under the default policy or when
@@ -503,12 +510,23 @@ impl CocaServer {
     /// per-layer server sharding safe. Returns the summed service time,
     /// priced by the same cost model as the sequential path.
     ///
+    /// Under [`FlushPolicy::RoundAligned`] this API follows the same
+    /// watermark discipline as the live pipeline instead of treating
+    /// every batch as a flush boundary: the (canonicalized) batch joins
+    /// the queue and drains only once a fleet-sized window accumulates.
+    /// A caller that never installed a watermark still drains per batch
+    /// — an offline batch *is* one round's fleet contribution.
+    ///
     /// The batch is sorted in place even when an error is returned.
     pub fn handle_updates_batch(
         &mut self,
         ups: &mut [UpdateUpload],
     ) -> Result<SimDuration, DuplicateClientUpload> {
-        self.flush_pending();
+        let round_aligned = self.cfg.merge_mode == MergeMode::QueueAndFlush
+            && self.cfg.flush_policy == FlushPolicy::RoundAligned;
+        if !round_aligned {
+            self.flush_pending();
+        }
         ups.sort_by_key(|u| u.client_id);
         if let Some(w) = ups.windows(2).find(|w| w[0].client_id == w[1].client_id) {
             return Err(DuplicateClientUpload {
@@ -517,9 +535,18 @@ impl CocaServer {
         }
         let mut total_kb = 0.0f64;
         for up in ups.iter() {
-            total_kb += up.table.wire_bytes() as f64 / 1024.0;
+            total_kb += up.table.wire_bytes_at(up.precision) as f64 / 1024.0;
         }
-        self.merge_upload_batch(ups);
+        if round_aligned {
+            self.pending.extend(ups.iter().cloned());
+            if self.flush_watermark == 0 {
+                self.flush_pending();
+            } else {
+                self.drain_if_at_watermark();
+            }
+        } else {
+            self.merge_upload_batch(ups);
+        }
         Ok(SimDuration::from_millis_f64(
             self.costs.update_base_ms * ups.len() as f64 + self.costs.update_per_kb_ms * total_kb,
         ))
@@ -636,6 +663,7 @@ mod tests {
             round: 0,
             table,
             frequency: phi,
+            precision: coca_math::Precision::F32,
         };
         server.handle_update(&up);
         let after = server.global().get(3, layer).unwrap().to_vec();
@@ -659,6 +687,7 @@ mod tests {
             round: 0,
             table,
             frequency: phi,
+            precision: coca_math::Precision::F32,
         }
     }
 
@@ -726,7 +755,7 @@ mod tests {
             .get(3, 10)
             .unwrap()
             .iter()
-            .zip(per_upload.global().get(3, 10).unwrap())
+            .zip(per_upload.global().get(3, 10).unwrap().iter())
         {
             assert_eq!(a.to_bits(), b.to_bits());
         }
@@ -786,7 +815,7 @@ mod tests {
                 .get(c, j)
                 .unwrap()
                 .iter()
-                .zip(reference.global().get(c, j).unwrap())
+                .zip(reference.global().get(c, j).unwrap().iter())
             {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
@@ -798,6 +827,86 @@ mod tests {
         assert_eq!(server.pending_uploads(), 2);
         server.set_flush_watermark(2);
         assert_eq!(server.pending_uploads(), 0);
+    }
+
+    #[test]
+    fn round_aligned_batch_api_respects_the_watermark() {
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(65);
+        let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let cfg = CocaConfig::for_model(ModelId::ResNet101)
+            .with_merge_mode(MergeMode::QueueAndFlush)
+            .with_flush_policy(FlushPolicy::RoundAligned);
+        let mut server = CocaServer::new(&rt, cfg, &seeds);
+        server.set_flush_watermark(4);
+        let freq_before = server.global().frequency().to_vec();
+
+        // A half-fleet batch queues without merging...
+        let mut half = vec![upload_for(&rt, 0, 3, 10), upload_for(&rt, 1, 4, 11)];
+        let service = server.handle_updates_batch(&mut half).unwrap();
+        assert!(service.as_millis_f64() > 0.0);
+        assert_eq!(server.pending_uploads(), 2);
+        assert_eq!(server.global().frequency(), freq_before.as_slice());
+
+        // ...and the batch that completes the fleet window drains it.
+        let mut rest = vec![upload_for(&rt, 2, 5, 12), upload_for(&rt, 3, 6, 13)];
+        server.handle_updates_batch(&mut rest).unwrap();
+        assert_eq!(server.pending_uploads(), 0);
+        assert_ne!(server.global().frequency(), freq_before.as_slice());
+
+        // Without a watermark the offline contract holds: one batch is
+        // one round, so it drains at the call boundary.
+        let mut no_mark = CocaServer::new(&rt, cfg, &seeds);
+        let mut ups = vec![upload_for(&rt, 0, 3, 10)];
+        no_mark.handle_updates_batch(&mut ups).unwrap();
+        assert_eq!(no_mark.pending_uploads(), 0);
+    }
+
+    #[test]
+    fn quantized_config_prices_smaller_frames_and_still_serves() {
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(66);
+        let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let f32_cfg = CocaConfig::for_model(ModelId::ResNet101);
+        let i8_cfg = f32_cfg.with_precision(coca_math::Precision::I8);
+        let mut dense = CocaServer::new(&rt, f32_cfg, &seeds);
+        let mut quant = CocaServer::new(&rt, i8_cfg, &seeds);
+        assert_eq!(quant.global().precision(), coca_math::Precision::I8);
+        assert!(
+            quant.global().store_bytes() * 3 < dense.global().store_bytes(),
+            "i8 table {} vs f32 table {}",
+            quant.global().store_bytes(),
+            dense.global().store_bytes()
+        );
+
+        let req = CacheRequest {
+            client_id: 0,
+            round: 0,
+            timestamps: vec![0; rt.num_classes()],
+            hit_ratio: quant.base_hit_profile().to_vec(),
+            budget_bytes: 48 * 1024,
+        };
+        let (qa, _) = quant.handle_request(&req);
+        let (da, _) = dense.handle_request(&req);
+        assert_eq!(qa.precision, coca_math::Precision::I8);
+        assert!(!qa.cache.is_empty());
+        // Served centers are unit f32 regardless of storage codec.
+        for l in qa.cache.layers() {
+            for r in l.vectors.iter_rows() {
+                assert!(coca_math::is_unit(r, 1e-3));
+            }
+        }
+        use coca_net::WireSize;
+        assert!(
+            qa.wire_bytes() * 3 < da.wire_bytes(),
+            "i8 allocation {} vs f32 {}",
+            qa.wire_bytes(),
+            da.wire_bytes()
+        );
+        // Uploads still merge.
+        let up = upload_for(&rt, 0, 3, 10);
+        quant.handle_update(&up);
+        assert!(quant.global().frequency()[3] >= 50);
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //!   pass), [`matrix::knn_k`] (H-kNN ranking), [`matrix::assign_nearest`]
 //!   (k-means E-step) — the heart of every similarity hot path.
 //! * [`store`] — [`VectorStore`], the dimension-checked contiguous storage
-//!   those kernels scan.
+//!   those kernels scan (32-byte aligned via [`aligned`]).
+//! * [`quant`] — [`QuantizedStore`] (i8 per-row scale / IEEE binary16)
+//!   for the wire and global-table representation; dequantize-on-read
+//!   into the f32 kernels.
+//! * `simd` (feature `simd`) — explicit AVX2 kernel twins with runtime
+//!   dispatch, bit-identical to the scalar path.
 //! * [`mask`] — [`OccupancyBitmap`] (packed per-slot presence bits over a
 //!   dense store) and the bitmap-backed [`SlotMap`]: the occupancy layer
 //!   of the columnar server-side tables.
@@ -25,19 +30,27 @@
 //! * [`cluster`] — silhouette score and intra/inter-class cosine statistics
 //!   (Fig. 2's quantitative clustering evidence).
 
+pub mod aligned;
 pub mod cluster;
 pub mod mask;
 pub mod matrix;
 pub mod pca;
+pub mod quant;
 pub mod quantile;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub mod simd;
 pub mod softmax;
 pub mod stats;
 pub mod store;
 pub mod topk;
 pub mod vector;
 
+pub use aligned::AlignedF32;
 pub use mask::{OccupancyBitmap, SlotMap};
-pub use matrix::{dot_unit, merge_weighted_row, merge_weighted_rows, ScoreScratch, Top2};
+pub use matrix::{
+    dot_unit, merge_weighted_row, merge_weighted_rows, simd_active, ScoreScratch, Top2,
+};
+pub use quant::{snap_row, Precision, QuantizedStore};
 pub use quantile::P2Quantile;
 pub use stats::{Ewma, OnlineStats};
 pub use store::VectorStore;

@@ -20,6 +20,37 @@
 /// Fixed unroll width of every kernel (see the module docs).
 pub const UNROLL: usize = 8;
 
+/// True iff the dispatched kernels currently run the explicit AVX2 path
+/// (the `simd` feature is compiled in *and* the CPU supports AVX2).
+/// Either way the outputs are bit-identical; this only reports which
+/// implementation executes.
+#[inline]
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        crate::simd::avx2_enabled()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Dispatches `$avx2(args)` when the AVX2 path is active, else
+/// `$scalar(args)`. Both produce bit-identical results (see
+/// `crate::simd`); benches and the parity proptests call the
+/// [`scalar`] module directly to compare.
+macro_rules! dispatch {
+    ($scalar:path, $avx2:path, $($arg:expr),* $(,)?) => {{
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if crate::simd::avx2_enabled() {
+            // SAFETY: `avx2_enabled()` just verified the CPU feature.
+            return unsafe { $avx2($($arg),*) };
+        }
+        $scalar($($arg),*)
+    }};
+}
+
 /// Norm-free dot product for **unit vectors**: callers uphold the
 /// unit-norm contract at insertion time (a `debug_assert` there, not a
 /// per-lookup renormalization), so `dot_unit(a, b)` *is* the cosine
@@ -32,34 +63,7 @@ pub const UNROLL: usize = 8;
 /// Panics if the slices differ in length.
 #[inline]
 pub fn dot_unit(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(
-        a.len(),
-        b.len(),
-        "dot_unit: length mismatch {} vs {}",
-        a.len(),
-        b.len()
-    );
-    let split = a.len() - a.len() % UNROLL;
-    let (a_main, a_tail) = a.split_at(split);
-    let (b_main, b_tail) = b.split_at(split);
-    let mut lanes = [0.0f32; UNROLL];
-    for (ca, cb) in a_main.chunks_exact(UNROLL).zip(b_main.chunks_exact(UNROLL)) {
-        lanes[0] += ca[0] * cb[0];
-        lanes[1] += ca[1] * cb[1];
-        lanes[2] += ca[2] * cb[2];
-        lanes[3] += ca[3] * cb[3];
-        lanes[4] += ca[4] * cb[4];
-        lanes[5] += ca[5] * cb[5];
-        lanes[6] += ca[6] * cb[6];
-        lanes[7] += ca[7] * cb[7];
-    }
-    // Pairwise lane reduction: one fixed tree, independent of dim.
-    let mut sum = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
-        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
-    for (x, y) in a_tail.iter().zip(b_tail) {
-        sum += x * y;
-    }
-    sum
+    dispatch!(scalar::dot_unit, crate::simd::avx2::dot_unit, a, b)
 }
 
 /// Reusable accumulator scratch for [`score_top2`] (paper Eq. 1 state).
@@ -103,7 +107,7 @@ impl ScoreScratch {
     }
 
     #[inline]
-    fn store(&mut self, class: usize, value: f32) {
+    pub(crate) fn store(&mut self, class: usize, value: f32) {
         self.acc[class] = value;
         self.stamp[class] = self.epoch;
     }
@@ -139,32 +143,16 @@ pub fn score_top2(
     alpha: f32,
     scratch: &mut ScoreScratch,
 ) -> Top2 {
-    assert_eq!(
-        classes.len() * dim,
-        data.len(),
-        "score_top2: shape mismatch"
-    );
-    let mut best: Option<(usize, f32)> = None;
-    let mut second: Option<(usize, f32)> = None;
-    if classes.is_empty() {
-        return Top2 { best, second };
-    }
-    for (row, &class) in data.chunks_exact(dim).zip(classes) {
-        let c = dot_unit(query, row);
-        let a = c + alpha * scratch.accumulated(class);
-        scratch.store(class, a);
-        match best {
-            Some((_, bv)) if a <= bv => match second {
-                Some((_, sv)) if a <= sv => {}
-                _ => second = Some((class, a)),
-            },
-            _ => {
-                second = best;
-                best = Some((class, a));
-            }
-        }
-    }
-    Top2 { best, second }
+    dispatch!(
+        scalar::score_top2,
+        crate::simd::avx2::score_top2,
+        data,
+        dim,
+        query,
+        classes,
+        alpha,
+        scratch,
+    )
 }
 
 /// Top-`k` rows by similarity (H-kNN candidate ranking): scores every
@@ -181,16 +169,15 @@ pub fn knn_k(
     candidates: &[(u32, u32)],
     k: usize,
 ) -> Vec<(f32, u32)> {
-    let mut scored: Vec<(f32, u32)> = candidates
-        .iter()
-        .map(|&(row, tag)| {
-            let start = row as usize * dim;
-            (dot_unit(query, &data[start..start + dim]), tag)
-        })
-        .collect();
-    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-    scored.truncate(k);
-    scored
+    dispatch!(
+        scalar::knn_k,
+        crate::simd::avx2::knn_k,
+        data,
+        dim,
+        query,
+        candidates,
+        k,
+    )
 }
 
 /// Nearest row by similarity (the k-means E-step): `(row, similarity)` of
@@ -201,19 +188,13 @@ pub fn knn_k(
 /// Panics if `data.len()` is not a multiple of `dim`, or (for a non-empty
 /// buffer) `query.len() != dim`.
 pub fn assign_nearest(data: &[f32], dim: usize, query: &[f32]) -> Option<(usize, f32)> {
-    if data.is_empty() {
-        return None;
-    }
-    assert_eq!(data.len() % dim, 0, "assign_nearest: ragged buffer");
-    let mut best: Option<(usize, f32)> = None;
-    for (i, row) in data.chunks_exact(dim).enumerate() {
-        let sim = dot_unit(query, row);
-        match best {
-            Some((_, bv)) if sim <= bv => {}
-            _ => best = Some((i, sim)),
-        }
-    }
-    best
+    dispatch!(
+        scalar::assign_nearest,
+        crate::simd::avx2::assign_nearest,
+        data,
+        dim,
+        query,
+    )
 }
 
 /// One fused Eq. 4 merge + renormalize over a single row:
@@ -230,45 +211,14 @@ pub fn assign_nearest(data: &[f32], dim: usize, query: &[f32]) -> Option<(usize,
 /// # Panics
 /// Panics if the slices differ in length.
 pub fn merge_weighted_row(e: &mut [f32], u: &[f32], w_old: f32, w_new: f32) -> f32 {
-    assert_eq!(
-        e.len(),
-        u.len(),
-        "merge_weighted_row: length mismatch {} vs {}",
-        e.len(),
-        u.len()
-    );
-    let split = e.len() - e.len() % 4;
-    let (e_main, e_tail) = e.split_at_mut(split);
-    let (u_main, u_tail) = u.split_at(split);
-    let mut acc = [0.0f32; 4];
-    for (ec, uc) in e_main.chunks_exact_mut(4).zip(u_main.chunks_exact(4)) {
-        let m0 = w_old * ec[0] + w_new * uc[0];
-        let m1 = w_old * ec[1] + w_new * uc[1];
-        let m2 = w_old * ec[2] + w_new * uc[2];
-        let m3 = w_old * ec[3] + w_new * uc[3];
-        ec[0] = m0;
-        ec[1] = m1;
-        ec[2] = m2;
-        ec[3] = m3;
-        acc[0] += m0 * m0;
-        acc[1] += m1 * m1;
-        acc[2] += m2 * m2;
-        acc[3] += m3 * m3;
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for (ei, &ui) in e_tail.iter_mut().zip(u_tail) {
-        let m = w_old * *ei + w_new * ui;
-        *ei = m;
-        sum += m * m;
-    }
-    let norm = sum.sqrt();
-    if norm > f32::MIN_POSITIVE {
-        let inv = 1.0 / norm;
-        for x in e.iter_mut() {
-            *x *= inv;
-        }
-    }
-    norm
+    dispatch!(
+        scalar::merge_weighted_row,
+        crate::simd::avx2::merge_weighted_row,
+        e,
+        u,
+        w_old,
+        w_new,
+    )
 }
 
 /// Batched [`merge_weighted_row`] over a contiguous destination buffer:
@@ -289,20 +239,202 @@ pub fn merge_weighted_rows(
     w_old: &[f32],
     w_new: &[f32],
 ) {
-    assert!(
-        dst.len().is_multiple_of(dim.max(1)) && src.len().is_multiple_of(dim.max(1)),
-        "merge_weighted_rows: ragged buffers"
-    );
-    assert!(
-        dst_rows.len() == src_rows.len()
-            && dst_rows.len() == w_old.len()
-            && dst_rows.len() == w_new.len(),
-        "merge_weighted_rows: job slices must be parallel"
-    );
-    for i in 0..dst_rows.len() {
-        let d = dst_rows[i] * dim;
-        let s = src_rows[i] * dim;
-        merge_weighted_row(&mut dst[d..d + dim], &src[s..s + dim], w_old[i], w_new[i]);
+    dispatch!(
+        scalar::merge_weighted_rows,
+        crate::simd::avx2::merge_weighted_rows,
+        dst,
+        dim,
+        dst_rows,
+        src,
+        src_rows,
+        w_old,
+        w_new,
+    )
+}
+
+/// The scalar 8-lane kernels — the canonical implementations every
+/// dispatcher falls back to and the bit-identity reference for the AVX2
+/// path (`tests/proptest_simd.rs` pins them equal; the microbenches call
+/// these directly for scalar-vs-SIMD rows). Always compiled.
+pub mod scalar {
+    use super::{ScoreScratch, Top2, UNROLL};
+
+    /// Scalar [`super::dot_unit`]: fixed 8-lane unroll + pairwise tree.
+    pub fn dot_unit(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot_unit: length mismatch {} vs {}",
+            a.len(),
+            b.len()
+        );
+        let split = a.len() - a.len() % UNROLL;
+        let (a_main, a_tail) = a.split_at(split);
+        let (b_main, b_tail) = b.split_at(split);
+        let mut lanes = [0.0f32; UNROLL];
+        for (ca, cb) in a_main.chunks_exact(UNROLL).zip(b_main.chunks_exact(UNROLL)) {
+            lanes[0] += ca[0] * cb[0];
+            lanes[1] += ca[1] * cb[1];
+            lanes[2] += ca[2] * cb[2];
+            lanes[3] += ca[3] * cb[3];
+            lanes[4] += ca[4] * cb[4];
+            lanes[5] += ca[5] * cb[5];
+            lanes[6] += ca[6] * cb[6];
+            lanes[7] += ca[7] * cb[7];
+        }
+        // Pairwise lane reduction: one fixed tree, independent of dim.
+        let mut sum = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+        for (x, y) in a_tail.iter().zip(b_tail) {
+            sum += x * y;
+        }
+        sum
+    }
+
+    /// Scalar [`super::score_top2`].
+    pub fn score_top2(
+        data: &[f32],
+        dim: usize,
+        query: &[f32],
+        classes: &[usize],
+        alpha: f32,
+        scratch: &mut ScoreScratch,
+    ) -> Top2 {
+        assert_eq!(
+            classes.len() * dim,
+            data.len(),
+            "score_top2: shape mismatch"
+        );
+        let mut best: Option<(usize, f32)> = None;
+        let mut second: Option<(usize, f32)> = None;
+        if classes.is_empty() {
+            return Top2 { best, second };
+        }
+        for (row, &class) in data.chunks_exact(dim).zip(classes) {
+            let c = dot_unit(query, row);
+            let a = c + alpha * scratch.accumulated(class);
+            scratch.store(class, a);
+            match best {
+                Some((_, bv)) if a <= bv => match second {
+                    Some((_, sv)) if a <= sv => {}
+                    _ => second = Some((class, a)),
+                },
+                _ => {
+                    second = best;
+                    best = Some((class, a));
+                }
+            }
+        }
+        Top2 { best, second }
+    }
+
+    /// Scalar [`super::knn_k`].
+    pub fn knn_k(
+        data: &[f32],
+        dim: usize,
+        query: &[f32],
+        candidates: &[(u32, u32)],
+        k: usize,
+    ) -> Vec<(f32, u32)> {
+        let mut scored: Vec<(f32, u32)> = candidates
+            .iter()
+            .map(|&(row, tag)| {
+                let start = row as usize * dim;
+                (dot_unit(query, &data[start..start + dim]), tag)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Scalar [`super::assign_nearest`].
+    pub fn assign_nearest(data: &[f32], dim: usize, query: &[f32]) -> Option<(usize, f32)> {
+        if data.is_empty() {
+            return None;
+        }
+        assert_eq!(data.len() % dim, 0, "assign_nearest: ragged buffer");
+        let mut best: Option<(usize, f32)> = None;
+        for (i, row) in data.chunks_exact(dim).enumerate() {
+            let sim = dot_unit(query, row);
+            match best {
+                Some((_, bv)) if sim <= bv => {}
+                _ => best = Some((i, sim)),
+            }
+        }
+        best
+    }
+
+    /// Scalar [`super::merge_weighted_row`]: fused merge + renormalize
+    /// with the fixed 4-accumulator order (bit-identical to the seed
+    /// scale → axpy → l2_normalize sequence).
+    pub fn merge_weighted_row(e: &mut [f32], u: &[f32], w_old: f32, w_new: f32) -> f32 {
+        assert_eq!(
+            e.len(),
+            u.len(),
+            "merge_weighted_row: length mismatch {} vs {}",
+            e.len(),
+            u.len()
+        );
+        let split = e.len() - e.len() % 4;
+        let (e_main, e_tail) = e.split_at_mut(split);
+        let (u_main, u_tail) = u.split_at(split);
+        let mut acc = [0.0f32; 4];
+        for (ec, uc) in e_main.chunks_exact_mut(4).zip(u_main.chunks_exact(4)) {
+            let m0 = w_old * ec[0] + w_new * uc[0];
+            let m1 = w_old * ec[1] + w_new * uc[1];
+            let m2 = w_old * ec[2] + w_new * uc[2];
+            let m3 = w_old * ec[3] + w_new * uc[3];
+            ec[0] = m0;
+            ec[1] = m1;
+            ec[2] = m2;
+            ec[3] = m3;
+            acc[0] += m0 * m0;
+            acc[1] += m1 * m1;
+            acc[2] += m2 * m2;
+            acc[3] += m3 * m3;
+        }
+        let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+        for (ei, &ui) in e_tail.iter_mut().zip(u_tail) {
+            let m = w_old * *ei + w_new * ui;
+            *ei = m;
+            sum += m * m;
+        }
+        let norm = sum.sqrt();
+        if norm > f32::MIN_POSITIVE {
+            let inv = 1.0 / norm;
+            for x in e.iter_mut() {
+                *x *= inv;
+            }
+        }
+        norm
+    }
+
+    /// Scalar [`super::merge_weighted_rows`].
+    pub fn merge_weighted_rows(
+        dst: &mut [f32],
+        dim: usize,
+        dst_rows: &[usize],
+        src: &[f32],
+        src_rows: &[usize],
+        w_old: &[f32],
+        w_new: &[f32],
+    ) {
+        assert!(
+            dst.len().is_multiple_of(dim.max(1)) && src.len().is_multiple_of(dim.max(1)),
+            "merge_weighted_rows: ragged buffers"
+        );
+        assert!(
+            dst_rows.len() == src_rows.len()
+                && dst_rows.len() == w_old.len()
+                && dst_rows.len() == w_new.len(),
+            "merge_weighted_rows: job slices must be parallel"
+        );
+        for i in 0..dst_rows.len() {
+            let d = dst_rows[i] * dim;
+            let s = src_rows[i] * dim;
+            merge_weighted_row(&mut dst[d..d + dim], &src[s..s + dim], w_old[i], w_new[i]);
+        }
     }
 }
 

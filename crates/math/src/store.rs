@@ -14,15 +14,20 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::aligned::AlignedF32;
 use crate::matrix::{self, ScoreScratch, Top2};
 
 /// Contiguous row-major storage of equal-dimension f32 vectors.
+///
+/// The buffer is 32-byte aligned ([`AlignedF32`]) so the AVX2 kernels
+/// behind the `simd` feature take aligned loads whenever `dim % 8 == 0`;
+/// alignment is invisible to results.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct VectorStore {
     /// Row dimension; 0 while the store has never held a row.
     dim: usize,
     /// Row-major flat buffer, `rows · dim` long.
-    data: Vec<f32>,
+    data: AlignedF32,
 }
 
 impl VectorStore {
@@ -39,7 +44,7 @@ impl VectorStore {
         assert!(dim > 0, "VectorStore: dim must be positive");
         Self {
             dim,
-            data: Vec::new(),
+            data: AlignedF32::new(),
         }
     }
 
@@ -52,7 +57,7 @@ impl VectorStore {
         assert!(dim > 0, "VectorStore: dim must be positive");
         Self {
             dim,
-            data: Vec::with_capacity(dim * rows),
+            data: AlignedF32::with_capacity(dim * rows),
         }
     }
 
@@ -65,7 +70,7 @@ impl VectorStore {
         assert!(dim > 0, "VectorStore: dim must be positive");
         Self {
             dim,
-            data: vec![0.0; dim * rows],
+            data: AlignedF32::zeros(dim * rows),
         }
     }
 
@@ -244,7 +249,7 @@ impl Serialize for VectorStore {
     fn to_value(&self) -> serde::Value {
         let mut m = serde::Map::new();
         m.insert("dim".into(), Serialize::to_value(&self.dim));
-        m.insert("data".into(), Serialize::to_value(&self.data));
+        m.insert("data".into(), Serialize::to_value(self.data.as_slice()));
         serde::Value::Object(m)
     }
 }
@@ -264,7 +269,10 @@ impl Deserialize for VectorStore {
                         data.len()
                     )));
                 }
-                Ok(Self { dim, data })
+                Ok(Self {
+                    dim,
+                    data: AlignedF32::from_slice(&data),
+                })
             }
             other => Err(serde::Error::custom(format!(
                 "expected object for VectorStore, got {}",

@@ -56,6 +56,11 @@ fn main() {
     let server_scenario = Scenario::build(sc.clone());
     let server_thread = thread::spawn(move || {
         let mut server = CocaServer::new(&server_scenario.rt, coca_cfg, server_scenario.seeds());
+        // All clients connect up front, so the live fleet is CLIENTS for
+        // the whole run; under a round-aligned flush policy this is the
+        // watermark that drains one fleet-sized batch per round (a no-op
+        // under the default per-boundary policy).
+        server.set_flush_watermark(CLIENTS);
         let transports: Vec<TcpTransport> = (0..CLIENTS)
             .map(|_| TcpTransport::accept(&listener).expect("accept"))
             .collect();
@@ -74,7 +79,11 @@ fn main() {
                         served += 1;
                     }
                     Ok(Some(ToServer::Update(up))) => {
-                        server.handle_update(&up);
+                        // Route through the merge-mode dispatcher (not the
+                        // immediate-merge primitive) so queue-and-flush
+                        // configs — including round-aligned draining via
+                        // the watermark above — behave as deployed.
+                        server.handle_upload(up);
                     }
                     Ok(Some(ToServer::Done)) => finished[i] = true,
                     Ok(None) => {}

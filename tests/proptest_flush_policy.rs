@@ -97,6 +97,7 @@ fn random_upload(rt: &ModelRuntime, rng: &mut impl Rng, client_id: u64) -> Updat
         round: 0,
         table,
         frequency,
+        precision: coca::math::Precision::F32,
     }
 }
 
@@ -143,7 +144,7 @@ proptest! {
                 match (aligned.global().get(c, l), reference.global().get(c, l)) {
                     (None, None) => {}
                     (Some(a), Some(b)) => {
-                        for (x, y) in a.iter().zip(b) {
+                        for (x, y) in a.iter().zip(b.iter()) {
                             prop_assert!(
                                 x.to_bits() == y.to_bits(),
                                 "cell ({},{}) differs", c, l

@@ -167,7 +167,7 @@ proptest! {
                     (None, None) => {}
                     (Some(a), Some(b)) => {
                         populated += 1;
-                        for (x, y) in a.iter().zip(b) {
+                        for (x, y) in a.iter().zip(b.iter()) {
                             prop_assert!((x - y).abs() < 1e-6, "cell ({c},{l}): {x} vs {y}");
                         }
                     }
@@ -248,7 +248,7 @@ proptest! {
                 match (seq.get(c, l), bat.get(c, l)) {
                     (None, None) => {}
                     (Some(a), Some(b)) => {
-                        for (x, y) in a.iter().zip(b) {
+                        for (x, y) in a.iter().zip(b.iter()) {
                             prop_assert_eq!(x.to_bits(), y.to_bits());
                         }
                     }

@@ -102,7 +102,7 @@ proptest! {
         for c in 0..3 {
             for l in 0..2 {
                 if let Some(e) = table.get(c, l) {
-                    prop_assert!((l2_norm(e) - 1.0).abs() < 1e-3);
+                    prop_assert!((l2_norm(&e) - 1.0).abs() < 1e-3);
                 }
             }
         }

@@ -188,7 +188,7 @@ proptest! {
                     match (serial.get(c, l), t.get(c, l)) {
                         (None, None) => {}
                         (Some(a), Some(b)) => {
-                            for (x, y) in a.iter().zip(b) {
+                            for (x, y) in a.iter().zip(b.iter()) {
                                 prop_assert!(
                                     x.to_bits() == y.to_bits(),
                                     "cell ({c},{l}) differs at width {width}"

@@ -35,6 +35,7 @@ fn sample_allocation() -> CacheAllocation {
     CacheAllocation {
         round: 3,
         cache: server.cache_for(&[1, 5, 9], &[0, 2, 4, 7]),
+        precision: coca::math::Precision::F32,
     }
 }
 
@@ -58,6 +59,7 @@ fn sample_upload() -> UpdateUpload {
         round: 1,
         table,
         frequency: vec![3; 10],
+        precision: coca::math::Precision::F32,
     }
 }
 
