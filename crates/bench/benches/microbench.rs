@@ -725,6 +725,126 @@ fn bench_server_tables(_c: &mut Criterion) {
         );
     }
 
+    // -- durability: snapshot + WAL throughput -----------------------------
+    // Priced on a mid-grid state (50 classes × 12 layers × dim 256, a
+    // 32-client registry, an 8-upload pending queue): frame encode of the
+    // full checksummed snapshot, decode+validate of the same bytes, WAL
+    // record append through a Durability over MemStorage, and the replay
+    // decode (frame scan + CRC + JSON→record). These price the recovery
+    // subsystem's hot paths; `tests/proptest_recovery.rs` pins their
+    // semantics.
+    let (snapshot_bytes, snap_encode_ns, snap_decode_ns, wal_append_ns, wal_replay_ns) = {
+        use coca_core::persist::{decode_frames, Durability, MemStorage, Snapshot, WalRecord};
+        use coca_core::proto::UpdateUpload;
+        use coca_core::ClientStatus;
+        use coca_model::ModelId;
+
+        const P_CLASSES: usize = 50;
+        const P_LAYERS: usize = 12;
+        let mut rng = SeedTree::new(9007).child("persist").rng();
+        let mut global = coca_core::GlobalCacheTable::new(P_CLASSES, P_LAYERS);
+        for c in 0..P_CLASSES {
+            for l in 0..P_LAYERS {
+                global.set(c, l, random_unit(&mut rng, DIM));
+            }
+        }
+        global.seed_frequency(&vec![6; P_CLASSES]);
+        let clients: Vec<(u64, ClientStatus)> = (0..32u64)
+            .map(|id| {
+                let mut st = ClientStatus::new(P_CLASSES);
+                let tau: Vec<u32> = (0..P_CLASSES).map(|_| rng.gen_range(0..500)).collect();
+                let phi: Vec<u64> = (0..P_CLASSES).map(|_| rng.gen_range(0..80)).collect();
+                st.record_timestamps(&tau);
+                st.record_frequency(&phi);
+                (id, st)
+            })
+            .collect();
+        let mk_upload = |rng: &mut rand::rngs::SmallRng, id: u64| {
+            let mut table = UpdateTable::new();
+            for c in 0..P_CLASSES {
+                if (c as u64 + id) % 5 < 2 {
+                    for l in 0..P_LAYERS {
+                        let v = random_unit(rng, DIM);
+                        table.absorb(c, l, &v, 0.95);
+                    }
+                }
+            }
+            UpdateUpload {
+                client_id: id,
+                round: 0,
+                table,
+                frequency: (0..P_CLASSES).map(|_| rng.gen_range(1u64..50)).collect(),
+                precision: coca_math::Precision::F32,
+            }
+        };
+        let pending: Vec<UpdateUpload> = (0..8).map(|id| mk_upload(&mut rng, id)).collect();
+        let snapshot = Snapshot {
+            config: CocaConfig::for_model(ModelId::ResNet101),
+            global,
+            clients,
+            pending,
+            flush_watermark: 32,
+            static_alloc: None,
+        };
+
+        let bytes = snapshot.to_bytes();
+        let encode_ns = measure_ns_min3(|| black_box(snapshot.to_bytes()));
+        let decode_ns = measure_ns_min3(|| black_box(Snapshot::from_bytes(&bytes).unwrap()));
+
+        let records: Vec<WalRecord> = (0..64u64)
+            .map(|id| WalRecord::Upload(mk_upload(&mut rng, id)))
+            .collect();
+        let append_ns = measure_ns_min3(|| {
+            let mut d = Durability::new(Box::new(MemStorage::new()), usize::MAX);
+            for r in &records {
+                d.append_frame(&r.to_frame());
+            }
+            black_box(d.events_logged())
+        }) / records.len() as f64;
+        let mut segment = Vec::new();
+        for r in &records {
+            segment.extend_from_slice(&r.to_frame());
+        }
+        let replay_ns = measure_ns_min3(|| {
+            let (payloads, _, _) = decode_frames(&segment, true).unwrap();
+            for p in &payloads {
+                black_box(
+                    serde_json::from_str::<WalRecord>(std::str::from_utf8(p).unwrap()).unwrap(),
+                );
+            }
+        }) / records.len() as f64;
+        (bytes.len(), encode_ns, decode_ns, append_ns, replay_ns)
+    };
+    println!(
+        "bench persist snapshot {snapshot_bytes} B: encode {:.2} ms ({:.0} MB/s), \
+         decode+validate {:.2} ms; WAL append {:.1} us/record, replay decode {:.1} us/record",
+        snap_encode_ns / 1e6,
+        snapshot_bytes as f64 / (snap_encode_ns / 1e9) / 1e6,
+        snap_decode_ns / 1e6,
+        wal_append_ns / 1e3,
+        wal_replay_ns / 1e3,
+    );
+    enforce_no_regression(
+        "persist_snapshot_encode_ns",
+        snap_encode_ns,
+        committed_summary("persist_snapshot_encode_ns"),
+    );
+    enforce_no_regression(
+        "persist_snapshot_decode_ns",
+        snap_decode_ns,
+        committed_summary("persist_snapshot_decode_ns"),
+    );
+    enforce_no_regression(
+        "persist_wal_append_ns_per_record",
+        wal_append_ns,
+        committed_summary("persist_wal_append_ns_per_record"),
+    );
+    enforce_no_regression(
+        "persist_wal_replay_ns_per_record",
+        wal_replay_ns,
+        committed_summary("persist_wal_replay_ns_per_record"),
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"server_tables\",\n  \"description\": \"per-cell global-table cost: \
          seed boxed-row path (Vec<Option<Vec<f32>>> cells, HashMap-shaped uploads, per-cell \
@@ -736,7 +856,12 @@ fn bench_server_tables(_c: &mut Criterion) {
          \"mean_fused_extract_ns_per_cell\": {mean_extract:.2},\n    \
          \"mean_sharded_merge_ns_per_cell\": {mean_sharded:.2},\n    \
          \"geomean_merge_extract_speedup\": {mean_speedup:.2},\n    \
-         \"fleet_scale_batched_merge_speedup\": {batched_at_scale:.2}\n  }},\n  \
+         \"fleet_scale_batched_merge_speedup\": {batched_at_scale:.2},\n    \
+         \"persist_snapshot_bytes\": {snapshot_bytes},\n    \
+         \"persist_snapshot_encode_ns\": {snap_encode_ns:.0},\n    \
+         \"persist_snapshot_decode_ns\": {snap_decode_ns:.0},\n    \
+         \"persist_wal_append_ns_per_record\": {wal_append_ns:.0},\n    \
+         \"persist_wal_replay_ns_per_record\": {wal_replay_ns:.0}\n  }},\n  \
          \"points\": [\n{}\n  ],\n  \
          \"regenerate\": \"cargo bench -p coca-bench\"\n}}\n",
         points_json.join(",\n")

@@ -128,6 +128,11 @@ pub struct CocaConfig {
     /// `results/quant.json`). Kernels always compute in f32 —
     /// quantized rows dequantize on read.
     pub precision: Precision,
+    /// Durability: WAL records per segment before the log rotates into a
+    /// fresh snapshot generation. Smaller values bound replay work at the
+    /// cost of more frequent snapshot writes; only consulted when a
+    /// [`Durability`](crate::persist::Durability) layer is attached.
+    pub wal_rotate_records: usize,
 }
 
 /// Reads the `COCA_MERGE_MODE` override (`per_upload` /
@@ -159,6 +164,17 @@ fn flush_policy_from_env() -> Option<FlushPolicy> {
 /// Anything else (unset or unrecognized) means "no override".
 fn precision_from_env() -> Option<Precision> {
     Precision::parse(std::env::var("COCA_PRECISION").ok()?.as_str())
+}
+
+/// Reads the `COCA_WAL_ROTATE` override (a positive record count); the
+/// recovery sweeps set tiny segments without rebuilding configs by hand.
+/// Anything else (unset, unparsable or zero) means "no override".
+fn wal_rotate_from_env() -> Option<usize> {
+    std::env::var("COCA_WAL_ROTATE")
+        .ok()?
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
 }
 
 /// Reads the `COCA_PARALLEL_MERGE` override (`1`/`true` on, `0`/`false`
@@ -203,6 +219,7 @@ impl CocaConfig {
             parallel_merge: parallel_merge_from_env().unwrap_or(false),
             flush_policy: flush_policy_from_env().unwrap_or(FlushPolicy::EveryBoundary),
             precision: precision_from_env().unwrap_or(Precision::F32),
+            wal_rotate_records: wal_rotate_from_env().unwrap_or(256),
         }
     }
 
@@ -258,6 +275,12 @@ impl CocaConfig {
         self
     }
 
+    /// Returns a copy with the given WAL rotation threshold.
+    pub fn with_wal_rotate(mut self, records: usize) -> Self {
+        self.wal_rotate_records = records;
+        self
+    }
+
     /// Validates ranges; engine constructors call this.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.theta.is_finite() && self.theta > 0.0) {
@@ -286,6 +309,9 @@ impl CocaConfig {
         }
         if self.hit_ratio_ewma_alpha <= 0.0 || self.hit_ratio_ewma_alpha > 1.0 {
             return Err("hit_ratio_ewma_alpha must be in (0,1]".into());
+        }
+        if self.wal_rotate_records == 0 {
+            return Err("wal_rotate_records must be positive".into());
         }
         Ok(())
     }
@@ -400,6 +426,23 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: CocaConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.precision, Precision::I8);
+    }
+
+    #[test]
+    fn wal_rotate_defaults_and_builder() {
+        let cfg = CocaConfig::for_model(ModelId::ResNet101);
+        match std::env::var("COCA_WAL_ROTATE").as_deref() {
+            Ok(v) if v.parse::<usize>().map(|n| n > 0).unwrap_or(false) => {
+                assert_eq!(cfg.wal_rotate_records, v.parse::<usize>().unwrap())
+            }
+            _ => assert_eq!(cfg.wal_rotate_records, 256, "default segment length"),
+        }
+        let cfg = cfg.with_wal_rotate(8);
+        assert_eq!(cfg.wal_rotate_records, 8);
+        assert!(cfg.validate().is_ok());
+        let mut bad = cfg;
+        bad.wal_rotate_records = 0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -400,6 +400,12 @@ impl Engine {
         &self.server
     }
 
+    /// Mutable server access — attaching/detaching a durability layer
+    /// around a run (see `crate::persist`).
+    pub fn server_mut(&mut self) -> &mut CocaServer {
+        &mut self.server
+    }
+
     /// Runs every client for the configured number of rounds through the
     /// generic event loop and returns the aggregated report.
     pub fn run(&mut self) -> EngineReport {

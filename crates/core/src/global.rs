@@ -178,6 +178,16 @@ impl GlobalCacheTable {
         self.precision
     }
 
+    /// Entry dimension of `layer`, or `None` while the layer is untouched
+    /// (the `dim() == 0` convention, dense or quantized alike). Snapshot
+    /// validation cross-checks pending uploads against this.
+    pub fn layer_dim(&self, layer: usize) -> Option<usize> {
+        match &self.qstores[layer] {
+            Some(q) => Some(q.dim()),
+            None => (self.stores[layer].dim() != 0).then(|| self.stores[layer].dim()),
+        }
+    }
+
     /// Bytes the layer entries occupy in memory (diagnostics — this is
     /// what quantized storage shrinks; Φ and the bitmaps are shared).
     pub fn store_bytes(&self) -> usize {

@@ -22,6 +22,10 @@
 //!   (Algorithm 1, §V).
 //! * [`proto`] — serializable client↔server messages with logical wire
 //!   sizes (drives both the simulated links and the TCP deployment).
+//! * [`persist`] — server durability: checksummed snapshots + a
+//!   write-ahead log with CRC-framed records, log rotation, torn-tail
+//!   truncation, generation-fallback recovery and deterministic
+//!   crash-point fault injection.
 //! * [`client`] / [`server`] — the two runtimes (§IV.A workflow).
 //! * [`driver`] — the **generic virtual-time engine**: the
 //!   [`MethodDriver`](driver::MethodDriver) trait any method implements,
@@ -45,6 +49,7 @@ pub mod driver;
 pub mod engine;
 pub mod global;
 pub mod lookup;
+pub mod persist;
 pub mod proto;
 pub mod semantic;
 pub mod server;
@@ -61,6 +66,10 @@ pub use driver::{
 pub use engine::{Engine, EngineConfig, EngineReport};
 pub use global::{GlobalCacheTable, MergeScratch};
 pub use lookup::{infer_with_cache, InferenceResult, LookupScratch};
+pub use persist::{
+    CrashFault, CrashPlan, DirStorage, Durability, MemStorage, PersistError, RecoveryInfo,
+    Snapshot, SnapshotSource, Storage, WalRecord,
+};
 pub use semantic::{CacheLayer, LocalCache};
 pub use server::{CocaServer, DuplicateClientUpload};
 pub use spec::{

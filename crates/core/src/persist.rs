@@ -1,0 +1,1019 @@
+//! Durability for the CoCa server: checksummed snapshots + a write-ahead
+//! log, with deterministic crash-point fault injection.
+//!
+//! The server is the single point holding everything the fleet built
+//! together — the global cache table, the Φ pipeline, the queue-and-flush
+//! pending uploads — so a crash without persistence silently discards
+//! every client's contribution. This module gives [`crate::server::CocaServer`]
+//! a WAL-before-mutation discipline:
+//!
+//! * Every state-mutating server event (request, upload, merge, batch,
+//!   leave, flush, watermark change) is appended to the WAL **before** the
+//!   mutation applies, as one CRC-framed JSON record.
+//! * Every `wal_rotate_records` appends the log rotates: the current
+//!   snapshot+WAL generation becomes the *previous* generation and a fresh
+//!   checksummed snapshot of the full server state opens the next one.
+//! * Recovery loads the newest valid snapshot (falling back one generation
+//!   when the current snapshot is corrupt), replays the WAL tail through
+//!   the same merge kernels the live server runs, and truncates a torn
+//!   final record via its per-record CRC. Replay is bit-identical: a
+//!   recovered run produces the same `frame_digest` and record bytes as
+//!   the uninterrupted run (property-tested in `tests/proptest_recovery.rs`).
+//!
+//! ## On-disk format
+//!
+//! Both snapshots and WAL segments are sequences of frames:
+//!
+//! ```text
+//! [u32 LE payload length][u32 LE CRC-32 of payload][payload bytes]
+//! ```
+//!
+//! A snapshot is exactly one frame whose payload is the JSON
+//! [`Snapshot`]; a WAL segment is zero or more frames whose payloads are
+//! JSON [`WalRecord`]s. JSON through the vendored serde is canonical
+//! (insertion-ordered maps, shortest round-trip float formatting), so
+//! re-serializing a decoded snapshot reproduces its bytes exactly.
+//!
+//! ## Torn writes and corruption
+//!
+//! Only the **final** record of the **current** WAL segment may be torn
+//! (a crash mid-append); it fails its length or CRC check and is
+//! truncated. A CRC failure anywhere else — a rotated segment, or a
+//! snapshot — is data corruption, not a torn write: a corrupt *current*
+//! snapshot falls back to the previous generation (previous snapshot +
+//! previous WAL + current WAL), while a corrupt rotated WAL segment or a
+//! doubly-corrupt snapshot pair is unrecoverable and reported as a typed
+//! error, never a panic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use crate::aca::AcaOutput;
+use crate::config::CocaConfig;
+use crate::global::GlobalCacheTable;
+use crate::proto::{CacheRequest, UpdateUpload};
+use crate::status::ClientStatus;
+
+/// Snapshot payload schema version (bumped on incompatible changes).
+const SNAPSHOT_VERSION: u64 = 1;
+
+/// Storage key of the current-generation snapshot.
+pub const SNAP_CUR: &str = "snap.cur";
+/// Storage key of the previous-generation snapshot.
+pub const SNAP_PREV: &str = "snap.prev";
+/// Storage key of the current WAL segment.
+pub const WAL_CUR: &str = "wal.cur";
+/// Storage key of the rotated (previous-generation) WAL segment.
+pub const WAL_PREV: &str = "wal.prev";
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, reflected) — vendored shims carry no
+// checksum crate, and 16 lines of table-driven CRC beat a dependency.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// Frames `payload` as `[u32 len][u32 crc][payload]` (little-endian).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Typed persistence/recovery errors. Corrupt or truncated bytes land
+/// here — never in a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Neither the current nor the previous snapshot passed its CRC and
+    /// schema validation (and at least one generation existed, so this is
+    /// not a fresh store).
+    NoValidSnapshot,
+    /// A rotated (closed) WAL segment failed a length or CRC check. Only
+    /// the final record of the *current* segment may legally be torn.
+    CorruptClosedSegment(String),
+    /// A CRC-valid frame carried a payload that failed JSON or schema
+    /// validation — data corruption inside a committed record.
+    Decode(String),
+    /// The snapshot was written under a different [`CocaConfig`] than the
+    /// one the recovering server was constructed with.
+    ConfigMismatch,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::NoValidSnapshot => {
+                write!(f, "no snapshot generation passed CRC + schema validation")
+            }
+            PersistError::CorruptClosedSegment(msg) => {
+                write!(f, "corrupt record in a rotated WAL segment: {msg}")
+            }
+            PersistError::Decode(msg) => write!(f, "committed record failed to decode: {msg}"),
+            PersistError::ConfigMismatch => {
+                write!(f, "snapshot was written under a different CocaConfig")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Decodes a frame sequence into payloads.
+///
+/// `lenient_tail` is the torn-write policy: when set (the *current* WAL
+/// segment), an incomplete or CRC-failing **final** frame is truncated and
+/// its byte count reported; frames before a valid successor must always
+/// check out. When unset (snapshots, rotated segments), any invalid frame
+/// is an error.
+///
+/// Returns `(payloads, committed_bytes, truncated_bytes)`.
+pub fn decode_frames(
+    bytes: &[u8],
+    lenient_tail: bool,
+) -> Result<(Vec<Vec<u8>>, usize, usize), PersistError> {
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        // A frame that fails any of the three checks below is the torn
+        // tail in lenient mode (truncate and stop) and corruption in
+        // strict mode. Lenient decoding cannot distinguish mid-file
+        // corruption from a torn write without reading ahead, but a torn
+        // record can only ever be last — which is why only the current
+        // segment decodes leniently.
+        let invalid = if bytes.len() - pos < 8 {
+            Some(format!("short header at byte {pos}"))
+        } else {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if bytes.len() - pos - 8 < len {
+                Some(format!("short payload at byte {pos}"))
+            } else if crc32(&bytes[pos + 8..pos + 8 + len]) != crc {
+                Some(format!("CRC mismatch at byte {pos}"))
+            } else {
+                payloads.push(bytes[pos + 8..pos + 8 + len].to_vec());
+                pos += 8 + len;
+                None
+            }
+        };
+        if let Some(msg) = invalid {
+            if lenient_tail {
+                return Ok((payloads, pos, bytes.len() - pos));
+            }
+            return Err(PersistError::CorruptClosedSegment(msg));
+        }
+    }
+    Ok((payloads, pos, 0))
+}
+
+// ---------------------------------------------------------------------------
+// Storage backends
+// ---------------------------------------------------------------------------
+
+/// Key→bytes storage the durability layer writes through. Implementations
+/// must make `append` cheap (it runs per server event). `Send + Sync` so
+/// detached backends can sit in shared test fixtures.
+pub trait Storage: Send + Sync {
+    /// Full contents under `key`, or `None` when absent.
+    fn load(&self, key: &str) -> Option<Vec<u8>>;
+    /// Replaces the contents under `key`.
+    fn save(&mut self, key: &str, bytes: &[u8]);
+    /// Appends to the contents under `key` (creating it when absent).
+    fn append(&mut self, key: &str, bytes: &[u8]);
+    /// Removes `key` (no-op when absent).
+    fn remove(&mut self, key: &str);
+}
+
+/// In-memory storage: the test and fault-injection backend. Extra helpers
+/// corrupt or truncate stored bytes deterministically.
+#[derive(Debug, Default, Clone)]
+pub struct MemStorage {
+    map: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemStorage {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// XORs `0xFF` into byte `index % len` under `key` (fault injection).
+    /// No-op on an absent or empty key.
+    pub fn corrupt_byte(&mut self, key: &str, index: usize) {
+        if let Some(bytes) = self.map.get_mut(key) {
+            if !bytes.is_empty() {
+                let i = index % bytes.len();
+                bytes[i] ^= 0xFF;
+            }
+        }
+    }
+
+    /// Truncates the contents under `key` to `len` bytes (torn-write
+    /// injection). No-op on an absent key.
+    pub fn truncate(&mut self, key: &str, len: usize) {
+        if let Some(bytes) = self.map.get_mut(key) {
+            bytes.truncate(len);
+        }
+    }
+
+    /// Bytes stored under `key` (test inspection).
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+}
+
+impl Storage for MemStorage {
+    fn load(&self, key: &str) -> Option<Vec<u8>> {
+        self.map.get(key).cloned()
+    }
+
+    fn save(&mut self, key: &str, bytes: &[u8]) {
+        self.map.insert(key.to_string(), bytes.to_vec());
+    }
+
+    fn append(&mut self, key: &str, bytes: &[u8]) {
+        self.map
+            .entry(key.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+    }
+
+    fn remove(&mut self, key: &str) {
+        self.map.remove(key);
+    }
+}
+
+/// Directory-backed storage: one file per key. The deployment backend of
+/// the TCP example; appends reopen in append mode, so per-event cost is
+/// one `write(2)`.
+#[derive(Debug)]
+pub struct DirStorage {
+    dir: PathBuf,
+}
+
+impl DirStorage {
+    /// Opens (creating if needed) `dir` as a durability directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        self.dir.join(key)
+    }
+}
+
+impl Storage for DirStorage {
+    fn load(&self, key: &str) -> Option<Vec<u8>> {
+        std::fs::read(self.path(key)).ok()
+    }
+
+    fn save(&mut self, key: &str, bytes: &[u8]) {
+        std::fs::write(self.path(key), bytes).expect("durability dir must stay writable");
+    }
+
+    fn append(&mut self, key: &str, bytes: &[u8]) {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(key))
+            .expect("durability dir must stay writable");
+        f.write_all(bytes)
+            .expect("durability dir must stay writable");
+    }
+
+    fn remove(&mut self, key: &str) {
+        let _ = std::fs::remove_file(self.path(key));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// Full mutable server state at one event boundary: everything replay
+/// needs that [`crate::server::CocaServer::new`] does not reconstruct from
+/// `(rt, cfg, seeds)`.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The configuration the snapshot was written under — recovery under
+    /// a different config is refused ([`PersistError::ConfigMismatch`]).
+    pub config: CocaConfig,
+    /// The global cache table (all `LayerSlot` precisions) + Φ.
+    pub global: GlobalCacheTable,
+    /// Server-side mirror of the last τ/φ each client reported, sorted by
+    /// client id.
+    pub clients: Vec<(u64, ClientStatus)>,
+    /// The queue-and-flush pending queue, FIFO order.
+    pub pending: Vec<UpdateUpload>,
+    /// Round-aligned flush watermark.
+    pub flush_watermark: usize,
+    /// The lazily computed static allocation (DCA-off runs), if any.
+    pub static_alloc: Option<AcaOutput>,
+}
+
+impl Serialize for Snapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("version".into(), Serialize::to_value(&SNAPSHOT_VERSION));
+        m.insert("config".into(), Serialize::to_value(&self.config));
+        m.insert("global".into(), Serialize::to_value(&self.global));
+        m.insert("clients".into(), Serialize::to_value(&self.clients));
+        m.insert("pending".into(), Serialize::to_value(&self.pending));
+        m.insert(
+            "flush_watermark".into(),
+            Serialize::to_value(&self.flush_watermark),
+        );
+        m.insert(
+            "static_alloc".into(),
+            Serialize::to_value(&self.static_alloc),
+        );
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for Snapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(m) = v else {
+            return Err(serde::Error::custom(format!(
+                "expected object for Snapshot, got {}",
+                v.kind()
+            )));
+        };
+        let version: u64 = serde::__field(m, "version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(serde::Error::custom(format!(
+                "Snapshot: unsupported version {version} (expected {SNAPSHOT_VERSION})"
+            )));
+        }
+        let config: CocaConfig = serde::__field(m, "config")?;
+        let global: GlobalCacheTable = serde::__field(m, "global")?;
+        let clients: Vec<(u64, ClientStatus)> = serde::__field(m, "clients")?;
+        let pending: Vec<UpdateUpload> = serde::__field(m, "pending")?;
+        let flush_watermark: usize = serde::__field(m, "flush_watermark")?;
+        let static_alloc: Option<AcaOutput> = serde::__field(m, "static_alloc")?;
+
+        let classes = global.num_classes();
+        let layers = global.num_layers();
+        // Client registry: strictly id-sorted (the canonical byte form),
+        // every status shaped like the table it mirrors.
+        for w in clients.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(serde::Error::custom(format!(
+                    "Snapshot: client registry not strictly id-sorted at {}",
+                    w[1].0
+                )));
+            }
+        }
+        for (id, st) in &clients {
+            if st.timestamps().len() != classes || st.frequency().len() != classes {
+                return Err(serde::Error::custom(format!(
+                    "Snapshot: client {id} status tracks {}/{} classes in a {classes}-class table",
+                    st.timestamps().len(),
+                    st.frequency().len()
+                )));
+            }
+        }
+        // Pending uploads must be mergeable into this table: φ length,
+        // layer indices and per-layer entry dimensions all have to line
+        // up (the "layer dims" half of the snapshot hardening).
+        for (i, up) in pending.iter().enumerate() {
+            if up.frequency.len() != classes {
+                return Err(serde::Error::custom(format!(
+                    "Snapshot: pending upload {i} carries {} φ entries for {classes} classes",
+                    up.frequency.len()
+                )));
+            }
+            for g in up.table.layer_groups() {
+                let layer = g.layer as usize;
+                if layer >= layers {
+                    return Err(serde::Error::custom(format!(
+                        "Snapshot: pending upload {i} touches layer {layer} of a {layers}-layer table"
+                    )));
+                }
+                if let Some(d) = global.layer_dim(layer) {
+                    if g.vectors.dim() != d {
+                        return Err(serde::Error::custom(format!(
+                            "Snapshot: pending upload {i} layer {layer} dim {} vs table dim {d}",
+                            g.vectors.dim()
+                        )));
+                    }
+                }
+                if let Some(&c) = g.classes.iter().find(|&&c| c as usize >= classes) {
+                    return Err(serde::Error::custom(format!(
+                        "Snapshot: pending upload {i} layer {layer} touches class {c} of {classes}"
+                    )));
+                }
+            }
+        }
+        if let Some(alloc) = &static_alloc {
+            if alloc.hot_classes.iter().any(|&c| c >= classes)
+                || alloc.layers.iter().any(|&j| j >= layers)
+            {
+                return Err(serde::Error::custom(
+                    "Snapshot: static allocation indexes outside the table".to_string(),
+                ));
+            }
+        }
+        Ok(Self {
+            config,
+            global,
+            clients,
+            pending,
+            flush_watermark,
+            static_alloc,
+        })
+    }
+}
+
+impl Snapshot {
+    /// Serializes to the single-frame byte form stored under a snapshot
+    /// key.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let json = serde_json::to_string(self).expect("snapshots always serialize");
+        encode_frame(json.as_bytes())
+    }
+
+    /// Parses the single-frame byte form, validating frame CRC, JSON and
+    /// schema. Exactly one frame must be present.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        let (payloads, _, _) = decode_frames(bytes, false)?;
+        let [payload] = payloads.as_slice() else {
+            return Err(PersistError::Decode(format!(
+                "snapshot must be exactly one frame, got {}",
+                payloads.len()
+            )));
+        };
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| PersistError::Decode(format!("snapshot is not UTF-8: {e}")))?;
+        serde_json::from_str(text).map_err(|e| PersistError::Decode(e.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------------
+
+/// One logged server event. Each variant carries exactly the input of the
+/// public handler it mirrors, so replay drives the same code path — same
+/// fused kernels, bit-identical state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// `handle_request`: flush boundary (policy-dependent), lazy static
+    /// allocation, τ registry update.
+    Request(CacheRequest),
+    /// `handle_update`: the immediate per-upload merge primitive.
+    Merge(UpdateUpload),
+    /// `handle_upload`: the mode-dispatched upload entry point.
+    Upload(UpdateUpload),
+    /// `handle_updates_batch`, already canonicalized (sorted, dup-free).
+    Batch(Vec<UpdateUpload>),
+    /// `on_client_leave`: flush + Φ decay.
+    Leave,
+    /// An explicit `flush_pending` call (the run-end boundary).
+    Flush,
+    /// `set_flush_watermark`.
+    Watermark(usize),
+}
+
+impl WalRecord {
+    /// Serializes to the framed byte form appended to a WAL segment.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let json = serde_json::to_string(self).expect("WAL records always serialize");
+        encode_frame(json.as_bytes())
+    }
+
+    fn from_payload(payload: &[u8]) -> Result<Self, PersistError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| PersistError::Decode(format!("WAL record is not UTF-8: {e}")))?;
+        serde_json::from_str(text).map_err(|e| PersistError::Decode(e.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point injection
+// ---------------------------------------------------------------------------
+
+/// What the injected crash does to storage at the chosen event boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashFault {
+    /// The process dies between events: the WAL ends cleanly after the
+    /// previous record.
+    Clean,
+    /// The process dies mid-append: the first `keep % frame_len` bytes of
+    /// the interrupted record reach storage (always a strict prefix, so
+    /// the length/CRC check rejects it).
+    Torn {
+        /// Pre-modulo count of frame bytes that reach storage.
+        keep: usize,
+    },
+    /// The crash (or the medium) additionally flips one byte of the
+    /// *current* snapshot, forcing recovery onto the previous generation.
+    SnapCorrupt {
+        /// Pre-modulo index of the flipped byte.
+        byte: usize,
+    },
+}
+
+/// A deterministic crash plan: die at the boundary of server event
+/// `at_event` (0-based WAL append index) with the given fault. The event
+/// itself has not mutated state yet — recovery replays events
+/// `0..at_event`, after which the interrupted event is redelivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// 0-based index of the WAL append the crash interrupts.
+    pub at_event: u64,
+    /// Storage damage done at the crash point.
+    pub fault: CrashFault,
+}
+
+impl CrashPlan {
+    /// Reads `COCA_CRASH_AT` (event index) + `COCA_CRASH_FAULT`
+    /// (`clean` / `torn:<keep>` / `snap:<byte>`; default `clean`) — the
+    /// env-driven injection path for whole-binary crash experiments.
+    /// Unset or unparsable `COCA_CRASH_AT` means no plan.
+    pub fn from_env() -> Option<Self> {
+        let at_event: u64 = std::env::var("COCA_CRASH_AT").ok()?.parse().ok()?;
+        let fault = match std::env::var("COCA_CRASH_FAULT").ok().as_deref() {
+            Some(spec) if spec.starts_with("torn:") => CrashFault::Torn {
+                keep: spec["torn:".len()..].parse().unwrap_or(0),
+            },
+            Some(spec) if spec.starts_with("snap:") => CrashFault::SnapCorrupt {
+                byte: spec["snap:".len()..].parse().unwrap_or(0),
+            },
+            _ => CrashFault::Clean,
+        };
+        Some(Self { at_event, fault })
+    }
+}
+
+/// Where recovery found its snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotSource {
+    /// The current-generation snapshot was valid.
+    Current,
+    /// The current snapshot was corrupt or absent; the previous
+    /// generation (snapshot + rotated WAL) was replayed first.
+    Previous,
+    /// No snapshot was ever written: replay starts from the freshly
+    /// constructed (genesis) server state.
+    Genesis,
+}
+
+/// What a recovery did — surfaced for tests, experiments and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Which snapshot generation seeded the replay.
+    pub source: SnapshotSource,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Bytes of torn final record truncated from the current segment.
+    pub truncated_bytes: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Durability: the rotation + recovery state machine
+// ---------------------------------------------------------------------------
+
+/// Owns a [`Storage`] backend and runs the snapshot/WAL state machine for
+/// one server: append, rotate, checkpoint, crash-fire, load-for-recovery.
+/// Attached to a server via
+/// [`CocaServer::attach_durability`](crate::server::CocaServer::attach_durability).
+pub struct Durability {
+    store: Box<dyn Storage>,
+    /// WAL records per generation before a rotation snapshots the state.
+    rotate_every: usize,
+    /// Records appended to the current segment since the last rotation or
+    /// checkpoint.
+    records_in_cur: usize,
+    /// Total records appended over the attachment's lifetime — the crash
+    /// plan's event-index space.
+    events: u64,
+    crash: Option<CrashPlan>,
+}
+
+impl fmt::Debug for Durability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Durability")
+            .field("rotate_every", &self.rotate_every)
+            .field("records_in_cur", &self.records_in_cur)
+            .field("events", &self.events)
+            .field("crash", &self.crash)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Durability {
+    /// Wraps `store`, rotating the WAL into a snapshot every
+    /// `rotate_every` records (clamped to ≥ 1).
+    pub fn new(store: Box<dyn Storage>, rotate_every: usize) -> Self {
+        Self {
+            store,
+            rotate_every: rotate_every.max(1),
+            records_in_cur: 0,
+            events: 0,
+            crash: None,
+        }
+    }
+
+    /// Installs a crash plan (builder form).
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash = Some(plan);
+        self
+    }
+
+    /// Total WAL records appended so far — the crash plan's event space.
+    pub fn events_logged(&self) -> u64 {
+        self.events
+    }
+
+    /// True while an installed crash plan has not fired yet (tests assert
+    /// their injected crash actually happened).
+    pub fn crash_pending(&self) -> bool {
+        self.crash.is_some()
+    }
+
+    /// The backend (test inspection).
+    pub fn storage(&self) -> &dyn Storage {
+        self.store.as_ref()
+    }
+
+    /// Mutable backend access (test fault injection).
+    pub fn storage_mut(&mut self) -> &mut dyn Storage {
+        self.store.as_mut()
+    }
+
+    /// Unwraps the backend.
+    pub fn into_storage(self) -> Box<dyn Storage> {
+        self.store
+    }
+
+    /// Writes the genesis snapshot on first attachment: both generations
+    /// start as the attach-time state, so even a corrupt *first* current
+    /// snapshot has a previous generation to fall back to. No-op when a
+    /// current snapshot already exists (re-attachment after recovery).
+    pub fn ensure_genesis(&mut self, snapshot_frame: &[u8]) {
+        if self.store.load(SNAP_CUR).is_none() {
+            self.store.save(SNAP_CUR, snapshot_frame);
+            self.store.save(SNAP_PREV, snapshot_frame);
+            self.store.save(WAL_CUR, &[]);
+        }
+    }
+
+    /// True when the installed crash plan fires at the *next* append.
+    pub fn crash_due(&self) -> bool {
+        self.crash.is_some_and(|p| p.at_event == self.events)
+    }
+
+    /// Applies the due crash's storage damage (consuming the plan):
+    /// tears a prefix of `frame` into the current segment and/or corrupts
+    /// the current snapshot. The interrupted event's mutation has not
+    /// happened yet — the caller recovers and then redelivers it.
+    pub fn fire_crash(&mut self, frame: &[u8]) {
+        let plan = self.crash.take().expect("fire_crash requires a due plan");
+        match plan.fault {
+            CrashFault::Clean => {}
+            CrashFault::Torn { keep } => {
+                // Any strict prefix fails the length or CRC check; an
+                // empty prefix degenerates to a clean crash.
+                let kept = keep % frame.len();
+                self.store.append(WAL_CUR, &frame[..kept]);
+            }
+            CrashFault::SnapCorrupt { byte } => {
+                if let Some(mut snap) = self.store.load(SNAP_CUR) {
+                    if !snap.is_empty() {
+                        let i = byte % snap.len();
+                        snap[i] ^= 0xFF;
+                        self.store.save(SNAP_CUR, &snap);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when the current segment is full and the next append must be
+    /// preceded by a rotation.
+    pub fn needs_rotation(&self) -> bool {
+        self.records_in_cur >= self.rotate_every
+    }
+
+    /// Rotates generations: the current snapshot+WAL become the previous
+    /// generation and `snapshot_frame` (the state *before* the next
+    /// record's mutation) opens a fresh one.
+    pub fn rotate(&mut self, snapshot_frame: &[u8]) {
+        let old_snap = self.store.load(SNAP_CUR);
+        let old_wal = self.store.load(WAL_CUR).unwrap_or_default();
+        match old_snap {
+            Some(s) => self.store.save(SNAP_PREV, &s),
+            None => self.store.remove(SNAP_PREV),
+        }
+        self.store.save(WAL_PREV, &old_wal);
+        self.store.save(WAL_CUR, &[]);
+        self.store.save(SNAP_CUR, snapshot_frame);
+        self.records_in_cur = 0;
+    }
+
+    /// Collapses both generations onto `snapshot_frame` and empties both
+    /// WAL segments — the post-recovery fold (replayed records are inside
+    /// the new snapshot) and the explicit-checkpoint operation.
+    pub fn checkpoint(&mut self, snapshot_frame: &[u8]) {
+        self.store.save(SNAP_CUR, snapshot_frame);
+        self.store.save(SNAP_PREV, snapshot_frame);
+        self.store.save(WAL_CUR, &[]);
+        self.store.remove(WAL_PREV);
+        self.records_in_cur = 0;
+    }
+
+    /// Appends one framed record to the current segment.
+    pub fn append_frame(&mut self, frame: &[u8]) {
+        self.store.append(WAL_CUR, frame);
+        self.records_in_cur += 1;
+        self.events += 1;
+    }
+
+    /// Loads the newest valid snapshot generation and the WAL records to
+    /// replay on top of it, truncating a torn final record. `None`
+    /// snapshot means genesis: no snapshot was ever written and replay
+    /// starts from freshly constructed server state.
+    pub fn load_for_recovery(
+        &mut self,
+    ) -> Result<(Option<Snapshot>, Vec<WalRecord>, RecoveryInfo), PersistError> {
+        let cur_snap = self.store.load(SNAP_CUR);
+        let prev_snap = self.store.load(SNAP_PREV);
+        let wal_cur = self.store.load(WAL_CUR).unwrap_or_default();
+        let wal_prev = self.store.load(WAL_PREV).unwrap_or_default();
+
+        // The current segment is the only one that may end in a torn
+        // record; rotated segments were closed cleanly.
+        let (tail_payloads, _, truncated_bytes) = decode_frames(&wal_cur, true)?;
+
+        if let Some(snap) = cur_snap
+            .as_deref()
+            .and_then(|b| Snapshot::from_bytes(b).ok())
+        {
+            let records = decode_wal_payloads(tail_payloads)?;
+            let replayed = records.len();
+            return Ok((
+                Some(snap),
+                records,
+                RecoveryInfo {
+                    source: SnapshotSource::Current,
+                    replayed,
+                    truncated_bytes,
+                },
+            ));
+        }
+        if let Some(snap) = prev_snap
+            .as_deref()
+            .and_then(|b| Snapshot::from_bytes(b).ok())
+        {
+            let (prev_payloads, _, _) = decode_frames(&wal_prev, false)?;
+            let mut records = decode_wal_payloads(prev_payloads)?;
+            records.extend(decode_wal_payloads(tail_payloads)?);
+            let replayed = records.len();
+            return Ok((
+                Some(snap),
+                records,
+                RecoveryInfo {
+                    source: SnapshotSource::Previous,
+                    replayed,
+                    truncated_bytes,
+                },
+            ));
+        }
+        if cur_snap.is_some() || prev_snap.is_some() {
+            // A snapshot existed but neither generation validates.
+            return Err(PersistError::NoValidSnapshot);
+        }
+        // Fresh store: genesis + whatever WAL exists (a store that never
+        // rotated never wrote wal.prev either).
+        let (prev_payloads, _, _) = decode_frames(&wal_prev, false)?;
+        let mut records = decode_wal_payloads(prev_payloads)?;
+        records.extend(decode_wal_payloads(tail_payloads)?);
+        let replayed = records.len();
+        Ok((
+            None,
+            records,
+            RecoveryInfo {
+                source: SnapshotSource::Genesis,
+                replayed,
+                truncated_bytes,
+            },
+        ))
+    }
+}
+
+fn decode_wal_payloads(payloads: Vec<Vec<u8>>) -> Result<Vec<WalRecord>, PersistError> {
+    payloads
+        .iter()
+        .map(|p| WalRecord::from_payload(p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_any_strict_prefix() {
+        let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"{\"k\":1}"];
+        let mut bytes = Vec::new();
+        for p in &payloads {
+            bytes.extend_from_slice(&encode_frame(p));
+        }
+        let (decoded, committed, truncated) = decode_frames(&bytes, false).unwrap();
+        assert_eq!(
+            decoded.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+            payloads
+        );
+        assert_eq!(committed, bytes.len());
+        assert_eq!(truncated, 0);
+
+        // Every strict prefix leniently truncates to a whole-frame
+        // boundary, and never truncates a complete record.
+        let frame_ends: Vec<usize> = payloads
+            .iter()
+            .scan(0usize, |acc, p| {
+                *acc += 8 + p.len();
+                Some(*acc)
+            })
+            .collect();
+        for cut in 0..bytes.len() {
+            let (decoded, committed, truncated) = decode_frames(&bytes[..cut], true).unwrap();
+            let whole = frame_ends.iter().filter(|&&e| e <= cut).count();
+            assert_eq!(decoded.len(), whole, "cut at {cut}");
+            assert_eq!(committed + truncated, cut);
+            // Strict mode refuses the same prefix unless it is
+            // frame-aligned.
+            let strict = decode_frames(&bytes[..cut], false);
+            if frame_ends.contains(&cut) || cut == 0 {
+                assert!(strict.is_ok());
+            } else {
+                assert!(matches!(strict, Err(PersistError::CorruptClosedSegment(_))));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_byte_fails_crc() {
+        let mut bytes = encode_frame(b"payload-bytes");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            decode_frames(&bytes, false),
+            Err(PersistError::CorruptClosedSegment(_))
+        ));
+        let (decoded, _, truncated) = decode_frames(&bytes, true).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(truncated, bytes.len());
+    }
+
+    #[test]
+    fn mem_storage_append_and_fault_helpers() {
+        let mut s = MemStorage::new();
+        s.append("k", b"ab");
+        s.append("k", b"cd");
+        assert_eq!(s.load("k").as_deref(), Some(&b"abcd"[..]));
+        s.corrupt_byte("k", 5); // 5 % 4 == 1
+        assert_eq!(
+            s.load("k").as_deref(),
+            Some(&[b'a', b'b' ^ 0xFF, b'c', b'd'][..])
+        );
+        s.truncate("k", 1);
+        assert_eq!(s.load("k").as_deref(), Some(&b"a"[..]));
+        s.remove("k");
+        assert!(s.load("k").is_none());
+    }
+
+    #[test]
+    fn dir_storage_round_trips_through_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "coca-persist-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = DirStorage::open(&dir).unwrap();
+        assert!(s.load(WAL_CUR).is_none());
+        s.save(SNAP_CUR, b"snapshot");
+        s.append(WAL_CUR, b"rec1");
+        s.append(WAL_CUR, b"rec2");
+        assert_eq!(s.load(SNAP_CUR).as_deref(), Some(&b"snapshot"[..]));
+        assert_eq!(s.load(WAL_CUR).as_deref(), Some(&b"rec1rec2"[..]));
+        s.remove(SNAP_CUR);
+        assert!(s.load(SNAP_CUR).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_record_frames_round_trip() {
+        let rec = WalRecord::Watermark(7);
+        let frame = rec.to_frame();
+        let (payloads, _, _) = decode_frames(&frame, false).unwrap();
+        let back = WalRecord::from_payload(&payloads[0]).unwrap();
+        assert!(matches!(back, WalRecord::Watermark(7)));
+
+        let leave = WalRecord::Leave.to_frame();
+        let (payloads, _, _) = decode_frames(&leave, false).unwrap();
+        assert!(matches!(
+            WalRecord::from_payload(&payloads[0]).unwrap(),
+            WalRecord::Leave
+        ));
+    }
+
+    #[test]
+    fn crash_plan_env_parsing() {
+        // from_env reads process-global state; exercise the parser by
+        // setting and clearing within one test (tier-1 runs tests in one
+        // process, so restore what we found).
+        std::env::set_var("COCA_CRASH_AT", "12");
+        std::env::set_var("COCA_CRASH_FAULT", "torn:5");
+        assert_eq!(
+            CrashPlan::from_env(),
+            Some(CrashPlan {
+                at_event: 12,
+                fault: CrashFault::Torn { keep: 5 }
+            })
+        );
+        std::env::set_var("COCA_CRASH_FAULT", "snap:33");
+        assert_eq!(
+            CrashPlan::from_env().unwrap().fault,
+            CrashFault::SnapCorrupt { byte: 33 }
+        );
+        std::env::set_var("COCA_CRASH_FAULT", "clean");
+        assert_eq!(CrashPlan::from_env().unwrap().fault, CrashFault::Clean);
+        std::env::remove_var("COCA_CRASH_AT");
+        std::env::remove_var("COCA_CRASH_FAULT");
+        assert_eq!(CrashPlan::from_env(), None);
+    }
+
+    #[test]
+    fn rotation_moves_generations_and_checkpoint_collapses_them() {
+        let mut d = Durability::new(Box::new(MemStorage::new()), 2);
+        d.ensure_genesis(b"S0");
+        d.append_frame(b"r0");
+        d.append_frame(b"r1");
+        assert!(d.needs_rotation());
+        d.rotate(b"S1");
+        assert!(!d.needs_rotation());
+        let get = |d: &Durability, k: &str| d.storage().load(k);
+        assert_eq!(get(&d, SNAP_CUR).as_deref(), Some(&b"S1"[..]));
+        assert_eq!(get(&d, SNAP_PREV).as_deref(), Some(&b"S0"[..]));
+        assert_eq!(get(&d, WAL_PREV).as_deref(), Some(&b"r0r1"[..]));
+        assert_eq!(get(&d, WAL_CUR).as_deref(), Some(&b""[..]));
+        d.append_frame(b"r2");
+        assert_eq!(d.events_logged(), 3);
+        d.checkpoint(b"S2");
+        assert_eq!(get(&d, SNAP_CUR).as_deref(), Some(&b"S2"[..]));
+        assert_eq!(get(&d, SNAP_PREV).as_deref(), Some(&b"S2"[..]));
+        assert_eq!(get(&d, WAL_CUR).as_deref(), Some(&b""[..]));
+        assert!(get(&d, WAL_PREV).is_none());
+        // The event counter survives checkpoints (crash indices are
+        // lifetime-global).
+        assert_eq!(d.events_logged(), 3);
+    }
+}

@@ -4,6 +4,8 @@
 //! both from a shared dataset, answers cache requests by running ACA and
 //! extracting a personalized sub-table, and merges client uploads.
 
+use std::collections::BTreeMap;
+
 use coca_data::distribution::uniform_weights;
 use coca_data::{StreamConfig, StreamGenerator};
 use coca_model::{ClientFeatureView, ClientProfile, ModelRuntime};
@@ -15,8 +17,10 @@ use crate::collect::UpdateTable;
 use crate::config::{CocaConfig, FlushPolicy, MergeMode};
 use crate::global::{GlobalCacheTable, MergeScratch};
 use crate::lookup::{infer_with_cache, LookupScratch};
+use crate::persist::{Durability, PersistError, RecoveryInfo, Snapshot, WalRecord};
 use crate::proto::{CacheAllocation, CacheRequest, UpdateUpload};
 use crate::semantic::{CacheLayer, LocalCache};
+use crate::status::ClientStatus;
 
 /// Error from [`CocaServer::handle_updates_batch`]: one batch held two
 /// uploads from the same client. A batch is one round's contributions —
@@ -104,6 +108,15 @@ pub struct CocaServer {
     /// [`CocaServer::set_flush_watermark`]) disables watermark draining,
     /// leaving the boundary flushes in charge.
     flush_watermark: usize,
+    /// Server-side mirror of the last τ/φ each client reported —
+    /// observational state (it feeds no allocation or merge decision) but
+    /// part of the durability contract: a recovered server knows what a
+    /// crashed one knew about its fleet. Departed clients keep their last
+    /// reported entry (the leave protocol carries no client id).
+    clients: BTreeMap<u64, ClientStatus>,
+    /// Snapshot + WAL persistence, when attached. `None` (the default)
+    /// makes every logging hook a no-op — simulation runs pay nothing.
+    durability: Option<Durability>,
 }
 
 /// Seeds a global cache table from the shared dataset: averages a few
@@ -228,6 +241,8 @@ impl CocaServer {
             scratch: MergeScratch::new(),
             pending: Vec::new(),
             flush_watermark: 0,
+            clients: BTreeMap::new(),
+            durability: None,
         }
     }
 
@@ -237,6 +252,11 @@ impl CocaServer {
     /// state — trigger one fleet-sized batched drain. Ignored unless
     /// [`CocaConfig::flush_policy`] is [`FlushPolicy::RoundAligned`].
     pub fn set_flush_watermark(&mut self, live_members: usize) {
+        self.wal(&WalRecord::Watermark(live_members));
+        self.watermark_inner(live_members);
+    }
+
+    fn watermark_inner(&mut self, live_members: usize) {
         self.flush_watermark = live_members;
         // A shrinking fleet can leave the queue already at (or past) the
         // new watermark; drain immediately so the policy's "one round's
@@ -250,7 +270,7 @@ impl CocaServer {
             && self.flush_watermark > 0
             && self.pending.len() >= self.flush_watermark
         {
-            self.flush_pending();
+            self.flush_pending_inner();
         }
     }
 
@@ -298,10 +318,25 @@ impl CocaServer {
     /// exact either way; centroid positions may lag up to one round —
     /// the policy's documented relaxed observation contract).
     pub fn handle_request(&mut self, req: &CacheRequest) -> (CacheAllocation, SimDuration) {
+        if self.durability.is_some() {
+            self.wal(&WalRecord::Request(req.clone()));
+        }
+        self.request_inner(req)
+    }
+
+    /// The un-logged request body: everything [`CocaServer::handle_request`]
+    /// mutates and computes. WAL replay re-enters here, so a recovered run
+    /// repeats the exact flush/allocation path — including the lazy
+    /// static-allocation compute of DCA-off configs.
+    fn request_inner(&mut self, req: &CacheRequest) -> (CacheAllocation, SimDuration) {
+        self.clients
+            .entry(req.client_id)
+            .or_insert_with(|| ClientStatus::new(self.global.num_classes()))
+            .record_timestamps(&req.timestamps);
         let round_aligned = self.cfg.merge_mode == MergeMode::QueueAndFlush
             && self.cfg.flush_policy == FlushPolicy::RoundAligned;
         if !round_aligned {
-            self.flush_pending();
+            self.flush_pending_inner();
         }
         let eff_freq = if round_aligned && !self.pending.is_empty() {
             Some(self.effective_frequency())
@@ -374,6 +409,16 @@ impl CocaServer {
     /// [`CocaServer::handle_upload`], which dispatches on
     /// [`CocaConfig::merge_mode`].
     pub fn handle_update(&mut self, up: &UpdateUpload) -> SimDuration {
+        if self.durability.is_some() {
+            self.wal(&WalRecord::Merge(up.clone()));
+        }
+        self.merge_now(up)
+    }
+
+    /// The un-logged immediate-merge body (also the replay target of
+    /// [`WalRecord::Merge`]).
+    fn merge_now(&mut self, up: &UpdateUpload) -> SimDuration {
+        self.note_upload(up);
         let kb = up.table.wire_bytes_at(up.precision) as f64 / 1024.0;
         if self.cfg.enable_gcu {
             self.global.merge_update(
@@ -388,6 +433,14 @@ impl CocaServer {
         SimDuration::from_millis_f64(self.costs.update_base_ms + self.costs.update_per_kb_ms * kb)
     }
 
+    /// Mirrors an upload's φ into the client registry.
+    fn note_upload(&mut self, up: &UpdateUpload) {
+        self.clients
+            .entry(up.client_id)
+            .or_insert_with(|| ClientStatus::new(self.global.num_classes()))
+            .record_frequency(&up.frequency);
+    }
+
     /// The engine's upload entry point: dispatches on the configured
     /// [`MergeMode`]. Per-upload merges now; queue-and-flush enqueues and
     /// defers the merge to the next boundary ([`CocaServer::handle_request`],
@@ -397,9 +450,19 @@ impl CocaServer {
     /// work, never a virtual millisecond, which is why the two modes
     /// produce byte-identical runs.
     pub fn handle_upload(&mut self, up: UpdateUpload) -> SimDuration {
+        if self.durability.is_some() {
+            self.wal(&WalRecord::Upload(up.clone()));
+        }
+        self.upload_inner(up)
+    }
+
+    /// The un-logged mode-dispatch body (also the replay target of
+    /// [`WalRecord::Upload`]).
+    fn upload_inner(&mut self, up: UpdateUpload) -> SimDuration {
         match self.cfg.merge_mode {
-            MergeMode::PerUpload => self.handle_update(&up),
+            MergeMode::PerUpload => self.merge_now(&up),
             MergeMode::QueueAndFlush => {
+                self.note_upload(&up);
                 let kb = up.table.wire_bytes_at(up.precision) as f64 / 1024.0;
                 self.pending.push(up);
                 // Round-aligned: a full round's worth of uploads is the
@@ -424,7 +487,18 @@ impl CocaServer {
     /// pipeline would have merged, so the table lands on bit-identical
     /// state. Costs were already charged at enqueue time; flushing adds
     /// no virtual service time. No-op when nothing is pending.
+    ///
+    /// This is the *external* flush boundary (the engine's run-end hook)
+    /// and is WAL-logged as such; the flushes embedded in request/leave/
+    /// watermark handling are covered by those events' own records.
     pub fn flush_pending(&mut self) {
+        if self.durability.is_some() && !self.pending.is_empty() {
+            self.wal(&WalRecord::Flush);
+        }
+        self.flush_pending_inner();
+    }
+
+    fn flush_pending_inner(&mut self) {
         if self.pending.is_empty() {
             return;
         }
@@ -522,16 +596,34 @@ impl CocaServer {
         &mut self,
         ups: &mut [UpdateUpload],
     ) -> Result<SimDuration, DuplicateClientUpload> {
-        let round_aligned = self.cfg.merge_mode == MergeMode::QueueAndFlush
-            && self.cfg.flush_policy == FlushPolicy::RoundAligned;
-        if !round_aligned {
-            self.flush_pending();
-        }
+        // Canonicalize and validate before logging or mutating anything:
+        // a rejected batch must leave both the state and the WAL
+        // untouched (sorting the caller's slice is documented API).
         ups.sort_by_key(|u| u.client_id);
         if let Some(w) = ups.windows(2).find(|w| w[0].client_id == w[1].client_id) {
             return Err(DuplicateClientUpload {
                 client_id: w[0].client_id,
             });
+        }
+        if self.durability.is_some() {
+            self.wal(&WalRecord::Batch(ups.to_vec()));
+        }
+        Ok(self.batch_inner(ups))
+    }
+
+    /// The un-logged batch body: `ups` is already canonicalized (sorted by
+    /// client id, duplicate-free). Also the replay target of
+    /// [`WalRecord::Batch`]. The embedded pre-batch flush runs *after* the
+    /// batch record was logged, which is safe because flushing consumes
+    /// only state that earlier WAL records reconstruct.
+    fn batch_inner(&mut self, ups: &[UpdateUpload]) -> SimDuration {
+        let round_aligned = self.cfg.merge_mode == MergeMode::QueueAndFlush
+            && self.cfg.flush_policy == FlushPolicy::RoundAligned;
+        if !round_aligned {
+            self.flush_pending_inner();
+        }
+        for up in ups {
+            self.note_upload(up);
         }
         let mut total_kb = 0.0f64;
         for up in ups.iter() {
@@ -540,16 +632,16 @@ impl CocaServer {
         if round_aligned {
             self.pending.extend(ups.iter().cloned());
             if self.flush_watermark == 0 {
-                self.flush_pending();
+                self.flush_pending_inner();
             } else {
                 self.drain_if_at_watermark();
             }
         } else {
             self.merge_upload_batch(ups);
         }
-        Ok(SimDuration::from_millis_f64(
+        SimDuration::from_millis_f64(
             self.costs.update_base_ms * ups.len() as f64 + self.costs.update_per_kb_ms * total_kb,
-        ))
+        )
     }
 
     /// Fires when a client departs the fleet: flushes any pending upload
@@ -559,10 +651,175 @@ impl CocaServer {
     /// exponential Φ decay `Φ ← ⌈β·Φ⌉` so the leaver's frequency mass
     /// ages out of ACA's hot-spot scores (a no-op at the default β = 1).
     pub fn on_client_leave(&mut self) {
-        self.flush_pending();
+        self.wal(&WalRecord::Leave);
+        self.leave_inner();
+    }
+
+    fn leave_inner(&mut self) {
+        self.flush_pending_inner();
         if self.cfg.leave_phi_decay < 1.0 {
             self.global.decay_frequency(self.cfg.leave_phi_decay);
         }
+    }
+
+    // -- durability ---------------------------------------------------------
+
+    /// Attaches snapshot + WAL persistence. On a fresh backend this writes
+    /// the genesis snapshot (both generations), so every later recovery —
+    /// including one that finds the current snapshot corrupted — has a
+    /// valid generation to fall back to. From here on every state-mutating
+    /// handler appends its WAL record *before* mutating.
+    pub fn attach_durability(&mut self, mut durability: Durability) {
+        durability.ensure_genesis(&self.snapshot().to_bytes());
+        self.durability = Some(durability);
+    }
+
+    /// [`CocaServer::attach_durability`] with the WAL segment length
+    /// taken from the server's own config
+    /// ([`CocaConfig::wal_rotate_records`], env `COCA_WAL_ROTATE`) — the
+    /// deployment entry point; tests pass explicit periods instead.
+    pub fn attach_storage(&mut self, store: Box<dyn crate::persist::Storage>) {
+        let rotate = self.cfg.wal_rotate_records;
+        self.attach_durability(Durability::new(store, rotate));
+    }
+
+    /// Detaches and returns the durability layer (test inspection; the
+    /// server keeps running un-logged).
+    pub fn detach_durability(&mut self) -> Option<Durability> {
+        self.durability.take()
+    }
+
+    /// The attached durability layer, if any.
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durability.as_ref()
+    }
+
+    /// Forces a checkpoint: collapses both snapshot generations onto the
+    /// current state and empties the WAL. No-op without durability.
+    pub fn checkpoint(&mut self) {
+        let Some(mut d) = self.durability.take() else {
+            return;
+        };
+        d.checkpoint(&self.snapshot().to_bytes());
+        self.durability = Some(d);
+    }
+
+    /// A snapshot of the full mutable server state (the derived fields —
+    /// cost model, hit profile, per-layer Υ/mⱼ — are reconstructed from
+    /// `(rt, cfg, seeds)` by [`CocaServer::new`], not persisted).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            config: self.cfg,
+            global: self.global.clone(),
+            clients: self.clients.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            pending: self.pending.clone(),
+            flush_watermark: self.flush_watermark,
+            static_alloc: self.static_alloc.clone(),
+        }
+    }
+
+    /// The server-side mirror of the last τ/φ each client reported.
+    pub fn client_registry(&self) -> &BTreeMap<u64, ClientStatus> {
+        &self.clients
+    }
+
+    /// Rebuilds a server from persisted state: loads the newest valid
+    /// snapshot generation, replays the WAL tail (truncating a torn final
+    /// record), folds the result into a fresh checkpoint and re-attaches
+    /// the durability layer. `(rt, cfg, seeds)` must match the crashed
+    /// server's — the snapshot's embedded config is checked against `cfg`.
+    pub fn recover(
+        rt: &ModelRuntime,
+        cfg: CocaConfig,
+        seeds: &SeedTree,
+        mut durability: Durability,
+    ) -> Result<(Self, RecoveryInfo), PersistError> {
+        let mut server = Self::new(rt, cfg, seeds);
+        let info = server.recover_from(&mut durability)?;
+        durability.checkpoint(&server.snapshot().to_bytes());
+        server.durability = Some(durability);
+        Ok((server, info))
+    }
+
+    /// Restores snapshot state and replays WAL records through the same
+    /// un-logged handler bodies the live server runs — bit-identical
+    /// state, including the fused merge kernels' float semantics. The
+    /// genesis case (no snapshot ever written) replays onto `self` as-is,
+    /// which is correct for a freshly constructed server and unreachable
+    /// in-place ([`CocaServer::attach_durability`] writes a genesis
+    /// snapshot).
+    fn recover_from(&mut self, durability: &mut Durability) -> Result<RecoveryInfo, PersistError> {
+        let (snap, records, info) = durability.load_for_recovery()?;
+        if let Some(snap) = snap {
+            let mine = serde_json::to_string(&self.cfg).expect("configs always serialize");
+            let theirs = serde_json::to_string(&snap.config).expect("configs always serialize");
+            if mine != theirs {
+                return Err(PersistError::ConfigMismatch);
+            }
+            self.global = snap.global;
+            self.clients = snap.clients.into_iter().collect();
+            self.pending = snap.pending;
+            self.flush_watermark = snap.flush_watermark;
+            self.static_alloc = snap.static_alloc;
+        }
+        for rec in &records {
+            self.apply_wal(rec);
+        }
+        Ok(info)
+    }
+
+    /// Replays one WAL record by dispatching to the matching un-logged
+    /// handler body. Service-time returns are discarded — virtual costs
+    /// were already charged by the original run.
+    fn apply_wal(&mut self, rec: &WalRecord) {
+        match rec {
+            WalRecord::Request(req) => {
+                let _ = self.request_inner(req);
+            }
+            WalRecord::Merge(up) => {
+                let _ = self.merge_now(up);
+            }
+            WalRecord::Upload(up) => {
+                let _ = self.upload_inner(up.clone());
+            }
+            WalRecord::Batch(ups) => {
+                let _ = self.batch_inner(ups);
+            }
+            WalRecord::Leave => self.leave_inner(),
+            WalRecord::Flush => self.flush_pending_inner(),
+            WalRecord::Watermark(n) => self.watermark_inner(*n),
+        }
+    }
+
+    /// Appends one record to the WAL — **before** the handler mutates
+    /// state, so a crash at any event boundary loses at most the
+    /// not-yet-applied event. This is also the crash-injection point: a
+    /// due [`CrashPlan`](crate::persist::CrashPlan) damages storage
+    /// exactly as a mid-append die would, the server recovers in place
+    /// from what survived, and the interrupted event is then redelivered
+    /// — the synchronous equivalent of process death + restart +
+    /// client retry.
+    fn wal(&mut self, rec: &WalRecord) {
+        let Some(mut d) = self.durability.take() else {
+            return;
+        };
+        let frame = rec.to_frame();
+        if d.crash_due() {
+            d.fire_crash(&frame);
+            // `durability` is detached here, so the replay inside
+            // `recover_from` runs the un-logged bodies without re-logging.
+            self.recover_from(&mut d)
+                .expect("crash injection must leave a recoverable snapshot generation");
+            d.checkpoint(&self.snapshot().to_bytes());
+        }
+        if d.needs_rotation() {
+            // Rotate *before* appending: the rotation snapshot must hold
+            // exactly the state the previous segment's records produce —
+            // this record's mutation has not happened yet.
+            d.rotate(&self.snapshot().to_bytes());
+        }
+        d.append_frame(&frame);
+        self.durability = Some(d);
     }
 
     /// Builds a cache holding *every* class at *every* layer (motivation
@@ -960,5 +1217,240 @@ mod tests {
                 "static allocation caches all classes"
             );
         }
+    }
+
+    // -- durability ---------------------------------------------------------
+
+    use crate::persist::{
+        CrashFault, CrashPlan, MemStorage, SnapshotSource, SNAP_CUR, SNAP_PREV, WAL_CUR,
+    };
+
+    /// Drives a mixed event sequence — requests, per-upload merges, a
+    /// queued upload, a batch, a leave, a flush — through the public
+    /// (logged) handlers. Six WAL records under the default per-upload
+    /// pipeline (the trailing flush finds an empty queue and logs nothing).
+    fn drive_mixed(rt: &ModelRuntime, server: &mut CocaServer) {
+        let profile = server.base_hit_profile().to_vec();
+        let mkreq = |id: u64| CacheRequest {
+            client_id: id,
+            round: 0,
+            timestamps: vec![id as u32; rt.num_classes()],
+            hit_ratio: profile.clone(),
+            budget_bytes: 48 * 1024,
+        };
+        let _ = server.handle_request(&mkreq(0));
+        server.handle_update(&upload_for(rt, 0, 3, 10));
+        let _ = server.handle_upload(upload_for(rt, 1, 4, 11));
+        let mut batch = vec![upload_for(rt, 2, 5, 12), upload_for(rt, 3, 6, 13)];
+        server.handle_updates_batch(&mut batch).unwrap();
+        let _ = server.handle_request(&mkreq(1));
+        server.on_client_leave();
+        server.flush_pending();
+    }
+
+    fn durable_server(rotate_every: usize) -> (ModelRuntime, CocaServer) {
+        let (rt, mut server) = server();
+        server.attach_durability(Durability::new(Box::new(MemStorage::new()), rotate_every));
+        (rt, server)
+    }
+
+    #[test]
+    fn durability_is_observationally_transparent() {
+        let (rt, mut plain) = server();
+        let (_, mut durable) = durable_server(3);
+        drive_mixed(&rt, &mut plain);
+        drive_mixed(&rt, &mut durable);
+        assert_eq!(
+            plain.snapshot().to_bytes(),
+            durable.snapshot().to_bytes(),
+            "logging must not perturb a single byte of server state"
+        );
+        let d = durable.durability().unwrap();
+        assert!(d.events_logged() >= 6, "got {}", d.events_logged());
+    }
+
+    #[test]
+    fn attach_storage_takes_the_rotation_period_from_config() {
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(60);
+        let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let cfg = CocaConfig::for_model(ModelId::ResNet101).with_wal_rotate(2);
+        let mut server = CocaServer::new(&rt, cfg, &seeds);
+        server.attach_storage(Box::new(MemStorage::new()));
+        drive_mixed(&rt, &mut server);
+        let d = server.detach_durability().unwrap();
+        assert!(d.events_logged() >= 6);
+        // Six records through a 2-record segment: the log must have
+        // rotated, leaving a non-empty previous generation behind.
+        let store = d.into_storage();
+        assert!(
+            store
+                .load(crate::persist::WAL_PREV)
+                .is_some_and(|w| !w.is_empty()),
+            "config-driven rotation never fired"
+        );
+    }
+
+    #[test]
+    fn recover_rebuilds_byte_identical_state() {
+        // rotate_every=3 forces generation turnover mid-sequence.
+        let (rt, mut live) = durable_server(3);
+        drive_mixed(&rt, &mut live);
+        let want = live.snapshot().to_bytes();
+        let d = live.detach_durability().unwrap();
+
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(60);
+        let rt2 = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let cfg = CocaConfig::for_model(ModelId::ResNet101);
+        let (recovered, info) = CocaServer::recover(&rt2, cfg, &seeds, d).unwrap();
+        assert_eq!(info.source, SnapshotSource::Current);
+        assert_eq!(info.truncated_bytes, 0);
+        assert_eq!(recovered.snapshot().to_bytes(), want);
+        assert_eq!(
+            recovered.client_registry().len(),
+            live.client_registry().len()
+        );
+        // The recovery folded into a checkpoint: the WAL is empty again.
+        let d = recovered.durability().unwrap();
+        assert_eq!(d.storage().load(WAL_CUR).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn recovery_truncates_a_torn_final_record() {
+        let (rt, mut live) = durable_server(100);
+        drive_mixed(&rt, &mut live);
+        let want = live.snapshot().to_bytes();
+        let mut d = live.detach_durability().unwrap();
+        // Tear: half of a frame whose CRC can never validate.
+        let frame = WalRecord::Leave.to_frame();
+        d.storage_mut().append(WAL_CUR, &frame[..frame.len() / 2]);
+
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(60);
+        let rt2 = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let cfg = CocaConfig::for_model(ModelId::ResNet101);
+        let (recovered, info) = CocaServer::recover(&rt2, cfg, &seeds, d).unwrap();
+        assert!(info.truncated_bytes > 0);
+        assert_eq!(
+            recovered.snapshot().to_bytes(),
+            want,
+            "the torn record never committed, so it must not replay"
+        );
+    }
+
+    #[test]
+    fn recovery_falls_back_to_the_previous_generation() {
+        let (rt, mut live) = durable_server(3);
+        drive_mixed(&rt, &mut live);
+        let want = live.snapshot().to_bytes();
+        let mut d = live.detach_durability().unwrap();
+        let mut snap = d.storage().load(SNAP_CUR).unwrap();
+        snap[10] ^= 0xFF;
+        d.storage_mut().save(SNAP_CUR, &snap);
+
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(60);
+        let rt2 = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let cfg = CocaConfig::for_model(ModelId::ResNet101);
+        let (recovered, info) = CocaServer::recover(&rt2, cfg, &seeds, d).unwrap();
+        assert_eq!(info.source, SnapshotSource::Previous);
+        assert_eq!(
+            recovered.snapshot().to_bytes(),
+            want,
+            "previous snapshot + wal.prev + wal.cur must rebuild the same state"
+        );
+    }
+
+    #[test]
+    fn recovery_fails_closed_when_no_generation_validates() {
+        let (rt, mut live) = durable_server(3);
+        drive_mixed(&rt, &mut live);
+        let mut d = live.detach_durability().unwrap();
+        for key in [SNAP_CUR, SNAP_PREV] {
+            let mut snap = d.storage().load(key).unwrap();
+            snap[10] ^= 0xFF;
+            d.storage_mut().save(key, &snap);
+        }
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(60);
+        let rt2 = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let cfg = CocaConfig::for_model(ModelId::ResNet101);
+        let err = CocaServer::recover(&rt2, cfg, &seeds, d).unwrap_err();
+        assert!(matches!(err, PersistError::NoValidSnapshot));
+    }
+
+    #[test]
+    fn recovery_rejects_a_mismatched_config() {
+        let (rt, mut live) = durable_server(3);
+        drive_mixed(&rt, &mut live);
+        let d = live.detach_durability().unwrap();
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(60);
+        let rt2 = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let cfg = CocaConfig::for_model(ModelId::ResNet101).with_theta(0.02);
+        let err = CocaServer::recover(&rt2, cfg, &seeds, d).unwrap_err();
+        assert!(matches!(err, PersistError::ConfigMismatch));
+    }
+
+    #[test]
+    fn injected_crashes_are_transparent_at_every_event_boundary() {
+        let (rt, mut reference) = server();
+        drive_mixed(&rt, &mut reference);
+        let want = reference.snapshot().to_bytes();
+        let total = {
+            let (rt, mut counter) = durable_server(3);
+            drive_mixed(&rt, &mut counter);
+            counter.durability().unwrap().events_logged()
+        };
+        assert!(total >= 6);
+        for at_event in 0..total {
+            for fault in [
+                CrashFault::Clean,
+                CrashFault::Torn { keep: 7 },
+                CrashFault::SnapCorrupt { byte: 11 },
+            ] {
+                let (rt, mut server) = server();
+                let plan = CrashPlan { at_event, fault };
+                server.attach_durability(
+                    Durability::new(Box::new(MemStorage::new()), 3).with_crash_plan(plan),
+                );
+                drive_mixed(&rt, &mut server);
+                assert_eq!(
+                    server.snapshot().to_bytes(),
+                    want,
+                    "crash {plan:?} must recover and redeliver transparently"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queued_pending_uploads_survive_recovery() {
+        let dataset = DatasetSpec::ucf101().subset(20);
+        let seeds = SeedTree::new(64);
+        let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+        let cfg = CocaConfig::for_model(ModelId::ResNet101)
+            .with_merge_mode(MergeMode::QueueAndFlush)
+            .with_flush_policy(FlushPolicy::RoundAligned);
+        let mut live = CocaServer::new(&rt, cfg, &seeds);
+        live.attach_durability(Durability::new(Box::new(MemStorage::new()), 2));
+        live.set_flush_watermark(5);
+        live.handle_upload(upload_for(&rt, 0, 3, 10));
+        live.handle_upload(upload_for(&rt, 1, 4, 11));
+        assert_eq!(live.pending_uploads(), 2);
+        let want = live.snapshot().to_bytes();
+        let d = live.detach_durability().unwrap();
+        let (recovered, _) = CocaServer::recover(&rt, cfg, &seeds, d).unwrap();
+        assert_eq!(recovered.pending_uploads(), 2);
+        assert_eq!(recovered.snapshot().to_bytes(), want);
+        // The recovered queue drains exactly like the live one would.
+        let mut recovered = recovered;
+        live.handle_upload(upload_for(&rt, 2, 5, 12));
+        recovered.handle_upload(upload_for(&rt, 2, 5, 12));
+        live.set_flush_watermark(3);
+        recovered.set_flush_watermark(3);
+        assert_eq!(live.pending_uploads(), 0);
+        assert_eq!(recovered.snapshot().to_bytes(), live.snapshot().to_bytes());
     }
 }

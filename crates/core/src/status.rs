@@ -37,6 +37,24 @@ impl ClientStatus {
         }
     }
 
+    /// Overwrites τ with a client-reported vector — the server-side
+    /// mirror kept for durability snapshots. A length-mismatched report
+    /// copies the overlapping prefix, the same truncating `zip`
+    /// discipline the merge pipeline applies to ragged inputs.
+    pub fn record_timestamps(&mut self, tau: &[u32]) {
+        for (dst, &src) in self.timestamps.iter_mut().zip(tau) {
+            *dst = src;
+        }
+    }
+
+    /// Overwrites φ with a client-reported vector (server-side mirror;
+    /// see [`ClientStatus::record_timestamps`]).
+    pub fn record_frequency(&mut self, phi: &[u64]) {
+        for (dst, &src) in self.frequency.iter_mut().zip(phi) {
+            *dst = src;
+        }
+    }
+
     /// Records one inference whose (predicted) class is `class`.
     pub fn observe(&mut self, class: usize) {
         for (i, t) in self.timestamps.iter_mut().enumerate() {

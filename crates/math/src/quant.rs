@@ -422,6 +422,23 @@ impl Deserialize for QuantizedStore {
                 if codes.len() != rows * dim || scales.len() != rows {
                     return Err(serde::Error::custom("QuantizedStore: ragged i8 payload"));
                 }
+                // Per-row scale invariant: `max|x| / 127` is always finite
+                // and non-negative, and a zero scale can only accompany an
+                // all-zero row (dequantizing nonzero codes by a zero scale
+                // would silently erase the row; a NaN/inf scale would
+                // poison every downstream kernel).
+                for (r, &s) in scales.iter().enumerate() {
+                    if !s.is_finite() || s < 0.0 {
+                        return Err(serde::Error::custom(format!(
+                            "QuantizedStore: row {r} scale {s} is not a finite non-negative max-abs/127"
+                        )));
+                    }
+                    if s == 0.0 && codes[r * dim..(r + 1) * dim].iter().any(|&c| c != 0) {
+                        return Err(serde::Error::custom(format!(
+                            "QuantizedStore: row {r} has nonzero codes under a zero scale"
+                        )));
+                    }
+                }
                 Payload::I8 { codes, scales }
             }
             Precision::F16 => {
@@ -610,6 +627,32 @@ mod tests {
             "{\"dim\":0,\"rows\":0,\"precision\":\"F16\",\"bits\":[]}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn i8_scale_invariants_are_validated() {
+        // NaN / negative / infinite scales are typed errors, not panics.
+        for bad in ["NaN", "-0.5", "1e999"] {
+            let json = format!(
+                "{{\"dim\":2,\"rows\":1,\"precision\":\"I8\",\"codes\":[1,2],\"scales\":[{bad}]}}"
+            );
+            assert!(
+                serde_json::from_str::<QuantizedStore>(&json).is_err(),
+                "scale {bad} must be rejected"
+            );
+        }
+        // A zero scale with nonzero codes would erase the row on read.
+        assert!(serde_json::from_str::<QuantizedStore>(
+            "{\"dim\":2,\"rows\":1,\"precision\":\"I8\",\"codes\":[1,0],\"scales\":[0.0]}"
+        )
+        .is_err());
+        // A zero scale over an all-zero row is the legitimate empty-row
+        // encoding and must keep round-tripping.
+        let ok: QuantizedStore = serde_json::from_str(
+            "{\"dim\":2,\"rows\":1,\"precision\":\"I8\",\"codes\":[0,0],\"scales\":[0.0]}",
+        )
+        .unwrap();
+        assert_eq!(ok.dequantize_row(0), &[0.0, 0.0]);
     }
 
     #[test]

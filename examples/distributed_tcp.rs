@@ -7,6 +7,13 @@
 //! serde messages the virtual-time engine models). Virtual time still
 //! prices inference; the sockets are real.
 //!
+//! The server runs with durability attached: every request/upload is
+//! WAL-logged to `target/coca-durability/` before it mutates state, and
+//! after the run a standalone [`CocaServer::recover`] from those files
+//! must rebuild the live server byte-for-byte — the same crash-recovery
+//! contract the `proptest_recovery` suite pins in-memory, here over a
+//! real on-disk store.
+//!
 //! ```sh
 //! cargo run --release --example distributed_tcp
 //! ```
@@ -15,6 +22,7 @@ use std::net::TcpListener;
 use std::thread;
 use std::time::Duration;
 
+use coca::core::persist::DirStorage;
 use coca::core::proto::{CacheAllocation, CacheRequest, UpdateUpload};
 use coca::core::{CocaClient, CocaServer};
 use coca::net::{TcpTransport, Transport};
@@ -61,6 +69,13 @@ fn main() {
         // watermark that drains one fleet-sized batch per round (a no-op
         // under the default per-boundary policy).
         server.set_flush_watermark(CLIENTS);
+        // Snapshot + WAL on real files; a fresh directory per run so the
+        // genesis snapshot matches this run's seeds. The WAL segment
+        // length comes from the config (COCA_WAL_ROTATE, default 256).
+        let wal_dir = std::path::Path::new("target").join("coca-durability");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let store = DirStorage::open(&wal_dir).expect("open durability dir");
+        server.attach_storage(Box::new(store));
         let transports: Vec<TcpTransport> = (0..CLIENTS)
             .map(|_| TcpTransport::accept(&listener).expect("accept"))
             .collect();
@@ -98,6 +113,26 @@ fn main() {
         println!(
             "server: {served} allocations served, global fill {:.2}",
             server.global().fill_ratio()
+        );
+        // Crash-recovery check: rebuild a server from nothing but the
+        // on-disk snapshot + WAL and compare it to the live one.
+        let live_bytes = server.snapshot().to_bytes();
+        let d = server.detach_durability().expect("durability attached");
+        let events = d.events_logged();
+        let (recovered, info) =
+            CocaServer::recover(&server_scenario.rt, coca_cfg, server_scenario.seeds(), d)
+                .expect("recovery from on-disk WAL");
+        assert_eq!(
+            recovered.snapshot().to_bytes(),
+            live_bytes,
+            "recovered server diverged from the live one"
+        );
+        println!(
+            "server: recovered byte-identical state from {} ({events} WAL events, \
+             {} replayed on top of the {:?} snapshot)",
+            wal_dir.display(),
+            info.replayed,
+            info.source
         );
     });
 

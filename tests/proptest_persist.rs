@@ -1,0 +1,305 @@
+//! Persistence-hardening property tests: **random corruption of snapshot
+//! and WAL bytes never panics the recovery path** — it decodes, or it
+//! errors through `Result`/typed `PersistError`, nothing else. The
+//! mutation strategy extends `proptest_wire.rs` to the durability layer:
+//!
+//! * raw byte corruption of framed snapshots (caught by the CRC) *and*
+//!   payload-level corruption re-framed with a **valid** CRC, so the JSON
+//!   parser and every schema validator (occupancy-vs-row-count, layer
+//!   dims, φ lengths, sorted client registry, i8 per-row scale
+//!   invariants) get exercised past the checksum;
+//! * corruption, truncation and cross-key swaps of whole storage states
+//!   driven through `Durability::load_for_recovery`;
+//! * structurally invalid snapshots (unsorted registry, ragged pending
+//!   φ, out-of-range layers/classes, wrong version) produce typed errors;
+//! * snapshots round-trip **byte-identically** under all three wire
+//!   precisions (f32/f16/i8) with a non-empty `RoundAligned` pending
+//!   queue aboard.
+
+use coca::core::collect::UpdateTable;
+use coca::core::persist::{
+    decode_frames, encode_frame, Durability, MemStorage, PersistError, Snapshot, Storage,
+    WalRecord, SNAP_CUR, SNAP_PREV, WAL_CUR, WAL_PREV,
+};
+use coca::core::proto::{CacheRequest, UpdateUpload};
+use coca::core::AcaOutput;
+use coca::core::{CocaServer, FlushPolicy, MergeMode};
+use coca::math::Precision;
+use coca::prelude::*;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A server mid-flight under the queue-and-flush pipeline: non-empty
+/// pending queue, populated client registry, a few WAL generations on
+/// storage. Returns the live snapshot bytes and the detached storage.
+fn sample_state(precision: Precision) -> (Vec<u8>, Box<dyn Storage>) {
+    let dataset = DatasetSpec::ucf101().subset(10);
+    let seeds = SeedTree::new(41);
+    let rt = ModelRuntime::new(ModelId::ResNet101, &dataset, &seeds);
+    let cfg = CocaConfig::for_model(ModelId::ResNet101)
+        .with_merge_mode(MergeMode::QueueAndFlush)
+        .with_flush_policy(FlushPolicy::RoundAligned)
+        .with_precision(precision);
+    let mut server = CocaServer::new(&rt, cfg, &seeds);
+    server.attach_durability(Durability::new(Box::new(MemStorage::new()), 2));
+    server.set_flush_watermark(8);
+    let profile = server.base_hit_profile().to_vec();
+    for id in 0..3u64 {
+        let _ = server.handle_request(&CacheRequest {
+            client_id: id,
+            round: 0,
+            timestamps: vec![id as u32; rt.num_classes()],
+            hit_ratio: profile.clone(),
+            budget_bytes: 48 * 1024,
+        });
+        server.handle_upload(sample_upload(&rt, id));
+    }
+    assert!(server.pending_uploads() > 0, "queue must be non-empty");
+    let snap = server.snapshot().to_bytes();
+    let d = server.detach_durability().unwrap();
+    (snap, d.into_storage())
+}
+
+fn sample_upload(rt: &ModelRuntime, client_id: u64) -> UpdateUpload {
+    let layer = 10usize;
+    let mut table = UpdateTable::new();
+    let dim = rt.feature_dim(layer);
+    let mut v = vec![0.0f32; dim];
+    v[(client_id as usize + 1) % dim] = 1.0;
+    table.absorb(3, layer, &v, 0.0);
+    let mut phi = vec![0u64; rt.num_classes()];
+    phi[3] = 50 + client_id;
+    UpdateUpload {
+        client_id,
+        round: 0,
+        table,
+        frequency: phi,
+        precision: Precision::F32,
+    }
+}
+
+/// The f32 sample state, built once — server construction is expensive
+/// and every case copies before corrupting.
+fn f32_state() -> &'static (Vec<u8>, Box<dyn Storage>) {
+    use std::sync::OnceLock;
+    static STATE: OnceLock<(Vec<u8>, Box<dyn Storage>)> = OnceLock::new();
+    STATE.get_or_init(|| sample_state(Precision::F32))
+}
+
+/// Extracts the JSON payload of a single-frame snapshot.
+fn frame_payload(bytes: &[u8]) -> Vec<u8> {
+    let (payloads, _, _) = decode_frames(bytes, false).unwrap();
+    payloads.into_iter().next().unwrap()
+}
+
+proptest! {
+    /// Raw byte corruption of a framed snapshot never panics — the CRC
+    /// (or the schema validators, if the flip lands after a re-frame)
+    /// turns it into a typed error or a harmless decode.
+    #[test]
+    fn mutated_snapshot_bytes_never_panic(seed in 0u64..1500, mutations in 1usize..24) {
+        let mut rng = SeedTree::new(seed).rng_for("snap-mutate");
+        let (snap, _) = f32_state();
+        let mut bytes = snap.clone();
+        for _ in 0..mutations {
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] = rng.gen();
+        }
+        let _ = Snapshot::from_bytes(&bytes);
+    }
+
+    /// Payload-level corruption **re-framed with a valid CRC**: the JSON
+    /// parser and every schema validator past the checksum must error,
+    /// not panic — the snapshot-hardening half of the wire mutation
+    /// strategy (occupancy bitmaps, layer dims, i8 row scales included).
+    #[test]
+    fn mutated_snapshot_payloads_never_panic(seed in 0u64..1500, mutations in 1usize..16) {
+        let mut rng = SeedTree::new(seed).rng_for("payload-mutate");
+        let (snap, _) = f32_state();
+        let mut payload = frame_payload(snap);
+        for _ in 0..mutations {
+            let at = rng.gen_range(0..payload.len());
+            payload[at] = rng.gen();
+        }
+        let _ = Snapshot::from_bytes(&encode_frame(&payload));
+    }
+
+    /// Truncating a framed snapshot at any byte never panics, and a cut
+    /// anywhere inside the single frame is a typed error (a partial
+    /// snapshot must never half-load).
+    #[test]
+    fn truncated_snapshots_error_cleanly(seed in 0u64..500) {
+        let mut rng = SeedTree::new(seed).rng_for("snap-cut");
+        let (snap, _) = f32_state();
+        let cut = rng.gen_range(0..snap.len());
+        prop_assert!(Snapshot::from_bytes(&snap[..cut]).is_err());
+    }
+
+    /// Randomly corrupting, truncating or deleting any of the four
+    /// storage keys never panics the full recovery cascade — it recovers
+    /// from a surviving generation or fails closed with a typed error.
+    #[test]
+    fn corrupted_stores_never_panic_recovery(
+        seed in 0u64..1500,
+        strikes in 1usize..6,
+    ) {
+        let mut rng = SeedTree::new(seed).rng_for("store-mutate");
+        let (_, pristine) = f32_state();
+        let mut store = MemStorage::new();
+        for key in [SNAP_CUR, SNAP_PREV, WAL_CUR, WAL_PREV] {
+            if let Some(bytes) = pristine.load(key) {
+                store.save(key, &bytes);
+            }
+        }
+        for _ in 0..strikes {
+            let key = [SNAP_CUR, SNAP_PREV, WAL_CUR, WAL_PREV][rng.gen_range(0..4usize)];
+            let Some(mut bytes) = store.load(key) else { continue };
+            match rng.gen_range(0..3) {
+                0 if !bytes.is_empty() => {
+                    let at = rng.gen_range(0..bytes.len());
+                    bytes[at] = rng.gen();
+                    store.save(key, &bytes);
+                }
+                1 => {
+                    let keep = rng.gen_range(0..=bytes.len());
+                    store.save(key, &bytes[..keep]);
+                }
+                _ => store.remove(key),
+            }
+        }
+        let mut d = Durability::new(Box::new(store), 4);
+        if let Ok((snap, records, _info)) = d.load_for_recovery() {
+            // Whatever loads must be internally coherent enough to
+            // re-serialize without panicking.
+            if let Some(s) = snap {
+                let _ = s.to_bytes();
+            }
+            for r in &records {
+                let _ = r.to_frame();
+            }
+        }
+    }
+
+    /// WAL segment truncation recovers exactly the whole-frame prefix:
+    /// lenient decoding reports `committed + truncated == cut` and every
+    /// committed payload is a valid record.
+    #[test]
+    fn truncated_wal_recovers_the_whole_frame_prefix(seed in 0u64..800) {
+        let mut rng = SeedTree::new(seed).rng_for("wal-cut");
+        let (_, store) = f32_state();
+        let wal = store
+            .load(WAL_CUR)
+            .filter(|w| !w.is_empty())
+            .or_else(|| store.load(WAL_PREV))
+            .unwrap();
+        let cut = rng.gen_range(0..=wal.len());
+        let (payloads, committed, truncated) = decode_frames(&wal[..cut], true).unwrap();
+        prop_assert_eq!(committed + truncated, cut);
+        for p in &payloads {
+            serde_json::from_str::<WalRecord>(std::str::from_utf8(p).unwrap()).unwrap();
+        }
+    }
+}
+
+/// Structurally invalid snapshots produce **typed** errors, not panics:
+/// each constructed violation trips its dedicated validator.
+#[test]
+fn invalid_snapshots_yield_typed_errors() {
+    let (snap, _) = f32_state();
+    let valid = Snapshot::from_bytes(snap).unwrap();
+
+    // Wrong version.
+    let json = String::from_utf8(frame_payload(snap)).unwrap();
+    let bumped = json.replacen("\"version\":1", "\"version\":99", 1);
+    assert_ne!(json, bumped, "surgery must hit the version field");
+    let err = Snapshot::from_bytes(&encode_frame(bumped.as_bytes())).unwrap_err();
+    assert!(
+        matches!(err, PersistError::Decode(ref m) if m.contains("version")),
+        "{err}"
+    );
+
+    // Client registry not strictly sorted.
+    let mut s = valid.clone();
+    s.clients.reverse();
+    assert!(s.clients.len() > 1);
+    let err = Snapshot::from_bytes(&s.to_bytes()).unwrap_err();
+    assert!(
+        matches!(err, PersistError::Decode(ref m) if m.contains("sorted")),
+        "{err}"
+    );
+
+    // Duplicate client id.
+    let mut s = valid.clone();
+    let dup = s.clients[0].clone();
+    s.clients.insert(0, dup);
+    let err = Snapshot::from_bytes(&s.to_bytes()).unwrap_err();
+    assert!(
+        matches!(err, PersistError::Decode(ref m) if m.contains("sorted")),
+        "{err}"
+    );
+
+    // Ragged pending φ.
+    let mut s = valid.clone();
+    s.pending[0].frequency.pop();
+    let err = Snapshot::from_bytes(&s.to_bytes()).unwrap_err();
+    assert!(
+        matches!(err, PersistError::Decode(ref m) if m.contains("φ")),
+        "{err}"
+    );
+
+    // Pending upload touching a layer outside the table.
+    let mut s = valid.clone();
+    let mut table = UpdateTable::new();
+    table.absorb(0, 9_999, &[1.0, 0.0], 0.0);
+    s.pending[0].table = table;
+    let err = Snapshot::from_bytes(&s.to_bytes()).unwrap_err();
+    assert!(
+        matches!(err, PersistError::Decode(ref m) if m.contains("layer")),
+        "{err}"
+    );
+
+    // Pending upload whose entry dimension contradicts the table's.
+    let mut s = valid.clone();
+    let mut table = UpdateTable::new();
+    table.absorb(0, 10, &[1.0, 0.0], 0.0); // layer 10 is high-dimensional
+    s.pending[0].table = table;
+    let err = Snapshot::from_bytes(&s.to_bytes()).unwrap_err();
+    assert!(
+        matches!(err, PersistError::Decode(ref m) if m.contains("dim")),
+        "{err}"
+    );
+
+    // Static allocation indexing outside the table.
+    let mut s = valid.clone();
+    s.static_alloc = Some(AcaOutput {
+        hot_classes: vec![usize::MAX],
+        layers: vec![0],
+    });
+    let err = Snapshot::from_bytes(&s.to_bytes()).unwrap_err();
+    assert!(
+        matches!(err, PersistError::Decode(ref m) if m.contains("allocation")),
+        "{err}"
+    );
+}
+
+/// Snapshots round-trip byte-identically under every wire precision,
+/// with a non-empty round-aligned pending queue aboard — the canonical
+/// re-serialization contract the recovery cascade relies on.
+#[test]
+fn snapshots_round_trip_byte_identically_under_every_precision() {
+    for precision in [Precision::F32, Precision::F16, Precision::I8] {
+        let (bytes, _) = sample_state(precision);
+        let decoded = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.config.precision, precision);
+        assert!(
+            !decoded.pending.is_empty(),
+            "{precision:?}: the pending queue must survive the round trip"
+        );
+        assert!(!decoded.clients.is_empty());
+        assert_eq!(
+            decoded.to_bytes(),
+            bytes,
+            "{precision:?}: re-serialization must be byte-identical"
+        );
+    }
+}
