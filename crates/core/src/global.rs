@@ -49,7 +49,7 @@ use crate::semantic::{CacheLayer, LocalCache};
 /// Weights and row indices of one per-layer merge batch — the job list
 /// one [`merge_weighted_rows`] call consumes. The sharded batched merge
 /// hands each layer its own buffer, so buffers never cross shards.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct JobBuf {
     /// Destination rows (= classes) of the weighted-merge jobs.
     dst_rows: Vec<usize>,
@@ -662,6 +662,162 @@ impl GlobalCacheTable {
         let ones: usize = self.occupancy.iter().map(OccupancyBitmap::count_ones).sum();
         ones as f64 / (self.classes * self.layers) as f64
     }
+
+    /// Splits the table into per-layer [`LayerShard`]s plus the shared Φ
+    /// vector. Each shard owns its layer's `(store, occupancy)` pair
+    /// outright — the same `&mut` disjointness the rayon-sharded batched
+    /// merge partitions on, but materialized as owned values so a
+    /// networked server can put each layer behind its own lock.
+    /// [`GlobalCacheTable::from_shards`] reassembles the exact table.
+    pub(crate) fn into_shards(self) -> (Vec<LayerShard>, Vec<u64>) {
+        let classes = self.classes;
+        let precision = self.precision;
+        let shards = self
+            .stores
+            .into_iter()
+            .zip(self.qstores)
+            .zip(self.occupancy)
+            .map(|((store, qstore), occupancy)| LayerShard {
+                classes,
+                precision,
+                store,
+                qstore,
+                occupancy,
+                jobs: JobBuf::default(),
+            })
+            .collect();
+        (shards, self.frequency)
+    }
+
+    /// Reassembles a table from [`GlobalCacheTable::into_shards`] parts
+    /// (digests, snapshots, whole-table extraction). Pure regrouping —
+    /// no cell is touched.
+    pub(crate) fn from_shards(shards: Vec<LayerShard>, frequency: Vec<u64>) -> Self {
+        assert!(!shards.is_empty(), "degenerate global cache shape");
+        let classes = shards[0].classes;
+        let precision = shards[0].precision;
+        assert_eq!(classes, frequency.len(), "frequency length mismatch");
+        let layers = shards.len();
+        let mut stores = Vec::with_capacity(layers);
+        let mut qstores = Vec::with_capacity(layers);
+        let mut occupancy = Vec::with_capacity(layers);
+        for s in shards {
+            assert_eq!(s.classes, classes, "shard class count mismatch");
+            assert_eq!(s.precision, precision, "shard precision mismatch");
+            stores.push(s.store);
+            qstores.push(s.qstore);
+            occupancy.push(s.occupancy);
+        }
+        Self {
+            classes,
+            layers,
+            stores,
+            occupancy,
+            frequency,
+            precision,
+            qstores,
+        }
+    }
+
+    /// FNV-1a fingerprint of the serialized table (the wire shape, Φ
+    /// included). Two tables with equal digests went through the same
+    /// merge history bit for bit — the cheap equivalence check the
+    /// daemon's loopback-vs-in-process tests and its `Digest` protocol
+    /// message rely on.
+    pub fn digest(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("global table always serializes");
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in json.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// One layer's share of the global table, carved out by
+/// [`GlobalCacheTable::into_shards`]: the `(store, occupancy)` pair —
+/// dense or quantized — plus a private job buffer; everything a merge or
+/// an extract of that layer touches. The sharded daemon server puts each
+/// shard behind its own `RwLock`, so concurrent requests on disjoint
+/// layers never serialize, while the merge arithmetic stays the exact
+/// [`GlobalCacheTable`] Eq. 4 path (same private primitive).
+#[derive(Debug, Clone)]
+pub(crate) struct LayerShard {
+    classes: usize,
+    precision: Precision,
+    store: VectorStore,
+    qstore: Option<QuantizedStore>,
+    occupancy: OccupancyBitmap,
+    jobs: JobBuf,
+}
+
+impl LayerShard {
+    /// Merges one upload's group for this layer (Eq. 4). `cap_phi` is the
+    /// Φ snapshot the weights read — the live vector for a sequential
+    /// merge, the client's prefix Φ for a batched one — and `phi` the
+    /// client's φ. Delegates to the same primitive every
+    /// [`GlobalCacheTable`] merge path uses, so the result is
+    /// bit-identical to an unsharded merge in the same order.
+    pub(crate) fn merge_group(
+        &mut self,
+        g: &LayerUpdate,
+        cap_phi: &[u64],
+        phi: &[u64],
+        gamma: f32,
+    ) {
+        let slot = if self.precision == Precision::F32 {
+            LayerSlotMut::Dense(&mut self.store)
+        } else {
+            LayerSlotMut::Quant(&mut self.qstore, self.precision)
+        };
+        GlobalCacheTable::merge_layer_group(
+            slot,
+            &mut self.occupancy,
+            self.classes,
+            g,
+            MergeWeights {
+                cap_phi,
+                phi,
+                gamma,
+            },
+            &mut self.jobs,
+        );
+    }
+
+    /// Extracts this layer's entries for `classes` — the single-layer
+    /// body of [`GlobalCacheTable::extract`], same skip rules (untouched
+    /// layer, unpopulated cells) and the same unit-norm contract.
+    /// `point` is the layer's index in the model's cache-point list.
+    pub(crate) fn extract_layer(&self, point: usize, classes: &[usize]) -> Option<CacheLayer> {
+        if self.qstore.is_none() && self.store.dim() == 0 {
+            return None;
+        }
+        let sel: Vec<usize> = classes
+            .iter()
+            .copied()
+            .filter(|&c| c < self.classes && self.occupancy.get(c))
+            .collect();
+        if sel.is_empty() {
+            return None;
+        }
+        let vectors = match &self.qstore {
+            None => self.store.extract_rows(&sel),
+            Some(q) => {
+                let mut v = q.dequantize_rows(&sel);
+                for i in 0..v.rows() {
+                    l2_normalize(v.row_mut(i));
+                }
+                v
+            }
+        };
+        debug_assert!(vectors.iter_rows().all(|r| coca_math::is_unit(r, 1e-3)));
+        Some(CacheLayer {
+            point,
+            classes: sel,
+            vectors,
+        })
+    }
 }
 
 // Flat-buffer wire shape, the same way `CacheLayer` ships: per-layer
@@ -1100,6 +1256,65 @@ mod tests {
         }
         assert!(back.get(0, 0).is_none());
         assert_eq!(back.store_bytes(), t.store_bytes());
+    }
+
+    #[test]
+    fn layer_shards_reproduce_table_merges_bit_for_bit() {
+        for precision in [Precision::F32, Precision::I8] {
+            let build = || {
+                let mut t = GlobalCacheTable::with_precision(4, 3, precision);
+                t.set(0, 0, vec![1.0, 0.0]);
+                t.set(1, 1, vec![0.0, 1.0]);
+                t.seed_frequency(&[5, 3, 0, 0]);
+                t
+            };
+            let u1 = upload(&[(0, 0, vec![0.2, 0.9]), (2, 1, vec![0.5, 0.5])]);
+            let phi1: Vec<u64> = vec![4, 0, 7, 0];
+            let u2 = upload(&[(0, 0, vec![-0.7, 0.1]), (1, 1, vec![0.9, -0.1])]);
+            let phi2: Vec<u64> = vec![2, 6, 0, 0];
+
+            let mut reference = build();
+            reference.merge_update(&u1, &phi1, 0.99, &mut MergeScratch::new());
+            reference.merge_update(&u2, &phi2, 0.99, &mut MergeScratch::new());
+
+            // Sharded: sequential per-upload merges against the live Φ,
+            // one shard at a time, then Eq. 5 — the daemon's per-upload
+            // path.
+            let (mut shards, mut freq) = build().into_shards();
+            for (u, phi) in [(&u1, &phi1), (&u2, &phi2)] {
+                for g in u.layer_groups() {
+                    shards[g.layer as usize].merge_group(g, &freq, phi, 0.99);
+                }
+                for (f, &p) in freq.iter_mut().zip(phi) {
+                    *f += p;
+                }
+            }
+            let back = GlobalCacheTable::from_shards(shards, freq);
+            assert_eq!(back.digest(), reference.digest(), "{precision:?}");
+            assert_eq!(back.frequency(), reference.frequency());
+
+            // Extraction through a shard matches whole-table extraction.
+            let (shards, _) = reference.clone().into_shards();
+            let whole = reference.extract(&[1], &[0, 1, 2]);
+            let layer = shards[1].extract_layer(1, &[0, 1, 2]).unwrap();
+            assert_eq!(whole.layers()[0].classes, layer.classes);
+            assert_eq!(whole.layers()[0].vectors.as_flat(), layer.vectors.as_flat());
+            assert!(shards[2].extract_layer(2, &[0, 1, 2]).is_none());
+        }
+    }
+
+    #[test]
+    fn digest_distinguishes_states_and_survives_shard_round_trips() {
+        let mut t = table();
+        t.set(0, 0, vec![1.0, 0.0]);
+        t.seed_frequency(&[5, 3, 0, 0]);
+        let d0 = t.digest();
+        assert_eq!(d0, t.clone().digest(), "digest is a pure function");
+        let (shards, freq) = t.clone().into_shards();
+        assert_eq!(GlobalCacheTable::from_shards(shards, freq).digest(), d0);
+        let mut moved = t.clone();
+        moved.advance_frequency(&[1, 0, 0, 0]);
+        assert_ne!(moved.digest(), d0, "Φ is part of the fingerprint");
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //!   truncation, generation-fallback recovery and deterministic
 //!   crash-point fault injection.
 //! * [`client`] / [`server`] — the two runtimes (§IV.A workflow).
+//! * [`sharded`] — the server state again, behind per-layer sharded
+//!   `RwLock`s with `&self` handlers — the networked daemon's concurrent
+//!   core (same Eq. 4 primitives, digest-equivalent by contract).
 //! * [`driver`] — the **generic virtual-time engine**: the
 //!   [`MethodDriver`](driver::MethodDriver) trait any method implements,
 //!   and the [`drive`](driver::drive) event loop that prices staggered
@@ -53,6 +56,7 @@ pub mod persist;
 pub mod proto;
 pub mod semantic;
 pub mod server;
+pub mod sharded;
 pub mod spec;
 pub mod status;
 
@@ -72,6 +76,7 @@ pub use persist::{
 };
 pub use semantic::{CacheLayer, LocalCache};
 pub use server::{CocaServer, DuplicateClientUpload};
+pub use sharded::ShardedServer;
 pub use spec::{
     JoinEvent, LeaveEvent, LinkChangeEvent, PopularityShift, PopularityShiftEvent, ScenarioEvent,
     ScenarioSpec,

@@ -218,6 +218,16 @@ pub trait Storage: Send + Sync {
     fn append(&mut self, key: &str, bytes: &[u8]);
     /// Removes `key` (no-op when absent).
     fn remove(&mut self, key: &str);
+    /// Requests that every write reach stable media before returning
+    /// (fsync-per-append). Provided as a no-op: only backends with a
+    /// volatile write path ([`DirStorage`]) have anything to sync, and
+    /// most callers — the daemon included — keep the **default off**:
+    /// the recovery contract tested throughout this crate is about
+    /// *process* crashes (the page cache survives those), and
+    /// fsync-per-WAL-append would dominate every benchmark. Set env
+    /// `COCA_FSYNC=1` (or call this) when surviving power loss matters
+    /// more than append latency.
+    fn set_fsync(&mut self, _enabled: bool) {}
 }
 
 /// In-memory storage: the test and fault-injection backend. Extra helpers
@@ -280,19 +290,35 @@ impl Storage for MemStorage {
 }
 
 /// Directory-backed storage: one file per key. The deployment backend of
-/// the TCP example; appends reopen in append mode, so per-event cost is
-/// one `write(2)`.
+/// the daemon and the TCP example; appends reopen in append mode, so
+/// per-event cost is one `write(2)`.
+///
+/// By default writes land in the page cache only — crash-safe against
+/// *process* death (the kernel still flushes), not power loss, and fast
+/// enough to WAL-log every daemon event. Env `COCA_FSYNC=1`/`true` (read
+/// at [`DirStorage::open`]) or [`Storage::set_fsync`] upgrades every
+/// save/append to `fdatasync` before returning.
 #[derive(Debug)]
 pub struct DirStorage {
     dir: PathBuf,
+    fsync: bool,
 }
 
 impl DirStorage {
-    /// Opens (creating if needed) `dir` as a durability directory.
+    /// Opens (creating if needed) `dir` as a durability directory. The
+    /// fsync discipline defaults from env `COCA_FSYNC` (off when unset).
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        let fsync = std::env::var("COCA_FSYNC")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        Ok(Self { dir, fsync })
+    }
+
+    /// Whether save/append sync to stable media before returning.
+    pub fn fsync(&self) -> bool {
+        self.fsync
     }
 
     fn path(&self, key: &str) -> PathBuf {
@@ -306,7 +332,19 @@ impl Storage for DirStorage {
     }
 
     fn save(&mut self, key: &str, bytes: &[u8]) {
-        std::fs::write(self.path(key), bytes).expect("durability dir must stay writable");
+        if self.fsync {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(self.path(key))
+                .expect("durability dir must stay writable");
+            f.write_all(bytes)
+                .and_then(|()| f.sync_data())
+                .expect("durability dir must stay writable");
+        } else {
+            std::fs::write(self.path(key), bytes).expect("durability dir must stay writable");
+        }
     }
 
     fn append(&mut self, key: &str, bytes: &[u8]) {
@@ -317,10 +355,17 @@ impl Storage for DirStorage {
             .expect("durability dir must stay writable");
         f.write_all(bytes)
             .expect("durability dir must stay writable");
+        if self.fsync {
+            f.sync_data().expect("durability dir must stay writable");
+        }
     }
 
     fn remove(&mut self, key: &str) {
         let _ = std::fs::remove_file(self.path(key));
+    }
+
+    fn set_fsync(&mut self, enabled: bool) {
+        self.fsync = enabled;
     }
 }
 
@@ -946,6 +991,35 @@ mod tests {
         assert_eq!(s.load(WAL_CUR).as_deref(), Some(&b"rec1rec2"[..]));
         s.remove(SNAP_CUR);
         assert!(s.load(SNAP_CUR).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dir_storage_fsync_toggle_keeps_bytes_identical() {
+        // COCA_FSYNC changes the durability discipline, never the bytes.
+        let dir = std::env::temp_dir().join(format!(
+            "coca-persist-fsync-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = DirStorage::open(&dir).unwrap();
+        // Defaults off unless the env says otherwise (the benchmark mode).
+        if std::env::var("COCA_FSYNC").is_err() {
+            assert!(!s.fsync());
+        }
+        s.set_fsync(true);
+        assert!(s.fsync());
+        s.save(SNAP_CUR, b"snapshot");
+        s.append(WAL_CUR, b"rec1");
+        s.append(WAL_CUR, b"rec2");
+        assert_eq!(s.load(SNAP_CUR).as_deref(), Some(&b"snapshot"[..]));
+        assert_eq!(s.load(WAL_CUR).as_deref(), Some(&b"rec1rec2"[..]));
+        // Synced saves truncate like unsynced ones (no stale tail).
+        s.save(SNAP_CUR, b"v2");
+        assert_eq!(s.load(SNAP_CUR).as_deref(), Some(&b"v2"[..]));
+        // MemStorage takes the provided no-op.
+        MemStorage::new().set_fsync(true);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,90 @@
+//! The daemon's wire protocol: one serde enum per direction, carried in
+//! the same `[u32 BE length][JSON]` frames as every other transport in
+//! the workspace ([`coca_net::wire`]).
+//!
+//! Every client message is acknowledged with exactly one server message,
+//! and a connection's replies come back in request order (the daemon
+//! pins each connection to one worker). That makes the protocol usable
+//! both closed-loop (send, wait, repeat) and open-loop (fire on a
+//! schedule, pair replies FIFO with send timestamps).
+
+use serde::{Deserialize, Serialize};
+
+use coca_core::proto::{CacheAllocation, CacheRequest, UpdateUpload};
+
+/// Client → daemon messages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ClientMsg {
+    /// Introduce yourself; answered with [`ServerMsg::Profile`] — the
+    /// shared-dataset standalone hit-ratio profile a fresh client needs
+    /// to fill `CacheRequest::hit_ratio` before it has local estimates.
+    Hello,
+    /// §IV.A step 1: request a personalized cache allocation.
+    Request(CacheRequest),
+    /// §IV.A step 3: end-of-round update upload.
+    Upload(UpdateUpload),
+    /// Force a drain of the pending-upload queue (a no-op under
+    /// per-upload merging or an empty queue).
+    Flush,
+    /// Ask for the global table digest. Does **not** flush: queued,
+    /// unmerged uploads are not part of the table — send [`Self::Flush`]
+    /// first when comparing against a flushed reference.
+    Digest,
+    /// Set the round-aligned flush watermark (live-fleet size).
+    SetWatermark(usize),
+    /// Stop the daemon: acknowledged with [`ServerMsg::ShuttingDown`],
+    /// then the whole process winds down (acceptor, readers, workers).
+    Shutdown,
+}
+
+/// Daemon → client replies, one per [`ClientMsg`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ServerMsg {
+    /// Reply to [`ClientMsg::Hello`]: the base hit-ratio profile.
+    Profile(Vec<f64>),
+    /// Reply to [`ClientMsg::Request`].
+    Alloc(CacheAllocation),
+    /// Reply to [`ClientMsg::Upload`], carrying the pending-queue depth
+    /// after this upload (0 under per-upload merging). A tuple variant
+    /// because the vendored serde shim's derive does not cover braced
+    /// enum variants.
+    UploadAck(usize),
+    /// Reply to [`ClientMsg::Flush`].
+    FlushDone,
+    /// Reply to [`ClientMsg::Digest`].
+    Digest(u64),
+    /// Reply to [`ClientMsg::SetWatermark`].
+    WatermarkSet,
+    /// Reply to [`ClientMsg::Shutdown`].
+    ShuttingDown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_messages_round_trip_through_the_frame_codec() {
+        let msgs = [
+            ClientMsg::Hello,
+            ClientMsg::Flush,
+            ClientMsg::Digest,
+            ClientMsg::SetWatermark(12),
+            ClientMsg::Shutdown,
+        ];
+        for m in msgs {
+            let frame = coca_net::encode_frame(&m).unwrap();
+            let back: ClientMsg = coca_net::decode_message(&frame).unwrap();
+            assert_eq!(
+                format!("{m:?}"),
+                format!("{back:?}"),
+                "client message mutated in transit"
+            );
+        }
+        let frame = coca_net::encode_frame(&ServerMsg::Digest(0xDEAD_BEEF)).unwrap();
+        match coca_net::decode_message(&frame).unwrap() {
+            ServerMsg::Digest(d) => assert_eq!(d, 0xDEAD_BEEF),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The serving loop: acceptor → per-connection readers → a fixed pool
+//! of worker threads over channels.
+//!
+//! ## Threading model
+//!
+//! * **Acceptor** — one thread on a non-blocking listener; polls at
+//!   1 ms, spawns a reader per accepted connection, and exits when the
+//!   stop flag rises.
+//! * **Readers** — one per connection, blocked in
+//!   [`coca_net::read_message`]; each decoded [`ClientMsg`] is pushed to
+//!   the connection's worker. A reader exits on clean EOF (client hung
+//!   up), after forwarding `Shutdown`, or when [`DaemonHandle::join`]
+//!   shuts the socket down under it.
+//! * **Workers** — a fixed pool looping `recv_timeout(50 ms)` on their
+//!   channel (the vendored crossbeam shim has no untimed `recv`). Each
+//!   connection is pinned round-robin to exactly one worker, so replies
+//!   on a connection come back in request order and at most one thread
+//!   ever writes to a given socket. Workers drain their queue and exit
+//!   when every sender (acceptor + readers) is gone.
+//!
+//! Shutdown sequence: a `Shutdown` message (or
+//! [`DaemonHandle::shutdown`]) raises the stop flag → the acceptor
+//! exits → [`DaemonHandle::join`] shuts down every registered socket,
+//! unblocking readers → readers exit, dropping the channel senders →
+//! workers observe the disconnect after draining → the core is
+//! unwrapped, flushed, digested, and returned in the [`DaemonReport`].
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use coca_core::CocaServer;
+use coca_net::{read_message, write_message};
+
+use crate::core::ServerCore;
+use crate::msg::{ClientMsg, ServerMsg};
+
+/// How long a worker sleeps between channel polls (the shim's
+/// `recv_timeout` is the only blocking receive available).
+const WORKER_POLL: Duration = Duration::from_millis(50);
+/// Acceptor poll interval on the non-blocking listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// One unit of work: a decoded message plus the socket to answer on.
+struct Job {
+    conn: Arc<TcpStream>,
+    msg: ClientMsg,
+}
+
+/// Monotone counters the daemon keeps while serving.
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    uploads: AtomicU64,
+    flushes: AtomicU64,
+}
+
+type ConnRegistry = Arc<Mutex<Vec<Arc<TcpStream>>>>;
+
+/// A running daemon. Dropping the handle does **not** stop it; call
+/// [`DaemonHandle::shutdown`] (or send [`ClientMsg::Shutdown`]) and then
+/// [`DaemonHandle::join`].
+#[derive(Debug)]
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    core: Arc<ServerCore>,
+    counters: Arc<Counters>,
+    conns: ConnRegistry,
+    acceptor: JoinHandle<Vec<JoinHandle<()>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// What a daemon run amounted to, returned by [`DaemonHandle::join`].
+#[derive(Debug)]
+pub struct DaemonReport {
+    /// Global-table digest after a final flush of any queued uploads.
+    pub digest: u64,
+    /// Cache requests served.
+    pub requests: u64,
+    /// Uploads ingested (merged or enqueued).
+    pub uploads: u64,
+    /// Explicit `Flush` messages handled.
+    pub flushes: u64,
+    /// The single-lock server, handed back for post-run inspection
+    /// (durability detach, recovery asserts). `None` in sharded mode.
+    pub server: Option<CocaServer>,
+}
+
+/// Starts serving `core` on `listener` with `workers` worker threads
+/// (clamped to ≥ 1). Returns immediately; the daemon runs until a
+/// [`ClientMsg::Shutdown`] arrives or [`DaemonHandle::shutdown`] is
+/// called.
+pub fn serve(
+    core: ServerCore,
+    listener: TcpListener,
+    workers: usize,
+) -> std::io::Result<DaemonHandle> {
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let core = Arc::new(core);
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(Counters::default());
+    let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+
+    let n = workers.max(1);
+    let mut worker_handles = Vec::with_capacity(n);
+    let mut senders = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Job>();
+        senders.push(tx);
+        let core = Arc::clone(&core);
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        worker_handles.push(std::thread::spawn(move || {
+            worker_loop(rx, &core, &stop, &counters)
+        }));
+    }
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let conns = Arc::clone(&conns);
+        std::thread::spawn(move || accept_loop(&listener, senders, &conns, &stop))
+    };
+
+    Ok(DaemonHandle {
+        addr,
+        stop,
+        core,
+        counters,
+        conns,
+        acceptor,
+        workers: worker_handles,
+    })
+}
+
+impl DaemonHandle {
+    /// The bound address (resolves `:0` to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raises the stop flag, as a `Shutdown` message would.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the daemon to stop, tears the thread tree down in
+    /// dependency order, and returns the final report. Blocks until a
+    /// `Shutdown` message arrives or [`Self::shutdown`] is called.
+    pub fn join(self) -> DaemonReport {
+        let readers = self.acceptor.join().expect("acceptor thread panicked");
+        // Unblock readers parked in a blocking read. Data already
+        // written (e.g. the ShuttingDown ack) is flushed, not dropped:
+        // TCP shutdown queues a FIN behind pending bytes.
+        for conn in self
+            .conns
+            .lock()
+            .expect("connection registry poisoned")
+            .iter()
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for r in readers {
+            r.join().expect("reader thread panicked");
+        }
+        // All senders are gone now; workers drain their queues and see
+        // the disconnect.
+        for w in self.workers {
+            w.join().expect("worker thread panicked");
+        }
+        let Ok(core) = Arc::try_unwrap(self.core) else {
+            unreachable!("all worker references dropped at join")
+        };
+        // Leftover queued uploads (round-aligned tails) are flushed so
+        // the report digest names a well-defined, fully-merged state.
+        core.flush();
+        DaemonReport {
+            digest: core.digest(),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            uploads: self.counters.uploads.load(Ordering::Relaxed),
+            flushes: self.counters.flushes.load(Ordering::Relaxed),
+            server: core.into_server(),
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    senders: Vec<Sender<Job>>,
+    conns: &ConnRegistry,
+    stop: &Arc<AtomicBool>,
+) -> Vec<JoinHandle<()>> {
+    let mut readers = Vec::new();
+    let mut next_conn = 0usize;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nodelay(true).is_err() || stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let write = match stream.try_clone() {
+                    Ok(w) => Arc::new(w),
+                    Err(_) => continue,
+                };
+                conns
+                    .lock()
+                    .expect("connection registry poisoned")
+                    .push(Arc::clone(&write));
+                let tx = senders[next_conn % senders.len()].clone();
+                next_conn += 1;
+                readers.push(std::thread::spawn(move || reader_loop(stream, &write, &tx)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+    readers
+}
+
+fn reader_loop(stream: TcpStream, write: &Arc<TcpStream>, tx: &Sender<Job>) {
+    let mut reader = BufReader::new(stream);
+    // A clean EOF (client hung up) or transport error / socket shutdown
+    // during teardown ends the loop: either way this connection is done.
+    while let Ok(Some(msg)) = read_message::<_, ClientMsg>(&mut reader) {
+        let last = matches!(msg, ClientMsg::Shutdown);
+        if tx
+            .send(Job {
+                conn: Arc::clone(write),
+                msg,
+            })
+            .is_err()
+            || last
+        {
+            break;
+        }
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    core: &Arc<ServerCore>,
+    stop: &Arc<AtomicBool>,
+    counters: &Arc<Counters>,
+) {
+    loop {
+        match rx.recv_timeout(WORKER_POLL) {
+            Ok(job) => handle_job(job, core, stop, counters),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn handle_job(job: Job, core: &ServerCore, stop: &AtomicBool, counters: &Counters) {
+    let mut is_shutdown = false;
+    let reply = match job.msg {
+        ClientMsg::Hello => ServerMsg::Profile(core.base_hit_profile()),
+        ClientMsg::Request(req) => {
+            counters.requests.fetch_add(1, Ordering::Relaxed);
+            ServerMsg::Alloc(core.handle_request(&req))
+        }
+        ClientMsg::Upload(up) => {
+            counters.uploads.fetch_add(1, Ordering::Relaxed);
+            core.handle_upload(up);
+            ServerMsg::UploadAck(core.pending_uploads())
+        }
+        ClientMsg::Flush => {
+            counters.flushes.fetch_add(1, Ordering::Relaxed);
+            core.flush();
+            ServerMsg::FlushDone
+        }
+        ClientMsg::Digest => ServerMsg::Digest(core.digest()),
+        ClientMsg::SetWatermark(n) => {
+            core.set_flush_watermark(n);
+            ServerMsg::WatermarkSet
+        }
+        ClientMsg::Shutdown => {
+            is_shutdown = true;
+            ServerMsg::ShuttingDown
+        }
+    };
+    // The ack goes out before the stop flag rises, so the shutting-down
+    // client sees its reply; a peer that already hung up is not an
+    // error worth dying over.
+    let mut w: &TcpStream = &job.conn;
+    let _ = write_message(&mut w, &reply);
+    if is_shutdown {
+        stop.store(true, Ordering::SeqCst);
+    }
+}

@@ -91,6 +91,33 @@ impl LatencyHistogram {
         self.max_ns = self.max_ns.max(ns);
     }
 
+    /// Records one **wall-clock** duration (`std::time::Duration`, e.g.
+    /// an `Instant::elapsed()`), saturating at `u64::MAX` ns (~584 years)
+    /// — the load generator's per-request path, no hand conversion.
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Median in milliseconds ([`Self::quantile_ms`] at q = 0.5).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile_ms(0.5)
+    }
+
+    /// 99th percentile in milliseconds ([`Self::quantile_ms`] at 0.99).
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile_ms(0.99)
+    }
+
+    /// 99.9th percentile in milliseconds ([`Self::quantile_ms`] at
+    /// 0.999) — the load generator's headline tail.
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile_ms(0.999)
+    }
+
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -190,6 +217,41 @@ mod tests {
         assert_eq!(h.max_ms(), Some(1.0));
         assert!(h.quantile_ms(0.0).is_none());
         assert!(h.quantile_ms(1.5).is_none());
+    }
+
+    #[test]
+    fn record_duration_matches_record_bucket_for_bucket() {
+        let mut sim = LatencyHistogram::new();
+        let mut wall = LatencyHistogram::new();
+        for ns in [0u64, 1, 63, 64, 999, 1_000_000, 7_777_777_777] {
+            sim.record(SimDuration::from_nanos(ns));
+            wall.record_duration(std::time::Duration::from_nanos(ns));
+        }
+        assert_eq!(sim.counts, wall.counts);
+        assert_eq!(sim.sum_ns, wall.sum_ns);
+        assert_eq!(sim.max_ms(), wall.max_ms());
+        // Beyond-u64 wall durations saturate instead of wrapping.
+        let mut h = LatencyHistogram::new();
+        h.record_duration(std::time::Duration::MAX);
+        assert_eq!(h.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn convenience_quantiles_delegate_to_the_generic_path() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.p50().is_none() && h.p99().is_none() && h.p999().is_none());
+        for i in 1..=10_000u64 {
+            h.record_duration(std::time::Duration::from_micros(i));
+        }
+        assert_eq!(h.p50(), h.quantile_ms(0.5));
+        assert_eq!(h.p99(), h.quantile_ms(0.99));
+        assert_eq!(h.p999(), h.quantile_ms(0.999));
+        let (p50, p99, p999) = (h.p50().unwrap(), h.p99().unwrap(), h.p999().unwrap());
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        assert!(
+            (p999 - 9.99).abs() / 9.99 < 1.0 / 64.0 + 1e-9,
+            "p999 {p999}"
+        );
     }
 
     #[test]

@@ -25,4 +25,6 @@ pub mod wire;
 pub use link::{LinkChangePoint, LinkModel, LinkSchedule, TESTBED_BOOT_WINDOW_MS};
 pub use queue::ServerQueue;
 pub use transport::{InMemoryTransport, TcpTransport, Transport};
-pub use wire::{decode_frame, decode_message, encode_frame, FrameError, WireSize};
+pub use wire::{
+    decode_frame, decode_message, encode_frame, read_message, write_message, FrameError, WireSize,
+};

@@ -12,6 +12,8 @@
 //!   simulation never pays its size overhead because the link model uses
 //!   `WireSize` instead.
 
+use std::io::{Read, Write};
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -57,6 +59,9 @@ pub enum FrameError {
     },
     /// Payload failed to deserialize.
     Codec(String),
+    /// Transport failure underneath the framing (streaming readers and
+    /// writers only; the buffer-oriented codecs never perform I/O).
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for FrameError {
@@ -73,6 +78,7 @@ impl std::fmt::Display for FrameError {
                  buffer holds {buffer_bytes}"
             ),
             FrameError::Codec(e) => write!(f, "codec error: {e}"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
         }
     }
 }
@@ -130,6 +136,76 @@ pub fn decode_message<T: DeserializeOwned>(buf: &[u8]) -> Result<T, FrameError> 
             buffer_bytes: buf.len(),
         }),
     }
+}
+
+/// Outcome of filling a buffer from a stream.
+enum Filled {
+    /// Every byte landed.
+    Full,
+    /// The stream ended before the first byte — a clean boundary EOF.
+    Eof,
+    /// The stream ended after some but not all bytes — a torn frame.
+    Partial,
+}
+
+/// `read_exact` that distinguishes a clean EOF (zero bytes read) from a
+/// torn one, and retries `Interrupted` like the std version does.
+fn fill<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<Filled, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Ok(if got == 0 {
+                    Filled::Eof
+                } else {
+                    Filled::Partial
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Filled::Full)
+}
+
+/// Reads exactly one `[u32 big-endian length][JSON]` frame from a
+/// blocking stream, however the transport fragments it — a socket is free
+/// to deliver a frame one byte per `read`. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary (the peer closed between messages — a normal
+/// connection shutdown); a stream ending *inside* a frame is
+/// [`FrameError::Truncated`], a length prefix over [`MAX_FRAME_BYTES`]
+/// fails fast as [`FrameError::TooLarge`] before any payload allocation,
+/// and transport failures surface as [`FrameError::Io`]. The reassembled
+/// frame goes through [`decode_message`]'s strict whole-buffer decode,
+/// so payload errors carry the same typed causes buffer callers see.
+pub fn read_message<R: Read, T: DeserializeOwned>(r: &mut R) -> Result<Option<T>, FrameError> {
+    let mut prefix = [0u8; 4];
+    match fill(r, &mut prefix)? {
+        Filled::Eof => return Ok(None),
+        Filled::Partial => return Err(FrameError::Truncated),
+        Filled::Full => {}
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut frame = vec![0u8; 4 + len];
+    frame[..4].copy_from_slice(&prefix);
+    match fill(r, &mut frame[4..])? {
+        Filled::Full => {}
+        Filled::Eof | Filled::Partial => return Err(FrameError::Truncated),
+    }
+    decode_message(&frame).map(Some)
+}
+
+/// Writes one encoded frame to a blocking stream and flushes it — the
+/// sending half of [`read_message`]. Transport failures surface as
+/// [`FrameError::Io`].
+pub fn write_message<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), FrameError> {
+    let frame = encode_frame(msg)?;
+    w.write_all(&frame).map_err(FrameError::Io)?;
+    w.flush().map_err(FrameError::Io)
 }
 
 #[cfg(test)]
@@ -231,6 +307,137 @@ mod tests {
         buf.put_slice(b"zzz");
         let r: Result<Option<(Demo, usize)>, _> = decode_frame(&buf);
         assert!(matches!(r, Err(FrameError::Codec(_))));
+    }
+
+    /// A reader that hands bytes out in the given chunk sizes (then the
+    /// remainder), mimicking arbitrary socket fragmentation.
+    struct ChunkedReader {
+        data: Vec<u8>,
+        pos: usize,
+        chunks: Vec<usize>,
+    }
+
+    impl std::io::Read for ChunkedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let cap = if self.chunks.is_empty() {
+                buf.len()
+            } else {
+                self.chunks.remove(0).min(buf.len())
+            };
+            let n = cap.min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn read_message_reassembles_any_split() {
+        let msg = Demo {
+            id: 42,
+            xs: vec![1.0, -2.0, 3.5],
+        };
+        let bytes = encode_frame(&msg).unwrap().to_vec();
+        // Delivery split at every byte boundary: first `cut` bytes in one
+        // chunk, the rest byte by byte (a zero-length chunk would read as
+        // EOF under the `Read` contract, so cut = 0 emits none).
+        for cut in 0..=bytes.len() {
+            let mut r = ChunkedReader {
+                data: bytes.clone(),
+                pos: 0,
+                chunks: (cut > 0)
+                    .then_some(cut)
+                    .into_iter()
+                    .chain(std::iter::repeat_n(1, bytes.len() - cut))
+                    .collect(),
+            };
+            let back: Demo = read_message(&mut r).unwrap().unwrap();
+            assert_eq!(back, msg, "split at {cut}");
+            // The stream is exhausted: the next read is a clean EOF.
+            let next: Option<Demo> = read_message(&mut r).unwrap();
+            assert!(next.is_none(), "split at {cut}");
+        }
+    }
+
+    #[test]
+    fn read_message_streams_back_to_back_frames() {
+        let a = Demo { id: 1, xs: vec![] };
+        let b = Demo {
+            id: 2,
+            xs: vec![9.0],
+        };
+        let mut data = encode_frame(&a).unwrap().to_vec();
+        data.extend_from_slice(&encode_frame(&b).unwrap());
+        let mut r = ChunkedReader {
+            data,
+            pos: 0,
+            chunks: vec![1; 4096],
+        };
+        assert_eq!(read_message::<_, Demo>(&mut r).unwrap().unwrap(), a);
+        assert_eq!(read_message::<_, Demo>(&mut r).unwrap().unwrap(), b);
+        assert!(read_message::<_, Demo>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_message_rejects_mid_frame_eof_at_every_cut() {
+        let msg = Demo {
+            id: 3,
+            xs: vec![1.0, 2.0],
+        };
+        let bytes = encode_frame(&msg).unwrap().to_vec();
+        for cut in 1..bytes.len() {
+            let mut r = ChunkedReader {
+                data: bytes[..cut].to_vec(),
+                pos: 0,
+                chunks: vec![],
+            };
+            let res: Result<Option<Demo>, _> = read_message(&mut r);
+            assert!(
+                matches!(res, Err(FrameError::Truncated)),
+                "eof at {cut} must be a torn frame"
+            );
+        }
+    }
+
+    #[test]
+    fn read_message_caps_the_length_prefix() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&u32::MAX.to_be_bytes());
+        data.extend_from_slice(&[0u8; 16]);
+        let mut r = ChunkedReader {
+            data,
+            pos: 0,
+            chunks: vec![],
+        };
+        let res: Result<Option<Demo>, _> = read_message(&mut r);
+        assert!(matches!(res, Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn read_message_surfaces_transport_errors() {
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "boom",
+                ))
+            }
+        }
+        let res: Result<Option<Demo>, _> = read_message(&mut FailingReader);
+        assert!(matches!(res, Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn write_message_round_trips_through_read_message() {
+        let msg = Demo {
+            id: 9,
+            xs: vec![0.5],
+        };
+        let mut buf: Vec<u8> = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_message::<_, Demo>(&mut r).unwrap().unwrap(), msg);
     }
 
     #[test]

@@ -1,18 +1,19 @@
-//! Distributed deployment over real TCP.
+//! Distributed deployment over real TCP, served by the daemon library.
 //!
-//! Runs the CoCa protocol across actual sockets: a server thread owns the
-//! global cache table and ACA; client threads run simulated inference
-//! locally and exchange `CacheRequest` / `CacheAllocation` /
-//! `UpdateUpload` messages through `coca::net::TcpTransport` (the same
-//! serde messages the virtual-time engine models). Virtual time still
-//! prices inference; the sockets are real.
+//! Runs the CoCa protocol across actual sockets: `coca::daemon`'s
+//! serving loop (acceptor + per-connection readers + a worker pool)
+//! owns the global cache table and ACA; client threads run simulated
+//! inference locally and exchange `CacheRequest` / `CacheAllocation` /
+//! `UpdateUpload` messages through the daemon's framed protocol — the
+//! same serve path `cocad` ships. Virtual time still prices inference;
+//! the sockets are real.
 //!
-//! The server runs with durability attached: every request/upload is
-//! WAL-logged to `target/coca-durability/` before it mutates state, and
-//! after the run a standalone [`CocaServer::recover`] from those files
-//! must rebuild the live server byte-for-byte — the same crash-recovery
-//! contract the `proptest_recovery` suite pins in-memory, here over a
-//! real on-disk store.
+//! The server runs with durability attached (single-lock mode): every
+//! request/upload is WAL-logged to `target/coca-durability/` before it
+//! mutates state, and after the run a standalone [`CocaServer::recover`]
+//! from those files must rebuild the served state byte-for-byte — the
+//! same crash-recovery contract the `proptest_recovery` suite pins
+//! in-memory, here over a real on-disk store behind a real listener.
 //!
 //! ```sh
 //! cargo run --release --example distributed_tcp
@@ -20,26 +21,17 @@
 
 use std::net::TcpListener;
 use std::thread;
-use std::time::Duration;
 
 use coca::core::persist::DirStorage;
-use coca::core::proto::{CacheAllocation, CacheRequest, UpdateUpload};
+use coca::core::proto::CacheAllocation;
 use coca::core::{CocaClient, CocaServer};
-use coca::net::{TcpTransport, Transport};
+use coca::daemon::{serve, ClientMsg, DaemonClient, ServerCore, ServerMsg};
 use coca::prelude::*;
 
 const CLIENTS: usize = 3;
 const ROUNDS: usize = 3;
 const FRAMES: usize = 200;
-const TIMEOUT: Duration = Duration::from_secs(20);
-
-/// Client → server messages.
-#[derive(serde::Serialize, serde::Deserialize)]
-enum ToServer {
-    Request(CacheRequest),
-    Update(UpdateUpload),
-    Done,
-}
+const WORKERS: usize = 2;
 
 fn main() {
     let mut sc = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(30));
@@ -56,113 +48,59 @@ fn main() {
         .with_round_frames(FRAMES)
         .with_budget(budget);
 
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-    let addr = listener.local_addr().expect("addr");
-    println!("server listening on {addr}");
-
-    // --- Server thread: accepts one connection per client.
+    // --- Server: a durability-attached CocaServer behind the daemon's
+    // serving loop (single-lock mode keeps the WAL hooks live).
     let server_scenario = Scenario::build(sc.clone());
-    let server_thread = thread::spawn(move || {
-        let mut server = CocaServer::new(&server_scenario.rt, coca_cfg, server_scenario.seeds());
-        // All clients connect up front, so the live fleet is CLIENTS for
-        // the whole run; under a round-aligned flush policy this is the
-        // watermark that drains one fleet-sized batch per round (a no-op
-        // under the default per-boundary policy).
-        server.set_flush_watermark(CLIENTS);
-        // Snapshot + WAL on real files; a fresh directory per run so the
-        // genesis snapshot matches this run's seeds. The WAL segment
-        // length comes from the config (COCA_WAL_ROTATE, default 256).
-        let wal_dir = std::path::Path::new("target").join("coca-durability");
-        let _ = std::fs::remove_dir_all(&wal_dir);
-        let store = DirStorage::open(&wal_dir).expect("open durability dir");
-        server.attach_storage(Box::new(store));
-        let transports: Vec<TcpTransport> = (0..CLIENTS)
-            .map(|_| TcpTransport::accept(&listener).expect("accept"))
-            .collect();
-        let mut transports = transports;
-        let mut finished = [false; CLIENTS];
-        let mut served = 0usize;
-        while finished.iter().any(|f| !f) {
-            for (i, t) in transports.iter_mut().enumerate() {
-                if finished[i] {
-                    continue;
-                }
-                match t.recv::<ToServer>(Duration::from_millis(20)) {
-                    Ok(Some(ToServer::Request(req))) => {
-                        let (alloc, _) = server.handle_request(&req);
-                        t.send(&alloc).expect("send allocation");
-                        served += 1;
-                    }
-                    Ok(Some(ToServer::Update(up))) => {
-                        // Route through the merge-mode dispatcher (not the
-                        // immediate-merge primitive) so queue-and-flush
-                        // configs — including round-aligned draining via
-                        // the watermark above — behave as deployed.
-                        server.handle_upload(up);
-                    }
-                    Ok(Some(ToServer::Done)) => finished[i] = true,
-                    Ok(None) => {}
-                    // The client may close its socket right after Done.
-                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-                        finished[i] = true;
-                    }
-                    Err(e) => panic!("server transport error: {e}"),
-                }
-            }
-        }
-        println!(
-            "server: {served} allocations served, global fill {:.2}",
-            server.global().fill_ratio()
-        );
-        // Crash-recovery check: rebuild a server from nothing but the
-        // on-disk snapshot + WAL and compare it to the live one.
-        let live_bytes = server.snapshot().to_bytes();
-        let d = server.detach_durability().expect("durability attached");
-        let events = d.events_logged();
-        let (recovered, info) =
-            CocaServer::recover(&server_scenario.rt, coca_cfg, server_scenario.seeds(), d)
-                .expect("recovery from on-disk WAL");
-        assert_eq!(
-            recovered.snapshot().to_bytes(),
-            live_bytes,
-            "recovered server diverged from the live one"
-        );
-        println!(
-            "server: recovered byte-identical state from {} ({events} WAL events, \
-             {} replayed on top of the {:?} snapshot)",
-            wal_dir.display(),
-            info.replayed,
-            info.source
-        );
-    });
+    let mut server = CocaServer::new(&server_scenario.rt, coca_cfg, server_scenario.seeds());
+    // All clients connect up front, so the live fleet is CLIENTS for
+    // the whole run; under a round-aligned flush policy this is the
+    // watermark that drains one fleet-sized batch per round (a no-op
+    // under the default per-boundary policy).
+    server.set_flush_watermark(CLIENTS);
+    // Snapshot + WAL on real files; a fresh directory per run so the
+    // genesis snapshot matches this run's seeds. The WAL segment
+    // length comes from the config (COCA_WAL_ROTATE, default 256).
+    let wal_dir = std::path::Path::new("target").join("coca-durability");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let store = DirStorage::open(&wal_dir).expect("open durability dir");
+    server.attach_storage(Box::new(store));
 
-    // --- Client threads.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = serve(ServerCore::single(server), listener, WORKERS).expect("serve");
+    let addr = handle.addr();
+    println!("daemon listening on {addr} ({WORKERS} workers)");
+
+    // --- Client threads, each over its own TCP connection.
     let handles: Vec<_> = (0..CLIENTS)
         .map(|k| {
             let sc = sc.clone();
             thread::spawn(move || {
                 let scenario = Scenario::build(sc);
                 let rt = &scenario.rt;
-                // Initial hit profile comes from a local server replica in
-                // a real deployment the server ships it with the model.
-                let profile_src = CocaServer::new(rt, coca_cfg, scenario.seeds());
+                let mut conn = DaemonClient::connect(addr).expect("connect");
+                // In a real deployment the server ships the initial hit
+                // profile with the model; here the Hello handshake
+                // fetches it over the wire.
+                let profile = conn.hello().expect("hello");
                 let mut client = CocaClient::new(
                     k as u64,
                     coca_cfg,
                     rt,
                     scenario.profiles[k].clone(),
-                    profile_src.base_hit_profile().to_vec(),
+                    profile,
                 );
                 let mut stream = scenario.stream(k);
                 let mut scratch = coca::core::LookupScratch::new();
-                let mut t = TcpTransport::connect(addr).expect("connect");
                 let mut total_ms = 0.0;
                 let mut frames = 0u64;
                 for _ in 0..ROUNDS {
-                    t.send(&ToServer::Request(client.cache_request()))
-                        .expect("send request");
-                    let alloc: CacheAllocation =
-                        t.recv(TIMEOUT).expect("recv").expect("allocation");
+                    let alloc: CacheAllocation = match conn
+                        .call(&ClientMsg::Request(client.cache_request()))
+                        .expect("request round trip")
+                    {
+                        ServerMsg::Alloc(a) => a,
+                        other => panic!("expected Alloc, got {other:?}"),
+                    };
                     client.install_cache(alloc.cache);
                     for _ in 0..FRAMES {
                         let frame = stream.next_frame();
@@ -171,9 +109,16 @@ fn main() {
                         frames += 1;
                     }
                     let upload = client.end_round();
-                    t.send(&ToServer::Update(upload)).expect("send update");
+                    match conn
+                        .call(&ClientMsg::Upload(upload))
+                        .expect("upload round trip")
+                    {
+                        ServerMsg::UploadAck(_) => {}
+                        other => panic!("expected UploadAck, got {other:?}"),
+                    }
                 }
-                t.send(&ToServer::Done).expect("send done");
+                // Dropping the connection is the goodbye; the daemon's
+                // reader sees clean EOF.
                 (
                     k,
                     total_ms / frames as f64,
@@ -188,6 +133,35 @@ fn main() {
         let (k, mean, acc) = h.join().expect("client thread");
         println!("client {k}: mean latency {mean:.2} ms (edge-only {full:.2}), accuracy {acc:.2}%");
     }
-    server_thread.join().expect("server thread");
-    println!("distributed CoCa run complete — protocol exchanged over real TCP sockets");
+
+    handle.shutdown();
+    let report = handle.join();
+    println!(
+        "daemon: {} allocations served, {} uploads merged, table digest {:016x}",
+        report.requests, report.uploads, report.digest
+    );
+
+    // Crash-recovery check: rebuild a server from nothing but the
+    // on-disk snapshot + WAL and compare it to the one the daemon
+    // actually served.
+    let mut served = report.server.expect("single-lock mode returns the server");
+    let live_bytes = served.snapshot().to_bytes();
+    let d = served.detach_durability().expect("durability attached");
+    let events = d.events_logged();
+    let (recovered, info) =
+        CocaServer::recover(&server_scenario.rt, coca_cfg, server_scenario.seeds(), d)
+            .expect("recovery from on-disk WAL");
+    assert_eq!(
+        recovered.snapshot().to_bytes(),
+        live_bytes,
+        "recovered server diverged from the served one"
+    );
+    println!(
+        "daemon: recovered byte-identical state from {} ({events} WAL events, \
+         {} replayed on top of the {:?} snapshot)",
+        wal_dir.display(),
+        info.replayed,
+        info.source
+    );
+    println!("distributed CoCa run complete — protocol served by the cocad daemon core");
 }

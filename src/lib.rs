@@ -24,6 +24,9 @@
 //! * [`data`](coca_data) — datasets, non-IID partitioning, long-tail
 //!   construction, temporally local streams.
 //! * [`net`](coca_net) — link/queueing models and real TCP transports.
+//! * [`daemon`](coca_daemon) — `cocad`, the server as a networked daemon
+//!   (sharded-lock ingest over a worker pool), plus `coca-loadgen`, its
+//!   closed-/open-loop load generator.
 //! * [`baselines`](coca_baselines) — Edge-Only, LearnedCache, FoggyCache,
 //!   SMTM, LRU/FIFO/RAND.
 //! * [`sim`](coca_sim), [`math`](coca_math), [`metrics`](coca_metrics) —
@@ -47,6 +50,7 @@
 
 pub use coca_baselines as baselines;
 pub use coca_core as core;
+pub use coca_daemon as daemon;
 pub use coca_data as data;
 pub use coca_math as math;
 pub use coca_metrics as metrics;

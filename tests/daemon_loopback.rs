@@ -1,0 +1,133 @@
+//! Daemon digest-equivalence over real loopback TCP.
+//!
+//! The contract `cocad` ships under: driven with one operation in
+//! flight at a time, the networked daemon finishes with the **same
+//! global-table digest** as an in-process `CocaServer` fed the
+//! identical sequence — for both lock modes (single mutex vs per-layer
+//! sharded `RwLock`s), both merge modes, and the round-aligned flush
+//! policy. The whole suite also runs under `--features simd` in CI, so
+//! the digest must not move under the AVX2 kernels either.
+
+use std::net::TcpListener;
+
+use coca::core::MergeMode;
+use coca::daemon::{
+    run_load, run_verify, serve, shutdown_daemon, Arrival, LockMode, RunSpec, ServerCore, Workload,
+};
+
+fn small_workload(merge_mode: MergeMode, round_aligned: bool) -> Workload {
+    Workload {
+        spec: RunSpec {
+            classes: 15,
+            seed: 41,
+            merge_mode,
+            round_aligned,
+            ..RunSpec::default()
+        },
+        clients: 3,
+        rounds: 2,
+    }
+}
+
+fn spawn_daemon(wl: &Workload, lock: LockMode, workers: usize) -> coca::daemon::DaemonHandle {
+    let (rt, cfg, seeds) = wl.spec.build();
+    let core = ServerCore::new(&rt, cfg, &seeds, lock);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    serve(core, listener, workers).expect("daemon starts")
+}
+
+#[test]
+fn sequential_loopback_digest_matches_in_process_reference() {
+    for merge_mode in [MergeMode::PerUpload, MergeMode::QueueAndFlush] {
+        for lock in [LockMode::Single, LockMode::Sharded] {
+            let wl = small_workload(merge_mode, false);
+            let handle = spawn_daemon(&wl, lock, 2);
+            let addr = handle.addr();
+            let outcome = run_verify(addr, &wl).expect("verify run");
+            assert!(
+                outcome.matches(),
+                "digest diverged over loopback ({merge_mode:?}, {}): \
+                 daemon {:016x} vs reference {:016x}",
+                lock.name(),
+                outcome.daemon_digest,
+                outcome.local_digest
+            );
+            assert_eq!(outcome.ops, wl.total_ops());
+            assert!(shutdown_daemon(addr), "daemon should ack the shutdown");
+            let report = handle.join();
+            // The run drove every op plus a flush; the report digest is
+            // post-flush, so it must still name the reference state.
+            assert_eq!(
+                report.digest,
+                outcome.local_digest,
+                "final report digest diverged ({merge_mode:?}, {})",
+                lock.name()
+            );
+            assert_eq!(report.requests, wl.total_ops() / 2);
+            assert_eq!(report.uploads, wl.total_ops() / 2);
+            assert_eq!(report.server.is_some(), lock == LockMode::Single);
+        }
+    }
+}
+
+#[test]
+fn round_aligned_watermark_survives_the_wire() {
+    let wl = small_workload(MergeMode::QueueAndFlush, true);
+    let handle = spawn_daemon(&wl, LockMode::Sharded, 2);
+    let addr = handle.addr();
+    let outcome = run_verify(addr, &wl).expect("verify run");
+    assert!(
+        outcome.matches(),
+        "round-aligned digest diverged: daemon {:016x} vs reference {:016x}",
+        outcome.daemon_digest,
+        outcome.local_digest
+    );
+    assert!(shutdown_daemon(addr));
+    handle.join();
+}
+
+#[test]
+fn concurrent_closed_loop_serves_every_op_exactly_once() {
+    // Concurrency makes arrival order (and thus the digest) run-to-run
+    // dependent, but op accounting and Φ conservation are exact: the
+    // daemon must serve 2 ops per client per round, no losses, no
+    // duplicates, across a multi-worker pool.
+    let wl = small_workload(MergeMode::QueueAndFlush, false);
+    let handle = spawn_daemon(&wl, LockMode::Sharded, 4);
+    let addr = handle.addr();
+    let report = run_load(
+        addr,
+        &wl,
+        Arrival::Closed {
+            think: std::time::Duration::ZERO,
+        },
+    )
+    .expect("load run");
+    assert_eq!(report.ops, wl.total_ops());
+    assert_eq!(report.hist.count(), wl.total_ops());
+    assert!(report.hist.p999() >= report.hist.p50());
+    handle.shutdown();
+    let daemon_report = handle.join();
+    assert_eq!(
+        daemon_report.requests + daemon_report.uploads,
+        wl.total_ops()
+    );
+}
+
+#[test]
+fn open_loop_pairs_every_reply() {
+    let wl = small_workload(MergeMode::PerUpload, false);
+    let handle = spawn_daemon(&wl, LockMode::Sharded, 2);
+    let addr = handle.addr();
+    let report = run_load(
+        addr,
+        &wl,
+        Arrival::Open {
+            period: std::time::Duration::from_micros(500),
+        },
+    )
+    .expect("open-loop run");
+    assert_eq!(report.ops, wl.total_ops());
+    assert!(shutdown_daemon(addr));
+    handle.join();
+}
