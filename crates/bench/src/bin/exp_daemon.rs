@@ -46,6 +46,7 @@ fn main() {
         seed: 4_600,
         merge_mode: MergeMode::QueueAndFlush,
         round_aligned: false,
+        precision: coca_math::Precision::F32,
     };
     let wl = Workload {
         spec,

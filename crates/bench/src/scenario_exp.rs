@@ -38,7 +38,8 @@ pub fn save_spec(name: &str, spec: &ScenarioSpec) {
 
 /// One-line description of the timeline's composition.
 pub fn timeline_summary(spec: &ScenarioSpec) -> String {
-    let (mut joins, mut leaves, mut shifts, mut links, mut speeds) = (0, 0, 0, 0, 0);
+    let (mut joins, mut leaves, mut shifts, mut links, mut speeds, mut migrations) =
+        (0, 0, 0, 0, 0, 0);
     for ev in &spec.timeline {
         match ev {
             ScenarioEvent::Join(_) => joins += 1,
@@ -46,6 +47,7 @@ pub fn timeline_summary(spec: &ScenarioSpec) -> String {
             ScenarioEvent::PopularityShift(_) => shifts += 1,
             ScenarioEvent::LinkChange(_) => links += 1,
             ScenarioEvent::DeviceSpeed(_) => speeds += 1,
+            ScenarioEvent::Migrate(_) => migrations += 1,
         }
     }
     let speeds = if speeds > 0 {
@@ -53,9 +55,19 @@ pub fn timeline_summary(spec: &ScenarioSpec) -> String {
     } else {
         String::new()
     };
+    let migrations = if migrations > 0 {
+        format!(", {migrations} migrations")
+    } else {
+        String::new()
+    };
+    let cells = spec
+        .topology
+        .as_ref()
+        .map(|t| format!(", {} cells", t.num_cells()))
+        .unwrap_or_default();
     format!(
         "{} base clients + {joins} joins, {leaves} leaves, {shifts} popularity shifts, \
-         {links} link changes{speeds} ({} rounds x {} frames)",
+         {links} link changes{speeds}{migrations}{cells} ({} rounds x {} frames)",
         spec.scenario.num_clients, spec.rounds, spec.frames_per_round
     )
 }

@@ -45,6 +45,21 @@
 //! or frame indices) rather than wall-clock virtual time precisely so the
 //! cross-method digest invariant survives: methods progress through the
 //! same streams at different speeds, but they consume identical frames.
+//!
+//! ## Multi-edge topologies
+//!
+//! A [`DrivePlan`] carries a [`TopologyPlan`]: N server cells, each with
+//! its own FIFO queue, a client→cell assignment (mutable mid-run via
+//! `Migrate` events, applied at round boundaries in client-progress
+//! space), optional per-cell client↔cell link overrides, and a priced
+//! periodic **peer-sync** event. At each sync tick the driver exports
+//! table deltas ([`MethodDriver::sync_export`]); the engine prices each
+//! over the topology's `peer_link`, routes the delivery through the
+//! destination cell's FIFO, and hands it to
+//! [`MethodDriver::sync_absorb`] — which may emit follow-up deltas (the
+//! hub's broadcast leg). [`TopologyPlan::single`] — one cell, no
+//! overrides, no sync — executes the exact event sequence of the legacy
+//! single-server path, so every committed record regenerates unchanged.
 
 use coca_data::{Frame, StreamGenerator};
 use coca_metrics::recorder::{LatencyRecorder, RunSummary};
@@ -54,6 +69,7 @@ use coca_sim::{EventQueue, SimDuration, SimTime};
 use rand::Rng;
 
 use crate::engine::{EngineReport, Scenario};
+use crate::spec::SyncMode;
 
 /// What one fully processed frame cost and produced.
 #[derive(Debug, Clone, Copy)]
@@ -161,6 +177,54 @@ pub trait MethodDriver {
         unreachable!("driver returned an upload but does not serve uploads")
     }
 
+    /// Cell-addressed variant of [`MethodDriver::serve_request`]. The
+    /// engine always calls the `_at` form; single-server drivers keep the
+    /// plain form and inherit this forwarding default (cell is always 0).
+    fn serve_request_at(
+        &mut self,
+        _cell: usize,
+        k: usize,
+        req: Self::Request,
+    ) -> (Self::Alloc, SimDuration) {
+        self.serve_request(k, req)
+    }
+
+    /// Cell-addressed variant of [`MethodDriver::serve_query`].
+    fn serve_query_at(
+        &mut self,
+        _cell: usize,
+        k: usize,
+        query: Self::Query,
+    ) -> (Self::Reply, SimDuration) {
+        self.serve_query(k, query)
+    }
+
+    /// Cell-addressed variant of [`MethodDriver::serve_upload`].
+    fn serve_upload_at(&mut self, _cell: usize, k: usize, upload: Self::Upload) -> SimDuration {
+        self.serve_upload(k, upload)
+    }
+
+    /// Client `k` re-homes from `from_cell` to `to_cell` at a round
+    /// boundary (its goodbye upload already departed toward `from_cell`).
+    /// Multi-cell drivers move registration/watermark state here; the
+    /// default does nothing. Never fired when `from_cell == to_cell`.
+    fn on_migrate(&mut self, _k: usize, _from_cell: usize, _to_cell: usize) {}
+
+    /// Peer-sync tick `seq`: the deltas each cell sends this tick. The
+    /// engine prices each emission over the topology's peer link and
+    /// delivers it to [`MethodDriver::sync_absorb`]. The default syncs
+    /// nothing (single-server methods, baselines).
+    fn sync_export(&mut self, _seq: u64) -> Vec<SyncEmit> {
+        Vec::new()
+    }
+
+    /// A peer delta arrives at `emit.to_cell`: merge it and return the
+    /// service time charged to that cell's FIFO, plus any follow-up
+    /// emissions (e.g. the hub's broadcast once all spokes reported).
+    fn sync_absorb(&mut self, _emit: &SyncEmit) -> (SimDuration, Vec<SyncEmit>) {
+        (SimDuration::ZERO, Vec::new())
+    }
+
     /// Client `k` joins the fleet mid-run (fired at its boot instant,
     /// before its first cache request). Methods with shared server state
     /// can register the newcomer here; the default does nothing.
@@ -233,6 +297,82 @@ pub struct MemberPlan {
     pub leaves_early: bool,
 }
 
+/// One resolved client handover (compiled from a
+/// [`MigrateEvent`](crate::spec::MigrateEvent), in timeline order).
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationPlan {
+    /// The migrating client.
+    pub client: usize,
+    /// Fires at the end of this 1-based completed-round count.
+    pub after_rounds: usize,
+    /// Destination cell.
+    pub to_cell: usize,
+}
+
+/// The resolved multi-edge topology of a [`DrivePlan`].
+/// [`TopologyPlan::single`] is the legacy single-server world.
+#[derive(Debug, Clone)]
+pub struct TopologyPlan {
+    /// Number of server cells (each gets its own FIFO queue).
+    pub cells: usize,
+    /// Initial client→cell assignment, one entry per member.
+    pub assignment: Vec<usize>,
+    /// Per-cell client↔cell link override; `None` keeps the client's own
+    /// link schedule (the bit-identity choice for one-cell plans).
+    pub cell_links: Vec<Option<LinkModel>>,
+    /// Cell↔cell link pricing peer-sync traffic.
+    pub peer_link: LinkModel,
+    /// Peer-sync period (virtual ms); `None` disables syncing.
+    pub sync_period_ms: Option<f64>,
+    /// Delta exchange pattern.
+    pub sync_mode: SyncMode,
+    /// Handover events, in timeline order (later entries win when two
+    /// target the same client and boundary).
+    pub migrations: Vec<MigrationPlan>,
+}
+
+impl TopologyPlan {
+    /// One cell, everyone on it, no link overrides, no sync — executes
+    /// the exact event sequence of the pre-topology engine.
+    pub fn single(num_clients: usize) -> Self {
+        Self {
+            cells: 1,
+            assignment: vec![0; num_clients],
+            cell_links: vec![None],
+            peer_link: LinkModel::zero(),
+            sync_period_ms: None,
+            sync_mode: SyncMode::Gossip,
+            migrations: Vec::new(),
+        }
+    }
+
+    /// Whether this plan schedules peer-sync ticks.
+    pub fn syncs(&self) -> bool {
+        self.cells >= 2 && self.sync_period_ms.is_some()
+    }
+
+    /// The cell member `k` starts on.
+    pub fn cell_of(&self, k: usize) -> usize {
+        self.assignment.get(k).copied().unwrap_or(0)
+    }
+}
+
+/// One peer-sync transmission: a table delta leaving `from_cell` for
+/// `to_cell`. The driver keeps the payload itself, keyed by `payload`;
+/// the engine only prices `bytes` over the peer link and routes the
+/// delivery through the destination cell's FIFO queue.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncEmit {
+    /// Originating cell.
+    pub from_cell: usize,
+    /// Destination cell.
+    pub to_cell: usize,
+    /// Wire size of the delta (prices the peer-link transfer).
+    pub bytes: usize,
+    /// Driver-private payload key.
+    pub payload: u64,
+}
+
 /// What the engine records, and at what granularity. The defaults
 /// reproduce the committed records bit for bit; fleet-scale sweeps turn
 /// per-client state off (and the mergeable histogram on) so metrics
@@ -284,6 +424,8 @@ pub struct DrivePlan {
     pub metrics_window_ms: f64,
     /// Recording granularity (defaults regenerate the committed records).
     pub metrics: MetricsConfig,
+    /// Server-cell topology ([`TopologyPlan::single`] = the legacy path).
+    pub topology: TopologyPlan,
 }
 
 impl DrivePlan {
@@ -307,6 +449,7 @@ impl DrivePlan {
             links: vec![LinkSchedule::fixed(cfg.link); num_clients],
             metrics_window_ms: DEFAULT_METRICS_WINDOW_MS,
             metrics: MetricsConfig::default(),
+            topology: TopologyPlan::single(num_clients),
         }
     }
 
@@ -354,9 +497,11 @@ enum Ev<D: MethodDriver> {
     /// A mid-run joiner boots: [`MethodDriver::on_join`] fires, then its
     /// first cache request (or first frame) departs.
     Join { k: usize },
-    /// A cache request arrives at the server.
+    /// A cache request arrives at its cell (captured at emission, so a
+    /// migration between send and arrival cannot reroute it).
     Request {
         k: usize,
+        cell: usize,
         sent: SimTime,
         req: D::Request,
     },
@@ -366,9 +511,10 @@ enum Ev<D: MethodDriver> {
         sent: SimTime,
         alloc: D::Alloc,
     },
-    /// A mid-frame query arrives at the server.
+    /// A mid-frame query arrives at its cell.
     Query {
         k: usize,
+        cell: usize,
         sent: SimTime,
         query: D::Query,
     },
@@ -378,8 +524,18 @@ enum Ev<D: MethodDriver> {
         sent: SimTime,
         reply: D::Reply,
     },
-    /// An end-of-round upload arrives at the server.
-    Upload { k: usize, upload: D::Upload },
+    /// An end-of-round upload arrives at its cell — the cell the client
+    /// was on when the round ended, so a handover's goodbye upload still
+    /// drains at the *old* cell.
+    Upload {
+        k: usize,
+        cell: usize,
+        upload: D::Upload,
+    },
+    /// A peer-sync tick: every cell exports its deltas.
+    SyncFire { seq: u64 },
+    /// A peer delta arrives at `emit.to_cell`'s FIFO.
+    SyncDeliver { emit: SyncEmit },
 }
 
 /// Per-client engine-side bookkeeping, kept to 16 bytes so a million-member
@@ -400,7 +556,15 @@ struct Exec<D: MethodDriver> {
     plan: DrivePlan,
     streams: Vec<StreamGenerator>,
     events: EventQueue<Ev<D>>,
-    queue: ServerQueue,
+    /// One FIFO per server cell (index = cell id; single-server plans
+    /// have exactly one).
+    queues: Vec<ServerQueue>,
+    /// Current cell of each client (starts at the topology assignment,
+    /// updated by migrations at round boundaries).
+    cell: Vec<usize>,
+    /// Members still running rounds — peer-sync ticks stop rescheduling
+    /// once this hits zero, letting the event queue drain.
+    active: usize,
     st: Vec<ClientState>,
     /// One per client, or a single fleet aggregate when
     /// `metrics.per_client` is off (see [`MetricsConfig`]).
@@ -421,6 +585,18 @@ struct Exec<D: MethodDriver> {
 }
 
 impl<D: MethodDriver> Exec<D> {
+    /// Client `k`'s client↔cell transfer time at instant `t`: the cell's
+    /// link override when its current cell has one, else the client's own
+    /// link schedule — the exact legacy float path, so one-cell plans
+    /// with no override stay bit-identical.
+    #[inline]
+    fn xfer(&self, k: usize, t: SimTime, bytes: usize) -> SimDuration {
+        match self.plan.topology.cell_links[self.cell[k]] {
+            Some(link) => link.transfer_time(bytes),
+            None => self.plan.links[k].transfer_time(t, bytes),
+        }
+    }
+
     /// Index of client `k`'s summary slot (0 when aggregating fleet-wide).
     #[inline]
     fn sum_idx(&self, k: usize) -> usize {
@@ -476,10 +652,20 @@ impl<D: MethodDriver> Exec<D> {
                 self.st[k].rounds_left -= 1;
                 // The client is busy until its upload is handed to the
                 // link; the next request (or round) starts after that.
+                // The upload's cell is captured *before* any migration at
+                // this boundary: a handover's goodbye upload drains at
+                // the old cell.
                 let mut free_at = t;
                 if let Some(upload) = driver.end_round(k) {
-                    free_at = t + self.plan.links[k].transfer_time(t, upload.wire_bytes());
-                    self.events.schedule(free_at, Ev::Upload { k, upload });
+                    free_at = t + self.xfer(k, t, upload.wire_bytes());
+                    self.events.schedule(
+                        free_at,
+                        Ev::Upload {
+                            k,
+                            cell: self.cell[k],
+                            upload,
+                        },
+                    );
                 }
                 if self.st[k].rounds_left == 0 {
                     if self.plan.members[k].leaves_early {
@@ -488,14 +674,32 @@ impl<D: MethodDriver> Exec<D> {
                         // the FIFO behind it.
                         driver.on_leave(k);
                     }
+                    self.active -= 1;
                     self.end_time = self.end_time.max(free_at);
                     return;
+                }
+                // Handover boundary: migrations keyed to this completed
+                // round re-home the client before its next request, so
+                // the request re-allocates at the new cell. Timeline
+                // order applies (later entries win).
+                let completed = self.plan.members[k].rounds - self.st[k].rounds_left as usize;
+                for i in 0..self.plan.topology.migrations.len() {
+                    let m = self.plan.topology.migrations[i];
+                    if m.client == k && m.after_rounds == completed && self.cell[k] != m.to_cell {
+                        driver.on_migrate(k, self.cell[k], m.to_cell);
+                        self.cell[k] = m.to_cell;
+                    }
                 }
                 t = free_at;
                 if let Some(req) = driver.cache_request(k) {
                     self.events.schedule(
-                        t + self.plan.links[k].transfer_time(t, req.wire_bytes()),
-                        Ev::Request { k, sent: t, req },
+                        t + self.xfer(k, t, req.wire_bytes()),
+                        Ev::Request {
+                            k,
+                            cell: self.cell[k],
+                            sent: t,
+                            req,
+                        },
                     );
                     self.end_time = self.end_time.max(t);
                     return;
@@ -514,8 +718,13 @@ impl<D: MethodDriver> Exec<D> {
                     t += elapsed;
                     self.st[k].pending = Some(Box::new((frame, elapsed)));
                     self.events.schedule(
-                        t + self.plan.links[k].transfer_time(t, query.wire_bytes()),
-                        Ev::Query { k, sent: t, query },
+                        t + self.xfer(k, t, query.wire_bytes()),
+                        Ev::Query {
+                            k,
+                            cell: self.cell[k],
+                            sent: t,
+                            query,
+                        },
                     );
                     self.end_time = self.end_time.max(t);
                     return;
@@ -530,8 +739,13 @@ impl<D: MethodDriver> Exec<D> {
         match driver.cache_request(k) {
             Some(req) => {
                 self.events.schedule(
-                    now + self.plan.links[k].transfer_time(now, req.wire_bytes()),
-                    Ev::Request { k, sent: now, req },
+                    now + self.xfer(k, now, req.wire_bytes()),
+                    Ev::Request {
+                        k,
+                        cell: self.cell[k],
+                        sent: now,
+                        req,
+                    },
                 );
             }
             None => self.run_frames(driver, k, now),
@@ -576,13 +790,22 @@ pub fn drive_plan<D: MethodDriver>(
         n,
         "plan links must match scenario clients"
     );
+    assert_eq!(
+        plan.topology.cell_links.len(),
+        plan.topology.cells,
+        "topology must carry one link slot per cell"
+    );
     let l = scenario.rt.num_cache_points();
     let summary_slots = if plan.metrics.per_client { n } else { 1 };
     let mut exec: Exec<D> = Exec {
         plan: plan.clone(),
         streams: (0..n).map(|k| scenario.stream(k)).collect(),
         events: EventQueue::new(),
-        queue: ServerQueue::new(),
+        queues: (0..plan.topology.cells)
+            .map(|_| ServerQueue::new())
+            .collect(),
+        cell: (0..n).map(|k| plan.topology.cell_of(k)).collect(),
+        active: plan.members.iter().filter(|m| m.rounds > 0).count(),
         st: (0..n)
             .map(|k| ClientState {
                 rounds_left: u32::try_from(plan.members[k].rounds)
@@ -627,8 +850,13 @@ pub fn drive_plan<D: MethodDriver>(
                     SimTime::from_millis_f64(rng.gen_range(0.0..plan.boot_window_ms.max(1e-9)));
                 match driver.cache_request(k) {
                     Some(req) => exec.events.schedule(
-                        at + plan.links[k].transfer_time(at, req.wire_bytes()),
-                        Ev::Request { k, sent: at, req },
+                        at + exec.xfer(k, at, req.wire_bytes()),
+                        Ev::Request {
+                            k,
+                            cell: exec.cell[k],
+                            sent: at,
+                            req,
+                        },
                     ),
                     None => exec.events.schedule(at, Ev::Begin { k }),
                 }
@@ -640,6 +868,17 @@ pub fn drive_plan<D: MethodDriver>(
         }
     }
 
+    // Peer-sync ticks: the first fires one period in; each tick
+    // reschedules the next while any member is still running rounds.
+    if plan.topology.syncs() {
+        let period = plan
+            .topology
+            .sync_period_ms
+            .expect("syncs() implies a period");
+        exec.events
+            .schedule(SimTime::from_millis_f64(period), Ev::SyncFire { seq: 0 });
+    }
+
     while let Some(ev) = exec.events.pop() {
         let now = ev.at;
         exec.end_time = exec.end_time.max(now);
@@ -649,11 +888,11 @@ pub fn drive_plan<D: MethodDriver>(
                 driver.on_join(k);
                 exec.boot(driver, k, now);
             }
-            Ev::Request { k, sent, req } => {
-                let (alloc, service) = driver.serve_request(k, req);
-                let done = exec.queue.serve(now, service);
+            Ev::Request { k, cell, sent, req } => {
+                let (alloc, service) = driver.serve_request_at(cell, k, req);
+                let done = exec.queues[cell].serve(now, service);
                 exec.events.schedule(
-                    done.finish + exec.plan.links[k].transfer_time(done.finish, alloc.wire_bytes()),
+                    done.finish + exec.xfer(k, done.finish, alloc.wire_bytes()),
                     Ev::Deliver { k, sent, alloc },
                 );
             }
@@ -662,11 +901,16 @@ pub fn drive_plan<D: MethodDriver>(
                 driver.install(k, alloc);
                 exec.run_frames(driver, k, now);
             }
-            Ev::Query { k, sent, query } => {
-                let (reply, service) = driver.serve_query(k, query);
-                let done = exec.queue.serve(now, service);
+            Ev::Query {
+                k,
+                cell,
+                sent,
+                query,
+            } => {
+                let (reply, service) = driver.serve_query_at(cell, k, query);
+                let done = exec.queues[cell].serve(now, service);
                 exec.events.schedule(
-                    done.finish + exec.plan.links[k].transfer_time(done.finish, reply.wire_bytes()),
+                    done.finish + exec.xfer(k, done.finish, reply.wire_bytes()),
                     Ev::Reply { k, sent, reply },
                 );
             }
@@ -690,19 +934,53 @@ pub fn drive_plan<D: MethodDriver>(
                         let t = now + more;
                         exec.st[k].pending = Some(Box::new((frame, elapsed + more)));
                         exec.events.schedule(
-                            t + exec.plan.links[k].transfer_time(t, query.wire_bytes()),
-                            Ev::Query { k, sent: t, query },
+                            t + exec.xfer(k, t, query.wire_bytes()),
+                            Ev::Query {
+                                k,
+                                cell: exec.cell[k],
+                                sent: t,
+                                query,
+                            },
                         );
                     }
                 }
             }
-            Ev::Upload { k, upload } => {
-                let service = driver.serve_upload(k, upload);
-                let svc = exec.queue.serve(now, service);
+            Ev::Upload { k, cell, upload } => {
+                let service = driver.serve_upload_at(cell, k, upload);
+                let svc = exec.queues[cell].serve(now, service);
                 // Attribute the upload's queue sojourn (wait + merge
                 // compute) to the uploading client's summary.
                 let s = exec.sum_idx(k);
                 exec.summaries[s].upload.record(svc.sojourn_since(now));
+            }
+            Ev::SyncFire { seq } => {
+                if exec.active > 0 {
+                    for emit in driver.sync_export(seq) {
+                        exec.events.schedule(
+                            now + exec.plan.topology.peer_link.transfer_time(emit.bytes),
+                            Ev::SyncDeliver { emit },
+                        );
+                    }
+                    let period = exec
+                        .plan
+                        .topology
+                        .sync_period_ms
+                        .expect("sync tick without a period");
+                    exec.events.schedule(
+                        now + SimDuration::from_millis_f64(period),
+                        Ev::SyncFire { seq: seq + 1 },
+                    );
+                }
+            }
+            Ev::SyncDeliver { emit } => {
+                let (service, follow) = driver.sync_absorb(&emit);
+                let svc = exec.queues[emit.to_cell].serve(now, service);
+                for f in follow {
+                    exec.events.schedule(
+                        svc.finish + exec.plan.topology.peer_link.transfer_time(f.bytes),
+                        Ev::SyncDeliver { emit: f },
+                    );
+                }
             }
         }
     }

@@ -43,6 +43,10 @@
 //!   popularity-drift and link-change events) that materializes into the
 //!   shared `Scenario` plus a [`driver::DrivePlan`], so any workload is
 //!   data rather than code.
+//! * [`multicell`] — **multi-edge topologies**: N collaborating server
+//!   cells over one scenario, with per-cell client homing, priced
+//!   periodic peer sync (gossip ring / hub-and-spoke) and `Migrate`
+//!   handover; one cell reproduces the legacy engine bit-for-bit.
 
 pub mod aca;
 pub mod client;
@@ -52,6 +56,7 @@ pub mod driver;
 pub mod engine;
 pub mod global;
 pub mod lookup;
+pub mod multicell;
 pub mod persist;
 pub mod proto;
 pub mod semantic;
@@ -65,11 +70,12 @@ pub use client::{ClientReport, CocaClient};
 pub use config::{CocaConfig, FlushPolicy, MergeMode};
 pub use driver::{
     drive, drive_plan, DriveConfig, DrivePlan, FrameOutcome, FrameStep, MemberPlan, MethodDriver,
-    NoMsg,
+    MigrationPlan, NoMsg, SyncEmit, TopologyPlan,
 };
 pub use engine::{Engine, EngineConfig, EngineReport};
 pub use global::{GlobalCacheTable, MergeScratch};
 pub use lookup::{infer_with_cache, InferenceResult, LookupScratch};
+pub use multicell::MultiCellEngine;
 pub use persist::{
     CrashFault, CrashPlan, DirStorage, Durability, MemStorage, PersistError, RecoveryInfo,
     Snapshot, SnapshotSource, Storage, WalRecord,
@@ -78,7 +84,7 @@ pub use semantic::{CacheLayer, LocalCache};
 pub use server::{CocaServer, DuplicateClientUpload};
 pub use sharded::ShardedServer;
 pub use spec::{
-    JoinEvent, LeaveEvent, LinkChangeEvent, PopularityShift, PopularityShiftEvent, ScenarioEvent,
-    ScenarioSpec,
+    CellSpec, JoinEvent, LeaveEvent, LinkChangeEvent, MigrateEvent, PopularityShift,
+    PopularityShiftEvent, ScenarioEvent, ScenarioSpec, SyncMode, TopologySpec,
 };
 pub use status::ClientStatus;

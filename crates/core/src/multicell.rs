@@ -1,0 +1,477 @@
+//! Multi-edge CoCa: a topology of collaborating server cells.
+//!
+//! [`MultiCellEngine`] runs the same client protocol as
+//! [`Engine`](crate::engine::Engine) against N [`CocaServer`] cells:
+//! every client is homed to one cell (its requests, allocations and
+//! uploads price that cell's link and queue on that cell's FIFO), each
+//! cell allocates from its *own* merged view (partition-aware
+//! allocation), and a periodic peer-sync tick exchanges
+//! [`PeerDelta`]s between cells over the topology's peer link —
+//! priced by the same wire encoding and cost model as client uploads.
+//!
+//! Two sync modes ([`SyncMode`]):
+//!
+//! - **Gossip** — a ring: on each tick, cell *i* exports its delta to
+//!   cell *(i+1) mod N*. Mass originated anywhere reaches everywhere in
+//!   at most N−1 ticks (the staleness story `exp_multiedge` sweeps).
+//! - **Hub-and-spoke** — a star around cell 0: every spoke exports to
+//!   the hub; once the hub has absorbed the last outstanding spoke
+//!   delta it broadcasts its (now fleet-wide) delta back to every
+//!   spoke. Two link hops end-to-end, at 2(N−1) deltas per tick.
+//!
+//! Both modes ride the cursor-based provenance in
+//! [`CocaServer::export_delta`], so each origin cell's Φ mass reaches
+//! each other cell exactly once — fleet-wide Φ is conserved, and the
+//! whole exchange is a deterministic function of the event schedule:
+//! per-cell digests are bit-identical at any rayon width.
+//!
+//! A **one-cell topology executes the exact legacy event sequence** —
+//! same floats, same digests, same serialized records — which is the
+//! refactor's compatibility contract (property-tested in
+//! `tests/proptest_multiedge.rs`).
+
+use std::collections::BTreeMap;
+
+use coca_model::ModelRuntime;
+use coca_net::WireSize;
+use coca_sim::SimDuration;
+
+use crate::client::{AbsorbStats, CocaClient};
+use crate::driver::{
+    drive_plan, DrivePlan, FrameOutcome, FrameStep, MethodDriver, NoMsg, SyncEmit,
+};
+use crate::engine::{EngineConfig, EngineReport, Scenario};
+use crate::proto::{CacheAllocation, CacheRequest, PeerDelta, UpdateUpload};
+use crate::server::CocaServer;
+use crate::spec::SyncMode;
+
+/// The CoCa protocol against a topology of cells: the cell-aware
+/// [`MethodDriver`] hooks route every interaction to the client's home
+/// cell, and the sync hooks implement both exchange modes.
+struct MultiCellDriver<'a> {
+    rt: &'a ModelRuntime,
+    servers: &'a mut [CocaServer],
+    clients: &'a mut [CocaClient],
+    /// One pooled lookup buffer for the whole fleet (frames execute
+    /// sequentially in virtual time).
+    scratch: crate::lookup::LookupScratch,
+    /// Per-cell live member counts, mirrored into each cell's
+    /// round-aligned flush watermark at every join/leave/migration.
+    live: Vec<usize>,
+    /// Current home cell of each client — the driver's mirror of the
+    /// event loop's routing state, needed because join/leave hooks are
+    /// not cell-qualified.
+    cell: Vec<usize>,
+    sync_mode: SyncMode,
+    /// In-flight sync payloads, keyed by the id carried in
+    /// [`SyncEmit::payload`].
+    payloads: BTreeMap<u64, PeerDelta>,
+    next_payload: u64,
+    /// Hub-and-spoke: spoke deltas exported but not yet absorbed by the
+    /// hub. The broadcast back fires when this returns to zero.
+    hub_outstanding: usize,
+}
+
+impl MultiCellDriver<'_> {
+    /// Registers `delta` as an in-flight payload and returns the wire
+    /// event the driver schedules over the peer link.
+    fn emit(&mut self, to_cell: usize, delta: PeerDelta) -> SyncEmit {
+        let id = self.next_payload;
+        self.next_payload += 1;
+        let bytes = delta.wire_bytes();
+        let from_cell = delta.from_cell as usize;
+        self.payloads.insert(id, delta);
+        SyncEmit {
+            from_cell,
+            to_cell,
+            bytes,
+            payload: id,
+        }
+    }
+
+    /// The hub's broadcast leg: one delta per spoke, ascending spoke id.
+    fn hub_broadcast(&mut self) -> Vec<SyncEmit> {
+        let n = self.servers.len();
+        let mut out = Vec::new();
+        for spoke in 1..n {
+            let delta = self.servers[0].export_delta(spoke as u32);
+            if !delta.is_empty() {
+                out.push(self.emit(spoke, delta));
+            }
+        }
+        out
+    }
+}
+
+impl MethodDriver for MultiCellDriver<'_> {
+    type Request = CacheRequest;
+    type Alloc = CacheAllocation;
+    type Query = NoMsg;
+    type Reply = NoMsg;
+    type Upload = UpdateUpload;
+
+    fn name(&self) -> &str {
+        "CoCa"
+    }
+
+    fn cache_request(&mut self, k: usize) -> Option<CacheRequest> {
+        Some(self.clients[k].cache_request())
+    }
+
+    fn serve_request(&mut self, k: usize, req: CacheRequest) -> (CacheAllocation, SimDuration) {
+        let cell = self.cell[k];
+        self.serve_request_at(cell, k, req)
+    }
+
+    fn serve_request_at(
+        &mut self,
+        cell: usize,
+        _k: usize,
+        req: CacheRequest,
+    ) -> (CacheAllocation, SimDuration) {
+        self.servers[cell].handle_request(&req)
+    }
+
+    fn install(&mut self, k: usize, alloc: CacheAllocation) {
+        self.clients[k].install_cache(alloc.cache);
+    }
+
+    fn process_frame(&mut self, k: usize, frame: &coca_data::Frame) -> FrameStep<NoMsg> {
+        let res = self.clients[k].process_frame(self.rt, frame, &mut self.scratch);
+        FrameStep::Done(FrameOutcome {
+            compute: res.latency,
+            correct: res.correct,
+            hit_point: res.hit_point,
+        })
+    }
+
+    fn end_round(&mut self, k: usize) -> Option<UpdateUpload> {
+        Some(self.clients[k].end_round())
+    }
+
+    fn serve_upload(&mut self, k: usize, upload: UpdateUpload) -> SimDuration {
+        let cell = self.cell[k];
+        self.serve_upload_at(cell, k, upload)
+    }
+
+    fn serve_upload_at(&mut self, cell: usize, _k: usize, upload: UpdateUpload) -> SimDuration {
+        self.servers[cell].handle_upload(upload)
+    }
+
+    fn on_join(&mut self, k: usize) {
+        let c = self.cell[k];
+        self.live[c] += 1;
+        self.servers[c].set_flush_watermark(self.live[c]);
+    }
+
+    fn on_leave(&mut self, k: usize) {
+        // Same semantics as the single-server driver, scoped to the
+        // leaver's home cell: its collected knowledge stays in that
+        // cell's table (and propagates onward at the next sync tick).
+        let c = self.cell[k];
+        self.servers[c].on_client_leave();
+        self.clients[k].install_cache(crate::semantic::LocalCache::empty());
+        self.live[c] = self.live[c].saturating_sub(1);
+        self.servers[c].set_flush_watermark(self.live[c]);
+    }
+
+    fn on_migrate(&mut self, k: usize, from_cell: usize, to_cell: usize) {
+        // Handover: drain the old cell's queued uploads first — the
+        // migrant's in-flight contribution must merge where it was
+        // uploaded — then re-home. The client keeps serving from its
+        // current allocation until its next request, which lands at the
+        // new cell and re-allocates from that cell's merged view.
+        self.servers[from_cell].flush_pending();
+        self.live[from_cell] = self.live[from_cell].saturating_sub(1);
+        self.servers[from_cell].set_flush_watermark(self.live[from_cell]);
+        self.live[to_cell] += 1;
+        self.servers[to_cell].set_flush_watermark(self.live[to_cell]);
+        self.cell[k] = to_cell;
+    }
+
+    fn on_run_end(&mut self) {
+        for s in self.servers.iter_mut() {
+            s.flush_pending();
+        }
+    }
+
+    fn sync_export(&mut self, _seq: u64) -> Vec<SyncEmit> {
+        let n = self.servers.len();
+        let mut out = Vec::new();
+        match self.sync_mode {
+            SyncMode::Gossip => {
+                // Ring: cell i → cell (i+1) mod n, ascending sender id.
+                for i in 0..n {
+                    let to = (i + 1) % n;
+                    let delta = self.servers[i].export_delta(to as u32);
+                    if !delta.is_empty() {
+                        out.push(self.emit(to, delta));
+                    }
+                }
+            }
+            SyncMode::HubAndSpoke => {
+                // Collect leg: every spoke → hub (cell 0), own-origin
+                // mass only — third-party mass a spoke holds came from
+                // the hub's own broadcasts and would double-count
+                // there. The hub's broadcast back is emitted from
+                // `sync_absorb` once the last outstanding spoke delta
+                // lands.
+                for spoke in 1..n {
+                    let delta = self.servers[spoke].export_own_delta(0);
+                    if !delta.is_empty() {
+                        self.hub_outstanding += 1;
+                        out.push(self.emit(0, delta));
+                    }
+                }
+                if self.hub_outstanding == 0 {
+                    // Nothing inbound this tick (quiet fleet): the hub
+                    // may still hold mass the spokes lack — broadcast.
+                    out.extend(self.hub_broadcast());
+                }
+            }
+        }
+        out
+    }
+
+    fn sync_absorb(&mut self, emit: &SyncEmit) -> (SimDuration, Vec<SyncEmit>) {
+        let delta = self
+            .payloads
+            .remove(&emit.payload)
+            .expect("sync payload delivered twice");
+        let service = self.servers[emit.to_cell].absorb_peer(&delta);
+        let mut follow = Vec::new();
+        if self.sync_mode == SyncMode::HubAndSpoke && emit.to_cell == 0 {
+            self.hub_outstanding -= 1;
+            if self.hub_outstanding == 0 {
+                follow = self.hub_broadcast();
+            }
+        }
+        (service, follow)
+    }
+}
+
+/// The multi-cell CoCa engine: N [`CocaServer`] cells over one shared
+/// [`Scenario`]. With one cell this is exactly
+/// [`Engine`](crate::engine::Engine) — same event sequence, same
+/// floats, same digests.
+pub struct MultiCellEngine {
+    scenario: Scenario,
+    cfg: EngineConfig,
+    servers: Vec<CocaServer>,
+    clients: Vec<CocaClient>,
+}
+
+impl MultiCellEngine {
+    /// Builds `cells` identical server cells over the scenario: every
+    /// cell seeds from the same `(rt, cfg, seeds)`, so all start from
+    /// the same genesis table (identical digests) and diverge only
+    /// through the uploads their own clients contribute.
+    ///
+    /// # Panics
+    /// Panics if `cells` is zero.
+    pub fn new(scenario: Scenario, mut cfg: EngineConfig, cells: usize) -> Self {
+        assert!(cells > 0, "a topology needs at least one cell");
+        if cfg.coca.cache_budget_bytes == 0 {
+            // Same auto budget as the single-server engine: 1/8 of the
+            // full cache.
+            cfg.coca.cache_budget_bytes = scenario
+                .rt
+                .arch()
+                .full_cache_bytes(scenario.rt.num_classes())
+                / 8;
+        }
+        let servers: Vec<CocaServer> = (0..cells)
+            .map(|i| {
+                let mut s = CocaServer::new(&scenario.rt, cfg.coca, scenario.seeds());
+                s.set_costs(cfg.costs);
+                s.set_cell_id(i as u32);
+                s
+            })
+            .collect();
+        let clients: Vec<CocaClient> = scenario
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(k, p)| {
+                CocaClient::new(
+                    k as u64,
+                    cfg.coca,
+                    &scenario.rt,
+                    p.clone(),
+                    servers[0].base_hit_profile().to_vec(),
+                )
+            })
+            .collect();
+        Self {
+            scenario,
+            cfg,
+            servers,
+            clients,
+        }
+    }
+
+    /// The underlying scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The engine configuration (budget auto-fill applied).
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The cells (post-run inspection: per-cell digests, provenance).
+    pub fn servers(&self) -> &[CocaServer] {
+        &self.servers
+    }
+
+    /// One cell by id.
+    pub fn server(&self, cell: usize) -> &CocaServer {
+        &self.servers[cell]
+    }
+
+    /// Runs the fleet under an explicit [`DrivePlan`] (which carries the
+    /// topology: assignment, links, sync schedule, migrations) and
+    /// returns the aggregated report.
+    ///
+    /// # Panics
+    /// Panics if the plan's topology names a different cell count than
+    /// this engine was built with.
+    pub fn run_plan(&mut self, plan: &DrivePlan) -> EngineReport {
+        assert_eq!(
+            plan.topology.cells,
+            self.servers.len(),
+            "plan topology names {} cells, engine has {}",
+            plan.topology.cells,
+            self.servers.len()
+        );
+        // Per-cell base-fleet live counts seed the round-aligned flush
+        // watermarks, exactly like the single-server engine does for its
+        // one watermark.
+        let mut live = vec![0usize; self.servers.len()];
+        for (k, m) in plan.members.iter().enumerate() {
+            if m.join_at_ms.is_none() && m.rounds > 0 {
+                live[plan.topology.cell_of(k)] += 1;
+            }
+        }
+        for (c, server) in self.servers.iter_mut().enumerate() {
+            server.set_flush_watermark(live[c]);
+        }
+        let cell: Vec<usize> = (0..plan.members.len())
+            .map(|k| plan.topology.cell_of(k))
+            .collect();
+        let mut driver = MultiCellDriver {
+            rt: &self.scenario.rt,
+            servers: &mut self.servers,
+            clients: &mut self.clients,
+            scratch: crate::lookup::LookupScratch::new(),
+            live,
+            cell,
+            sync_mode: plan.topology.sync_mode,
+            payloads: BTreeMap::new(),
+            next_payload: 0,
+            hub_outstanding: 0,
+        };
+        let mut report = drive_plan(&self.scenario, &mut driver, plan);
+        let mut absorb = AbsorbStats::default();
+        for c in &self.clients {
+            absorb.merge(c.absorb_stats());
+        }
+        report.absorb = absorb;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CocaConfig;
+    use crate::engine::{Engine, ScenarioConfig};
+    use crate::spec::{ScenarioSpec, SyncMode, TopologySpec};
+    use coca_data::DatasetSpec;
+    use coca_model::ModelId;
+
+    fn spec(seed: u64) -> ScenarioSpec {
+        let mut cfg = ScenarioConfig::new(ModelId::ResNet101, DatasetSpec::ucf101().subset(20));
+        cfg.num_clients = 4;
+        cfg.seed = seed;
+        ScenarioSpec::new(cfg, 3, 120)
+    }
+
+    fn engine_cfg() -> EngineConfig {
+        let mut coca = CocaConfig::for_model(ModelId::ResNet101);
+        coca.round_frames = 120;
+        EngineConfig::new(coca)
+    }
+
+    fn report_key(r: &EngineReport) -> (f64, f64, f64, u64, coca_sim::SimTime) {
+        (
+            r.mean_latency_ms,
+            r.accuracy_pct,
+            r.hit_ratio,
+            r.frame_digest,
+            r.end_time,
+        )
+    }
+
+    #[test]
+    fn one_cell_topology_matches_legacy_engine() {
+        let (scenario_a, plan_a) = spec(81).materialize();
+        let legacy = Engine::new(scenario_a, engine_cfg()).run_plan(&plan_a);
+
+        let (scenario_b, plan_b) = spec(81).topology(TopologySpec::uniform(1, 4)).materialize();
+        let mut multi = MultiCellEngine::new(scenario_b, engine_cfg(), 1);
+        let report = multi.run_plan(&plan_b);
+
+        assert_eq!(report_key(&legacy), report_key(&report));
+    }
+
+    #[test]
+    fn two_cells_sync_and_converge() {
+        for mode in [SyncMode::Gossip, SyncMode::HubAndSpoke] {
+            let s = spec(82).topology(TopologySpec::uniform(2, 4).with_sync(500.0, mode));
+            let (scenario, plan) = s.materialize();
+            let mut multi = MultiCellEngine::new(scenario, engine_cfg(), 2);
+            let report = multi.run_plan(&plan);
+            assert!(report.frames > 0);
+            // Every cell saw the other's mass: provenance rows exist for
+            // both origins on both cells.
+            for cell in multi.servers() {
+                assert_eq!(cell.merge_provenance().len(), 2, "mode {mode:?}");
+            }
+            // Φ conservation: summing each origin's mass over the fleet
+            // counts it exactly (number of cells) times — each cell holds
+            // the full per-origin history exactly once after the final
+            // flush-and-sync... but syncs stop at run end, so assert the
+            // weaker, exact invariant: no cell holds MORE of an origin's
+            // mass than the origin cell itself recorded.
+            for origin in 0..2u32 {
+                let own: u64 = multi.server(origin as usize).merge_provenance()[&origin]
+                    .iter()
+                    .sum();
+                for cell in multi.servers() {
+                    if let Some(row) = cell.merge_provenance().get(&origin) {
+                        assert!(row.iter().sum::<u64>() <= own, "echoed mass for {origin}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn migration_rehomes_a_client() {
+        let s = spec(83)
+            .topology(TopologySpec::uniform(2, 4).with_sync(500.0, SyncMode::Gossip))
+            .migrate(0, 1, 1);
+        let (scenario, plan) = s.materialize();
+        assert_eq!(plan.topology.migrations.len(), 1);
+        let mut multi = MultiCellEngine::new(scenario, engine_cfg(), 2);
+        let report = multi.run_plan(&plan);
+        assert!(report.frames > 0);
+        // Client 0 (homed to cell 0 by round-robin) moved to cell 1 after
+        // its first round; its later uploads landed there, so cell 1 has
+        // own-origin Φ mass beyond what its two round-robin residents and
+        // the sync stream explain — at minimum the row exists.
+        assert!(multi.server(1).merge_provenance().contains_key(&1));
+    }
+}

@@ -88,6 +88,56 @@ impl WireSize for UpdateUpload {
     }
 }
 
+/// One origin's share of a peer-sync delta: the sender's current merged
+/// centroids for the classes whose Φ mass (attributed to `origin`) grew
+/// since the last sync with the receiving peer, plus exactly that Φ
+/// growth. Keeping deltas origin-attributed lets the receiver extend its
+/// own provenance counts and lets cursor-based dedup guarantee each
+/// origin's mass reaches each cell exactly once.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeerDeltaEntry {
+    /// Cell whose clients originally uploaded this Φ mass.
+    pub origin: u32,
+    /// The sender's current merged view of the affected classes.
+    pub table: UpdateTable,
+    /// Per-class Φ growth since the last delta sent to this peer.
+    pub frequency: Vec<u64>,
+}
+
+/// A cell→cell table delta ([`crate::server::CocaServer::export_delta`] →
+/// [`crate::server::CocaServer::absorb_peer`]). Priced by the same wire
+/// encoding as client uploads, so the topology's peer link charges sync
+/// traffic and upload traffic with one cost model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeerDelta {
+    /// Sending cell.
+    pub from_cell: u32,
+    /// Precision the tables ship at (the sender's configured precision;
+    /// vectors are snapped onto its grid before export).
+    pub precision: Precision,
+    /// Per-origin shares, ascending by origin cell id.
+    pub entries: Vec<PeerDeltaEntry>,
+}
+
+impl PeerDelta {
+    /// True iff the delta carries no mass (nothing new since last sync).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl WireSize for PeerDelta {
+    fn wire_bytes(&self) -> usize {
+        // 8 header (from_cell + precision tag); per entry: 8 (origin +
+        // lengths) + the upload wire encoding of table and φ.
+        8 + self
+            .entries
+            .iter()
+            .map(|e| 8 + e.table.wire_bytes_at(self.precision) + 4 * e.frequency.len())
+            .sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,9 @@ use std::collections::BTreeMap;
 
 use coca_data::distribution::uniform_weights;
 use coca_data::{StreamConfig, StreamGenerator};
+use coca_math::Precision;
 use coca_model::{ClientFeatureView, ClientProfile, ModelRuntime};
+use coca_net::WireSize;
 use coca_sim::{SeedTree, SimDuration};
 use rand::Rng;
 
@@ -18,7 +20,7 @@ use crate::config::{CocaConfig, FlushPolicy, MergeMode};
 use crate::global::{GlobalCacheTable, MergeScratch};
 use crate::lookup::{infer_with_cache, LookupScratch};
 use crate::persist::{Durability, PersistError, RecoveryInfo, Snapshot, WalRecord};
-use crate::proto::{CacheAllocation, CacheRequest, UpdateUpload};
+use crate::proto::{CacheAllocation, CacheRequest, PeerDelta, PeerDeltaEntry, UpdateUpload};
 use crate::semantic::{CacheLayer, LocalCache};
 use crate::status::ClientStatus;
 
@@ -117,6 +119,26 @@ pub struct CocaServer {
     /// Snapshot + WAL persistence, when attached. `None` (the default)
     /// makes every logging hook a no-op — simulation runs pay nothing.
     durability: Option<Durability>,
+    /// This server's cell id in a multi-edge topology (0 = the classic
+    /// single server; see [`CocaServer::set_cell_id`]).
+    cell_id: u32,
+    /// Per-origin merged Φ mass: how much frequency each cell's clients
+    /// contributed to *this* table, cumulatively — local uploads under
+    /// [`Self::cell_id`], peer deltas under their entry's origin. The
+    /// provenance groundwork for centroid content retirement: with
+    /// per-origin mass known, `leave_phi_decay` can age a leaver's
+    /// *vector* contribution, not just its frequency. Rebuilt by WAL
+    /// replay (recorded inside the replayed merge bodies), deliberately
+    /// outside [`Snapshot`] — its shape is load-bearing for committed
+    /// recovery records, so a recovery only restores the post-snapshot
+    /// portion of these observational counters.
+    origin_freq: BTreeMap<u32, Vec<u64>>,
+    /// Peer-sync send cursors: for each peer cell, the per-origin Φ mass
+    /// already shipped to it. [`CocaServer::export_delta`] sends only the
+    /// growth past the cursor, so single-inbound-path topologies (the
+    /// gossip ring, the hub-and-spoke star) deliver each origin's mass to
+    /// each cell exactly once — Φ is conserved fleet-wide.
+    sent_to: BTreeMap<u32, BTreeMap<u32, Vec<u64>>>,
 }
 
 /// Seeds a global cache table from the shared dataset: averages a few
@@ -243,7 +265,31 @@ impl CocaServer {
             flush_watermark: 0,
             clients: BTreeMap::new(),
             durability: None,
+            cell_id: 0,
+            origin_freq: BTreeMap::new(),
+            sent_to: BTreeMap::new(),
         }
+    }
+
+    /// Names this server's cell in a multi-edge topology. Local uploads'
+    /// Φ is attributed to this id in the provenance counts, and
+    /// [`CocaServer::export_delta`] stamps it as `from_cell`. The default
+    /// 0 is correct for the classic single-server deployment.
+    pub fn set_cell_id(&mut self, id: u32) {
+        self.cell_id = id;
+    }
+
+    /// This server's cell id (0 unless [`CocaServer::set_cell_id`] ran).
+    pub fn cell_id(&self) -> u32 {
+        self.cell_id
+    }
+
+    /// Per-origin merged Φ mass (cell id → cumulative per-class counts):
+    /// which cell's clients contributed how much of this table's
+    /// frequency. Observational groundwork for centroid content
+    /// retirement — see the field docs on `origin_freq`.
+    pub fn merge_provenance(&self) -> &BTreeMap<u32, Vec<u64>> {
+        &self.origin_freq
     }
 
     /// Sets the round-aligned flush watermark to the current live-fleet
@@ -419,6 +465,7 @@ impl CocaServer {
     /// [`WalRecord::Merge`]).
     fn merge_now(&mut self, up: &UpdateUpload) -> SimDuration {
         self.note_upload(up);
+        self.note_provenance(self.cell_id, &up.frequency);
         let kb = up.table.wire_bytes_at(up.precision) as f64 / 1024.0;
         if self.cfg.enable_gcu {
             self.global.merge_update(
@@ -543,6 +590,10 @@ impl CocaServer {
     /// Both are bit-identical to sequential per-upload merging in the
     /// same order.
     fn merge_upload_batch(&mut self, ups: &[UpdateUpload]) {
+        let own = self.cell_id;
+        for up in ups {
+            self.note_provenance(own, &up.frequency);
+        }
         if self.cfg.enable_gcu {
             let batch: Vec<(&UpdateTable, &[u64])> = ups
                 .iter()
@@ -660,6 +711,127 @@ impl CocaServer {
         if self.cfg.leave_phi_decay < 1.0 {
             self.global.decay_frequency(self.cfg.leave_phi_decay);
         }
+    }
+
+    // -- multi-edge peer sync -----------------------------------------------
+
+    /// Adds `phi` (elementwise) to `origin`'s cumulative provenance row.
+    fn note_provenance(&mut self, origin: u32, phi: &[u64]) {
+        let classes = self.global.num_classes();
+        let row = self
+            .origin_freq
+            .entry(origin)
+            .or_insert_with(|| vec![0u64; classes]);
+        for (r, &p) in row.iter_mut().zip(phi) {
+            *r += p;
+        }
+    }
+
+    /// Builds the table delta to ship to peer cell `to_peer` and advances
+    /// that peer's send cursors: for every origin whose provenance row
+    /// grew since the last export to this peer — skipping mass the peer
+    /// itself originated, which it already holds — one
+    /// [`PeerDeltaEntry`] carrying this server's *current merged
+    /// centroids* for the grown classes plus exactly the Φ growth. The
+    /// receiver replays the entry through the same Eq. 4/5 batched merge
+    /// as a client upload, so along single-inbound-path topologies (the
+    /// gossip ring, the hub-and-spoke star) every origin's Φ mass lands
+    /// on every cell exactly once and fleet-wide Φ is conserved.
+    ///
+    /// Entries are ascending by origin id and the whole construction is
+    /// a deterministic function of merge history — the driver's sync
+    /// schedule stays bit-identical at any rayon width. Under a
+    /// quantized config the tables are snapped onto the precision grid
+    /// before export, exactly like client uploads.
+    pub fn export_delta(&mut self, to_peer: u32) -> PeerDelta {
+        self.export_filtered(to_peer, false)
+    }
+
+    /// Like [`CocaServer::export_delta`] but restricted to this cell's
+    /// *own* origin mass. This is the spoke→hub direction of the
+    /// hub-and-spoke mode: the hub already aggregates every other
+    /// spoke's mass directly, so a spoke forwarding third-party mass it
+    /// learned *from the hub's broadcasts* would double-count it there.
+    /// Own-only exports keep the star a single-delivery topology.
+    pub fn export_own_delta(&mut self, to_peer: u32) -> PeerDelta {
+        self.export_filtered(to_peer, true)
+    }
+
+    fn export_filtered(&mut self, to_peer: u32, own_only: bool) -> PeerDelta {
+        let classes = self.global.num_classes();
+        let layers = self.global.num_layers();
+        let own = self.cell_id;
+        let mut entries = Vec::new();
+        let cursors = self.sent_to.entry(to_peer).or_default();
+        for (&origin, row) in &self.origin_freq {
+            if origin == to_peer || (own_only && origin != own) {
+                continue;
+            }
+            let cursor = cursors.entry(origin).or_insert_with(|| vec![0u64; classes]);
+            let delta: Vec<u64> = row.iter().zip(cursor.iter()).map(|(r, s)| r - s).collect();
+            if delta.iter().all(|&d| d == 0) {
+                continue;
+            }
+            // Ship the current merged view of every class whose mass
+            // grew: global rows are unit-norm by contract, so absorbing
+            // them at weight 1.0 (which l2-normalizes fresh inserts)
+            // reproduces them exactly.
+            let mut table = UpdateTable::new();
+            for (c, _) in delta.iter().enumerate().filter(|&(_, &d)| d > 0) {
+                for l in 0..layers {
+                    if let Some(v) = self.global.get(c, l) {
+                        table.absorb(c, l, &v, 1.0);
+                    }
+                }
+            }
+            if self.cfg.precision != Precision::F32 {
+                table.quantize_in_place(self.cfg.precision);
+            }
+            cursor.copy_from_slice(row);
+            entries.push(PeerDeltaEntry {
+                origin,
+                table,
+                frequency: delta,
+            });
+        }
+        PeerDelta {
+            from_cell: self.cell_id,
+            precision: self.cfg.precision,
+            entries,
+        }
+    }
+
+    /// Merges a peer cell's delta: each entry runs through the same
+    /// batched Eq. 4/5 pass as a round of client uploads (frequency-only
+    /// when GCU is off), then extends the matching origin's provenance
+    /// row — so re-exports downstream attribute the mass to its true
+    /// origin, not to the relaying cell. Returns the service time under
+    /// the same cost model as uploads, priced by the delta's wire bytes.
+    pub fn absorb_peer(&mut self, delta: &PeerDelta) -> SimDuration {
+        let kb = delta.wire_bytes() as f64 / 1024.0;
+        if self.cfg.enable_gcu {
+            let batch: Vec<(&UpdateTable, &[u64])> = delta
+                .entries
+                .iter()
+                .map(|e| (&e.table, e.frequency.as_slice()))
+                .collect();
+            let cells: usize = delta.entries.iter().map(|e| e.table.len()).sum();
+            if self.cfg.parallel_merge && batch.len() >= 2 && cells >= Self::SHARD_MIN_CELLS {
+                self.global
+                    .merge_batch_sharded(&batch, self.cfg.gamma_global, &mut self.scratch);
+            } else {
+                self.global
+                    .merge_batch(&batch, self.cfg.gamma_global, &mut self.scratch);
+            }
+        } else {
+            for e in &delta.entries {
+                self.global.advance_frequency(&e.frequency);
+            }
+        }
+        for e in &delta.entries {
+            self.note_provenance(e.origin, &e.frequency);
+        }
+        SimDuration::from_millis_f64(self.costs.update_base_ms + self.costs.update_per_kb_ms * kb)
     }
 
     // -- durability ---------------------------------------------------------

@@ -31,6 +31,21 @@
 //! * [`LinkChangeEvent`] (virtual time): from `at_ms` onward the affected
 //!   clients' traffic is priced by a different [`LinkModel`], resolved at
 //!   event-emission time.
+//! * [`MigrateEvent`] (client progress): the client re-homes from its
+//!   current server cell to `to_cell` at the end of its
+//!   `after_rounds`-th round — the goodbye upload of the finished round
+//!   still drains through the *old* cell's FIFO, the next cache request
+//!   re-allocates at the new one. Requires a [`TopologySpec`].
+//!
+//! ## Multi-edge topology
+//!
+//! The optional [`TopologySpec`] replaces the implicit single server
+//! with N collaborating server cells: each client is assigned to a
+//! cell, each cell may override the client↔cell link, and cells
+//! periodically exchange table deltas over a priced `peer_link`
+//! (hub-and-spoke or gossip, see [`SyncMode`]). A one-cell topology —
+//! and a spec with no topology at all — materializes a `DrivePlan`
+//! byte-identical to the classic single-server path.
 //!
 //! A spec with an empty timeline and uniform links reproduces the static
 //! engine bit for bit (asserted by tests).
@@ -40,7 +55,9 @@ use coca_net::{LinkModel, LinkSchedule, TESTBED_BOOT_WINDOW_MS};
 use coca_sim::{SeedTree, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::driver::{DrivePlan, MemberPlan, DEFAULT_METRICS_WINDOW_MS};
+use crate::driver::{
+    DrivePlan, MemberPlan, MigrationPlan, TopologyPlan, DEFAULT_METRICS_WINDOW_MS,
+};
 use crate::engine::{Scenario, ScenarioConfig};
 
 /// A new client joining the fleet mid-run.
@@ -115,6 +132,92 @@ pub struct DeviceSpeedEvent {
     pub frames_per_round: usize,
 }
 
+/// A client re-homing from its current server cell to another — the
+/// multi-edge handover. Keyed in client progress (like [`LeaveEvent`])
+/// so the frame digest is method-independent: the goodbye upload of the
+/// finished round drains at the old cell, the next cache request
+/// re-allocates from the new cell's merged view.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MigrateEvent {
+    /// The migrating client (base-fleet index, or a joiner's index).
+    pub client: usize,
+    /// The handover happens at the end of this round (1-based count of
+    /// completed rounds; values ≥ the client's round budget are no-ops).
+    pub after_rounds: usize,
+    /// Destination cell index in the spec's [`TopologySpec`].
+    pub to_cell: usize,
+}
+
+/// How cells exchange table deltas at each sync tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// Spokes push their deltas to cell 0 (the hub); once every spoke's
+    /// delta has arrived the hub merges them in cell-id order and pushes
+    /// the combined delta back out. Two peer-link hops end-to-end.
+    HubAndSpoke,
+    /// Ring gossip: cell `i` pushes its delta to cell `(i+1) mod N`.
+    /// One hop per tick; knowledge takes `N-1` ticks to circulate.
+    Gossip,
+}
+
+/// One server cell in a multi-edge topology.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Client↔cell link override. `None` keeps each client's own link
+    /// schedule (base link + `LinkChange` events) — the choice that
+    /// makes a one-cell topology bit-identical to the legacy path.
+    pub link: Option<LinkModel>,
+}
+
+/// A topology of collaborating server cells. Absent (`None` on the
+/// spec) means the classic single server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// The server cells; index is the cell id.
+    pub cells: Vec<CellSpec>,
+    /// Client→cell assignment by client index. Clients beyond the
+    /// vector's length (e.g. joiners) default to cell 0.
+    pub assignment: Vec<usize>,
+    /// Cell↔cell link pricing peer-sync traffic.
+    pub peer_link: LinkModel,
+    /// Peer-sync period (virtual ms). `None` disables syncing — cells
+    /// evolve independently from the shared genesis table.
+    pub sync_period_ms: Option<f64>,
+    /// Delta exchange pattern.
+    pub sync_mode: SyncMode,
+}
+
+impl TopologySpec {
+    /// `cells` cells with round-robin client assignment, the testbed
+    /// peer link, and syncing disabled.
+    pub fn uniform(cells: usize, clients: usize) -> Self {
+        Self {
+            cells: vec![CellSpec { link: None }; cells.max(1)],
+            assignment: (0..clients).map(|k| k % cells.max(1)).collect(),
+            peer_link: LinkModel::testbed(),
+            sync_period_ms: None,
+            sync_mode: SyncMode::Gossip,
+        }
+    }
+
+    /// Builder: enables periodic peer sync.
+    pub fn with_sync(mut self, period_ms: f64, mode: SyncMode) -> Self {
+        self.sync_period_ms = Some(period_ms);
+        self.sync_mode = mode;
+        self
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cell client `k` starts on (unassigned tail → cell 0).
+    pub fn cell_of(&self, k: usize) -> usize {
+        self.assignment.get(k).copied().unwrap_or(0)
+    }
+}
+
 /// One timeline entry.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ScenarioEvent {
@@ -128,6 +231,8 @@ pub enum ScenarioEvent {
     LinkChange(LinkChangeEvent),
     /// Heterogeneous device speed (per-client `frames_per_round`).
     DeviceSpeed(DeviceSpeedEvent),
+    /// Multi-edge handover: a client re-homes to another cell.
+    Migrate(MigrateEvent),
 }
 
 /// Upper bound on any timeline instant (ms): ~11.5 virtual days. Keeps a
@@ -138,7 +243,7 @@ pub const MAX_EVENT_MS: f64 = 1.0e9;
 /// A fully declarative dynamic scenario: base workload, engine lengths,
 /// network defaults and a timeline of dynamics events. Serializable to
 /// JSON (`coca-bench`'s `exp_scenario` binary runs one from a file).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Deserialize)]
 pub struct ScenarioSpec {
     /// The base workload (model, dataset, base fleet size, popularity,
     /// drift, seed).
@@ -157,6 +262,33 @@ pub struct ScenarioSpec {
     /// equal `at_frame` targeting the same client (later entries compose
     /// on top) and among `Join`s (arrival order assigns client indices).
     pub timeline: Vec<ScenarioEvent>,
+    /// Multi-edge server topology. `None` = the classic single server.
+    pub topology: Option<TopologySpec>,
+}
+
+// Hand-written so the `topology` key is *omitted* (not `null`) when
+// absent: every spec committed before the multi-edge refactor keeps its
+// exact bytes under the regeneration gate. Deserialization stays
+// derived — the shim reads a missing key as `Null`, which an `Option`
+// field accepts as `None`.
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("scenario".into(), self.scenario.to_value());
+        m.insert("rounds".into(), self.rounds.to_value());
+        m.insert("frames_per_round".into(), self.frames_per_round.to_value());
+        m.insert("boot_window_ms".into(), self.boot_window_ms.to_value());
+        m.insert("base_link".into(), self.base_link.to_value());
+        m.insert(
+            "metrics_window_ms".into(),
+            self.metrics_window_ms.to_value(),
+        );
+        m.insert("timeline".into(), self.timeline.to_value());
+        if let Some(t) = &self.topology {
+            m.insert("topology".into(), t.to_value());
+        }
+        serde::Value::Object(m)
+    }
 }
 
 impl ScenarioSpec {
@@ -171,7 +303,24 @@ impl ScenarioSpec {
             base_link: LinkModel::testbed(),
             metrics_window_ms: DEFAULT_METRICS_WINDOW_MS,
             timeline: Vec::new(),
+            topology: None,
         }
+    }
+
+    /// Builder: attaches a multi-edge [`TopologySpec`].
+    pub fn topology(mut self, t: TopologySpec) -> Self {
+        self.topology = Some(t);
+        self
+    }
+
+    /// Builder: appends a [`MigrateEvent`].
+    pub fn migrate(mut self, client: usize, after_rounds: usize, to_cell: usize) -> Self {
+        self.timeline.push(ScenarioEvent::Migrate(MigrateEvent {
+            client,
+            after_rounds,
+            to_cell,
+        }));
+        self
     }
 
     /// Builder: appends a [`JoinEvent`]; the joiner's client index is
@@ -255,6 +404,31 @@ impl ScenarioSpec {
         }
         let classes = self.scenario.dataset.num_classes;
         let total = self.total_clients();
+        let num_cells = self.topology.as_ref().map_or(1, TopologySpec::num_cells);
+        if let Some(t) = &self.topology {
+            if t.cells.is_empty() {
+                return Err("topology must have at least one cell".into());
+            }
+            if t.assignment.len() > total {
+                return Err(format!(
+                    "topology assigns {} clients, fleet has {total}",
+                    t.assignment.len()
+                ));
+            }
+            for (k, &c) in t.assignment.iter().enumerate() {
+                if c >= t.cells.len() {
+                    return Err(format!(
+                        "topology assigns client {k} to cell {c} of {}",
+                        t.cells.len()
+                    ));
+                }
+            }
+            if let Some(p) = t.sync_period_ms {
+                if !(p.is_finite() && p > 0.0 && p <= MAX_EVENT_MS) {
+                    return Err(format!("sync period {p} outside (0, {MAX_EVENT_MS}] ms"));
+                }
+            }
+        }
         for (i, ev) in self.timeline.iter().enumerate() {
             match ev {
                 ScenarioEvent::Join(j) => {
@@ -337,6 +511,25 @@ impl ScenarioSpec {
                         ));
                     }
                 }
+                ScenarioEvent::Migrate(m) => {
+                    if m.client >= total {
+                        return Err(format!(
+                            "event {i}: migrate targets client {} of {total}",
+                            m.client
+                        ));
+                    }
+                    if m.after_rounds == 0 {
+                        return Err(format!(
+                            "event {i}: a client must complete at least one round before migrating"
+                        ));
+                    }
+                    if m.to_cell >= num_cells {
+                        return Err(format!(
+                            "event {i}: migrate targets cell {} of {num_cells}",
+                            m.to_cell
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -372,6 +565,18 @@ impl ScenarioSpec {
         cfg.num_clients = total;
         let mut scenario = Scenario::build(cfg);
 
+        let topology = match &self.topology {
+            Some(t) => TopologyPlan {
+                cells: t.num_cells(),
+                assignment: (0..total).map(|k| t.cell_of(k)).collect(),
+                cell_links: t.cells.iter().map(|c| c.link).collect(),
+                peer_link: t.peer_link,
+                sync_period_ms: t.sync_period_ms,
+                sync_mode: t.sync_mode,
+                migrations: Vec::new(),
+            },
+            None => TopologyPlan::single(total),
+        };
         let mut plan = DrivePlan {
             frames_per_round: self.frames_per_round,
             boot_window_ms: self.boot_window_ms,
@@ -387,6 +592,7 @@ impl ScenarioSpec {
             links: vec![LinkSchedule::fixed(self.base_link); total],
             metrics_window_ms: self.metrics_window_ms,
             metrics: Default::default(),
+            topology,
         };
 
         // Pass 1a — joins first (arrival order assigns indices), so that
@@ -435,6 +641,13 @@ impl ScenarioSpec {
                             }
                         }
                     }
+                }
+                ScenarioEvent::Migrate(m) => {
+                    plan.topology.migrations.push(MigrationPlan {
+                        client: m.client,
+                        after_rounds: m.after_rounds,
+                        to_cell: m.to_cell,
+                    });
                 }
                 ScenarioEvent::Join(_) | ScenarioEvent::PopularityShift(_) => {}
             }

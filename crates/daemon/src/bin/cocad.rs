@@ -12,7 +12,8 @@
 use std::net::TcpListener;
 use std::process::ExitCode;
 
-use coca_daemon::{serve, LockMode, RunSpec, ServerCore};
+use coca_daemon::serve::PeerSet;
+use coca_daemon::{serve_with_peers, LockMode, RunSpec, ServerCore};
 
 const USAGE: &str = "\
 cocad — the CoCa edge server daemon
@@ -25,6 +26,13 @@ Serving:
   --workers N          worker threads (default 4)
   --lock MODE          single | sharded (default sharded)
 
+Peer topology (multi-edge; requires --lock single):
+  --cell-id N          this daemon's cell id (default 0)
+  --peers LIST         comma-separated CELL=HOST:PORT peer daemons,
+                       e.g. 1=127.0.0.1:4001,2=127.0.0.1:4002
+  --sync-period-ms N   ship deltas to every peer each N ms (otherwise
+                       sync fires only on an explicit SyncNow message)
+
 World (must match the load generator):
   --model NAME         vgg16_bn | resnet50 | resnet101 | resnet152 | ast-base
                        (default resnet101)
@@ -33,6 +41,7 @@ World (must match the load generator):
   --merge-mode MODE    per_upload | queue_and_flush (default per_upload)
   --round-aligned BOOL queue-and-flush drains at the fleet watermark
                        (default false)
+  --precision P        f32 | f16 | i8 table/wire precision (default f32)
 ";
 
 struct Opts {
@@ -41,6 +50,9 @@ struct Opts {
     workers: usize,
     lock: LockMode,
     spec: RunSpec,
+    cell_id: u32,
+    peers: PeerSet,
+    sync_period_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -50,6 +62,9 @@ fn parse_args() -> Result<Opts, String> {
         workers: 4,
         lock: LockMode::Sharded,
         spec: RunSpec::default(),
+        cell_id: 0,
+        peers: PeerSet::default(),
+        sync_period_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -74,8 +89,29 @@ fn parse_args() -> Result<Opts, String> {
                 opts.lock = LockMode::parse(&value)
                     .ok_or_else(|| format!("unknown lock mode '{value}'"))?;
             }
+            "--cell-id" => {
+                opts.cell_id = value
+                    .parse()
+                    .map_err(|_| format!("bad --cell-id '{value}'"))?;
+            }
+            "--peers" => opts.peers = PeerSet::parse(&value)?,
+            "--sync-period-ms" => {
+                opts.sync_period_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad --sync-period-ms '{value}'"))?,
+                );
+            }
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }
+    }
+    if !opts.peers.is_empty() && opts.lock != LockMode::Single {
+        return Err("--peers requires --lock single (peer sync needs the \
+                    whole-table consistent view only the single-lock core has)"
+            .to_string());
+    }
+    if let Some(ms) = opts.sync_period_ms {
+        opts.peers = std::mem::take(&mut opts.peers).with_period_ms(ms);
     }
     Ok(opts)
 }
@@ -90,6 +126,7 @@ fn main() -> ExitCode {
     };
     let (rt, cfg, seeds) = opts.spec.build();
     let core = ServerCore::new(&rt, cfg, &seeds, opts.lock);
+    core.set_cell_id(opts.cell_id);
     let genesis = core.digest();
     let listener = match TcpListener::bind(&opts.addr) {
         Ok(l) => l,
@@ -98,7 +135,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let handle = match serve(core, listener, opts.workers) {
+    let handle = match serve_with_peers(core, listener, opts.workers, opts.peers) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("cocad: cannot start serving: {e}");

@@ -5,9 +5,10 @@
 
 use std::sync::Mutex;
 
-use coca_core::proto::{CacheAllocation, CacheRequest, UpdateUpload};
+use coca_core::proto::{CacheAllocation, CacheRequest, PeerDelta, UpdateUpload};
 use coca_core::{CocaConfig, CocaServer, FlushPolicy, MergeMode, ShardedServer};
 use coca_data::DatasetSpec;
+use coca_math::Precision;
 use coca_model::{ModelId, ModelRuntime};
 use coca_sim::SeedTree;
 
@@ -61,6 +62,10 @@ pub struct RunSpec {
     /// Queue-and-flush only: drain at the fleet watermark instead of at
     /// every request boundary.
     pub round_aligned: bool,
+    /// Numeric precision of the global table and every wire payload:
+    /// allocations extract from (and uploads snap onto) this grid, so a
+    /// quantized daemon serves f16/i8 tables over TCP.
+    pub precision: Precision,
 }
 
 impl Default for RunSpec {
@@ -71,6 +76,7 @@ impl Default for RunSpec {
             seed: 77,
             merge_mode: MergeMode::PerUpload,
             round_aligned: false,
+            precision: Precision::F32,
         }
     }
 }
@@ -100,7 +106,7 @@ pub fn parse_merge_mode(s: &str) -> Option<MergeMode> {
 impl RunSpec {
     /// Consumes one `--flag value` pair if it belongs to the spec
     /// (`--model`, `--classes`, `--seed`, `--merge-mode`,
-    /// `--round-aligned`). Both `cocad` and `coca-loadgen` route their
+    /// `--round-aligned`, `--precision`). Both `cocad` and `coca-loadgen` route their
     /// argument loops through this, so the two command lines can never
     /// drift apart on what defines the deterministic world.
     pub fn apply_flag(&mut self, flag: &str, value: &str) -> Result<bool, String> {
@@ -126,6 +132,10 @@ impl RunSpec {
                     .parse()
                     .map_err(|_| format!("bad --round-aligned '{value}' (true/false)"))?;
             }
+            "--precision" => {
+                self.precision = Precision::parse(value)
+                    .ok_or_else(|| format!("unknown precision '{value}' (f32/f16/i8)"))?;
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -138,7 +148,9 @@ impl RunSpec {
         let dataset = DatasetSpec::ucf101().subset(self.classes);
         let seeds = SeedTree::new(self.seed);
         let rt = ModelRuntime::new(self.model, &dataset, &seeds);
-        let mut cfg = CocaConfig::for_model(self.model).with_merge_mode(self.merge_mode);
+        let mut cfg = CocaConfig::for_model(self.model)
+            .with_merge_mode(self.merge_mode)
+            .with_precision(self.precision);
         if self.round_aligned {
             cfg = cfg.with_flush_policy(FlushPolicy::RoundAligned);
         }
@@ -257,6 +269,39 @@ impl ServerCore {
                 .expect("server poisoned")
                 .set_flush_watermark(live_members),
             CoreInner::Sharded(s) => s.set_flush_watermark(live_members),
+        }
+    }
+
+    /// Builds the peer-sync delta for peer cell `to_peer` (see
+    /// [`CocaServer::export_delta`]). Peer sync runs on the single-lock
+    /// core only — the sharded core's per-layer locks cannot take the
+    /// whole-table consistent view a delta export needs — so `cocad`
+    /// validates `--peers` against the lock mode at startup. `None` in
+    /// sharded mode.
+    pub fn export_delta(&self, to_peer: u32) -> Option<PeerDelta> {
+        match &self.inner {
+            CoreInner::Single(s) => Some(s.lock().expect("server poisoned").export_delta(to_peer)),
+            CoreInner::Sharded(_) => None,
+        }
+    }
+
+    /// Merges a peer cell's delta ([`CocaServer::absorb_peer`]). `false`
+    /// (delta not merged) in sharded mode.
+    pub fn absorb_peer(&self, delta: &PeerDelta) -> bool {
+        match &self.inner {
+            CoreInner::Single(s) => {
+                s.lock().expect("server poisoned").absorb_peer(delta);
+                true
+            }
+            CoreInner::Sharded(_) => false,
+        }
+    }
+
+    /// Names this core's cell in a peer topology (`cocad --cell-id`).
+    /// No-op in sharded mode (which does not run peer sync).
+    pub fn set_cell_id(&self, id: u32) {
+        if let CoreInner::Single(s) = &self.inner {
+            s.lock().expect("server poisoned").set_cell_id(id);
         }
     }
 

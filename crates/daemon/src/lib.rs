@@ -42,5 +42,5 @@ pub mod workload;
 pub use crate::core::{LockMode, RunSpec, ServerCore};
 pub use load::{run_load, run_verify, shutdown_daemon, Arrival, DaemonClient, LoadReport};
 pub use msg::{ClientMsg, ServerMsg};
-pub use serve::{serve, DaemonHandle, DaemonReport};
+pub use serve::{serve, serve_with_peers, DaemonHandle, DaemonReport, PeerSet};
 pub use workload::Workload;

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use coca_core::proto::{CacheAllocation, CacheRequest, UpdateUpload};
+use coca_core::proto::{CacheAllocation, CacheRequest, PeerDelta, UpdateUpload};
 
 /// Client → daemon messages.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,6 +32,15 @@ pub enum ClientMsg {
     Digest,
     /// Set the round-aligned flush watermark (live-fleet size).
     SetWatermark(usize),
+    /// A peer cell's table delta (`cocad --peers` sync): merged through
+    /// [`coca_core::CocaServer::absorb_peer`]. Answered with
+    /// [`ServerMsg::PeerAck`].
+    Peer(PeerDelta),
+    /// Trigger one outbound peer-sync tick now: the daemon exports a
+    /// delta to each configured peer and ships it over that peer's
+    /// connection. Answered with [`ServerMsg::SyncDone`] carrying the
+    /// number of non-empty deltas sent.
+    SyncNow,
     /// Stop the daemon: acknowledged with [`ServerMsg::ShuttingDown`],
     /// then the whole process winds down (acceptor, readers, workers).
     Shutdown,
@@ -55,6 +64,12 @@ pub enum ServerMsg {
     Digest(u64),
     /// Reply to [`ClientMsg::SetWatermark`].
     WatermarkSet,
+    /// Reply to [`ClientMsg::Peer`]: `true` if the delta merged (always,
+    /// on a single-lock core; `false` from a sharded core, which does
+    /// not run peer sync).
+    PeerAck(bool),
+    /// Reply to [`ClientMsg::SyncNow`]: non-empty deltas shipped.
+    SyncDone(usize),
     /// Reply to [`ClientMsg::Shutdown`].
     ShuttingDown,
 }

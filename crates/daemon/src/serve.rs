@@ -34,11 +34,93 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
+use coca_core::proto::PeerDelta;
 use coca_core::CocaServer;
 use coca_net::{read_message, write_message};
 
 use crate::core::ServerCore;
 use crate::msg::{ClientMsg, ServerMsg};
+
+/// The daemon's peer cells (`cocad --peers`): each entry is a peer's
+/// cell id plus the address its own `cocad` listens on. Deltas ship as
+/// ordinary [`ClientMsg::Peer`] frames over short-lived connections —
+/// a peer daemon is just another client of the protocol.
+///
+/// Sync fires on demand ([`ClientMsg::SyncNow`]) or on the optional
+/// period, from one dedicated thread — exports are cursor-based
+/// ([`coca_core::CocaServer::export_delta`]), so a tick with nothing
+/// new ships nothing. A delta whose ship fails is dropped (its cursor
+/// already advanced): peer sync is an eventual-convergence path, not a
+/// durability path — the authoritative Φ stays on the origin cell.
+#[derive(Debug, Default)]
+pub struct PeerSet {
+    peers: Vec<(u32, String)>,
+    /// Periodic sync interval; `None` = only explicit `SyncNow`.
+    period: Option<Duration>,
+}
+
+impl PeerSet {
+    /// Parses a `--peers` flag value: comma-separated `CELL=HOST:PORT`
+    /// entries, e.g. `1=127.0.0.1:4001,2=127.0.0.1:4002`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut peers = Vec::new();
+        for entry in s.split(',').filter(|e| !e.is_empty()) {
+            let (cell, addr) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("bad --peers entry '{entry}' (want CELL=HOST:PORT)"))?;
+            let cell: u32 = cell
+                .parse()
+                .map_err(|_| format!("bad peer cell id '{cell}'"))?;
+            peers.push((cell, addr.to_string()));
+        }
+        Ok(Self {
+            peers,
+            period: None,
+        })
+    }
+
+    /// Adds a periodic sync interval (milliseconds).
+    pub fn with_period_ms(mut self, ms: u64) -> Self {
+        self.period = Some(Duration::from_millis(ms.max(1)));
+        self
+    }
+
+    /// Whether any peers are configured.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// One sync tick: exports a delta per peer and ships the non-empty
+    /// ones. Returns how many shipped (and were acknowledged).
+    pub fn sync_now(&self, core: &ServerCore) -> usize {
+        let mut sent = 0;
+        for (cell, addr) in &self.peers {
+            let Some(delta) = core.export_delta(*cell) else {
+                break; // sharded core: no peer sync
+            };
+            if !delta.is_empty() && ship_delta(addr, &delta) {
+                sent += 1;
+            }
+        }
+        sent
+    }
+}
+
+/// Ships one delta to a peer daemon and waits for its ack.
+fn ship_delta(addr: &str, delta: &PeerDelta) -> bool {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let _ = stream.set_nodelay(true);
+    if write_message(&mut &stream, &ClientMsg::Peer(delta.clone())).is_err() {
+        return false;
+    }
+    let mut reader = BufReader::new(stream);
+    matches!(
+        read_message::<_, ServerMsg>(&mut reader),
+        Ok(Some(ServerMsg::PeerAck(true)))
+    )
+}
 
 /// How long a worker sleeps between channel polls (the shim's
 /// `recv_timeout` is the only blocking receive available).
@@ -74,6 +156,8 @@ pub struct DaemonHandle {
     conns: ConnRegistry,
     acceptor: JoinHandle<Vec<JoinHandle<()>>>,
     workers: Vec<JoinHandle<()>>,
+    /// The periodic peer-sync thread, when `--peers` has a period.
+    sync: Option<JoinHandle<()>>,
 }
 
 /// What a daemon run amounted to, returned by [`DaemonHandle::join`].
@@ -101,12 +185,27 @@ pub fn serve(
     listener: TcpListener,
     workers: usize,
 ) -> std::io::Result<DaemonHandle> {
+    serve_with_peers(core, listener, workers, PeerSet::default())
+}
+
+/// [`serve`] with a peer topology: the daemon answers
+/// [`ClientMsg::Peer`]/[`ClientMsg::SyncNow`], and — when the peer set
+/// carries a period — runs a periodic sync thread that ships deltas to
+/// every configured peer, the socket deployment of the virtual-time
+/// engine's sync tick.
+pub fn serve_with_peers(
+    core: ServerCore,
+    listener: TcpListener,
+    workers: usize,
+    peers: PeerSet,
+) -> std::io::Result<DaemonHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let core = Arc::new(core);
     let stop = Arc::new(AtomicBool::new(false));
     let counters = Arc::new(Counters::default());
     let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+    let peers = Arc::new(peers);
 
     let n = workers.max(1);
     let mut worker_handles = Vec::with_capacity(n);
@@ -117,8 +216,9 @@ pub fn serve(
         let core = Arc::clone(&core);
         let stop = Arc::clone(&stop);
         let counters = Arc::clone(&counters);
+        let peers = Arc::clone(&peers);
         worker_handles.push(std::thread::spawn(move || {
-            worker_loop(rx, &core, &stop, &counters)
+            worker_loop(rx, &core, &stop, &counters, &peers)
         }));
     }
 
@@ -128,6 +228,13 @@ pub fn serve(
         std::thread::spawn(move || accept_loop(&listener, senders, &conns, &stop))
     };
 
+    let sync = peers.period.filter(|_| !peers.is_empty()).map(|period| {
+        let core = Arc::clone(&core);
+        let stop = Arc::clone(&stop);
+        let peers = Arc::clone(&peers);
+        std::thread::spawn(move || sync_loop(&core, &stop, &peers, period))
+    });
+
     Ok(DaemonHandle {
         addr,
         stop,
@@ -136,7 +243,28 @@ pub fn serve(
         conns,
         acceptor,
         workers: worker_handles,
+        sync,
     })
+}
+
+/// The periodic peer-sync thread: checks the stop flag every poll tick
+/// and fires a sync once per period.
+fn sync_loop(
+    core: &Arc<ServerCore>,
+    stop: &Arc<AtomicBool>,
+    peers: &Arc<PeerSet>,
+    period: Duration,
+) {
+    let mut elapsed = Duration::ZERO;
+    while !stop.load(Ordering::SeqCst) {
+        let step = period.min(WORKER_POLL);
+        std::thread::sleep(step);
+        elapsed += step;
+        if elapsed >= period {
+            elapsed = Duration::ZERO;
+            peers.sync_now(core);
+        }
+    }
 }
 
 impl DaemonHandle {
@@ -173,6 +301,9 @@ impl DaemonHandle {
         // the disconnect.
         for w in self.workers {
             w.join().expect("worker thread panicked");
+        }
+        if let Some(s) = self.sync {
+            s.join().expect("sync thread panicked");
         }
         let Ok(core) = Arc::try_unwrap(self.core) else {
             unreachable!("all worker references dropped at join")
@@ -249,17 +380,24 @@ fn worker_loop(
     core: &Arc<ServerCore>,
     stop: &Arc<AtomicBool>,
     counters: &Arc<Counters>,
+    peers: &Arc<PeerSet>,
 ) {
     loop {
         match rx.recv_timeout(WORKER_POLL) {
-            Ok(job) => handle_job(job, core, stop, counters),
+            Ok(job) => handle_job(job, core, stop, counters, peers),
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
 }
 
-fn handle_job(job: Job, core: &ServerCore, stop: &AtomicBool, counters: &Counters) {
+fn handle_job(
+    job: Job,
+    core: &ServerCore,
+    stop: &AtomicBool,
+    counters: &Counters,
+    peers: &PeerSet,
+) {
     let mut is_shutdown = false;
     let reply = match job.msg {
         ClientMsg::Hello => ServerMsg::Profile(core.base_hit_profile()),
@@ -282,6 +420,8 @@ fn handle_job(job: Job, core: &ServerCore, stop: &AtomicBool, counters: &Counter
             core.set_flush_watermark(n);
             ServerMsg::WatermarkSet
         }
+        ClientMsg::Peer(delta) => ServerMsg::PeerAck(core.absorb_peer(&delta)),
+        ClientMsg::SyncNow => ServerMsg::SyncDone(peers.sync_now(core)),
         ClientMsg::Shutdown => {
             is_shutdown = true;
             ServerMsg::ShuttingDown

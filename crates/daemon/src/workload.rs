@@ -87,12 +87,18 @@ impl Workload {
             }
         }
         let frequency: Vec<u64> = (0..classes).map(|_| rng.gen_range(1u64..30)).collect();
+        // Under a quantized spec the sender snaps every vector onto the
+        // precision grid before upload, exactly like the engine's
+        // clients — the daemon's merge then sees the dequantized codes.
+        if self.spec.precision != coca_math::Precision::F32 {
+            table.quantize_in_place(self.spec.precision);
+        }
         UpdateUpload {
             client_id: k as u64,
             round: round as u64,
             table,
             frequency,
-            precision: coca_math::Precision::F32,
+            precision: self.spec.precision,
         }
     }
 

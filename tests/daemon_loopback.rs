@@ -12,8 +12,10 @@ use std::net::TcpListener;
 
 use coca::core::MergeMode;
 use coca::daemon::{
-    run_load, run_verify, serve, shutdown_daemon, Arrival, LockMode, RunSpec, ServerCore, Workload,
+    run_load, run_verify, serve, serve_with_peers, shutdown_daemon, Arrival, ClientMsg,
+    DaemonClient, LockMode, PeerSet, RunSpec, ServerCore, ServerMsg, Workload,
 };
+use coca::math::Precision;
 
 fn small_workload(merge_mode: MergeMode, round_aligned: bool) -> Workload {
     Workload {
@@ -84,6 +86,100 @@ fn round_aligned_watermark_survives_the_wire() {
     );
     assert!(shutdown_daemon(addr));
     handle.join();
+}
+
+#[test]
+fn quantized_loopback_digest_matches_per_precision() {
+    // --precision f16/i8: senders snap uploads onto the precision grid
+    // and the daemon stores/serves the quantized table — the digest must
+    // still land exactly on the in-process reference under the same
+    // spec, for both lock modes. (f32 is the existing tests' default.)
+    for precision in [Precision::F32, Precision::F16, Precision::I8] {
+        for lock in [LockMode::Single, LockMode::Sharded] {
+            let mut wl = small_workload(MergeMode::QueueAndFlush, false);
+            wl.spec.precision = precision;
+            let handle = spawn_daemon(&wl, lock, 2);
+            let addr = handle.addr();
+            let outcome = run_verify(addr, &wl).expect("verify run");
+            assert!(
+                outcome.matches(),
+                "digest diverged over loopback at {} ({}): daemon {:016x} vs reference {:016x}",
+                precision.label(),
+                lock.name(),
+                outcome.daemon_digest,
+                outcome.local_digest
+            );
+            assert!(shutdown_daemon(addr));
+            handle.join();
+        }
+    }
+}
+
+#[test]
+fn peer_sync_ships_the_table_delta_over_loopback() {
+    // Two daemons as cells 0 and 1: cell 0 takes the whole workload,
+    // then a SyncNow ships its delta to cell 1 over real TCP. Cell 1's
+    // post-sync digest must land exactly on an in-process reference
+    // replaying the same export/absorb — the socket leg of the
+    // multi-edge sync path must be digest-invisible.
+    let wl = small_workload(MergeMode::PerUpload, false);
+    let (rt, cfg, seeds) = wl.spec.build();
+
+    // Daemon B (cell 1): no peers, single lock (peer sync needs it).
+    let core_b = ServerCore::new(&rt, cfg, &seeds, LockMode::Single);
+    core_b.set_cell_id(1);
+    let listener_b = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let handle_b =
+        serve_with_peers(core_b, listener_b, 2, PeerSet::default()).expect("daemon B starts");
+
+    // Daemon A (cell 0): peers at B, sync only on explicit SyncNow.
+    let core_a = ServerCore::new(&rt, cfg, &seeds, LockMode::Single);
+    let peers = PeerSet::parse(&format!("1={}", handle_b.addr())).expect("peer list parses");
+    let listener_a = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let handle_a = serve_with_peers(core_a, listener_a, 2, peers).expect("daemon A starts");
+
+    // Drive the workload into A sequentially; run_verify replays the
+    // identical sequence on its own reference, pinning A's digest.
+    let outcome = run_verify(handle_a.addr(), &wl).expect("verify run");
+    assert!(outcome.matches(), "cell 0 diverged before the sync");
+
+    // In-process replay of the sync leg: the same merge history at cell
+    // 0, exported to cell 1, absorbed at a fresh cell-1 server.
+    let mut ref_a = coca::core::CocaServer::new(&rt, cfg, &seeds);
+    for round in 0..wl.rounds {
+        for k in 0..wl.clients {
+            let profile = ref_a.base_hit_profile();
+            let req = wl.request(&rt, profile, k, round);
+            ref_a.handle_request(&req);
+            ref_a.handle_upload(wl.upload(&rt, &seeds, k, round));
+        }
+    }
+    ref_a.flush_pending();
+    let mut ref_b = coca::core::CocaServer::new(&rt, cfg, &seeds);
+    ref_b.set_cell_id(1);
+    ref_b.absorb_peer(&ref_a.export_delta(1));
+
+    // Fire the sync: A ships exactly one delta, B acks it inline.
+    let mut client = DaemonClient::connect(handle_a.addr()).expect("connect to A");
+    match client.call(&ClientMsg::SyncNow).expect("sync call") {
+        ServerMsg::SyncDone(shipped) => assert_eq!(shipped, 1, "one peer, one delta"),
+        other => panic!("expected SyncDone, got {other:?}"),
+    }
+    let mut client_b = DaemonClient::connect(handle_b.addr()).expect("connect to B");
+    let digest_b = match client_b.call(&ClientMsg::Digest).expect("digest call") {
+        ServerMsg::Digest(d) => d,
+        other => panic!("expected Digest, got {other:?}"),
+    };
+    assert_eq!(
+        digest_b,
+        ref_b.global().digest(),
+        "cell 1's post-sync table diverged from the in-process export/absorb replay"
+    );
+
+    assert!(shutdown_daemon(handle_a.addr()));
+    handle_a.join();
+    assert!(shutdown_daemon(handle_b.addr()));
+    handle_b.join();
 }
 
 #[test]
